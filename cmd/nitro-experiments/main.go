@@ -1,0 +1,145 @@
+// Command nitro-experiments regenerates the tables and figures of the Nitro
+// paper's evaluation on the synthetic corpora (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	nitro-experiments [-run setup|fig5|fig6|fig7|fig8|headline|extension|portability|all]
+//	                  [-scale 1.0] [-seed 42] [-iters 50]
+//	                  [-classifier svm|knn|tree] [-nogrid]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/datasets"
+	"nitro/internal/experiments"
+	"nitro/internal/gpusim"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run: setup, fig5, fig6, fig7, fig8, headline, extension, portability, all")
+	scale := flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
+	seed := flag.Int64("seed", 42, "corpus generation seed")
+	iters := flag.Int("iters", 50, "incremental-tuning iteration budget (fig7)")
+	classifier := flag.String("classifier", "svm", "classifier: svm, knn or tree")
+	nogrid := flag.Bool("nogrid", false, "disable the cross-validated SVM grid search")
+	trainN := flag.Int("train", 0, "override training corpus size (0 = paper)")
+	testN := flag.Int("test", 0, "override test corpus size (0 = paper)")
+	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Cfg: datasets.Config{Seed: *seed, Scale: *scale, TrainCount: *trainN, TestCount: *testN},
+		Train: autotuner.TrainOptions{
+			Classifier: *classifier,
+			GridSearch: *classifier == "svm" && !*nogrid,
+			Seed:       *seed,
+		},
+	}
+	dev := gpusim.Fermi()
+	fmt.Printf("device: %s\n", dev)
+
+	start := time.Now()
+	suites, err := experiments.BuildSuites(opts, dev)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built 5 corpora in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	want := func(name string) bool { return *run == "all" || strings.EqualFold(*run, name) }
+	csvOut := func(fig string, write func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, experiments.CSVName(fig))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if want("setup") {
+		rows := experiments.Setup(suites)
+		fmt.Println(experiments.FormatSetup(rows))
+		csvOut("setup", func(w *os.File) error { return experiments.WriteSetupCSV(w, rows) })
+	}
+	if want("fig5") {
+		rows, err := experiments.Fig5(suites, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig5(rows))
+		csvOut("fig5", func(w *os.File) error { return experiments.WriteFig5CSV(w, rows) })
+	}
+	if want("fig6") || want("headline") {
+		h, err := experiments.Headline(suites, opts, dev)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatHeadline(h))
+		csvOut("fig6", func(w *os.File) error { return experiments.WriteFig6CSV(w, h.Rows) })
+	}
+	if want("fig7") {
+		curves, err := experiments.Fig7(suites, opts, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig7(curves))
+		csvOut("fig7", func(w *os.File) error { return experiments.WriteFig7CSV(w, curves) })
+	}
+	if want("fig8") {
+		rows, err := experiments.Fig8(suites, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatFig8(rows))
+		csvOut("fig8", func(w *os.File) error { return experiments.WriteFig8CSV(w, rows) })
+	}
+	if want("classifiers") {
+		rows, err := experiments.ClassifierComparison(suites, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatClassifierComparison(rows))
+		csvOut("classifiers", func(w *os.File) error { return experiments.WriteClassifierCSV(w, rows) })
+	}
+	if want("extension") {
+		rows, err := experiments.Extension(opts, dev)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatExtension(rows))
+	}
+	if want("noise") {
+		rows, err := experiments.NoiseRobustness(suites, opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatNoise(rows))
+	}
+	if want("portability") {
+		res, err := experiments.Portability(opts, dev, gpusim.Kepler())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatPortability(res))
+	}
+	fmt.Printf("total wall time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nitro-experiments:", err)
+	os.Exit(1)
+}

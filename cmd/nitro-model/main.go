@@ -1,0 +1,99 @@
+// Command nitro-model inspects a model file written by the tuner (the
+// deployable artifact of cmd/nitro-tune or Context.SaveModel): it prints the
+// classifier kind, label set, scaler ranges and — for SVMs — the kernel
+// parameters and support-vector count, and can classify a feature vector
+// from the command line.
+//
+// Usage:
+//
+//	nitro-model -model spmv.model.json
+//	nitro-model -model spmv.model.json -predict "12.5,3.1,88,1.2,1.0"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nitro/internal/ml"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "path to a model JSON file (required)")
+	predict := flag.String("predict", "", "comma-separated feature vector to classify")
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: nitro-model -model file.json [-predict \"1,2,3\"]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := inspect(data, *predict, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// inspect parses a serialized model, writes its summary and optionally a
+// prediction for the given feature vector.
+func inspect(data []byte, predict string, out io.Writer) error {
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "classifier: %s\n", model.Classifier.Name())
+	fmt.Fprintf(out, "classes (variant labels): %v\n", model.Classifier.Classes())
+	if model.Scaler != nil && model.Scaler.Fitted() {
+		fmt.Fprintf(out, "features: %d (scaled to [-1,1])\n", len(model.Scaler.Min))
+		for j := range model.Scaler.Min {
+			fmt.Fprintf(out, "  feature %d range [%g, %g]\n", j, model.Scaler.Min[j], model.Scaler.Max[j])
+		}
+	} else {
+		fmt.Fprintln(out, "no scaler (raw features)")
+	}
+	if svm, ok := model.Classifier.(*ml.SVM); ok {
+		fmt.Fprintf(out, "svm: C=%g kernel=%s, %d support vectors\n",
+			svm.C, describeKernel(svm.Kernel()), svm.NumSupportVectors())
+	}
+	if predict == "" {
+		return nil
+	}
+	var vec []float64
+	for _, tok := range strings.Split(predict, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad feature value %q: %w", tok, err)
+		}
+		vec = append(vec, v)
+	}
+	if model.Scaler != nil && model.Scaler.Fitted() && len(vec) != len(model.Scaler.Min) {
+		return fmt.Errorf("feature vector has %d values, model expects %d", len(vec), len(model.Scaler.Min))
+	}
+	pred := model.Predict(vec)
+	scores := model.Scores(vec)
+	fmt.Fprintf(out, "prediction: variant label %d\n", pred)
+	for i, c := range model.Classifier.Classes() {
+		fmt.Fprintf(out, "  label %d score %.4f\n", c, scores[i])
+	}
+	return nil
+}
+
+func describeKernel(k ml.Kernel) string {
+	switch kk := k.(type) {
+	case ml.RBFKernel:
+		return fmt.Sprintf("rbf(gamma=%g)", kk.Gamma)
+	case ml.PolyKernel:
+		return fmt.Sprintf("poly(gamma=%g, coef0=%g, degree=%d)", kk.Gamma, kk.Coef0, kk.Degree)
+	default:
+		return k.Name()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nitro-model:", err)
+	os.Exit(1)
+}

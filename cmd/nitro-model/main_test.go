@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nitro/internal/ml"
+)
+
+func fixtureModel(t *testing.T) []byte {
+	t.Helper()
+	ds := &ml.Dataset{}
+	for x := 0.0; x < 10; x++ {
+		label := 0
+		if x > 4.5 {
+			label = 1
+		}
+		ds.Append([]float64{x, 2 * x}, label)
+	}
+	scaler := &ml.Scaler{}
+	scaled, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm := ml.NewSVM(ml.RBFKernel{Gamma: 1}, 4)
+	if err := svm.Fit(&ml.Dataset{X: scaled, Y: ds.Y}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ml.MarshalModel(&ml.Model{Classifier: svm, Scaler: scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestInspectSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := inspect(fixtureModel(t), "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classifier: svm", "classes (variant labels): [0 1]", "support vectors", "rbf(gamma=1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectPredict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := inspect(fixtureModel(t), "8, 16", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prediction: variant label 1") {
+		t.Errorf("wrong prediction output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := inspect(fixtureModel(t), "1,2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "prediction: variant label 0") {
+		t.Errorf("wrong prediction output:\n%s", buf.String())
+	}
+}
+
+func TestInspectErrors(t *testing.T) {
+	if err := inspect([]byte("junk"), "", &bytes.Buffer{}); err == nil {
+		t.Error("junk model accepted")
+	}
+	if err := inspect(fixtureModel(t), "1,x", &bytes.Buffer{}); err == nil {
+		t.Error("bad feature token accepted")
+	}
+	if err := inspect(fixtureModel(t), "1", &bytes.Buffer{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

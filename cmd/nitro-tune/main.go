@@ -1,0 +1,269 @@
+// Command nitro-tune is the Go stand-in for the paper's Python tuning script
+// (Fig. 3): it reads a JSON tuning specification, runs the offline autotuner
+// over a training corpus, writes the deployable model file, and optionally
+// evaluates it on the held-out test corpus.
+//
+// Two input modes are supported:
+//
+//   - "benchmark": one of the built-in corpora (SpMV, Solvers, BFS,
+//     Histogram, Sort), generated synthetically at the configured scale;
+//   - "train_glob"/"test_glob" (SpMV only): MatrixMarket .mtx files, the
+//     paper's own training-input mechanism
+//     (tuner.set_training_args(glob.glob("inputs/training/*.mtx"))).
+//
+// Example spec:
+//
+//	{
+//	  "function":   "spmv",
+//	  "benchmark":  "SpMV",
+//	  "classifier": "svm",
+//	  "grid_search": true,
+//	  "incremental": {"iterations": 25},
+//	  "scale": 0.5,
+//	  "seed": 42,
+//	  "model_out": "spmv.model.json",
+//	  "evaluate": true
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/core"
+	"nitro/internal/datasets"
+	"nitro/internal/gpusim"
+	"nitro/internal/ml"
+	"nitro/internal/sparse"
+)
+
+// Spec is the JSON tuning specification.
+type Spec struct {
+	Function   string  `json:"function"`
+	Benchmark  string  `json:"benchmark"`
+	Classifier string  `json:"classifier"`
+	GridSearch bool    `json:"grid_search"`
+	Scale      float64 `json:"scale"`
+	Seed       int64   `json:"seed"`
+	TrainCount int     `json:"train_count"`
+	TestCount  int     `json:"test_count"`
+	ModelOut   string  `json:"model_out"`
+	Evaluate   bool    `json:"evaluate"`
+
+	TrainGlob string `json:"train_glob"`
+	TestGlob  string `json:"test_glob"`
+
+	Incremental *struct {
+		Iterations     int     `json:"iterations"`
+		TargetAccuracy float64 `json:"target_accuracy"`
+	} `json:"incremental"`
+
+	// The remaining Table II options of the paper's tuning interface. They
+	// configure the deployment-time tuning policy which, like the paper's
+	// generated header, is written to PolicyOut for the application to load.
+	Constraints         *bool  `json:"constraints"`
+	ParallelFeatureEval bool   `json:"parallel_feature_evaluation"`
+	AsyncFeatureEval    bool   `json:"async_feature_eval"`
+	PolicyOut           string `json:"policy_out"`
+
+	// CrossValidate, when >= 2, additionally reports k-fold cross-validated
+	// selection performance on the training corpus.
+	CrossValidate int `json:"cross_validate"`
+}
+
+func main() {
+	specPath := flag.String("spec", "", "path to the JSON tuning spec (required)")
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fatal(fmt.Errorf("bad spec: %w", err))
+	}
+	if err := runSpec(spec, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func runSpec(spec Spec, out io.Writer) error {
+	dev := gpusim.Fermi()
+	suite, err := buildSuite(spec, dev)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "function %q: %d variants, %d features, %d training / %d test inputs\n",
+		spec.Function, len(suite.VariantNames), len(suite.FeatureNames), len(suite.Train), len(suite.Test))
+
+	opts := autotuner.TrainOptions{
+		Classifier: spec.Classifier,
+		GridSearch: spec.GridSearch,
+		Seed:       spec.Seed,
+	}
+	var model *ml.Model
+	if spec.Incremental != nil {
+		res, err := autotuner.IncrementalTune(suite, autotuner.IncrementalOptions{
+			TrainOptions:   opts,
+			MaxIterations:  spec.Incremental.Iterations,
+			TargetAccuracy: spec.Incremental.TargetAccuracy,
+		}, suite)
+		if err != nil {
+			return err
+		}
+		model = res.Model
+		fmt.Fprintf(out, "incremental tuning: seed %d, %d exhaustive-search queries\n", res.SeedSize, res.Queries)
+	} else {
+		m, rep, err := autotuner.Train(suite.Train, opts)
+		if err != nil {
+			return err
+		}
+		model = m
+		fmt.Fprintf(out, "trained on %d labelled inputs (%d skipped), training accuracy %.1f%%\n",
+			len(rep.Labels), rep.Skipped, 100*rep.TrainAccuracy)
+		if rep.Grid.Evaluated > 0 {
+			fmt.Fprintf(out, "grid search: C=%g gamma=%g (CV accuracy %.1f%%, %d points)\n",
+				rep.Grid.C, rep.Grid.Gamma, 100*rep.Grid.Accuracy, rep.Grid.Evaluated)
+		}
+	}
+	if spec.ModelOut != "" {
+		data, err := ml.MarshalModel(model)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(spec.ModelOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "model written to %s\n", spec.ModelOut)
+	}
+	if spec.PolicyOut != "" {
+		policy := core.TuningPolicy{
+			Name:                spec.Function,
+			ParallelFeatureEval: spec.ParallelFeatureEval,
+			AsyncFeatureEval:    spec.AsyncFeatureEval,
+			ConstraintsEnabled:  spec.Constraints == nil || *spec.Constraints,
+		}
+		data, err := json.MarshalIndent(policy, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(spec.PolicyOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "tuning policy written to %s\n", spec.PolicyOut)
+	}
+	if spec.CrossValidate >= 2 {
+		cvPerf, err := autotuner.CrossValidateSuite(suite, opts, spec.CrossValidate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d-fold cross-validated selection performance: %.2f%%\n",
+			spec.CrossValidate, 100*cvPerf)
+	}
+	if spec.Evaluate {
+		eval := autotuner.Evaluate(model, suite, suite.Test)
+		fmt.Fprintf(out, "test evaluation: %.2f%% of exhaustive-search performance (%d/%d exact picks)\n",
+			100*eval.MeanPerf, eval.ExactMatches, eval.Evaluated)
+	}
+	return nil
+}
+
+func buildSuite(spec Spec, dev *gpusim.Device) (*autotuner.Suite, error) {
+	if spec.TrainGlob != "" {
+		if !strings.EqualFold(spec.Benchmark, "SpMV") && spec.Benchmark != "" {
+			return nil, fmt.Errorf("file-based tuning is supported for SpMV only")
+		}
+		return spmvSuiteFromFiles(spec, dev)
+	}
+	cfg := datasets.Config{Seed: spec.Seed, Scale: spec.Scale,
+		TrainCount: spec.TrainCount, TestCount: spec.TestCount}
+	for _, b := range datasets.Builders() {
+		if strings.EqualFold(b.Name, spec.Benchmark) {
+			return b.Build(cfg, dev)
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (want SpMV, Solvers, BFS, Histogram or Sort)", spec.Benchmark)
+}
+
+// spmvSuiteFromFiles builds an SpMV suite from MatrixMarket files.
+func spmvSuiteFromFiles(spec Spec, dev *gpusim.Device) (*autotuner.Suite, error) {
+	load := func(glob string) ([]autotuner.Instance, error) {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no files match %q", glob)
+		}
+		rng := rand.New(rand.NewSource(spec.Seed))
+		var out []autotuner.Instance
+		for _, path := range paths {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			coo, err := sparse.ReadMatrixMarket(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			m := coo.ToCSR()
+			x := make([]float64, m.Cols)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			p, err := sparse.NewProblem(m, x)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			inst := autotuner.Instance{ID: filepath.Base(path), Features: p.Features().Vector()}
+			for _, v := range sparse.Variants() {
+				if v.Constraint != nil && !v.Constraint(p) {
+					inst.Times = append(inst.Times, math.Inf(1))
+					continue
+				}
+				res, err := v.Run(p, dev)
+				if err != nil {
+					inst.Times = append(inst.Times, math.Inf(1))
+					continue
+				}
+				inst.Times = append(inst.Times, res.Seconds)
+			}
+			out = append(out, inst)
+		}
+		return out, nil
+	}
+	suite := &autotuner.Suite{
+		Name:           "SpMV",
+		VariantNames:   sparse.VariantNames(),
+		FeatureNames:   sparse.FeatureNames(),
+		DefaultVariant: 0,
+	}
+	var err error
+	if suite.Train, err = load(spec.TrainGlob); err != nil {
+		return nil, err
+	}
+	if spec.TestGlob != "" {
+		if suite.Test, err = load(spec.TestGlob); err != nil {
+			return nil, err
+		}
+	}
+	return suite, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nitro-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nitro/internal/ml"
+	"nitro/internal/sparse"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Function:   "sort",
+		Benchmark:  "Sort",
+		Classifier: "svm",
+		Scale:      0.1,
+		Seed:       3,
+		TrainCount: 12,
+		TestCount:  12,
+		Evaluate:   true,
+	}
+}
+
+func TestRunSpecBenchmarkMode(t *testing.T) {
+	spec := smallSpec()
+	spec.ModelOut = filepath.Join(t.TempDir(), "sort.model.json")
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"3 variants", "trained on", "model written", "test evaluation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(spec.ModelOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.UnmarshalModel(data); err != nil {
+		t.Errorf("written model does not parse: %v", err)
+	}
+}
+
+func TestRunSpecIncrementalMode(t *testing.T) {
+	spec := smallSpec()
+	spec.Incremental = &struct {
+		Iterations     int     `json:"iterations"`
+		TargetAccuracy float64 `json:"target_accuracy"`
+	}{Iterations: 5}
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "incremental tuning") {
+		t.Errorf("output missing incremental report:\n%s", buf.String())
+	}
+}
+
+func TestRunSpecUnknownBenchmark(t *testing.T) {
+	spec := smallSpec()
+	spec.Benchmark = "Nope"
+	if err := runSpec(spec, &bytes.Buffer{}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunSpecMatrixMarketGlob(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, m *sparse.CSR) {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := sparse.WriteMatrixMarket(f, m.ToCOO()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A corpus spanning two regimes so training has at least two labels.
+	for i := 0; i < 3; i++ {
+		write("stencil"+string(rune('a'+i))+".mtx", sparse.Stencil2D(20+4*i, 20+4*i))
+		write("powerlaw"+string(rune('a'+i))+".mtx", sparse.PowerLaw(800+100*i, 8, 1.4, int64(i)))
+	}
+	spec := Spec{
+		Function:  "spmv",
+		Benchmark: "SpMV",
+		Seed:      1,
+		TrainGlob: filepath.Join(dir, "*.mtx"),
+		TestGlob:  filepath.Join(dir, "stencil*.mtx"),
+		Evaluate:  true,
+	}
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "6 training") {
+		t.Errorf("glob loading wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunSpecGlobErrors(t *testing.T) {
+	spec := Spec{Function: "spmv", TrainGlob: filepath.Join(t.TempDir(), "*.mtx")}
+	if err := runSpec(spec, &bytes.Buffer{}); err == nil {
+		t.Error("empty glob accepted")
+	}
+	spec2 := Spec{Function: "bfs", Benchmark: "BFS", TrainGlob: "x/*.mtx"}
+	if err := runSpec(spec2, &bytes.Buffer{}); err == nil {
+		t.Error("file mode for non-SpMV benchmark accepted")
+	}
+}
+
+func TestRunSpecPolicyAndCrossValidate(t *testing.T) {
+	spec := smallSpec()
+	off := false
+	spec.Constraints = &off
+	spec.ParallelFeatureEval = true
+	spec.AsyncFeatureEval = true
+	spec.PolicyOut = filepath.Join(t.TempDir(), "policy.json")
+	spec.CrossValidate = 3
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tuning policy written") || !strings.Contains(out, "cross-validated") {
+		t.Errorf("output missing policy/CV lines:\n%s", out)
+	}
+	data, err := os.ReadFile(spec.PolicyOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"ParallelFeatureEval\": true", "\"AsyncFeatureEval\": true", "\"ConstraintsEnabled\": false"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("policy file missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Quickstart: tune a two-variant function end to end with the public nitro
+// API, using real wall-clock timings.
+//
+// The tunable computation sorts an []int. Variant "insertion" wins on small
+// or nearly-sorted inputs; variant "std" (pdqsort) wins elsewhere. Nitro
+// learns the boundary from two features — input length and a sampled
+// disorder estimate — and then dispatches adaptively.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nitro"
+)
+
+// input is the tunable function's argument type.
+type input struct {
+	data []int
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// timed runs f on a copy of the input and returns elapsed seconds — the
+// value Nitro minimizes, per the paper's convention that variants return
+// their own cost.
+func timed(f func([]int)) nitro.VariantFn[input] {
+	return func(in input) float64 {
+		buf := append([]int(nil), in.data...)
+		start := time.Now()
+		f(buf)
+		return time.Since(start).Seconds()
+	}
+}
+
+// disorder samples adjacent pairs and returns the fraction out of order.
+func disorder(in input) float64 {
+	n := len(in.data)
+	if n < 2 {
+		return 0
+	}
+	bad, samples := 0, 0
+	step := n/512 + 1
+	for i := 0; i+1 < n; i += step {
+		samples++
+		if in.data[i] > in.data[i+1] {
+			bad++
+		}
+	}
+	return float64(bad) / float64(samples)
+}
+
+// gen builds an input: swapFrac < 1 yields a sorted array with that fraction
+// of local swaps (insertion-sort territory); swapFrac >= 1 yields a full
+// shuffle.
+func gen(rng *rand.Rand, n int, swapFrac float64) input {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	if swapFrac >= 1 {
+		rng.Shuffle(n, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		return input{data: a}
+	}
+	for s := 0; s < int(float64(n)*swapFrac/2); s++ {
+		i := rng.Intn(n - 1)
+		a[i], a[i+1] = a[i+1], a[i]
+	}
+	return input{data: a}
+}
+
+func main() {
+	cx := nitro.NewContext()
+	cv := nitro.NewCodeVariant[input](cx, nitro.DefaultPolicy("sortints"))
+	cv.AddVariant("insertion", timed(insertionSort))
+	cv.AddVariant("std", timed(func(a []int) { sort.Ints(a) }))
+	if err := cv.SetDefault("std"); err != nil {
+		panic(err)
+	}
+	cv.AddInputFeature(nitro.Feature[input]{Name: "n", Eval: func(in input) float64 { return float64(len(in.data)) }})
+	cv.AddInputFeature(nitro.Feature[input]{Name: "disorder", Eval: disorder})
+
+	// Training corpus: sizes and disorder levels spanning both regimes.
+	// Exhaustive search runs every variant on every input, so shuffled
+	// inputs are capped where insertion sort's quadratic cost stays sane.
+	rng := rand.New(rand.NewSource(1))
+	var train []input
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
+		for _, frac := range []float64{0, 0.02, 0.2, 1.0} {
+			train = append(train, gen(rng, n, frac))
+		}
+	}
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{Classifier: "svm", GridSearch: true})
+	rep, err := tuner.Tune(train)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tuned on %d inputs; label distribution %v; training accuracy %.0f%%\n",
+		len(train), rep.LabelCounts, 100*rep.TrainAccuracy)
+
+	// Deployment: Nitro picks per input.
+	tests := []struct {
+		name string
+		in   input
+	}{
+		{"tiny shuffled", gen(rng, 128, 1.0)},
+		{"small nearly-sorted", gen(rng, 2048, 0.005)},
+		{"large nearly-sorted", gen(rng, 16384, 0.002)},
+		{"large shuffled", gen(rng, 16384, 1.0)},
+	}
+	for _, tc := range tests {
+		secs, chosen, err := cv.Call(tc.in)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s -> %-9s (%.3f ms)\n", tc.name, chosen, secs*1e3)
+	}
+	stats := cx.Stats("sortints")
+	fmt.Printf("calls: %d, per-variant: %v\n", stats.Calls, stats.PerVariant)
+}

@@ -1,0 +1,3 @@
+module nitro
+
+go 1.24

@@ -1,0 +1,312 @@
+// Package autotuner implements the offline half of Nitro (the paper's
+// Python-side Nitro Autotuner): exhaustive-search labelling of training
+// inputs, feature scaling, classifier construction with cross-validated grid
+// search, incremental tuning via Best-vs-Second-Best active learning, model
+// persistence, and the evaluation machinery the paper's experiments report
+// (performance of tuned selection relative to exhaustive search).
+//
+// Two layers are provided. The Suite layer works on precomputed
+// (feature-vector, per-variant cost) instances and powers the experiment
+// harnesses; the Tuner layer drives a live core.CodeVariant end to end.
+package autotuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nitro/internal/core"
+	"nitro/internal/ml"
+)
+
+// Instance is one tuning input reduced to what the autotuner needs: its
+// feature vector and the cost of every variant on it (+Inf marks a variant
+// that is vetoed by a constraint or failed, per the paper's convention).
+type Instance struct {
+	ID       string
+	Features []float64
+	Times    []float64
+	// FeatureCosts optionally holds the modelled evaluation cost (seconds)
+	// of each feature on this input, aligned with Features; the Fig. 8
+	// overhead analysis consumes it.
+	FeatureCosts []float64
+}
+
+// Best returns the argmin variant and its cost; (-1, +Inf) when every
+// variant is infeasible.
+func (in Instance) Best() (int, float64) {
+	best, bestV := -1, math.Inf(1)
+	for i, t := range in.Times {
+		if t < bestV {
+			best, bestV = i, t
+		}
+	}
+	return best, bestV
+}
+
+// Suite is a complete benchmark corpus: named variants and features plus
+// train and test instance sets, with the default variant used for
+// constraint fallback at deployment time.
+type Suite struct {
+	Name           string
+	VariantNames   []string
+	FeatureNames   []string
+	DefaultVariant int
+	Train          []Instance
+	Test           []Instance
+}
+
+// TrainOptions selects and configures the classifier.
+type TrainOptions struct {
+	// Classifier is "svm" (default), "knn" or "tree".
+	Classifier string
+	// GridSearch enables the paper's cross-validated (C, gamma) search for
+	// the SVM; otherwise libSVM-style defaults are used.
+	GridSearch bool
+	// Grid overrides the default search grid.
+	Grid ml.GridConfig
+	// Seed drives fold assignment.
+	Seed int64
+}
+
+// Report summarizes a training run.
+type Report struct {
+	Labels        []int
+	LabelCounts   map[int]int
+	Skipped       int // instances where no variant was feasible
+	TrainAccuracy float64
+	Grid          ml.GridSearchResult
+}
+
+// buildDataset converts labelled instances to an ml.Dataset, skipping
+// all-infeasible rows.
+func buildDataset(instances []Instance) (*ml.Dataset, []int, int) {
+	ds := &ml.Dataset{}
+	var labels []int
+	skipped := 0
+	for _, in := range instances {
+		best, _ := in.Best()
+		if best < 0 {
+			skipped++
+			continue
+		}
+		ds.Append(in.Features, best)
+		labels = append(labels, best)
+	}
+	return ds, labels, skipped
+}
+
+func makeClassifier(opts TrainOptions) (func() ml.Classifier, error) {
+	switch opts.Classifier {
+	case "", "svm":
+		return func() ml.Classifier { return ml.DefaultSVM() }, nil
+	case "knn":
+		return func() ml.Classifier { return ml.NewKNN(5) }, nil
+	case "tree":
+		return func() ml.Classifier { return ml.NewDecisionTree(8, 1) }, nil
+	case "logistic":
+		return func() ml.Classifier { return ml.NewLogistic(0, 0, 0) }, nil
+	default:
+		return nil, fmt.Errorf("autotuner: unknown classifier %q", opts.Classifier)
+	}
+}
+
+// Train labels the instances by exhaustive search (already embodied in their
+// Times), scales features to [-1, 1], fits the configured classifier and
+// returns the deployable model.
+func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
+	rep := Report{LabelCounts: map[int]int{}}
+	ds, labels, skipped := buildDataset(instances)
+	rep.Labels = labels
+	rep.Skipped = skipped
+	for _, l := range labels {
+		rep.LabelCounts[l]++
+	}
+	if ds.Len() == 0 {
+		return nil, rep, errors.New("autotuner: no feasible training instances")
+	}
+	scaler := &ml.Scaler{}
+	scaledX, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		return nil, rep, err
+	}
+	scaled := &ml.Dataset{X: scaledX, Y: ds.Y}
+
+	var clf ml.Classifier
+	if (opts.Classifier == "" || opts.Classifier == "svm") && opts.GridSearch {
+		grid := opts.Grid
+		if grid.Seed == 0 {
+			grid.Seed = opts.Seed + 1
+		}
+		svm, res, err := ml.GridSearchSVM(scaled, grid)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.Grid = res
+		clf = svm
+	} else {
+		factory, err := makeClassifier(opts)
+		if err != nil {
+			return nil, rep, err
+		}
+		clf = factory()
+		if err := clf.Fit(scaled); err != nil {
+			return nil, rep, err
+		}
+	}
+	model := &ml.Model{Classifier: clf, Scaler: scaler}
+	rep.TrainAccuracy = ml.Accuracy(clf, scaled)
+	return model, rep, nil
+}
+
+// EvalReport aggregates deployment-time selection quality on a test corpus,
+// mirroring the quantities Section V reports.
+type EvalReport struct {
+	// PerfRatios holds best/chosen per evaluable instance (1 = oracle).
+	PerfRatios []float64
+	// MeanPerf is the average of PerfRatios — the headline "percentage of
+	// exhaustive-search performance".
+	MeanPerf float64
+	// Chosen holds the executed variant per instance (-1 = skipped).
+	Chosen []int
+	// ExactMatches counts instances where the model picked the oracle
+	// variant.
+	ExactMatches int
+	// Evaluated counts instances where at least one variant was feasible.
+	Evaluated int
+	// SkippedAllInfeasible counts instances no variant could handle (the
+	// paper's "no variant was able to solve 6 matrices").
+	SkippedAllInfeasible int
+	// FeasibleChosen counts evaluable instances where the executed variant
+	// was feasible (the paper's "selected a converging variant 33/35").
+	FeasibleChosen int
+	// AtRiskInstances counts evaluable instances where at least one variant
+	// was infeasible, i.e. a wrong pick could have failed.
+	AtRiskInstances int
+}
+
+// FractionAbove returns the share of instances achieving at least the given
+// performance ratio (used for the paper's ">=70%"/">=90%" SpMV breakdown).
+func (r EvalReport) FractionAbove(threshold float64) float64 {
+	if len(r.PerfRatios) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.PerfRatios {
+		if p >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.PerfRatios))
+}
+
+// Evaluate replays deployment-time selection over the test instances: the
+// model predicts a variant from the (unscaled) features, infeasible picks
+// fall back to the suite's default variant, and the achieved cost is
+// compared with the exhaustive-search optimum.
+func Evaluate(model *ml.Model, s *Suite, test []Instance) EvalReport {
+	rep := EvalReport{}
+	for _, in := range test {
+		best, bestT := in.Best()
+		if best < 0 {
+			rep.SkippedAllInfeasible++
+			rep.Chosen = append(rep.Chosen, -1)
+			continue
+		}
+		rep.Evaluated++
+		atRisk := false
+		for _, t := range in.Times {
+			if math.IsInf(t, 1) {
+				atRisk = true
+				break
+			}
+		}
+		if atRisk {
+			rep.AtRiskInstances++
+		}
+		pred := model.Predict(in.Features)
+		chosen := pred
+		if chosen < 0 || chosen >= len(in.Times) || math.IsInf(in.Times[chosen], 1) {
+			chosen = s.DefaultVariant
+		}
+		rep.Chosen = append(rep.Chosen, chosen)
+		chosenT := math.Inf(1)
+		if chosen >= 0 && chosen < len(in.Times) {
+			chosenT = in.Times[chosen]
+		}
+		if !math.IsInf(chosenT, 1) {
+			rep.FeasibleChosen++
+			rep.PerfRatios = append(rep.PerfRatios, bestT/chosenT)
+		} else {
+			rep.PerfRatios = append(rep.PerfRatios, 0)
+		}
+		if chosen == best {
+			rep.ExactMatches++
+		}
+	}
+	if len(rep.PerfRatios) > 0 {
+		var sum float64
+		for _, p := range rep.PerfRatios {
+			sum += p
+		}
+		rep.MeanPerf = sum / float64(len(rep.PerfRatios))
+	}
+	return rep
+}
+
+// VariantPerf returns, for each variant, its average performance relative to
+// the per-instance best (the paper's Fig. 5 bars): infeasible executions
+// score 0 on that instance.
+func VariantPerf(s *Suite, test []Instance) []float64 {
+	if len(s.VariantNames) == 0 {
+		return nil
+	}
+	sums := make([]float64, len(s.VariantNames))
+	n := 0
+	for _, in := range test {
+		best, bestT := in.Best()
+		if best < 0 {
+			continue
+		}
+		n++
+		for v, t := range in.Times {
+			if !math.IsInf(t, 1) && t > 0 {
+				sums[v] += bestT / t
+			}
+		}
+	}
+	if n == 0 {
+		return sums
+	}
+	for v := range sums {
+		sums[v] /= float64(n)
+	}
+	return sums
+}
+
+// Tuner drives the end-to-end online path: it labels live inputs through a
+// core.CodeVariant's exhaustive search, trains, and installs the model into
+// the variant's context so subsequent Call invocations select adaptively.
+type Tuner[In any] struct {
+	CV   *core.CodeVariant[In]
+	Opts TrainOptions
+}
+
+// Tune runs the full offline pipeline on the given training inputs.
+func (t *Tuner[In]) Tune(inputs []In) (Report, error) {
+	if t.CV == nil {
+		return Report{}, errors.New("autotuner: nil code variant")
+	}
+	instances := make([]Instance, 0, len(inputs))
+	for i, in := range inputs {
+		vec, _ := t.CV.FeatureVector(in)
+		times, _ := t.CV.ExhaustiveSearch(in)
+		instances = append(instances, Instance{ID: fmt.Sprint(i), Features: vec, Times: times})
+	}
+	model, rep, err := Train(instances, t.Opts)
+	if err != nil {
+		return rep, err
+	}
+	t.CV.Context().SetModel(t.CV.Policy().Name, model)
+	return rep, nil
+}

@@ -1,0 +1,398 @@
+// Package core implements the Nitro library runtime — the paper's primary
+// contribution. It provides the code_variant abstraction: a tunable function
+// with registered variants, input-feature functions and per-variant
+// constraints, plus the deployment-time selection engine that consults a
+// trained model, enforces constraints (falling back to the default variant),
+// and evaluates features in parallel or asynchronously (the paper's TBB
+// optimizations, realized with goroutines).
+//
+// The generic parameter In is the tunable function's input type, mirroring
+// the C++ template argument tuple of the original library.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"nitro/internal/ml"
+)
+
+// Context maintains the global state shared by all code variants in a
+// program: the per-function trained models and call statistics. It mirrors
+// the paper's nitro::context. A Context is safe for concurrent use.
+type Context struct {
+	mu     sync.Mutex
+	models map[string]*ml.Model
+	stats  map[string]*CallStats
+}
+
+// NewContext returns an empty tuning context.
+func NewContext() *Context {
+	return &Context{models: map[string]*ml.Model{}, stats: map[string]*CallStats{}}
+}
+
+// SetModel installs the trained model for the named tunable function.
+func (cx *Context) SetModel(fn string, m *ml.Model) {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	cx.models[fn] = m
+}
+
+// Model returns the model for the named function, if one is installed.
+func (cx *Context) Model(fn string) (*ml.Model, bool) {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	m, ok := cx.models[fn]
+	return m, ok
+}
+
+// SaveModel persists the named function's model to a JSON file (the
+// deployment artifact that replaces the paper's generated header + libSVM
+// model pair).
+func (cx *Context) SaveModel(fn, path string) error {
+	m, ok := cx.Model(fn)
+	if !ok {
+		return fmt.Errorf("core: no model for %q", fn)
+	}
+	data, err := ml.MarshalModel(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadModel reads a model from a JSON file and installs it for fn.
+func (cx *Context) LoadModel(fn, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	m, err := ml.UnmarshalModel(data)
+	if err != nil {
+		return err
+	}
+	cx.SetModel(fn, m)
+	return nil
+}
+
+// CallStats aggregates deployment-time selection statistics for one tunable
+// function.
+type CallStats struct {
+	Calls            int
+	PerVariant       map[string]int
+	DefaultFallbacks int
+	TotalValue       float64
+	FeatureSeconds   float64
+}
+
+// Stats returns a copy of the call statistics for fn.
+func (cx *Context) Stats(fn string) CallStats {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	s := cx.stats[fn]
+	if s == nil {
+		return CallStats{PerVariant: map[string]int{}}
+	}
+	out := *s
+	out.PerVariant = make(map[string]int, len(s.PerVariant))
+	for k, v := range s.PerVariant {
+		out.PerVariant[k] = v
+	}
+	return out
+}
+
+func (cx *Context) record(fn, variant string, value, featSeconds float64, fallback bool) {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	s := cx.stats[fn]
+	if s == nil {
+		s = &CallStats{PerVariant: map[string]int{}}
+		cx.stats[fn] = s
+	}
+	s.Calls++
+	s.PerVariant[variant]++
+	s.TotalValue += value
+	s.FeatureSeconds += featSeconds
+	if fallback {
+		s.DefaultFallbacks++
+	}
+}
+
+// TuningPolicy carries the per-function options the paper's Python tuning
+// script writes into the generated header.
+type TuningPolicy struct {
+	// Name identifies the tunable function; models are keyed by it.
+	Name string
+	// ParallelFeatureEval evaluates feature functions concurrently.
+	ParallelFeatureEval bool
+	// AsyncFeatureEval lets FixInputs start feature evaluation in the
+	// background; Call then blocks on the result (the implicit barrier).
+	AsyncFeatureEval bool
+	// ConstraintsEnabled toggles deployment-time constraint checking.
+	ConstraintsEnabled bool
+}
+
+// DefaultPolicy returns the paper's defaults: constraints on, serial
+// synchronous feature evaluation.
+func DefaultPolicy(name string) TuningPolicy {
+	return TuningPolicy{Name: name, ConstraintsEnabled: true}
+}
+
+// VariantFn executes one code variant on an input and returns its
+// optimization value. By the paper's convention the value is the time taken
+// (here: simulated seconds), but any minimized criterion works.
+type VariantFn[In any] func(In) float64
+
+// ConstraintFn vetoes a variant for an input when it returns false.
+type ConstraintFn[In any] func(In) bool
+
+// Feature is one input-feature function with an optional evaluation-cost
+// model (simulated seconds) used for overhead accounting (Fig. 8).
+type Feature[In any] struct {
+	Name string
+	Eval func(In) float64
+	Cost func(In) float64
+}
+
+type variantEntry[In any] struct {
+	name        string
+	fn          VariantFn[In]
+	constraints []ConstraintFn[In]
+}
+
+// CodeVariant is the Go rendering of the paper's nitro::code_variant: a
+// tunable function with registered variants, features and constraints.
+// It is not safe for concurrent Call use with AsyncFeatureEval; guard
+// externally or use one per goroutine.
+type CodeVariant[In any] struct {
+	cx       *Context
+	policy   TuningPolicy
+	variants []variantEntry[In]
+	features []Feature[In]
+	defIdx   int
+
+	pending chan evaluated
+	fixed   bool
+}
+
+type evaluated struct {
+	vec     []float64
+	seconds float64
+}
+
+// New creates a tunable function bound to the context, mirroring
+// code_variant's constructor.
+func New[In any](cx *Context, policy TuningPolicy) *CodeVariant[In] {
+	if cx == nil {
+		cx = NewContext()
+	}
+	return &CodeVariant[In]{cx: cx, policy: policy, defIdx: -1}
+}
+
+// Context returns the bound tuning context.
+func (cv *CodeVariant[In]) Context() *Context { return cv.cx }
+
+// Policy returns the tuning policy.
+func (cv *CodeVariant[In]) Policy() TuningPolicy { return cv.policy }
+
+// AddVariant registers a variant and returns its label index.
+func (cv *CodeVariant[In]) AddVariant(name string, fn VariantFn[In]) int {
+	cv.variants = append(cv.variants, variantEntry[In]{name: name, fn: fn})
+	if cv.defIdx < 0 {
+		cv.defIdx = 0
+	}
+	return len(cv.variants) - 1
+}
+
+// SetDefault marks the named variant as the fallback used when no model is
+// installed or a predicted variant is vetoed at deployment time.
+func (cv *CodeVariant[In]) SetDefault(name string) error {
+	for i, v := range cv.variants {
+		if v.name == name {
+			cv.defIdx = i
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown variant %q", name)
+}
+
+// AddInputFeature registers a feature function.
+func (cv *CodeVariant[In]) AddInputFeature(f Feature[In]) {
+	cv.features = append(cv.features, f)
+}
+
+// AddConstraint attaches a constraint to the named variant.
+func (cv *CodeVariant[In]) AddConstraint(variant string, c ConstraintFn[In]) error {
+	for i := range cv.variants {
+		if cv.variants[i].name == variant {
+			cv.variants[i].constraints = append(cv.variants[i].constraints, c)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown variant %q", variant)
+}
+
+// VariantNames returns the registered variant names in label order.
+func (cv *CodeVariant[In]) VariantNames() []string {
+	out := make([]string, len(cv.variants))
+	for i, v := range cv.variants {
+		out[i] = v.name
+	}
+	return out
+}
+
+// FeatureNames returns the registered feature names in vector order.
+func (cv *CodeVariant[In]) FeatureNames() []string {
+	out := make([]string, len(cv.features))
+	for i, f := range cv.features {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// NumVariants returns the number of registered variants.
+func (cv *CodeVariant[In]) NumVariants() int { return len(cv.variants) }
+
+// Allowed reports whether variant idx passes its constraints on in (always
+// true when the policy disables constraints).
+func (cv *CodeVariant[In]) Allowed(idx int, in In) bool {
+	if !cv.policy.ConstraintsEnabled {
+		return true
+	}
+	for _, c := range cv.variants[idx].constraints {
+		if !c(in) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalFeatures computes the feature vector, honouring the parallel policy,
+// and returns it with the modelled evaluation cost in seconds (the maximum
+// over features when parallel, the sum when serial).
+func (cv *CodeVariant[In]) evalFeatures(in In) ([]float64, float64) {
+	vec := make([]float64, len(cv.features))
+	costs := make([]float64, len(cv.features))
+	if cv.policy.ParallelFeatureEval {
+		var wg sync.WaitGroup
+		for i := range cv.features {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				vec[i] = cv.features[i].Eval(in)
+				if cv.features[i].Cost != nil {
+					costs[i] = cv.features[i].Cost(in)
+				}
+			}(i)
+		}
+		wg.Wait()
+		var maxC float64
+		for _, c := range costs {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return vec, maxC
+	}
+	var sum float64
+	for i := range cv.features {
+		vec[i] = cv.features[i].Eval(in)
+		if cv.features[i].Cost != nil {
+			sum += cv.features[i].Cost(in)
+		}
+	}
+	return vec, sum
+}
+
+// FeatureVector computes the feature vector synchronously and returns it
+// with its modelled evaluation cost.
+func (cv *CodeVariant[In]) FeatureVector(in In) ([]float64, float64) {
+	return cv.evalFeatures(in)
+}
+
+// FixInputs mirrors the paper's fix_inputs: with AsyncFeatureEval enabled it
+// starts feature evaluation in the background so the caller can overlap
+// other work; the next Call blocks on the result. Without the async policy
+// it is a no-op.
+func (cv *CodeVariant[In]) FixInputs(in In) {
+	if !cv.policy.AsyncFeatureEval {
+		return
+	}
+	ch := make(chan evaluated, 1)
+	cv.pending = ch
+	cv.fixed = true
+	go func() {
+		vec, cost := cv.evalFeatures(in)
+		ch <- evaluated{vec: vec, seconds: cost}
+	}()
+}
+
+// SelectIndex returns the variant label the selection engine would execute
+// for in: the model's prediction when a model is installed and the predicted
+// variant passes its constraints, otherwise the default variant. The second
+// result reports whether a constraint/absence fallback happened.
+func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool) {
+	if len(cv.variants) == 0 {
+		return -1, false
+	}
+	model, ok := cv.cx.Model(cv.policy.Name)
+	if !ok {
+		return cv.defIdx, true
+	}
+	pred := model.Predict(vec)
+	if pred < 0 || pred >= len(cv.variants) {
+		return cv.defIdx, true
+	}
+	if !cv.Allowed(pred, in) {
+		return cv.defIdx, true
+	}
+	return pred, false
+}
+
+// Call is the paper's operator(): it evaluates (or collects) the feature
+// vector, selects a variant via the model with constraint fallback, executes
+// it, records statistics, and returns the variant's value with the chosen
+// variant name.
+func (cv *CodeVariant[In]) Call(in In) (float64, string, error) {
+	if len(cv.variants) == 0 {
+		return 0, "", errors.New("core: no variants registered")
+	}
+	var vec []float64
+	var featSeconds float64
+	if cv.fixed && cv.pending != nil {
+		ev := <-cv.pending // implicit barrier
+		vec, featSeconds = ev.vec, 0
+		cv.pending = nil
+		cv.fixed = false
+	} else {
+		vec, featSeconds = cv.evalFeatures(in)
+	}
+	idx, fallback := cv.SelectIndex(in, vec)
+	v := cv.variants[idx]
+	value := v.fn(in)
+	cv.cx.record(cv.policy.Name, v.name, value, featSeconds, fallback)
+	return value, v.name, nil
+}
+
+// ExhaustiveSearch runs every variant on in (vetoed variants score +Inf, per
+// the paper's training-phase convention) and returns the value vector with
+// the argmin label. It is the oracle the autotuner labels training inputs
+// with. When every variant is vetoed the best index is -1.
+func (cv *CodeVariant[In]) ExhaustiveSearch(in In) ([]float64, int) {
+	values := make([]float64, len(cv.variants))
+	best, bestV := -1, math.Inf(1)
+	for i, v := range cv.variants {
+		if !cv.Allowed(i, in) {
+			values[i] = math.Inf(1)
+			continue
+		}
+		values[i] = v.fn(in)
+		if values[i] < bestV {
+			best, bestV = i, values[i]
+		}
+	}
+	return values, best
+}

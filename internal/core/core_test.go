@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"nitro/internal/ml"
+)
+
+// testInput is a toy tunable-function input: variant "small" is best below
+// the threshold, "large" above.
+type testInput struct{ X float64 }
+
+func newCV(t *testing.T, policy TuningPolicy) *CodeVariant[testInput] {
+	t.Helper()
+	cx := NewContext()
+	cv := New[testInput](cx, policy)
+	cv.AddVariant("small", func(in testInput) float64 { return 1 + in.X })  // good for small X
+	cv.AddVariant("large", func(in testInput) float64 { return 10 - in.X }) // good for large X
+	cv.AddInputFeature(Feature[testInput]{
+		Name: "x",
+		Eval: func(in testInput) float64 { return in.X },
+		Cost: func(in testInput) float64 { return 1e-6 },
+	})
+	if err := cv.SetDefault("small"); err != nil {
+		t.Fatal(err)
+	}
+	return cv
+}
+
+// trainToy fits a tiny model mapping x<4.5 -> 0, else -> 1 and installs it.
+func trainToy(t *testing.T, cv *CodeVariant[testInput]) {
+	t.Helper()
+	ds := &ml.Dataset{}
+	for x := 0.0; x <= 9; x++ {
+		label := 0
+		if x > 4.5 {
+			label = 1
+		}
+		ds.Append([]float64{x}, label)
+	}
+	scaler := &ml.Scaler{}
+	scaled, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm := ml.NewSVM(ml.RBFKernel{Gamma: 1}, 10)
+	if err := svm.Fit(&ml.Dataset{X: scaled, Y: ds.Y}); err != nil {
+		t.Fatal(err)
+	}
+	cv.Context().SetModel(cv.Policy().Name, &ml.Model{Classifier: svm, Scaler: scaler})
+}
+
+func TestCallWithoutModelUsesDefault(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	v, name, err := cv.Call(testInput{X: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "small" {
+		t.Errorf("no-model call used %q, want default", name)
+	}
+	if v != 10 {
+		t.Errorf("value = %v", v)
+	}
+	st := cv.Context().Stats("toy")
+	if st.Calls != 1 || st.DefaultFallbacks != 1 || st.PerVariant["small"] != 1 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+}
+
+func TestCallWithModelSelectsAdaptively(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	_, nameSmall, _ := cv.Call(testInput{X: 1})
+	_, nameLarge, _ := cv.Call(testInput{X: 8})
+	if nameSmall != "small" || nameLarge != "large" {
+		t.Errorf("adaptive selection wrong: %q / %q", nameSmall, nameLarge)
+	}
+	st := cv.Context().Stats("toy")
+	if st.Calls != 2 || st.DefaultFallbacks != 0 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	if st.FeatureSeconds <= 0 {
+		t.Errorf("feature cost not recorded: %+v", st)
+	}
+}
+
+func TestConstraintFallsBackToDefault(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	// Veto "large" everywhere: predictions of label 1 must fall back.
+	if err := cv.AddConstraint("large", func(testInput) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	_, name, _ := cv.Call(testInput{X: 8})
+	if name != "small" {
+		t.Errorf("vetoed prediction executed %q, want default", name)
+	}
+	if st := cv.Context().Stats("toy"); st.DefaultFallbacks != 1 {
+		t.Errorf("fallback not recorded: %+v", st)
+	}
+}
+
+func TestConstraintsDisabledByPolicy(t *testing.T) {
+	p := DefaultPolicy("toy")
+	p.ConstraintsEnabled = false
+	cv := newCV(t, p)
+	trainToy(t, cv)
+	_ = cv.AddConstraint("large", func(testInput) bool { return false })
+	_, name, _ := cv.Call(testInput{X: 8})
+	if name != "large" {
+		t.Errorf("disabled constraints should not veto: got %q", name)
+	}
+}
+
+func TestExhaustiveSearch(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	vals, best := cv.ExhaustiveSearch(testInput{X: 8})
+	if best != 1 {
+		t.Errorf("best = %d, want 1", best)
+	}
+	if vals[0] != 9 || vals[1] != 2 {
+		t.Errorf("values = %v", vals)
+	}
+	_ = cv.AddConstraint("large", func(testInput) bool { return false })
+	vals, best = cv.ExhaustiveSearch(testInput{X: 8})
+	if best != 0 || !math.IsInf(vals[1], 1) {
+		t.Errorf("vetoed variant should score +Inf: %v best %d", vals, best)
+	}
+	_ = cv.AddConstraint("small", func(testInput) bool { return false })
+	_, best = cv.ExhaustiveSearch(testInput{X: 8})
+	if best != -1 {
+		t.Errorf("all-vetoed best = %d, want -1", best)
+	}
+}
+
+func TestParallelFeatureEval(t *testing.T) {
+	p := DefaultPolicy("toy")
+	p.ParallelFeatureEval = true
+	cv := newCV(t, p)
+	cv.AddInputFeature(Feature[testInput]{
+		Name: "x2",
+		Eval: func(in testInput) float64 { return in.X * in.X },
+		Cost: func(testInput) float64 { return 3e-6 },
+	})
+	vec, cost := cv.FeatureVector(testInput{X: 3})
+	if vec[0] != 3 || vec[1] != 9 {
+		t.Errorf("parallel features wrong: %v", vec)
+	}
+	// Parallel cost is the max, not the sum.
+	if math.Abs(cost-3e-6) > 1e-12 {
+		t.Errorf("parallel cost = %v, want 3e-6", cost)
+	}
+	serial := newCV(t, DefaultPolicy("toy"))
+	serial.AddInputFeature(Feature[testInput]{
+		Name: "x2",
+		Eval: func(in testInput) float64 { return in.X * in.X },
+		Cost: func(testInput) float64 { return 3e-6 },
+	})
+	_, sCost := serial.FeatureVector(testInput{X: 3})
+	if math.Abs(sCost-4e-6) > 1e-12 {
+		t.Errorf("serial cost = %v, want 4e-6", sCost)
+	}
+}
+
+func TestAsyncFeatureEval(t *testing.T) {
+	p := DefaultPolicy("toy")
+	p.AsyncFeatureEval = true
+	cv := newCV(t, p)
+	trainToy(t, cv)
+	cv.FixInputs(testInput{X: 8})
+	_, name, err := cv.Call(testInput{X: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "large" {
+		t.Errorf("async call selected %q", name)
+	}
+	// Async feature cost is hidden (recorded as 0).
+	if st := cv.Context().Stats("toy"); st.FeatureSeconds != 0 {
+		t.Errorf("async feature cost should be hidden: %+v", st)
+	}
+	// Next call without FixInputs evaluates synchronously again.
+	_, name, _ = cv.Call(testInput{X: 1})
+	if name != "small" {
+		t.Errorf("post-async call selected %q", name)
+	}
+}
+
+func TestFixInputsNoopWhenSyncPolicy(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	cv.FixInputs(testInput{X: 1}) // must not arm anything
+	if cv.fixed {
+		t.Error("FixInputs armed async state under a sync policy")
+	}
+}
+
+func TestErrorsAndAccessors(t *testing.T) {
+	cx := NewContext()
+	cv := New[testInput](cx, DefaultPolicy("fn"))
+	if _, _, err := cv.Call(testInput{}); err == nil {
+		t.Error("Call with no variants should error")
+	}
+	if err := cv.SetDefault("nope"); err == nil {
+		t.Error("SetDefault on unknown variant should not succeed")
+	}
+	if err := cv.AddConstraint("nope", func(testInput) bool { return true }); err == nil {
+		t.Error("AddConstraint on unknown variant should not succeed")
+	}
+	cv.AddVariant("a", func(testInput) float64 { return 1 })
+	cv.AddInputFeature(Feature[testInput]{Name: "f", Eval: func(testInput) float64 { return 0 }})
+	if cv.NumVariants() != 1 || cv.VariantNames()[0] != "a" || cv.FeatureNames()[0] != "f" {
+		t.Error("accessors wrong")
+	}
+	if cv.Context() != cx {
+		t.Error("Context accessor wrong")
+	}
+	if New[testInput](nil, DefaultPolicy("x")).Context() == nil {
+		t.Error("nil context should be replaced")
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	path := filepath.Join(t.TempDir(), "toy.model.json")
+	if err := cv.Context().SaveModel("toy", path); err != nil {
+		t.Fatal(err)
+	}
+	cx2 := NewContext()
+	if err := cx2.LoadModel("toy", path); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := cv.Context().Model("toy")
+	m2, _ := cx2.Model("toy")
+	for x := 0.0; x < 10; x += 0.5 {
+		if m1.Predict([]float64{x}) != m2.Predict([]float64{x}) {
+			t.Fatalf("reloaded model disagrees at x=%v", x)
+		}
+	}
+	if err := cv.Context().SaveModel("absent", path); err == nil {
+		t.Error("saving a missing model should error")
+	}
+	if err := cx2.LoadModel("toy", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestStatsIsolatedCopy(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	_, _, _ = cv.Call(testInput{X: 1})
+	st := cv.Context().Stats("toy")
+	st.PerVariant["small"] = 999
+	if cv.Context().Stats("toy").PerVariant["small"] == 999 {
+		t.Error("Stats returned shared state")
+	}
+	empty := cv.Context().Stats("unknown")
+	if empty.Calls != 0 || empty.PerVariant == nil {
+		t.Error("unknown-function stats should be empty but usable")
+	}
+}
+
+// TestNonTimeCriterion exercises the paper's note that variants may return
+// any minimized value (e.g. energy) instead of time: the selection machinery
+// is agnostic to the criterion's meaning.
+func TestNonTimeCriterion(t *testing.T) {
+	cx := NewContext()
+	cv := New[testInput](cx, DefaultPolicy("energy"))
+	// Joules consumed, not seconds: "eco" draws little for small inputs.
+	cv.AddVariant("eco", func(in testInput) float64 { return 0.5 + 0.4*in.X })
+	cv.AddVariant("burst", func(in testInput) float64 { return 3.0 })
+	_ = cv.SetDefault("burst")
+	cv.AddInputFeature(Feature[testInput]{Name: "x", Eval: func(in testInput) float64 { return in.X }})
+
+	// Exhaustive search labels by lowest energy.
+	_, best := cv.ExhaustiveSearch(testInput{X: 1})
+	if best != 0 {
+		t.Errorf("small input should label eco, got %d", best)
+	}
+	_, best = cv.ExhaustiveSearch(testInput{X: 9})
+	if best != 1 {
+		t.Errorf("large input should label burst, got %d", best)
+	}
+}
+
+// Property: the selection engine never returns a constraint-violating
+// variant — any prediction that fails its constraint lands on the default.
+func TestQuickSelectionRespectsConstraints(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	// "large" is only legal below 7.
+	if err := cv.AddConstraint("large", func(in testInput) bool { return in.X < 7 }); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		x := float64(raw%1000) / 100 // [0, 10)
+		in := testInput{X: x}
+		vec, _ := cv.FeatureVector(in)
+		idx, _ := cv.SelectIndex(in, vec)
+		if idx == 1 && x >= 7 {
+			return false // vetoed variant selected
+		}
+		return idx == 0 || idx == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/gpusim"
+	"nitro/internal/graph"
+)
+
+// bfsGroups spans the degree/diameter axis of the DIMACS10 suite: meshes
+// (low degree, high diameter), social-network-like RMAT graphs (high skewed
+// degree, low diameter), uniform random-regular graphs, small worlds and hub
+// stars.
+var bfsGroups = []string{"grid2d", "rmat", "regular", "grid3d", "smallworld", "star"}
+
+// bfsSourcesPerGraph is the number of randomly chosen traversal sources per
+// graph. The paper uses 100; the reproduction defaults to 3 to keep suite
+// construction fast — relative variant ordering is insensitive to the count
+// because all variants price the same cached traversals.
+const bfsSourcesPerGraph = 3
+
+func bfsGraph(group string, i int, cfg Config, rng *rand.Rand) *graph.Graph {
+	seed := rng.Int63()
+	switch group {
+	case "grid2d":
+		side := cfg.scaledSide(60+20*(i%4), 12)
+		return graph.Grid2D(side, side+i%5)
+	case "rmat":
+		scale := 10 + i%3
+		if cfg.Scale < 0.5 {
+			scale = 9 + i%2
+		}
+		return graph.RMAT(scale, 12+6*(i%3), seed)
+	case "regular":
+		n := cfg.scaled(4000+1500*(i%4), 400)
+		return graph.RandomRegular(n, 3+3*(i%5), seed)
+	case "grid3d":
+		side := cfg.scaledSide(16+3*(i%4), 5)
+		return graph.Grid3D(side, side, side)
+	case "smallworld":
+		n := cfg.scaled(5000+1500*(i%4), 500)
+		return graph.SmallWorld(n, 2+i%3, 0.05+0.1*float64(i%3), seed)
+	default: // star
+		hubs := 4 + i%5
+		leaves := cfg.scaled(800+300*(i%3), 80)
+		return graph.Star(hubs, leaves, seed)
+	}
+}
+
+// BFS builds the breadth-first-search suite (paper: 20 training / 148 test
+// graphs over six Back40 variants, TEPS metric).
+func BFS(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
+	return bfsSuite(cfg, dev, "BFS", graph.Variants(), graph.VariantNames())
+}
+
+// BFSExtended builds the same corpus over the seven-variant extension set
+// (the paper's six plus direction-optimizing BFS).
+func BFSExtended(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
+	return bfsSuite(cfg, dev, "BFS+ext", graph.ExtendedVariants(), graph.ExtendedVariantNames())
+}
+
+func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Variant, names []string) (*autotuner.Suite, error) {
+	cfg = cfg.Norm()
+	nTrain, nTest := cfg.counts(20, 148)
+	s := &autotuner.Suite{
+		Name:           name,
+		VariantNames:   names,
+		FeatureNames:   graph.FeatureNames(),
+		DefaultVariant: 2, // CE-Fused: robust across the corpus
+	}
+	build := func(n int, seedOff int64) []autotuner.Instance {
+		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
+		out := make([]autotuner.Instance, 0, n)
+		for i := 0; i < n; i++ {
+			group := bfsGroups[i%len(bfsGroups)]
+			g := bfsGraph(group, i/len(bfsGroups), cfg, rng)
+			sources := make([]int, bfsSourcesPerGraph)
+			for k := range sources {
+				sources[k] = rng.Intn(g.V)
+			}
+			p, err := graph.NewProblem(g, sources)
+			if err != nil {
+				panic(err) // generator bug: sources are always in range
+			}
+			f := graph.ComputeFeatures(g)
+			inst := autotuner.Instance{
+				ID:       fmt.Sprintf("%s-%d", group, i),
+				Features: f.Vector(),
+				FeatureCosts: []float64{
+					host.Constant(),                 // AvgOutDeg = E/V
+					host.Scan(float64(4*g.V), 2, 4), // Deg-SD
+					host.Scan(float64(4*g.V), 1, 4), // MaxDeviation
+					host.Constant(),                 // Nvertices
+					host.Constant(),                 // Nedges
+				},
+			}
+			for _, v := range variants {
+				res, err := v.Run(p, dev)
+				if err != nil {
+					inst.Times = append(inst.Times, math.Inf(1))
+					continue
+				}
+				inst.Times = append(inst.Times, res.Seconds)
+			}
+			out = append(out, inst)
+		}
+		return out
+	}
+	s.Train = build(nTrain, 21)
+	s.Test = build(nTest, 22)
+	return s, nil
+}
+
+// BFSHybridTimes returns the Hybrid baseline's simulated time for every test
+// instance of a freshly generated corpus matching cfg (same seeds as BFS),
+// for the paper's Nitro-vs-Hybrid comparison.
+func BFSHybridTimes(cfg Config, dev *gpusim.Device) ([]float64, error) {
+	cfg = cfg.Norm()
+	_, nTest := cfg.counts(20, 148)
+	rng := rand.New(rand.NewSource(cfg.Seed + 22))
+	out := make([]float64, 0, nTest)
+	for i := 0; i < nTest; i++ {
+		group := bfsGroups[i%len(bfsGroups)]
+		g := bfsGraph(group, i/len(bfsGroups), cfg, rng)
+		sources := make([]int, bfsSourcesPerGraph)
+		for k := range sources {
+			sources[k] = rng.Intn(g.V)
+		}
+		p, err := graph.NewProblem(g, sources)
+		if err != nil {
+			return nil, err
+		}
+		res, err := graph.Hybrid(p, dev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.Seconds)
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/gpusim"
+	"nitro/internal/histogram"
+)
+
+// histGroups spans the input-distribution regimes that flip the histogram
+// winner: uniform (atomics win), gaussian (mild concentration), hot-spot
+// (atomic collapse, sort wins) and patchy (dynamic mapping wins).
+var histGroups = []string{"uniform", "gaussian", "hotspot", "patchy", "hotspot-mild"}
+
+var histBins = []int{16, 64, 256, 1024}
+
+func histData(group string, i, n int, rng *rand.Rand) []float64 {
+	seed := rng.Int63()
+	switch group {
+	case "uniform":
+		return histogram.Uniform(n, seed)
+	case "gaussian":
+		return histogram.Gaussian(n, seed)
+	case "hotspot":
+		return histogram.HotSpot(n, 0.7+0.08*float64(i%4), seed)
+	case "patchy":
+		return histogram.Patchy(n, histogram.TileSize/(1+i%3), seed)
+	default: // hotspot-mild
+		return histogram.HotSpot(n, 0.2+0.1*float64(i%3), seed)
+	}
+}
+
+// Histogram builds the histogram suite (paper: 200 training / 1291 test
+// inputs over six CUB variants).
+func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
+	cfg = cfg.Norm()
+	nTrain, nTest := cfg.counts(200, 1291)
+	s := &autotuner.Suite{
+		Name:           "Histogram",
+		VariantNames:   histogram.VariantNames(),
+		FeatureNames:   histogram.FeatureNames(),
+		DefaultVariant: 0, // Sort-ES: contention-proof
+	}
+	build := func(n int, seedOff int64) []autotuner.Instance {
+		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
+		out := make([]autotuner.Instance, 0, n)
+		for i := 0; i < n; i++ {
+			group := histGroups[i%len(histGroups)]
+			size := cfg.scaled(8192*(1+i%8), 2048)
+			bins := histBins[(i/len(histGroups))%len(histBins)]
+			data := histData(group, i/len(histGroups), size, rng)
+			p, err := histogram.NewProblem(data, bins)
+			if err != nil {
+				panic(err) // generator bug: sizes/bins always valid
+			}
+			sub := histogram.DefaultSubSample(size)
+			f := histogram.ComputeFeatures(p, sub)
+			inst := autotuner.Instance{
+				ID:       fmt.Sprintf("%s-%d-b%d", group, i, bins),
+				Features: f.Vector(),
+				FeatureCosts: []float64{
+					host.Constant(),                 // N
+					host.Constant(),                 // N/#bins
+					host.Scan(float64(8*sub), 2, 8), // SubSampleSD
+				},
+			}
+			for _, v := range histogram.Variants() {
+				res, err := v.Run(p, dev)
+				if err != nil {
+					inst.Times = append(inst.Times, math.Inf(1))
+					continue
+				}
+				inst.Times = append(inst.Times, res.Seconds)
+			}
+			out = append(out, inst)
+		}
+		return out
+	}
+	s.Train = build(nTrain, 31)
+	s.Test = build(nTest, 32)
+	return s, nil
+}

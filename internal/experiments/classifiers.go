@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nitro/internal/autotuner"
+)
+
+// ClassifierRow holds one benchmark's selection quality under each pluggable
+// classifier — the comparison the paper's related-work section points at
+// (Luo et al. compare classifier choices; Nitro makes the classifier a
+// tuning-script option).
+type ClassifierRow struct {
+	Benchmark   string
+	Classifiers []string
+	MeanPerf    []float64
+	ExactRate   []float64
+}
+
+// ClassifierComparison trains each available classifier on every suite.
+func ClassifierComparison(suites []*autotuner.Suite, opts Options) ([]ClassifierRow, error) {
+	opts = opts.Norm()
+	kinds := []string{"svm", "knn", "tree", "logistic"}
+	out := make([]ClassifierRow, 0, len(suites))
+	for _, s := range suites {
+		row := ClassifierRow{Benchmark: s.Name, Classifiers: kinds}
+		for _, kind := range kinds {
+			tr := opts.Train
+			tr.Classifier = kind
+			tr.GridSearch = kind == "svm" && opts.Train.GridSearch
+			model, _, err := autotuner.Train(s.Train, tr)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", s.Name, kind, err)
+			}
+			eval := autotuner.Evaluate(model, s, s.Test)
+			row.MeanPerf = append(row.MeanPerf, eval.MeanPerf)
+			exact := 0.0
+			if eval.Evaluated > 0 {
+				exact = float64(eval.ExactMatches) / float64(eval.Evaluated)
+			}
+			row.ExactRate = append(row.ExactRate, exact)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatClassifierComparison renders the comparison table.
+func FormatClassifierComparison(rows []ClassifierRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Classifier comparison — %% of exhaustive-search performance per classifier\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-10s", "benchmark")
+	for _, c := range rows[0].Classifiers {
+		fmt.Fprintf(&b, " %9s", c)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Benchmark)
+		for _, p := range r.MeanPerf {
+			fmt.Fprintf(&b, " %8.2f%%", 100*p)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// WriteClassifierCSV emits benchmark,classifier,mean_perf,exact_rate rows.
+func WriteClassifierCSV(w io.Writer, rows []ClassifierRow) error {
+	out := [][]string{{"benchmark", "classifier", "mean_perf", "exact_rate"}}
+	for _, r := range rows {
+		for i, c := range r.Classifiers {
+			out = append(out, []string{r.Benchmark, c, f(r.MeanPerf[i]), f(r.ExactRate[i])})
+		}
+	}
+	return writeAll(w, out)
+}

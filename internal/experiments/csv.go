@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters: one per figure, so the regenerated data can be re-plotted
+// against the paper's charts with any plotting tool.
+
+func writeAll(w io.Writer, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteFig5CSV emits benchmark,variant,perf_vs_best rows (Nitro included as
+// the pseudo-variant "Nitro").
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	out := [][]string{{"benchmark", "variant", "perf_vs_best"}}
+	for _, r := range rows {
+		for i, name := range r.VariantNames {
+			out = append(out, []string{r.Benchmark, name, f(r.VariantPerf[i])})
+		}
+		out = append(out, []string{r.Benchmark, "Nitro", f(r.NitroPerf)})
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig6CSV emits the per-benchmark selection-quality summary.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	out := [][]string{{
+		"benchmark", "mean_perf", "exact_rate", "above70", "above90",
+		"evaluated", "skipped_all_infeasible", "at_risk", "feasible_chosen_at_risk",
+		"hybrid_perf", "nitro_over_hybrid",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Benchmark, f(r.MeanPerf), f(r.ExactRate), f(r.Above70), f(r.Above90),
+			strconv.Itoa(r.Evaluated), strconv.Itoa(r.SkippedAllInfeasible),
+			strconv.Itoa(r.AtRisk), strconv.Itoa(r.FeasibleChosenAtRisk),
+			f(r.HybridPerf), f(r.NitroOverHybrid),
+		})
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig7CSV emits benchmark,iteration,perf,random_perf,full_perf series.
+func WriteFig7CSV(w io.Writer, curves []Fig7Curve) error {
+	out := [][]string{{"benchmark", "iteration", "perf", "random_perf", "full_perf"}}
+	for _, c := range curves {
+		for k, p := range c.Curve {
+			rnd := ""
+			if k < len(c.RandomCurve) {
+				rnd = f(c.RandomCurve[k])
+			}
+			out = append(out, []string{c.Benchmark, strconv.Itoa(k), f(p), rnd, f(c.FullPerf)})
+		}
+	}
+	return writeAll(w, out)
+}
+
+// WriteFig8CSV emits benchmark,k,feature,prefix_perf,cum_cost_frac rows.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := [][]string{{"benchmark", "k", "feature", "prefix_perf", "cum_cost_frac"}}
+	for _, r := range rows {
+		for k := range r.PrefixPerf {
+			out = append(out, []string{
+				r.Benchmark, strconv.Itoa(k + 1), r.FeatureOrder[k],
+				f(r.PrefixPerf[k]), f(r.PrefixCostFrac[k]),
+			})
+		}
+	}
+	return writeAll(w, out)
+}
+
+// WriteSetupCSV emits the Fig. 4 table.
+func WriteSetupCSV(w io.Writer, rows []SetupRow) error {
+	out := [][]string{{"benchmark", "num_variants", "num_features", "train", "test"}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Benchmark, strconv.Itoa(len(r.Variants)), strconv.Itoa(len(r.Features)),
+			strconv.Itoa(r.Train), strconv.Itoa(r.Test),
+		})
+	}
+	return writeAll(w, out)
+}
+
+// CSVName maps a figure id to its default file name.
+func CSVName(fig string) string { return fmt.Sprintf("nitro_%s.csv", fig) }

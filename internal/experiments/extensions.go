@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/datasets"
+	"nitro/internal/gpusim"
+)
+
+// ExtensionRow compares the paper's variant set with the extension set
+// (SpMV +COO/+HYB, Solvers +GMRES) on identical corpora: the framework
+// absorbs new variants without change, and the oracle itself improves when
+// the new variants win somewhere.
+type ExtensionRow struct {
+	Benchmark string
+	// BasePerf / ExtPerf are Nitro's mean performance against each set's
+	// own oracle.
+	BasePerf float64
+	ExtPerf  float64
+	// OracleSpeedup is mean(base oracle time / extended oracle time) —
+	// > 1 means the new variants genuinely win on some inputs.
+	OracleSpeedup float64
+	// NewVariantPicks counts test instances where the extended model chose
+	// one of the new variants.
+	NewVariantPicks int
+	NewVariantNames []string
+}
+
+// Extension runs the richer-variant-space experiment for SpMV and Solvers.
+func Extension(opts Options, dev *gpusim.Device) ([]ExtensionRow, error) {
+	opts = opts.Norm()
+	type pair struct {
+		base func(datasets.Config, *gpusim.Device) (*autotuner.Suite, error)
+		ext  func(datasets.Config, *gpusim.Device) (*autotuner.Suite, error)
+	}
+	pairs := []pair{
+		{base: datasets.SpMV, ext: datasets.SpMVExtended},
+		{base: datasets.Solver, ext: datasets.SolverExtended},
+		{base: datasets.BFS, ext: datasets.BFSExtended},
+	}
+	var out []ExtensionRow
+	for _, pr := range pairs {
+		baseSuite, err := pr.base(opts.Cfg, dev)
+		if err != nil {
+			return nil, err
+		}
+		extSuite, err := pr.ext(opts.Cfg, dev)
+		if err != nil {
+			return nil, err
+		}
+		baseModel, _, err := autotuner.Train(baseSuite.Train, opts.Train)
+		if err != nil {
+			return nil, err
+		}
+		extModel, _, err := autotuner.Train(extSuite.Train, opts.Train)
+		if err != nil {
+			return nil, err
+		}
+		baseEval := autotuner.Evaluate(baseModel, baseSuite, baseSuite.Test)
+		extEval := autotuner.Evaluate(extModel, extSuite, extSuite.Test)
+
+		row := ExtensionRow{
+			Benchmark:       baseSuite.Name,
+			BasePerf:        baseEval.MeanPerf,
+			ExtPerf:         extEval.MeanPerf,
+			NewVariantNames: extSuite.VariantNames[len(baseSuite.VariantNames):],
+		}
+		// Oracle improvement: corpora are identical (same cfg/seed), so
+		// instances align one to one.
+		var speedup float64
+		n := 0
+		for i := range baseSuite.Test {
+			_, baseBest := baseSuite.Test[i].Best()
+			_, extBest := extSuite.Test[i].Best()
+			if baseBest > 0 && extBest > 0 && !isInf(baseBest) && !isInf(extBest) {
+				speedup += baseBest / extBest
+				n++
+			}
+		}
+		if n > 0 {
+			row.OracleSpeedup = speedup / float64(n)
+		}
+		for _, c := range extEval.Chosen {
+			if c >= len(baseSuite.VariantNames) {
+				row.NewVariantPicks++
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+// FormatExtension renders the extension comparison.
+func FormatExtension(rows []ExtensionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — richer variant sets on identical corpora\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s: base Nitro %.2f%% -> extended Nitro %.2f%% (vs each set's own oracle)\n",
+			r.Benchmark, 100*r.BasePerf, 100*r.ExtPerf)
+		fmt.Fprintf(&b, "  extended oracle %.3fx faster than base oracle; new variants (%s) picked on %d test inputs\n",
+			r.OracleSpeedup, strings.Join(r.NewVariantNames, ", "), r.NewVariantPicks)
+	}
+	return b.String()
+}
+
+// PortabilityResult is the cross-architecture study the paper's future work
+// sketches: a model trained on one device is deployed on another, then
+// retrained natively. Feature vectors are device-independent; only the
+// variant costs (and hence labels) change.
+type PortabilityResult struct {
+	TrainDevice string
+	TestDevice  string
+	// StalePerf is the Fermi-trained model evaluated against Kepler costs.
+	StalePerf float64
+	// NativePerf is the Kepler-trained model against Kepler costs.
+	NativePerf float64
+	// LabelShift is the fraction of test instances whose oracle variant
+	// differs between the devices.
+	LabelShift float64
+}
+
+// Portability trains the SpMV model on devA and measures it on devB's cost
+// surface, against a natively retrained model.
+func Portability(opts Options, devA, devB *gpusim.Device) (PortabilityResult, error) {
+	opts = opts.Norm()
+	suiteA, err := datasets.SpMV(opts.Cfg, devA)
+	if err != nil {
+		return PortabilityResult{}, err
+	}
+	suiteB, err := datasets.SpMV(opts.Cfg, devB)
+	if err != nil {
+		return PortabilityResult{}, err
+	}
+	modelA, _, err := autotuner.Train(suiteA.Train, opts.Train)
+	if err != nil {
+		return PortabilityResult{}, err
+	}
+	modelB, _, err := autotuner.Train(suiteB.Train, opts.Train)
+	if err != nil {
+		return PortabilityResult{}, err
+	}
+	res := PortabilityResult{
+		TrainDevice: devA.Name,
+		TestDevice:  devB.Name,
+		StalePerf:   autotuner.Evaluate(modelA, suiteB, suiteB.Test).MeanPerf,
+		NativePerf:  autotuner.Evaluate(modelB, suiteB, suiteB.Test).MeanPerf,
+	}
+	shifted, n := 0, 0
+	for i := range suiteA.Test {
+		a, _ := suiteA.Test[i].Best()
+		b, _ := suiteB.Test[i].Best()
+		if a < 0 || b < 0 {
+			continue
+		}
+		n++
+		if a != b {
+			shifted++
+		}
+	}
+	if n > 0 {
+		res.LabelShift = float64(shifted) / float64(n)
+	}
+	return res, nil
+}
+
+// FormatPortability renders the cross-architecture study.
+func FormatPortability(r PortabilityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portability — SpMV model trained on %s, deployed on %s\n", r.TrainDevice, r.TestDevice)
+	fmt.Fprintf(&b, "  oracle variant changes on %.1f%% of test matrices across devices\n", 100*r.LabelShift)
+	fmt.Fprintf(&b, "  stale (cross-device) model: %.2f%% of native oracle\n", 100*r.StalePerf)
+	fmt.Fprintf(&b, "  natively retrained model:   %.2f%% of native oracle\n", 100*r.NativePerf)
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"nitro/internal/autotuner"
+)
+
+// NoiseRow reports selection quality when training-time measurements carry
+// multiplicative noise. The paper tunes on real (noisy) GPU timings; the
+// simulator is deterministic, so this study reintroduces measurement noise
+// at training time only — labels near ties flip, test evaluation stays
+// clean — to check that the learned selection degrades gracefully.
+type NoiseRow struct {
+	Benchmark string
+	// Sigmas are the relative noise levels applied to training times.
+	Sigmas []float64
+	// MeanPerf[i] is clean-test performance with training noise Sigmas[i].
+	MeanPerf []float64
+	// LabelFlips[i] is the fraction of training labels changed by the noise.
+	LabelFlips []float64
+}
+
+// perturbTimes returns instances whose finite times are scaled by
+// exp(sigma*N(0,1)) with a seeded generator.
+func perturbTimes(instances []autotuner.Instance, sigma float64, rng *rand.Rand) []autotuner.Instance {
+	out := make([]autotuner.Instance, len(instances))
+	for i, in := range instances {
+		times := make([]float64, len(in.Times))
+		for v, t := range in.Times {
+			if math.IsInf(t, 1) {
+				times[v] = t
+				continue
+			}
+			times[v] = t * math.Exp(sigma*rng.NormFloat64())
+		}
+		out[i] = autotuner.Instance{ID: in.ID, Features: in.Features, Times: times}
+	}
+	return out
+}
+
+// NoiseRobustness trains on noise-perturbed labels at each sigma and
+// evaluates on the clean test corpus.
+func NoiseRobustness(suites []*autotuner.Suite, opts Options, sigmas []float64) ([]NoiseRow, error) {
+	opts = opts.Norm()
+	if len(sigmas) == 0 {
+		sigmas = []float64{0, 0.05, 0.1, 0.2, 0.4}
+	}
+	out := make([]NoiseRow, 0, len(suites))
+	for _, s := range suites {
+		row := NoiseRow{Benchmark: s.Name, Sigmas: sigmas}
+		cleanLabels := make([]int, len(s.Train))
+		for i, in := range s.Train {
+			cleanLabels[i], _ = in.Best()
+		}
+		for si, sigma := range sigmas {
+			rng := rand.New(rand.NewSource(opts.Cfg.Seed + int64(si)*1000 + 1))
+			noisy := perturbTimes(s.Train, sigma, rng)
+			flips, n := 0, 0
+			for i, in := range noisy {
+				b, _ := in.Best()
+				if cleanLabels[i] >= 0 {
+					n++
+					if b != cleanLabels[i] {
+						flips++
+					}
+				}
+			}
+			model, _, err := autotuner.Train(noisy, opts.Train)
+			if err != nil {
+				return nil, fmt.Errorf("%s/sigma=%v: %w", s.Name, sigma, err)
+			}
+			eval := autotuner.Evaluate(model, s, s.Test)
+			row.MeanPerf = append(row.MeanPerf, eval.MeanPerf)
+			if n > 0 {
+				row.LabelFlips = append(row.LabelFlips, float64(flips)/float64(n))
+			} else {
+				row.LabelFlips = append(row.LabelFlips, 0)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatNoise renders the robustness table.
+func FormatNoise(rows []NoiseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Noise robustness — clean-test performance vs training-time measurement noise\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-10s", "benchmark")
+	for _, s := range rows[0].Sigmas {
+		fmt.Fprintf(&b, "  sigma=%-5.2f", s)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s", r.Benchmark)
+		for i := range r.Sigmas {
+			fmt.Fprintf(&b, "  %6.2f%%    ", 100*r.MeanPerf[i])
+			_ = i
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintf(&b, "%-10s", "  flips")
+		for _, fl := range r.LabelFlips {
+			fmt.Fprintf(&b, "  %6.1f%%    ", 100*fl)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

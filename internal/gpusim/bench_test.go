@@ -1,0 +1,39 @@
+package gpusim
+
+import "testing"
+
+// BenchmarkKernelAccounting measures the overhead of the cost accumulator
+// itself (it must stay negligible next to the real computation variants do).
+func BenchmarkKernelAccounting(b *testing.B) {
+	d := Fermi()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRun(d)
+		k := r.Launch("bench", 1<<16)
+		k.GlobalRead(1e6)
+		k.Gather(1000, 8, 1e6, 4)
+		k.TextureGather(1000, 8, 1e6, 4)
+		k.ComputeDP(1e6)
+		k.SkewedGlobalAtomics(1000, 64, 0.2)
+		k.Imbalance(10, 2)
+		k.Throughput(0.5)
+		r.Done(k)
+		_ = r.Seconds()
+	}
+}
+
+func BenchmarkManySmallKernels(b *testing.B) {
+	d := Fermi()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRun(d)
+		for j := 0; j < 100; j++ {
+			k := r.Launch("lvl", 1024)
+			k.GlobalRead(4096)
+			r.Done(k)
+		}
+		_ = r.Seconds()
+	}
+}

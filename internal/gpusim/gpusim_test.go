@@ -1,0 +1,373 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFermiDefaults(t *testing.T) {
+	d := Fermi()
+	if d.SMCount != 14 || d.WarpSize != 32 {
+		t.Fatalf("unexpected Fermi geometry: %+v", d)
+	}
+	if d.MaxResidentThreads() != 14*1536 {
+		t.Fatalf("MaxResidentThreads = %d", d.MaxResidentThreads())
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	d := Fermi()
+	cases := []int{-5, 0, 1, 32, 1024, d.MaxResidentThreads(), 10 * d.MaxResidentThreads()}
+	for _, n := range cases {
+		occ := d.occupancy(n)
+		if occ <= 0 || occ > 1 {
+			t.Errorf("occupancy(%d) = %v out of (0,1]", n, occ)
+		}
+	}
+	if d.occupancy(10) >= d.occupancy(d.MaxResidentThreads()) {
+		t.Error("occupancy should grow with thread count")
+	}
+}
+
+func TestCoalescedFasterThanScattered(t *testing.T) {
+	d := Fermi()
+	n := 1 << 20
+
+	r1 := NewRun(d)
+	k1 := r1.Launch("coalesced", n)
+	k1.GlobalRead(float64(n * 4))
+	r1.Done(k1)
+
+	r2 := NewRun(d)
+	k2 := r2.Launch("scattered", n)
+	k2.Gather(n, 4, float64(n*4*64), 1) // huge footprint, no reuse
+	r2.Done(k2)
+
+	if r1.Seconds() >= r2.Seconds() {
+		t.Errorf("coalesced (%v s) should beat scattered (%v s)", r1.Seconds(), r2.Seconds())
+	}
+}
+
+func TestTextureGatherBeatsGlobalGatherWithReuse(t *testing.T) {
+	d := Fermi()
+	n := 1 << 20
+	footprint := float64(64 * 1024) // larger than tex cache
+	reuse := 20.0
+
+	rg := NewRun(d)
+	kg := rg.Launch("gather", n)
+	kg.Gather(n, 4, footprint, reuse)
+	rg.Done(kg)
+
+	rt := NewRun(d)
+	kt := rt.Launch("tex", n)
+	kt.TextureGather(n, 4, footprint, reuse)
+	rt.Done(kt)
+
+	if rt.Seconds() >= rg.Seconds() {
+		t.Errorf("texture gather with reuse (%v) should beat plain gather (%v)", rt.Seconds(), rg.Seconds())
+	}
+}
+
+func TestTextureGatherNoReuseNotFree(t *testing.T) {
+	d := Fermi()
+	n := 1 << 18
+	footprint := float64(64 << 20) // 64 MB, single use
+	rt := NewRun(d)
+	kt := rt.Launch("tex", n)
+	kt.TextureGather(n, 4, footprint, 1)
+	rt.Done(kt)
+
+	rc := NewRun(d)
+	kc := rc.Launch("coalesced", n)
+	kc.GlobalRead(float64(n * 4))
+	rc.Done(kc)
+
+	if rt.Seconds() <= rc.Seconds() {
+		t.Errorf("no-reuse texture gather (%v) should cost more than coalesced (%v)", rt.Seconds(), rc.Seconds())
+	}
+}
+
+func TestAtomicSkewSerializes(t *testing.T) {
+	d := Fermi()
+	n := 1 << 20
+
+	uniform := NewRun(d)
+	ku := uniform.Launch("uniform", n)
+	ku.SkewedGlobalAtomics(n, 256, 1.0/256)
+	uniform.Done(ku)
+
+	skewed := NewRun(d)
+	ks := skewed.Launch("skewed", n)
+	ks.SkewedGlobalAtomics(n, 256, 0.9)
+	skewed.Done(ks)
+
+	if skewed.Seconds() <= 2*uniform.Seconds() {
+		t.Errorf("skewed atomics (%v) should be much slower than uniform (%v)", skewed.Seconds(), uniform.Seconds())
+	}
+}
+
+func TestSharedAtomicsCheaperThanGlobal(t *testing.T) {
+	d := Fermi()
+	n := 1 << 20
+
+	sh := NewRun(d)
+	k1 := sh.Launch("shared", n)
+	k1.SkewedSharedAtomics(n, 256, 256, 0.5)
+	sh.Done(k1)
+
+	gl := NewRun(d)
+	k2 := gl.Launch("global", n)
+	k2.SkewedGlobalAtomics(n, 256, 0.5)
+	gl.Done(k2)
+
+	if sh.Seconds() >= gl.Seconds() {
+		t.Errorf("shared atomics (%v) should beat global atomics (%v)", sh.Seconds(), gl.Seconds())
+	}
+}
+
+func TestLaunchOverheadAccumulates(t *testing.T) {
+	d := Fermi()
+	many := NewRun(d)
+	for i := 0; i < 100; i++ {
+		k := many.Launch("tiny", 32)
+		k.GlobalRead(1024)
+		many.Done(k)
+	}
+	one := NewRun(d)
+	k := one.Launch("fused", 3200)
+	k.GlobalRead(102400)
+	one.Done(k)
+
+	if many.Seconds() <= one.Seconds() {
+		t.Errorf("100 launches (%v) should cost more than 1 fused launch (%v)", many.Seconds(), one.Seconds())
+	}
+	if got := many.Nanoseconds(); got < 100*d.LaunchOverheadNs {
+		t.Errorf("expected at least 100 launch overheads, got %v ns", got)
+	}
+}
+
+func TestDivergencePenalty(t *testing.T) {
+	d := Fermi()
+	base := NewRun(d)
+	kb := base.Launch("full", 1<<16)
+	kb.ComputeDP(1e8)
+	base.Done(kb)
+
+	div := NewRun(d)
+	kd := div.Launch("divergent", 1<<16)
+	kd.ComputeDP(1e8)
+	kd.Divergence(0.25)
+	div.Done(kd)
+
+	ratio := div.Seconds() / base.Seconds()
+	if ratio < 2 {
+		t.Errorf("75%% divergence should at least double compute time, ratio=%v", ratio)
+	}
+}
+
+func TestImbalanceMonotone(t *testing.T) {
+	d := Fermi()
+	mk := func(maxW float64) float64 {
+		r := NewRun(d)
+		k := r.Launch("k", 1<<16)
+		k.GlobalRead(1e7)
+		k.Imbalance(maxW, 1)
+		r.Done(k)
+		return r.Seconds()
+	}
+	if !(mk(1) <= mk(4) && mk(4) < mk(100)) {
+		t.Errorf("imbalance penalty not monotone: %v %v %v", mk(1), mk(4), mk(100))
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	d := Fermi()
+	r := NewRun(d)
+	k := r.Launch("k", 1024)
+	k.GlobalRead(1e6)
+	a := k.Finish()
+	k.GlobalRead(1e9) // must not change anything now
+	b := k.Finish()
+	if a != b {
+		t.Errorf("Finish not idempotent: %v vs %v", a, b)
+	}
+}
+
+func TestBreakdownSumsSanely(t *testing.T) {
+	d := Fermi()
+	r := NewRun(d)
+	k := r.Launch("k", 1<<16)
+	k.GlobalRead(1e7)
+	k.ComputeDP(1e6)
+	k.GlobalAtomics(1000, 10)
+	k.Latency(777)
+	r.Done(k)
+	b := r.Kernels()[0]
+	if b.TotalNs < b.AtomicNs+b.ExtraNs+b.LaunchNs {
+		t.Errorf("total %v smaller than non-overlapping parts %v", b.TotalNs, b.AtomicNs+b.ExtraNs+b.LaunchNs)
+	}
+	if b.Name != "k" || b.Threads != 1<<16 {
+		t.Errorf("breakdown identity wrong: %+v", b)
+	}
+}
+
+func TestRunAccumulation(t *testing.T) {
+	d := Fermi()
+	r := NewRun(d)
+	if r.Device() != d {
+		t.Fatal("Device() mismatch")
+	}
+	k1 := r.Launch("a", 100)
+	k1.GlobalRead(1e6)
+	r.Done(k1)
+	t1 := r.Nanoseconds()
+	r.HostSync()
+	r.AddNs(500)
+	if r.Nanoseconds() != t1+d.LaunchOverheadNs/2+500 {
+		t.Errorf("accumulation wrong: %v", r.Nanoseconds())
+	}
+	if len(r.Kernels()) != 1 {
+		t.Errorf("kernel count = %d", len(r.Kernels()))
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: simulated time is deterministic, positive and finite for any
+// charge mix.
+func TestQuickKernelTimeSane(t *testing.T) {
+	d := Fermi()
+	f := func(threads uint16, bytesK uint32, gathers uint16, flops uint32, atomics uint16, addrs uint8) bool {
+		mk := func() float64 {
+			r := NewRun(d)
+			k := r.Launch("q", int(threads))
+			k.GlobalRead(float64(bytesK) * 1024)
+			k.Gather(int(gathers), 8, float64(bytesK)*4096, 2)
+			k.ComputeDP(float64(flops))
+			k.GlobalAtomics(int(atomics), int(addrs))
+			r.Done(k)
+			return r.Seconds()
+		}
+		a, b := mk(), mk()
+		return a == b && a > 0 && !math.IsNaN(a) && !math.IsInf(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more coalesced traffic never makes a kernel faster.
+func TestQuickMemoryMonotone(t *testing.T) {
+	d := Fermi()
+	f := func(bytesK uint32, extraK uint16) bool {
+		mk := func(b float64) float64 {
+			r := NewRun(d)
+			k := r.Launch("q", 4096)
+			k.GlobalRead(b)
+			r.Done(k)
+			return r.Seconds()
+		}
+		b := float64(bytesK) * 1024
+		return mk(b) <= mk(b+float64(extraK)*1024)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHostCostModel(t *testing.T) {
+	h := DefaultHost()
+	small := h.Scan(1e3, 1, 8)
+	big := h.Scan(1e8, 1, 8)
+	if small >= big {
+		t.Errorf("host scan cost should grow with size: %v vs %v", small, big)
+	}
+	if c := h.Constant(); c <= 0 || c > 1e-6 {
+		t.Errorf("constant feature cost out of range: %v", c)
+	}
+	if h.Scan(1e6, 1, 0) <= 0 {
+		t.Error("elemBytes=0 should fall back, not blow up")
+	}
+}
+
+func TestStridedAccess(t *testing.T) {
+	d := Fermi()
+	mk := func(stride int) float64 {
+		r := NewRun(d)
+		k := r.Launch("s", 1<<16)
+		k.StridedAccess(1<<18, 4, stride)
+		r.Done(k)
+		return r.Seconds()
+	}
+	if !(mk(4) < mk(64)) {
+		t.Errorf("unit stride (%v) should beat stride 64 (%v)", mk(4), mk(64))
+	}
+	// Zero-length access is free.
+	r := NewRun(d)
+	k := r.Launch("z", 1)
+	k.StridedAccess(0, 4, 4)
+	r.Done(k)
+	if r.Nanoseconds() != d.LaunchOverheadNs {
+		t.Errorf("empty access should cost only launch overhead, got %v", r.Nanoseconds())
+	}
+}
+
+func TestKeplerDevice(t *testing.T) {
+	k := Kepler()
+	f := Fermi()
+	if k.MemBandwidthGBs <= f.MemBandwidthGBs {
+		t.Error("K20c should have more bandwidth than C2050")
+	}
+	if k.TexCacheBytes <= f.TexCacheBytes {
+		t.Error("K20c should have a larger texture path")
+	}
+	// A bandwidth-bound kernel must run faster on the higher-bandwidth part.
+	run := func(d *Device) float64 {
+		r := NewRun(d)
+		kk := r.Launch("stream", d.MaxResidentThreads())
+		kk.GlobalRead(64 << 20)
+		r.Done(kk)
+		return r.Seconds()
+	}
+	if run(Kepler()) >= run(Fermi()) {
+		t.Error("streaming kernel should be faster on Kepler")
+	}
+}
+
+func TestNewDeviceCopy(t *testing.T) {
+	d := NewDevice("custom")
+	if d.Name != "custom" || d.SMCount != Fermi().SMCount {
+		t.Errorf("NewDevice wrong: %+v", d)
+	}
+	d.SMCount = 99
+	if Fermi().SMCount == 99 {
+		t.Error("NewDevice must not alias the Fermi template")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	d := Fermi()
+	r := NewRun(d)
+	for i := 0; i < 3; i++ {
+		k := r.Launch("kern", 1024*(i+1))
+		k.GlobalRead(float64(1e6 * (i + 1)))
+		r.Done(k)
+	}
+	rep := r.Report(2)
+	if !strings.Contains(rep, "kern") || !strings.Contains(rep, "total") {
+		t.Errorf("report missing content:\n%s", rep)
+	}
+	if strings.Count(rep, "kern ") != 2 {
+		t.Errorf("report cap ignored:\n%s", rep)
+	}
+	if full := r.Report(0); strings.Count(full, "kern ") != 3 {
+		t.Errorf("uncapped report wrong:\n%s", full)
+	}
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"testing"
+
+	"nitro/internal/gpusim"
+)
+
+func BenchmarkBFSTraversalGrid(b *testing.B) {
+	g := Grid2D(200, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.BFS(0)
+	}
+}
+
+func BenchmarkBFSTraversalRMAT(b *testing.B) {
+	g := RMAT(14, 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.BFS(1)
+	}
+}
+
+func benchBFSVariant(b *testing.B, name string, g *Graph) {
+	b.Helper()
+	p, err := NewProblem(g, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.traverse() // cache so the bench isolates the pricing path
+	var v Variant
+	for _, cand := range Variants() {
+		if cand.Name == name {
+			v = cand
+		}
+	}
+	d := gpusim.Fermi()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Run(p, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSVariantCEFused(b *testing.B) { benchBFSVariant(b, "CE-Fused", Grid2D(120, 120)) }
+func BenchmarkBFSVariant2PhaseFused(b *testing.B) {
+	benchBFSVariant(b, "2Phase-Fused", RMAT(12, 16, 2))
+}
+func BenchmarkBFSVariantECIter(b *testing.B) { benchBFSVariant(b, "EC-Iter", Grid2D(120, 120)) }
+
+func BenchmarkBFSHybrid(b *testing.B) {
+	p, err := NewProblem(RMAT(12, 16, 3), []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.traverse()
+	d := gpusim.Fermi()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Hybrid(p, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphFeatures(b *testing.B) {
+	g := RMAT(14, 16, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeFeatures(g)
+	}
+}

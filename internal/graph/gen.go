@@ -1,0 +1,139 @@
+package graph
+
+import "math/rand"
+
+// The generators below stand in for the DIMACS10 test suite. They span the
+// axis that drives variant selection in Merrill et al. and the paper: average
+// out-degree (low-degree/high-diameter meshes vs high-degree/low-diameter
+// social networks) and degree skew.
+
+// Grid2D returns the 4-neighbour lattice on w x h vertices: out-degree <= 4,
+// diameter w+h — the regime where fused kernels and CE win.
+func Grid2D(w, h int) *Graph {
+	var src, dst []int32
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				src = append(src, id(x, y))
+				dst = append(dst, id(x+1, y))
+			}
+			if y+1 < h {
+				src = append(src, id(x, y))
+				dst = append(dst, id(x, y+1))
+			}
+		}
+	}
+	return FromEdges(w*h, src, dst, true)
+}
+
+// Grid3D returns the 6-neighbour lattice on nx x ny x nz vertices.
+func Grid3D(nx, ny, nz int) *Graph {
+	var src, dst []int32
+	id := func(x, y, z int) int32 { return int32((z*ny+y)*nx + x) }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				if x+1 < nx {
+					src = append(src, id(x, y, z))
+					dst = append(dst, id(x+1, y, z))
+				}
+				if y+1 < ny {
+					src = append(src, id(x, y, z))
+					dst = append(dst, id(x, y+1, z))
+				}
+				if z+1 < nz {
+					src = append(src, id(x, y, z))
+					dst = append(dst, id(x, y, z+1))
+				}
+			}
+		}
+	}
+	return FromEdges(nx*ny*nz, src, dst, true)
+}
+
+// RMAT returns a Kronecker/R-MAT graph with 2^scale vertices and about
+// edgeFactor directed edges per vertex: skewed degrees and tiny diameter —
+// the social-network regime where scan-based 2-Phase gathering wins.
+func RMAT(scale int, edgeFactor int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	e := n * edgeFactor
+	const a, b, c = 0.57, 0.19, 0.19
+	src := make([]int32, 0, e)
+	dst := make([]int32, 0, e)
+	for i := 0; i < e; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// stay in quadrant (0,0)
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		src = append(src, int32(u))
+		dst = append(dst, int32(v))
+	}
+	return FromEdges(n, src, dst, true)
+}
+
+// RandomRegular returns a graph where every vertex has out-degree d with
+// uniformly random targets (moderate diameter, zero skew).
+func RandomRegular(n, d int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	src := make([]int32, 0, n*d)
+	dst := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for k := 0; k < d; k++ {
+			src = append(src, int32(v))
+			dst = append(dst, int32(rng.Intn(n)))
+		}
+	}
+	return FromEdges(n, src, dst, false)
+}
+
+// SmallWorld returns a Watts-Strogatz style ring lattice of degree 2k with
+// rewiring probability p: low degree with a few long-range shortcuts.
+func SmallWorld(n, k int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var src, dst []int32
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			t := (v + j) % n
+			if rng.Float64() < p {
+				t = rng.Intn(n)
+			}
+			src = append(src, int32(v))
+			dst = append(dst, int32(t))
+		}
+	}
+	return FromEdges(n, src, dst, true)
+}
+
+// Star returns hubs high-degree centres each connected to leaves satellites
+// (extreme skew: MaxDeviation >> AvgOutDeg).
+func Star(hubs, leaves int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := hubs + hubs*leaves
+	var src, dst []int32
+	for h := 0; h < hubs; h++ {
+		base := hubs + h*leaves
+		for l := 0; l < leaves; l++ {
+			src = append(src, int32(h))
+			dst = append(dst, int32(base+l))
+		}
+		if h+1 < hubs {
+			src = append(src, int32(h))
+			dst = append(dst, int32(h+1))
+		}
+		_ = rng
+	}
+	return FromEdges(n, src, dst, true)
+}

@@ -1,0 +1,195 @@
+// Package graph implements the BFS substrate of the Nitro reproduction,
+// standing in for the Back40/Merrill GPU traversal library: a CSR graph
+// representation, seeded generators replacing the DIMACS10 suite, the six
+// level-synchronous BFS code variants the paper selects among
+// (EC/CE/2-Phase, each Fused or Iterative), the hand-built Hybrid baseline
+// the paper compares against, the five selection features, and the TEPS
+// metric. Traversals compute real distance labels; their simulated GPU cost
+// is charged per level to internal/gpusim from the measured frontier shape.
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// Graph is a directed graph in CSR adjacency form.
+type Graph struct {
+	V      int
+	RowPtr []int32
+	Adj    []int32
+}
+
+// E returns the directed edge count.
+func (g *Graph) E() int { return len(g.Adj) }
+
+// OutDeg returns the out-degree of v.
+func (g *Graph) OutDeg(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Validate checks structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.V+1 {
+		return errors.New("graph: RowPtr length mismatch")
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.V]) != len(g.Adj) {
+		return errors.New("graph: RowPtr endpoints wrong")
+	}
+	for v := 0; v < g.V; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return errors.New("graph: RowPtr not monotone")
+		}
+	}
+	for _, w := range g.Adj {
+		if w < 0 || int(w) >= g.V {
+			return errors.New("graph: neighbour out of range")
+		}
+	}
+	return nil
+}
+
+// FromEdges builds a CSR graph from an edge list; when undirected is set,
+// each edge is inserted in both directions.
+func FromEdges(v int, src, dst []int32, undirected bool) *Graph {
+	count := make([]int32, v+1)
+	bump := func(s int32) { count[s+1]++ }
+	for i := range src {
+		bump(src[i])
+		if undirected {
+			bump(dst[i])
+		}
+	}
+	for i := 0; i < v; i++ {
+		count[i+1] += count[i]
+	}
+	g := &Graph{V: v, RowPtr: count, Adj: make([]int32, count[v])}
+	next := append([]int32(nil), count[:v]...)
+	put := func(s, d int32) {
+		g.Adj[next[s]] = d
+		next[s]++
+	}
+	for i := range src {
+		put(src[i], dst[i])
+		if undirected {
+			put(dst[i], src[i])
+		}
+	}
+	return g
+}
+
+// LevelStats records the shape of one BFS level: the vertex-frontier size,
+// the edge-frontier size (edges out of the frontier), the number of newly
+// discovered vertices, and the degree profile of the frontier (driving
+// warp-waste and load-imbalance charges).
+type LevelStats struct {
+	Fv       int // vertices in the frontier
+	Fe       int // edges leaving the frontier
+	U        int // newly discovered vertices
+	MaxDeg   int // largest out-degree in the frontier
+	PaddedFe int // sum over frontier of out-degree rounded up to warp size
+	// Unvisited is the number of undiscovered vertices at the start of the
+	// level — the work pool a bottom-up (direction-optimizing) step scans.
+	Unvisited int
+}
+
+// BFS runs a level-synchronous breadth-first traversal from src and returns
+// the distance labels (-1 for unreached) together with per-level statistics.
+func (g *Graph) BFS(src int) ([]int32, []LevelStats) {
+	levels := make([]int32, g.V)
+	for i := range levels {
+		levels[i] = -1
+	}
+	if src < 0 || src >= g.V {
+		return levels, nil
+	}
+	levels[src] = 0
+	frontier := []int32{int32(src)}
+	var stats []LevelStats
+	depth := int32(0)
+	visited := 1
+	for len(frontier) > 0 {
+		st := LevelStats{Fv: len(frontier), Unvisited: g.V - visited}
+		var next []int32
+		for _, v := range frontier {
+			deg := g.OutDeg(int(v))
+			st.Fe += deg
+			st.PaddedFe += (deg + 31) / 32 * 32
+			if deg == 0 {
+				st.PaddedFe += 32
+			}
+			if deg > st.MaxDeg {
+				st.MaxDeg = deg
+			}
+			for p := g.RowPtr[v]; p < g.RowPtr[v+1]; p++ {
+				w := g.Adj[p]
+				if levels[w] < 0 {
+					levels[w] = depth + 1
+					next = append(next, w)
+				}
+			}
+		}
+		st.U = len(next)
+		visited += len(next)
+		stats = append(stats, st)
+		frontier = next
+		depth++
+	}
+	return levels, stats
+}
+
+// EdgesTraversed returns the number of directed edges inspected by a
+// traversal with the given per-level stats (the TEPS numerator).
+func EdgesTraversed(stats []LevelStats) int {
+	total := 0
+	for _, s := range stats {
+		total += s.Fe
+	}
+	return total
+}
+
+// Features holds the paper's five BFS selection features.
+type Features struct {
+	AvgOutDeg    float64
+	DegStdDev    float64
+	MaxDeviation float64 // max out-degree minus average
+	NVertices    float64
+	NEdges       float64
+}
+
+// Vector returns the feature vector in the fixed Fig. 4 order:
+// [AvgOutDeg, Deg-SD, MaxDeviation, Nvertices, Nedges].
+func (f Features) Vector() []float64 {
+	return []float64{f.AvgOutDeg, f.DegStdDev, f.MaxDeviation, f.NVertices, f.NEdges}
+}
+
+// FeatureNames lists the feature order used by Features.Vector.
+func FeatureNames() []string {
+	return []string{"AvgOutDeg", "Deg-SD", "MaxDeviation", "Nvertices", "Nedges"}
+}
+
+// ComputeFeatures derives the selection features in one pass over the
+// degree array.
+func ComputeFeatures(g *Graph) Features {
+	f := Features{NVertices: float64(g.V), NEdges: float64(g.E())}
+	if g.V == 0 {
+		return f
+	}
+	var sum, sumSq float64
+	maxDeg := 0
+	for v := 0; v < g.V; v++ {
+		d := g.OutDeg(v)
+		sum += float64(d)
+		sumSq += float64(d) * float64(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	n := float64(g.V)
+	f.AvgOutDeg = sum / n
+	variance := sumSq/n - f.AvgOutDeg*f.AvgOutDeg
+	if variance < 0 {
+		variance = 0
+	}
+	f.DegStdDev = math.Sqrt(variance)
+	f.MaxDeviation = float64(maxDeg) - f.AvgOutDeg
+	return f
+}

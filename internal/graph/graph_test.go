@@ -1,0 +1,370 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nitro/internal/gpusim"
+)
+
+func dev() *gpusim.Device { return gpusim.Fermi() }
+
+func TestFromEdgesAndValidate(t *testing.T) {
+	g := FromEdges(4, []int32{0, 1, 2}, []int32{1, 2, 3}, false)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.E() != 3 || g.OutDeg(0) != 1 || g.OutDeg(3) != 0 {
+		t.Errorf("degrees wrong: E=%d", g.E())
+	}
+	u := FromEdges(3, []int32{0}, []int32{1}, true)
+	if u.E() != 2 || u.OutDeg(1) != 1 {
+		t.Error("undirected insertion failed")
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3
+	g := FromEdges(4, []int32{0, 1, 2}, []int32{1, 2, 3}, false)
+	levels, stats := g.BFS(0)
+	for i, want := range []int32{0, 1, 2, 3} {
+		if levels[i] != want {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want)
+		}
+	}
+	if len(stats) != 4 { // three productive levels + final empty-expansion level
+		t.Errorf("stats levels = %d", len(stats))
+	}
+	if EdgesTraversed(stats) != 3 {
+		t.Errorf("edges traversed = %d, want 3", EdgesTraversed(stats))
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := FromEdges(4, []int32{0}, []int32{1}, false)
+	levels, _ := g.BFS(0)
+	if levels[2] != -1 || levels[3] != -1 {
+		t.Error("unreachable vertices should stay -1")
+	}
+	levels, stats := g.BFS(-1)
+	if stats != nil {
+		t.Error("invalid source should produce no stats")
+	}
+	for _, l := range levels {
+		if l != -1 {
+			t.Error("invalid source should mark nothing")
+		}
+	}
+}
+
+func TestBFSGridDistances(t *testing.T) {
+	g := Grid2D(5, 5)
+	levels, _ := g.BFS(0)
+	// Manhattan distance from corner (0,0).
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			if int(levels[y*5+x]) != x+y {
+				t.Fatalf("grid distance wrong at (%d,%d): %d", x, y, levels[y*5+x])
+			}
+		}
+	}
+}
+
+func TestGeneratorsValid(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"grid2d", Grid2D(10, 12)},
+		{"grid3d", Grid3D(4, 5, 6)},
+		{"rmat", RMAT(10, 8, 1)},
+		{"regular", RandomRegular(200, 8, 2)},
+		{"smallworld", SmallWorld(150, 3, 0.1, 3)},
+		{"star", Star(3, 40, 4)},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.g.E() == 0 {
+			t.Errorf("%s: no edges", c.name)
+		}
+	}
+}
+
+func TestFeaturesShapes(t *testing.T) {
+	grid := ComputeFeatures(Grid2D(30, 30))
+	rmat := ComputeFeatures(RMAT(12, 16, 5))
+	if grid.AvgOutDeg > 4.01 {
+		t.Errorf("grid avg degree %v > 4", grid.AvgOutDeg)
+	}
+	if rmat.AvgOutDeg <= grid.AvgOutDeg {
+		t.Errorf("RMAT avg degree (%v) should exceed grid (%v)", rmat.AvgOutDeg, grid.AvgOutDeg)
+	}
+	if rmat.MaxDeviation <= grid.MaxDeviation {
+		t.Errorf("RMAT skew (%v) should exceed grid (%v)", rmat.MaxDeviation, grid.MaxDeviation)
+	}
+	if len(grid.Vector()) != len(FeatureNames()) {
+		t.Error("Vector/FeatureNames mismatch")
+	}
+}
+
+func TestProblemValidation(t *testing.T) {
+	g := Grid2D(3, 3)
+	if _, err := NewProblem(nil, []int{0}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewProblem(g, nil); err == nil {
+		t.Error("no sources accepted")
+	}
+	if _, err := NewProblem(g, []int{99}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+// runAllVariants returns name->seconds and checks functional agreement.
+func runAllVariants(t *testing.T, p *Problem) map[string]float64 {
+	t.Helper()
+	ref, _ := p.G.BFS(p.Sources[len(p.Sources)-1])
+	out := map[string]float64{}
+	for _, v := range Variants() {
+		res, err := v.Run(p, dev())
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		for i := range ref {
+			if res.Levels[i] != ref[i] {
+				t.Fatalf("%s: wrong level at %d", v.Name, i)
+			}
+		}
+		if res.Seconds <= 0 || math.IsNaN(res.Seconds) {
+			t.Fatalf("%s: bad time %v", v.Name, res.Seconds)
+		}
+		if res.TEPS() <= 0 {
+			t.Fatalf("%s: bad TEPS", v.Name)
+		}
+		out[v.Name] = res.Seconds
+	}
+	return out
+}
+
+func bestOf(times map[string]float64) string {
+	name, b := "", math.Inf(1)
+	for k, v := range times {
+		if v < b {
+			name, b = k, v
+		}
+	}
+	return name
+}
+
+func TestGridFavoursFusedLowDegree(t *testing.T) {
+	g := Grid2D(120, 120) // high diameter, degree <= 4
+	p, _ := NewProblem(g, []int{0})
+	times := runAllVariants(t, p)
+	b := bestOf(times)
+	if !strings.HasSuffix(b, "Fused") {
+		t.Errorf("high-diameter grid best = %s (%v), want a fused variant", b, times)
+	}
+	if strings.HasPrefix(b, "EC") {
+		t.Errorf("EC should not win on degree-4 grid, got %s", b)
+	}
+	if times["CE-Fused"] >= times["CE-Iter"] {
+		t.Errorf("fused (%v) should beat iterative (%v) on 200+ levels", times["CE-Fused"], times["CE-Iter"])
+	}
+}
+
+func TestRMATFavours2Phase(t *testing.T) {
+	g := RMAT(14, 24, 7) // high average degree, heavy skew, low diameter
+	p, _ := NewProblem(g, []int{1, 2, 3})
+	times := runAllVariants(t, p)
+	b := bestOf(times)
+	if !strings.HasPrefix(b, "2Phase") {
+		t.Errorf("skewed high-degree graph best = %s (%v), want 2Phase", b, times)
+	}
+	if times["CE-Fused"] <= times["2Phase-Fused"] {
+		t.Errorf("CE (%v) should lose to 2Phase (%v) under heavy skew", times["CE-Fused"], times["2Phase-Fused"])
+	}
+}
+
+func TestHybridBetweenWorstAndBest(t *testing.T) {
+	for _, g := range []*Graph{Grid2D(80, 80), RMAT(13, 16, 9)} {
+		p, _ := NewProblem(g, []int{0, 5})
+		times := runAllVariants(t, p)
+		h, err := Hybrid(p, dev())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestT, worstT := math.Inf(1), 0.0
+		for _, v := range times {
+			bestT = math.Min(bestT, v)
+			worstT = math.Max(worstT, v)
+		}
+		if h.Seconds < bestT {
+			t.Errorf("hybrid (%v) beat the best fixed variant (%v) — baseline too strong", h.Seconds, bestT)
+		}
+		if h.Seconds > worstT*1.5 {
+			t.Errorf("hybrid (%v) much worse than worst variant (%v) — baseline too weak", h.Seconds, worstT)
+		}
+	}
+}
+
+func TestVariantNamesOrder(t *testing.T) {
+	want := []string{"EC-Fused", "EC-Iter", "CE-Fused", "CE-Iter", "2Phase-Fused", "2Phase-Iter"}
+	got := VariantNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order changed: %v", got)
+		}
+	}
+}
+
+func TestTEPSComputation(t *testing.T) {
+	r := Result{Edges: 1000, Seconds: 0.001}
+	if r.TEPS() != 1e6 {
+		t.Errorf("TEPS = %v", r.TEPS())
+	}
+	if (Result{Edges: 10}).TEPS() != 0 {
+		t.Error("zero-time TEPS should be 0")
+	}
+}
+
+func TestProblemCachesTraversals(t *testing.T) {
+	g := Grid2D(20, 20)
+	p, _ := NewProblem(g, []int{0, 10})
+	e1 := p.Edges()
+	e2 := p.Edges()
+	if e1 != e2 || e1 == 0 {
+		t.Errorf("edge caching wrong: %d %d", e1, e2)
+	}
+}
+
+// Property: BFS levels satisfy the triangle property — every edge (u,v)
+// has level(v) <= level(u)+1 when u is reached.
+func TestQuickBFSLevelInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomRegular(100, 4, seed%500)
+		levels, _ := g.BFS(0)
+		for u := 0; u < g.V; u++ {
+			if levels[u] < 0 {
+				continue
+			}
+			for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+				v := g.Adj[p]
+				if levels[v] < 0 || levels[v] > levels[u]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoreSourcesCostMore(t *testing.T) {
+	g := Grid2D(40, 40)
+	p1, _ := NewProblem(g, []int{0})
+	p3, _ := NewProblem(g, []int{0, 100, 200})
+	r1, _ := Variants()[2].Run(p1, dev())
+	r3, _ := Variants()[2].Run(p3, dev())
+	if r3.Seconds <= r1.Seconds {
+		t.Errorf("3 sources (%v) should cost more than 1 (%v)", r3.Seconds, r1.Seconds)
+	}
+}
+
+func TestDOBFSCorrectAndWinsOnSocialGraphs(t *testing.T) {
+	// Low diameter, high degree: bottom-up steps skip most of the edge
+	// frontier, so DOBFS should beat every fixed top-down variant.
+	g := RMAT(14, 24, 17)
+	p, _ := NewProblem(g, []int{1, 2})
+	res, err := DOBFS(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := g.BFS(p.Sources[len(p.Sources)-1])
+	for i := range ref {
+		if res.Levels[i] != ref[i] {
+			t.Fatalf("DOBFS levels wrong at %d", i)
+		}
+	}
+	times := runAllVariants(t, p)
+	bestFixed := math.Inf(1)
+	for _, v := range times {
+		bestFixed = math.Min(bestFixed, v)
+	}
+	if res.Seconds >= bestFixed {
+		t.Errorf("DOBFS (%v) should beat the best fixed variant (%v) on an RMAT graph", res.Seconds, bestFixed)
+	}
+}
+
+func TestDOBFSNeutralOnMeshes(t *testing.T) {
+	// High diameter, degree 4: the frontier never crosses E/alpha, so DOBFS
+	// degenerates to CE-Fused plus the per-level direction check.
+	g := Grid2D(100, 100)
+	p, _ := NewProblem(g, []int{0})
+	res, err := DOBFS(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := Variants()[2].Run(p, dev()) // CE-Fused
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := res.Seconds / ce.Seconds
+	if ratio < 0.95 || ratio > 1.3 {
+		t.Errorf("DOBFS on a mesh should track CE-Fused closely, ratio %v", ratio)
+	}
+}
+
+func TestExtendedVariantNames(t *testing.T) {
+	names := ExtendedVariantNames()
+	if len(names) != 7 || names[6] != "DOBFS" {
+		t.Fatalf("extended names = %v", names)
+	}
+	g := Grid2D(20, 20)
+	p, _ := NewProblem(g, []int{0})
+	name, secs, err := BestVariant(p, dev(), ExtendedVariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" || secs <= 0 {
+		t.Fatalf("BestVariant returned %q/%v", name, secs)
+	}
+}
+
+func TestUnvisitedStats(t *testing.T) {
+	g := FromEdges(4, []int32{0, 1, 2}, []int32{1, 2, 3}, false)
+	_, stats := g.BFS(0)
+	want := []int{3, 2, 1, 0}
+	for i, st := range stats {
+		if st.Unvisited != want[i] {
+			t.Errorf("level %d unvisited = %d, want %d", i, st.Unvisited, want[i])
+		}
+	}
+}
+
+func TestSingleVertexAndSelfLoop(t *testing.T) {
+	lone := FromEdges(1, nil, nil, false)
+	p, err := NewProblem(lone, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ExtendedVariants() {
+		res, err := v.Run(p, dev())
+		if err != nil {
+			t.Fatalf("%s on single vertex: %v", v.Name, err)
+		}
+		if res.Levels[0] != 0 {
+			t.Fatalf("%s: wrong level on single vertex", v.Name)
+		}
+	}
+	loop := FromEdges(2, []int32{0, 0}, []int32{0, 1}, false)
+	levels, _ := loop.BFS(0)
+	if levels[0] != 0 || levels[1] != 1 {
+		t.Errorf("self-loop BFS wrong: %v", levels)
+	}
+}

@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"errors"
+	"math"
+
+	"nitro/internal/gpusim"
+)
+
+// Strategy is the frontier-processing scheme of a BFS variant.
+type Strategy int
+
+// The three schemes of Merrill et al.: expand-contract (vertex frontier),
+// contract-expand (edge frontier), and the two-phase split that isolates
+// expansion and contraction into separate kernels.
+const (
+	EC Strategy = iota
+	CE
+	TwoPhase
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case EC:
+		return "EC"
+	case CE:
+		return "CE"
+	default:
+		return "2Phase"
+	}
+}
+
+// Problem is one BFS workload: a graph and the traversal source vertices
+// (the paper runs 100 randomly-sourced traversals per graph). Per-source
+// level statistics are cached so every variant prices the same traversals.
+type Problem struct {
+	G       *Graph
+	Sources []int
+
+	stats  [][]LevelStats
+	levels []int32 // labels of the last traversal, for correctness checks
+	edges  int
+}
+
+// NewProblem validates and wraps a BFS workload.
+func NewProblem(g *Graph, sources []int) (*Problem, error) {
+	if g == nil || g.V == 0 {
+		return nil, errors.New("graph: empty graph")
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("graph: no sources")
+	}
+	for _, s := range sources {
+		if s < 0 || s >= g.V {
+			return nil, errors.New("graph: source out of range")
+		}
+	}
+	return &Problem{G: g, Sources: sources}, nil
+}
+
+func (p *Problem) traverse() {
+	if p.stats != nil {
+		return
+	}
+	p.stats = make([][]LevelStats, len(p.Sources))
+	for i, s := range p.Sources {
+		p.levels, p.stats[i] = p.G.BFS(s)
+		p.edges += EdgesTraversed(p.stats[i])
+	}
+}
+
+// Edges returns the total edges inspected across all sources.
+func (p *Problem) Edges() int {
+	p.traverse()
+	return p.edges
+}
+
+// LastLevels returns the distance labels of the final traversal.
+func (p *Problem) LastLevels() []int32 {
+	p.traverse()
+	return p.levels
+}
+
+// Result is a variant execution: simulated time, traversed edges and the
+// TEPS rate (the paper's optimization metric for BFS).
+type Result struct {
+	Levels  []int32
+	Edges   int
+	Seconds float64
+}
+
+// TEPS returns traversed edges per second.
+func (r Result) TEPS() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Edges) / r.Seconds
+}
+
+// Variant is one BFS code variant.
+type Variant struct {
+	Name     string
+	Strategy Strategy
+	Fused    bool
+	Run      func(p *Problem, dev *gpusim.Device) (Result, error)
+}
+
+// Variants returns the six selection variants in the paper's Fig. 4 order.
+func Variants() []Variant {
+	mk := func(name string, s Strategy, fused bool) Variant {
+		return Variant{
+			Name: name, Strategy: s, Fused: fused,
+			Run: func(p *Problem, dev *gpusim.Device) (Result, error) {
+				return runVariant(p, s, fused, dev)
+			},
+		}
+	}
+	return []Variant{
+		mk("EC-Fused", EC, true),
+		mk("EC-Iter", EC, false),
+		mk("CE-Fused", CE, true),
+		mk("CE-Iter", CE, false),
+		mk("2Phase-Fused", TwoPhase, true),
+		mk("2Phase-Iter", TwoPhase, false),
+	}
+}
+
+// VariantNames returns the names in Variants order.
+func VariantNames() []string {
+	vs := Variants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// fusedOverhead is the extra traffic fraction a fused (persistent-CTA)
+// kernel pays for software queue management and work stealing; it is what
+// lets iterative launches win back large, low-diameter traversals.
+const fusedOverhead = 0.10
+
+// barrierNs is the cost of one software global barrier inside a fused kernel.
+const barrierNs = 1200
+
+// chargeLevel accounts the memory/compute work of one BFS level on k.
+func chargeLevel(k *gpusim.Kernel, g *Graph, st LevelStats, strat Strategy, fused bool) {
+	fv, fe, u := float64(st.Fv), float64(st.Fe), float64(st.U)
+	scale := 1.0
+	if fused {
+		scale += fusedOverhead
+	}
+	vBytes := float64(4 * g.V)
+
+	k.GlobalRead(scale * 4 * fv)                             // frontier queue
+	k.Gather(st.Fv, 8, 8*float64(g.V+1), 1)                  // row offsets
+	k.GlobalRead(scale * 4 * fe)                             // adjacency segments
+	k.Gather(st.Fe, 4, vBytes, math.Max(1, fe/float64(g.V))) // status lookups
+	k.Gather(st.U, 4, vBytes, 1)                             // label writes (scattered)
+	k.GlobalWrite(scale * 4 * u)                             // output queue
+	k.ComputeSP(2 * fe)
+
+	avgDeg := 1.0
+	if st.Fv > 0 {
+		avgDeg = fe / fv
+	}
+	switch strat {
+	case EC:
+		// Warp-per-vertex gathering idles lanes on low degrees and
+		// serializes on skewed ones.
+		if st.PaddedFe > 0 {
+			eff := fe / float64(st.PaddedFe)
+			if eff < 0.25 {
+				eff = 0.25
+			}
+			k.Throughput(eff)
+		}
+		if st.MaxDeg > 0 {
+			k.Imbalance(float64(st.MaxDeg), math.Max(avgDeg, 1))
+		}
+	case CE:
+		// Edge-queue traffic doubles, and the per-thread serial expansion
+		// of a discovered vertex's adjacency makes skew expensive.
+		k.GlobalRead(scale * 4 * fe)
+		k.GlobalWrite(scale * 4 * fe)
+		if st.MaxDeg > 0 {
+			eff := math.Max(avgDeg, 1) / float64(st.MaxDeg)
+			if eff < 0.15 {
+				eff = 0.15
+			}
+			k.Throughput(eff)
+		}
+	case TwoPhase:
+		// Scan-based gathering is perfectly balanced but stages the edge
+		// frontier through an intermediate queue.
+		k.GlobalRead(scale * 4 * fe)
+		k.GlobalWrite(scale * 4 * fe)
+	}
+}
+
+// levelThreads returns the launched-thread count of one level's kernel.
+func levelThreads(st LevelStats, strat Strategy, dev *gpusim.Device) int {
+	switch strat {
+	case EC:
+		return st.Fv * dev.WarpSize
+	case CE:
+		return st.Fe + st.Fv
+	default:
+		return st.Fe + st.Fv*2
+	}
+}
+
+// runVariant prices every cached traversal of p under (strat, fused) and
+// returns the summed simulated time with the shared functional result.
+func runVariant(p *Problem, strat Strategy, fused bool, dev *gpusim.Device) (Result, error) {
+	p.traverse()
+	run := gpusim.NewRun(dev)
+	for _, stats := range p.stats {
+		if fused {
+			// One persistent kernel for the whole traversal; levels are
+			// separated by software global barriers.
+			k := run.Launch("bfs_"+strat.String()+"_fused", dev.MaxResidentThreads())
+			for _, st := range stats {
+				chargeLevel(k, p.G, st, strat, true)
+				k.Latency(barrierNs)
+				if strat == TwoPhase {
+					k.Latency(barrierNs) // expansion|contraction split
+				}
+			}
+			run.Done(k)
+		} else {
+			for _, st := range stats {
+				k := run.Launch("bfs_"+strat.String()+"_iter", levelThreads(st, strat, dev))
+				chargeLevel(k, p.G, st, strat, false)
+				run.Done(k)
+				if strat == TwoPhase {
+					k2 := run.Launch("bfs_2phase_contract", levelThreads(st, strat, dev))
+					k2.GlobalRead(4 * float64(st.Fe))
+					k2.GlobalWrite(4 * float64(st.U))
+					run.Done(k2)
+				}
+				run.HostSync()
+			}
+		}
+	}
+	return Result{Levels: p.LastLevels(), Edges: p.Edges(), Seconds: run.Seconds()}, nil
+}
+
+// HybridThresholdFraction tunes the hand-built Hybrid baseline: it switches
+// from CE-style to 2-Phase-style processing when the edge frontier exceeds
+// this fraction of the vertex count.
+const HybridThresholdFraction = 0.125
+
+// Hybrid is the paper's hand-built baseline (Merrill et al.'s Hybrid
+// kernel): a fused traversal that dynamically picks CE-style processing for
+// small edge frontiers and 2-Phase-style processing for large ones. Its
+// adaptivity is not free — every level pays a frontier-size inspection and
+// an extra barrier, and each strategy switch reformats the frontier queue —
+// so it runs uniformly close to, but almost never at, the best fixed
+// variant. The paper quantifies this at ~88% of optimal on average.
+func Hybrid(p *Problem, dev *gpusim.Device) (Result, error) {
+	p.traverse()
+	threshold := float64(p.G.V) * HybridThresholdFraction
+	run := gpusim.NewRun(dev)
+	for _, stats := range p.stats {
+		k := run.Launch("bfs_hybrid_fused", dev.MaxResidentThreads())
+		prev := CE
+		for li, st := range stats {
+			strat := CE
+			if float64(st.Fe) > threshold {
+				strat = TwoPhase
+			}
+			if strat != prev && li > 0 {
+				// Queue reformat: edge queue <-> vertex queue round trip.
+				k.GlobalRead(4 * float64(st.Fv+st.Fe))
+				k.GlobalWrite(4 * float64(st.Fv+st.Fe))
+			}
+			prev = strat
+			chargeLevel(k, p.G, st, strat, true)
+			// The frontier-size inspection piggybacks on the level barrier
+			// (a fractional surcharge); 2-Phase levels keep their second
+			// barrier.
+			k.Latency(1.25 * barrierNs)
+			if strat == TwoPhase {
+				k.Latency(barrierNs)
+			}
+		}
+		run.Done(k)
+	}
+	return Result{Levels: p.LastLevels(), Edges: p.Edges(), Seconds: run.Seconds()}, nil
+}

@@ -1,0 +1,66 @@
+package histogram
+
+import (
+	"testing"
+
+	"nitro/internal/gpusim"
+)
+
+func benchHistVariant(b *testing.B, name string, data []float64, bins int) {
+	b.Helper()
+	p, err := NewProblem(data, bins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.analyze() // cache stats so the bench isolates the variant path
+	var v Variant
+	for _, cand := range Variants() {
+		if cand.Name == name {
+			v = cand
+		}
+	}
+	d := gpusim.Fermi()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Run(p, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistSortES(b *testing.B) {
+	benchHistVariant(b, "Sort-ES", Uniform(1<<18, 1), 256)
+}
+
+func BenchmarkHistSharedAtomicES(b *testing.B) {
+	benchHistVariant(b, "Shared-Atomic-ES", Uniform(1<<18, 2), 256)
+}
+
+func BenchmarkHistGlobalAtomicDynamic(b *testing.B) {
+	benchHistVariant(b, "Global-Atomic-Dynamic", HotSpot(1<<18, 0.8, 3), 256)
+}
+
+func BenchmarkHistAnalyze(b *testing.B) {
+	data := Patchy(1<<18, TileSize, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewProblem(data, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.analyze()
+	}
+}
+
+func BenchmarkHistFeatures(b *testing.B) {
+	p, err := NewProblem(Gaussian(1<<18, 5), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := DefaultSubSample(len(p.Data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeFeatures(p, sub)
+	}
+}

@@ -1,0 +1,377 @@
+// Package histogram implements the histogram substrate of the Nitro
+// reproduction, standing in for the CUDA Unbound (CUB) histogram variants:
+// three binning strategies (sort-based, shared-memory atomics, global-memory
+// atomics) crossed with two grid-mapping strategies (even-share and dynamic
+// queueing), the paper's three selection features (N, N/#bins, SubSampleSD),
+// and seeded input generators spanning the distribution regimes that flip
+// the winner (uniform data favours atomics, skewed data collapses them,
+// spatially clustered data punishes even-share mapping).
+package histogram
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"nitro/internal/gpusim"
+)
+
+// TileSize is the per-block input tile used by the grid-mapping models.
+const TileSize = 4096
+
+// Problem is one histogram instance: sample values in [0, 1) and a bin
+// count. Derived statistics (bin counts, per-tile contention profile) are
+// cached because every variant needs them.
+type Problem struct {
+	Data []float64
+	Bins int
+
+	counts    []int64
+	maxShare  float64
+	tileMax   []int // per input tile: occupancy of its hottest bin
+	statsDone bool
+}
+
+// NewProblem validates and wraps a histogram workload.
+func NewProblem(data []float64, bins int) (*Problem, error) {
+	if len(data) == 0 {
+		return nil, errors.New("histogram: empty input")
+	}
+	if bins < 2 {
+		return nil, errors.New("histogram: need at least 2 bins")
+	}
+	return &Problem{Data: data, Bins: bins}, nil
+}
+
+// BinOf maps a value to its bin.
+func (p *Problem) BinOf(v float64) int {
+	b := int(v * float64(p.Bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= p.Bins {
+		b = p.Bins - 1
+	}
+	return b
+}
+
+func (p *Problem) analyze() {
+	if p.statsDone {
+		return
+	}
+	p.counts = make([]int64, p.Bins)
+	nTiles := (len(p.Data) + TileSize - 1) / TileSize
+	p.tileMax = make([]int, nTiles)
+	tileCounts := make([]int32, p.Bins)
+	touched := make([]int, 0, TileSize)
+	for t := 0; t < nTiles; t++ {
+		lo, hi := t*TileSize, (t+1)*TileSize
+		if hi > len(p.Data) {
+			hi = len(p.Data)
+		}
+		for _, v := range p.Data[lo:hi] {
+			b := p.BinOf(v)
+			p.counts[b]++
+			if tileCounts[b] == 0 {
+				touched = append(touched, b)
+			}
+			tileCounts[b]++
+			if int(tileCounts[b]) > p.tileMax[t] {
+				p.tileMax[t] = int(tileCounts[b])
+			}
+		}
+		for _, b := range touched {
+			tileCounts[b] = 0
+		}
+		touched = touched[:0]
+	}
+	var maxC int64
+	for _, c := range p.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	p.maxShare = float64(maxC) / float64(len(p.Data))
+	p.statsDone = true
+}
+
+// Counts returns the reference histogram (computed once).
+func (p *Problem) Counts() []int64 {
+	p.analyze()
+	return p.counts
+}
+
+// MaxShare returns the fraction of samples landing in the hottest bin — the
+// quantity that serializes atomic variants.
+func (p *Problem) MaxShare() float64 {
+	p.analyze()
+	return p.maxShare
+}
+
+// tileImbalance returns (max, mean) of the per-tile hottest-bin occupancy,
+// the even-share makespan driver.
+func (p *Problem) tileImbalance() (maxT, meanT float64) {
+	p.analyze()
+	if len(p.tileMax) == 0 {
+		return 1, 1
+	}
+	var sum float64
+	for _, m := range p.tileMax {
+		sum += float64(m)
+		if float64(m) > maxT {
+			maxT = float64(m)
+		}
+	}
+	return maxT, sum / float64(len(p.tileMax))
+}
+
+// Features holds the paper's three histogram selection features.
+type Features struct {
+	N           float64
+	NPerBin     float64
+	SubSampleSD float64
+}
+
+// Vector returns [N, N/#bins, SubSampleSD], the Fig. 4 order.
+func (f Features) Vector() []float64 { return []float64{f.N, f.NPerBin, f.SubSampleSD} }
+
+// FeatureNames lists the feature order used by Features.Vector.
+func FeatureNames() []string { return []string{"N", "N/#bins", "SubSampleSD"} }
+
+// DefaultSubSample is the paper's sub-sample budget for the SubSampleSD
+// feature: 25% of the input or 10,000 elements, whichever is lower.
+func DefaultSubSample(n int) int {
+	s := n / 4
+	if s > 10000 {
+		s = 10000
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ComputeFeatures derives the selection features using a strided sub-sample
+// of the given size for the standard-deviation feature (the paper's
+// tunable-overhead feature of Fig. 8).
+func ComputeFeatures(p *Problem, subSample int) Features {
+	n := len(p.Data)
+	f := Features{N: float64(n), NPerBin: float64(n) / float64(p.Bins)}
+	if subSample < 1 {
+		subSample = 1
+	}
+	if subSample > n {
+		subSample = n
+	}
+	stride := n / subSample
+	if stride < 1 {
+		stride = 1
+	}
+	var sum, sumSq float64
+	cnt := 0
+	for i := 0; i < n; i += stride {
+		v := p.Data[i]
+		sum += v
+		sumSq += v * v
+		cnt++
+	}
+	mean := sum / float64(cnt)
+	variance := sumSq/float64(cnt) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	f.SubSampleSD = math.Sqrt(variance)
+	return f
+}
+
+// Generators — all values land in [0, 1).
+
+// Uniform returns n independent uniform samples.
+func Uniform(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// Gaussian returns n normal samples (mean 0.5, sd 0.1), clamped to [0, 1).
+func Gaussian(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		v := 0.5 + 0.1*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = math.Nextafter(1, 0)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// HotSpot returns n samples where fraction hot of the mass sits in one tiny
+// value range (one bin) and the rest is uniform — the atomic-collapse regime.
+func HotSpot(n int, hot float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		if rng.Float64() < hot {
+			out[i] = 0.5
+		} else {
+			out[i] = rng.Float64()
+		}
+	}
+	return out
+}
+
+// Patchy returns n samples alternating between uniform stretches and
+// constant-valued patches of patchLen: globally balanced bins but extreme
+// per-tile concentration, the regime where dynamic grid mapping beats
+// even-share.
+func Patchy(n, patchLen int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	i := 0
+	for i < n {
+		if rng.Float64() < 0.5 {
+			v := rng.Float64()
+			for j := 0; j < patchLen && i < n; j++ {
+				out[i] = v
+				i++
+			}
+		} else {
+			for j := 0; j < patchLen && i < n; j++ {
+				out[i] = rng.Float64()
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// Variant is one histogram code variant.
+type Variant struct {
+	Name string
+	Run  func(p *Problem, dev *gpusim.Device) (Result, error)
+}
+
+// Result is a variant execution: reference counts plus simulated time.
+type Result struct {
+	Counts  []int64
+	Seconds float64
+}
+
+// Variants returns the six code variants in the paper's Fig. 4 order:
+// Sort-ES, Sort-Dynamic, Shared-Atomic-ES, Shared-Atomic-Dynamic,
+// Global-Atomic-ES, Global-Atomic-Dynamic.
+func Variants() []Variant {
+	mk := func(name string, strat strategy, dynamic bool) Variant {
+		return Variant{Name: name, Run: func(p *Problem, dev *gpusim.Device) (Result, error) {
+			return runVariant(p, strat, dynamic, dev)
+		}}
+	}
+	return []Variant{
+		mk("Sort-ES", sortStrategy, false),
+		mk("Sort-Dynamic", sortStrategy, true),
+		mk("Shared-Atomic-ES", sharedStrategy, false),
+		mk("Shared-Atomic-Dynamic", sharedStrategy, true),
+		mk("Global-Atomic-ES", globalStrategy, false),
+		mk("Global-Atomic-Dynamic", globalStrategy, true),
+	}
+}
+
+// VariantNames returns the names in Variants order.
+func VariantNames() []string {
+	vs := Variants()
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+type strategy int
+
+const (
+	sortStrategy strategy = iota
+	sharedStrategy
+	globalStrategy
+)
+
+const threadsPerBlock = 256
+
+func runVariant(p *Problem, strat strategy, dynamic bool, dev *gpusim.Device) (Result, error) {
+	p.analyze()
+	n := len(p.Data)
+	nTiles := (n + TileSize - 1) / TileSize
+	run := gpusim.NewRun(dev)
+
+	k := run.Launch("histogram", minInt(n, dev.MaxResidentThreads()*4))
+	k.GlobalRead(float64(4 * n)) // 32-bit samples, coalesced
+
+	switch strat {
+	case globalStrategy:
+		k.SkewedGlobalAtomics(n, p.Bins, p.maxShare)
+	case sharedStrategy:
+		// Block-private histograms bound contention to one block's threads,
+		// then per-block results reduce into the global histogram.
+		k.SkewedSharedAtomics(n, p.Bins, threadsPerBlock, p.maxShare)
+		k.GlobalAtomics(nTiles*minInt(p.Bins, 1024), p.Bins)
+		k.GlobalWrite(float64(4 * p.Bins))
+	case sortStrategy:
+		// Radix-sort the samples by bin id, then run-length detect.
+		passes := (bitsFor(p.Bins) + 7) / 8
+		if passes < 1 {
+			passes = 1
+		}
+		for pass := 0; pass < passes; pass++ {
+			k.GlobalRead(float64(4 * n))
+			// Scatter writes land semi-coalesced.
+			k.GlobalWrite(float64(4*n) * 1.5)
+			k.ComputeSP(float64(4 * n))
+		}
+		k.GlobalRead(float64(4 * n)) // run-length detection pass
+		k.ComputeSP(float64(2 * n))
+		k.GlobalWrite(float64(4 * p.Bins))
+	}
+
+	// Grid mapping: even-share inherits the per-tile contention imbalance
+	// (a block stuck on a hot tile extends the makespan); dynamic queueing
+	// hides it behind a work queue with a small per-tile cost.
+	if strat != sortStrategy {
+		if dynamic {
+			k.GlobalAtomics(nTiles, 1)
+			k.Latency(float64(nTiles) * 10)
+		} else {
+			maxT, meanT := p.tileImbalance()
+			if meanT > 0 {
+				k.Imbalance(maxT, meanT)
+			}
+		}
+	} else if dynamic {
+		k.GlobalAtomics(nTiles, 1)
+		k.Latency(float64(nTiles) * 10)
+	}
+	run.Done(k)
+
+	return Result{Counts: p.Counts(), Seconds: run.Seconds()}, nil
+}
+
+func bitsFor(bins int) int {
+	b := 0
+	for v := bins - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

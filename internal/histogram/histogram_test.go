@@ -1,0 +1,252 @@
+package histogram
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nitro/internal/gpusim"
+)
+
+func dev() *gpusim.Device { return gpusim.Fermi() }
+
+func runAll(t *testing.T, p *Problem) map[string]float64 {
+	t.Helper()
+	ref := p.Counts()
+	var total int64
+	for _, c := range ref {
+		total += c
+	}
+	if total != int64(len(p.Data)) {
+		t.Fatalf("counts sum to %d, want %d", total, len(p.Data))
+	}
+	out := map[string]float64{}
+	for _, v := range Variants() {
+		res, err := v.Run(p, dev())
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		for i := range ref {
+			if res.Counts[i] != ref[i] {
+				t.Fatalf("%s: count mismatch at bin %d", v.Name, i)
+			}
+		}
+		if res.Seconds <= 0 || math.IsNaN(res.Seconds) {
+			t.Fatalf("%s: bad time %v", v.Name, res.Seconds)
+		}
+		out[v.Name] = res.Seconds
+	}
+	return out
+}
+
+func bestOf(times map[string]float64) string {
+	name, b := "", math.Inf(1)
+	for k, v := range times {
+		if v < b {
+			name, b = k, v
+		}
+	}
+	return name
+}
+
+func TestProblemValidation(t *testing.T) {
+	if _, err := NewProblem(nil, 8); err == nil {
+		t.Error("empty data accepted")
+	}
+	if _, err := NewProblem([]float64{0.5}, 1); err == nil {
+		t.Error("single bin accepted")
+	}
+}
+
+func TestBinOfClamps(t *testing.T) {
+	p, _ := NewProblem([]float64{0}, 10)
+	if p.BinOf(-0.5) != 0 || p.BinOf(1.5) != 9 || p.BinOf(0.55) != 5 {
+		t.Error("BinOf clamping wrong")
+	}
+}
+
+func TestUniformFavoursSharedAtomics(t *testing.T) {
+	p, _ := NewProblem(Uniform(1<<20, 1), 256)
+	times := runAll(t, p)
+	b := bestOf(times)
+	if !strings.HasPrefix(b, "Shared-Atomic") {
+		t.Errorf("uniform best = %s (%v), want shared atomics", b, times)
+	}
+	if times["Shared-Atomic-ES"] >= times["Global-Atomic-ES"] {
+		t.Errorf("shared (%v) should beat global (%v) atomics", times["Shared-Atomic-ES"], times["Global-Atomic-ES"])
+	}
+	if times["Shared-Atomic-ES"] >= times["Sort-ES"] {
+		t.Errorf("atomics (%v) should beat sort (%v) on uniform data", times["Shared-Atomic-ES"], times["Sort-ES"])
+	}
+}
+
+func TestHotSpotFavoursSort(t *testing.T) {
+	p, _ := NewProblem(HotSpot(1<<20, 0.9, 2), 256)
+	if p.MaxShare() < 0.85 {
+		t.Fatalf("hotspot generator too tame: maxShare %v", p.MaxShare())
+	}
+	times := runAll(t, p)
+	b := bestOf(times)
+	if !strings.HasPrefix(b, "Sort") {
+		t.Errorf("hotspot best = %s (%v), want sort-based", b, times)
+	}
+	if times["Global-Atomic-ES"] < 5*times["Sort-ES"] {
+		t.Errorf("global atomics (%v) should collapse vs sort (%v) on 90%% hot bin",
+			times["Global-Atomic-ES"], times["Sort-ES"])
+	}
+}
+
+func TestPatchyFavoursDynamicMapping(t *testing.T) {
+	p, _ := NewProblem(Patchy(1<<20, TileSize, 3), 256)
+	times := runAll(t, p)
+	if times["Shared-Atomic-Dynamic"] >= times["Shared-Atomic-ES"] {
+		t.Errorf("dynamic (%v) should beat even-share (%v) on patchy data",
+			times["Shared-Atomic-Dynamic"], times["Shared-Atomic-ES"])
+	}
+}
+
+func TestUniformESNotWorseThanDynamic(t *testing.T) {
+	p, _ := NewProblem(Uniform(1<<20, 4), 256)
+	times := runAll(t, p)
+	if times["Shared-Atomic-ES"] > times["Shared-Atomic-Dynamic"]*1.05 {
+		t.Errorf("ES (%v) should be at least as good as dynamic (%v) on uniform data",
+			times["Shared-Atomic-ES"], times["Shared-Atomic-Dynamic"])
+	}
+}
+
+func TestFewerBinsHurtAtomics(t *testing.T) {
+	data := Uniform(1<<20, 5)
+	wide, _ := NewProblem(data, 4096)
+	narrow, _ := NewProblem(data, 8)
+	tw := runAll(t, wide)
+	tn := runAll(t, narrow)
+	ratioWide := tw["Shared-Atomic-ES"] / tw["Sort-ES"]
+	ratioNarrow := tn["Shared-Atomic-ES"] / tn["Sort-ES"]
+	if ratioNarrow <= ratioWide {
+		t.Errorf("atomics should lose ground with fewer bins: %v vs %v", ratioNarrow, ratioWide)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	p, _ := NewProblem(Uniform(100000, 6), 64)
+	f := ComputeFeatures(p, DefaultSubSample(len(p.Data)))
+	if f.N != 100000 || math.Abs(f.NPerBin-100000.0/64) > 1e-9 {
+		t.Errorf("size features wrong: %+v", f)
+	}
+	// Uniform SD ~ 1/sqrt(12) = 0.2887.
+	if math.Abs(f.SubSampleSD-0.2887) > 0.03 {
+		t.Errorf("uniform SubSampleSD = %v, want ~0.289", f.SubSampleSD)
+	}
+	hot, _ := NewProblem(HotSpot(100000, 0.95, 7), 64)
+	fh := ComputeFeatures(hot, DefaultSubSample(100000))
+	if fh.SubSampleSD >= f.SubSampleSD {
+		t.Errorf("hotspot SD (%v) should be below uniform SD (%v)", fh.SubSampleSD, f.SubSampleSD)
+	}
+	if len(f.Vector()) != len(FeatureNames()) {
+		t.Error("Vector/FeatureNames mismatch")
+	}
+}
+
+func TestSubSampleBudget(t *testing.T) {
+	if DefaultSubSample(100) != 25 || DefaultSubSample(1<<20) != 10000 || DefaultSubSample(2) != 1 {
+		t.Errorf("budgets: %d %d %d", DefaultSubSample(100), DefaultSubSample(1<<20), DefaultSubSample(2))
+	}
+	p, _ := NewProblem(Uniform(10000, 8), 16)
+	full := ComputeFeatures(p, 10000)
+	small := ComputeFeatures(p, 100)
+	if math.Abs(full.SubSampleSD-small.SubSampleSD) > 0.05 {
+		t.Errorf("sub-sampled SD (%v) should approximate full SD (%v)", small.SubSampleSD, full.SubSampleSD)
+	}
+}
+
+func TestVariantNamesOrder(t *testing.T) {
+	want := []string{"Sort-ES", "Sort-Dynamic", "Shared-Atomic-ES", "Shared-Atomic-Dynamic",
+		"Global-Atomic-ES", "Global-Atomic-Dynamic"}
+	got := VariantNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order changed: %v", got)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 256: 8, 257: 9, 4096: 12}
+	for bins, want := range cases {
+		if got := bitsFor(bins); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", bins, got, want)
+		}
+	}
+}
+
+// Property: counts are a permutation-invariant of the data.
+func TestQuickCountsPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		s := seed % 100
+		data := Uniform(5000, s)
+		p1, _ := NewProblem(data, 32)
+		rev := make([]float64, len(data))
+		for i, v := range data {
+			rev[len(data)-1-i] = v
+		}
+		p2, _ := NewProblem(rev, 32)
+		c1, c2 := p1.Counts(), p2.Counts()
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := HotSpot(1000, 0.5, 9), HotSpot(1000, 0.5, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	g := Gaussian(10000, 3)
+	for _, v := range g {
+		if v < 0 || v >= 1 {
+			t.Fatalf("gaussian out of range: %v", v)
+		}
+	}
+	pa := Patchy(10000, 128, 4)
+	if len(pa) != 10000 {
+		t.Fatal("patchy length wrong")
+	}
+}
+
+func TestMoreBinsThanSamples(t *testing.T) {
+	p, err := NewProblem(Uniform(64, 11), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := runAll(t, p)
+	if len(times) != 6 {
+		t.Fatalf("variants failed on sparse histogram: %v", times)
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = 0.25
+	}
+	p, _ := NewProblem(data, 64)
+	if p.MaxShare() != 1 {
+		t.Errorf("constant data max share = %v, want 1", p.MaxShare())
+	}
+	times := runAll(t, p)
+	// Full contention: atomics must collapse relative to sorting.
+	if times["Global-Atomic-ES"] < times["Sort-ES"] {
+		t.Errorf("global atomics (%v) should lose to sort (%v) on constant data",
+			times["Global-Atomic-ES"], times["Sort-ES"])
+	}
+}

@@ -1,0 +1,198 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ActiveLearner drives Nitro's incremental-tuning mode: starting from a small
+// labelled seed set (at least one example per variant label), it iteratively
+// picks the unlabelled pool point with the smallest Best-vs-Second-Best
+// margin under the current model, asks the oracle (exhaustive variant search)
+// for its label, and refits. This trades cheap feature evaluations for
+// expensive exhaustive-search labellings, exactly as Section III-B of the
+// paper describes.
+type ActiveLearner struct {
+	// Factory builds a fresh classifier per refit. If nil, DefaultSVM with
+	// grid search disabled is used.
+	Factory func() Classifier
+	// Oracle returns the true label of pool point i; in Nitro it runs every
+	// non-vetoed variant on input i and returns the argmin of simulated
+	// time. It is the expensive call the learner tries to minimize.
+	Oracle func(i int) int
+	// Strategy selects the next pool index to label. Defaults to BvSB.
+	Strategy QueryStrategy
+
+	labeled *Dataset
+	poolX   [][]float64
+	poolIdx []int // original indices of remaining pool points
+	clf     Classifier
+	queries int
+}
+
+// QueryStrategy ranks the unlabelled pool; it returns the position (within
+// poolX) of the next point to label.
+type QueryStrategy interface {
+	Next(clf Classifier, poolX [][]float64) int
+	Name() string
+}
+
+// BvSBStrategy is the paper's Best-vs-Second-Best heuristic: query the point
+// whose top-two class confidences are closest.
+type BvSBStrategy struct{}
+
+// Next implements QueryStrategy.
+func (BvSBStrategy) Next(clf Classifier, poolX [][]float64) int {
+	best, bestMargin := 0, math.Inf(1)
+	for i, x := range poolX {
+		if m := BvSBMargin(clf, x); m < bestMargin {
+			best, bestMargin = i, m
+		}
+	}
+	return best
+}
+
+// Name implements QueryStrategy.
+func (BvSBStrategy) Name() string { return "bvsb" }
+
+// RandomStrategy queries uniformly at random (seeded); it is the ablation
+// baseline against BvSB in Fig. 7's analysis.
+type RandomStrategy struct{ Rng *rand.Rand }
+
+// Next implements QueryStrategy.
+func (s RandomStrategy) Next(_ Classifier, poolX [][]float64) int {
+	if s.Rng == nil {
+		return 0
+	}
+	return s.Rng.Intn(len(poolX))
+}
+
+// Name implements QueryStrategy.
+func (RandomStrategy) Name() string { return "random" }
+
+// NewActiveLearner seeds the learner with labelled examples (seedX/seedY) and
+// an unlabelled pool. Pool indices reported to the Oracle refer to positions
+// in poolX as passed here.
+func NewActiveLearner(seedX [][]float64, seedY []int, poolX [][]float64, oracle func(i int) int) (*ActiveLearner, error) {
+	if len(seedX) == 0 {
+		return nil, errors.New("ml: active learning needs a non-empty seed set")
+	}
+	seed, err := NewDataset(seedX, seedY)
+	if err != nil {
+		return nil, err
+	}
+	al := &ActiveLearner{
+		Factory: func() Classifier { return DefaultSVM() },
+		Oracle:  oracle,
+		labeled: seed.Clone(),
+		poolX:   append([][]float64(nil), poolX...),
+	}
+	al.poolIdx = make([]int, len(poolX))
+	for i := range al.poolIdx {
+		al.poolIdx[i] = i
+	}
+	return al, nil
+}
+
+// Refit trains a fresh classifier on the current labelled set.
+func (al *ActiveLearner) Refit() error {
+	f := al.Factory
+	if f == nil {
+		f = func() Classifier { return DefaultSVM() }
+	}
+	clf := f()
+	if err := clf.Fit(al.labeled); err != nil {
+		return err
+	}
+	al.clf = clf
+	return nil
+}
+
+// Step performs one active-learning iteration: pick a pool point, label it
+// with the oracle, move it to the labelled set, and refit. It reports whether
+// a step was taken (false when the pool is exhausted).
+func (al *ActiveLearner) Step() (bool, error) {
+	if len(al.poolX) == 0 {
+		return false, nil
+	}
+	if al.clf == nil {
+		if err := al.Refit(); err != nil {
+			return false, err
+		}
+	}
+	strat := al.Strategy
+	if strat == nil {
+		strat = BvSBStrategy{}
+	}
+	p := strat.Next(al.clf, al.poolX)
+	if p < 0 || p >= len(al.poolX) {
+		return false, errors.New("ml: query strategy returned an out-of-range index")
+	}
+	x := al.poolX[p]
+	orig := al.poolIdx[p]
+	y := al.Oracle(orig)
+	al.labeled.Append(x, y)
+	al.poolX = append(al.poolX[:p], al.poolX[p+1:]...)
+	al.poolIdx = append(al.poolIdx[:p], al.poolIdx[p+1:]...)
+	al.queries++
+	return true, al.Refit()
+}
+
+// RunIterations performs up to iters steps (the paper's itune(iter=N) mode)
+// and returns the final classifier.
+func (al *ActiveLearner) RunIterations(iters int) (Classifier, error) {
+	if al.clf == nil {
+		if err := al.Refit(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < iters; i++ {
+		ok, err := al.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return al.clf, nil
+}
+
+// RunToAccuracy steps until the classifier reaches the target accuracy on the
+// validation set (the paper's itune(acc=T) mode, usable when test labels are
+// known), or the pool empties, or maxIters is hit. It returns the classifier
+// and the number of queries spent.
+func (al *ActiveLearner) RunToAccuracy(valid *Dataset, target float64, maxIters int) (Classifier, int, error) {
+	if al.clf == nil {
+		if err := al.Refit(); err != nil {
+			return nil, 0, err
+		}
+	}
+	start := al.queries
+	for i := 0; i < maxIters; i++ {
+		if Accuracy(al.clf, valid) >= target {
+			break
+		}
+		ok, err := al.Step()
+		if err != nil {
+			return nil, al.queries - start, err
+		}
+		if !ok {
+			break
+		}
+	}
+	return al.clf, al.queries - start, nil
+}
+
+// Classifier returns the current model (nil before the first Refit/Step).
+func (al *ActiveLearner) Classifier() Classifier { return al.clf }
+
+// LabeledCount returns the size of the labelled set.
+func (al *ActiveLearner) LabeledCount() int { return al.labeled.Len() }
+
+// PoolCount returns the remaining unlabelled pool size.
+func (al *ActiveLearner) PoolCount() int { return len(al.poolX) }
+
+// Queries returns how many oracle labellings have been spent.
+func (al *ActiveLearner) Queries() int { return al.queries }

@@ -1,0 +1,123 @@
+package ml
+
+import "testing"
+
+func BenchmarkSMOBinaryFit(b *testing.B) {
+	ds := blobs(200, 2, 4, 1.0, 1)
+	var x [][]float64
+	var y []float64
+	for i := range ds.X {
+		x = append(x, ds.X[i])
+		if ds.Y[i] == 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solveBinary(x, y, RBFKernel{Gamma: 0.25}, 4, 1e-3, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMMulticlassFit(b *testing.B) {
+	ds := blobs(200, 6, 5, 0.8, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewSVM(RBFKernel{Gamma: 0.2}, 4)
+		if err := m.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVMPredict(b *testing.B) {
+	train := blobs(200, 6, 5, 0.8, 3)
+	m := NewSVM(RBFKernel{Gamma: 0.2}, 4)
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[7]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(x)
+	}
+}
+
+func BenchmarkGridSearch(b *testing.B) {
+	ds := blobs(80, 3, 4, 0.8, 4)
+	cfg := GridConfig{CValues: []float64{1, 8, 64}, GammaValues: []float64{0.05, 0.5}, Folds: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GridSearchSVM(ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBvSBPoolQuery(b *testing.B) {
+	train := blobs(60, 4, 4, 0.8, 5)
+	m := NewSVM(RBFKernel{Gamma: 0.25}, 4)
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	pool := blobs(500, 4, 4, 0.8, 6).X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = (BvSBStrategy{}).Next(m, pool)
+	}
+}
+
+func BenchmarkModelSerialize(b *testing.B) {
+	ds := blobs(150, 4, 5, 0.8, 7)
+	m := NewSVM(RBFKernel{Gamma: 0.2}, 4)
+	if err := m.Fit(ds); err != nil {
+		b.Fatal(err)
+	}
+	var s Scaler
+	if err := s.Fit(ds.X); err != nil {
+		b.Fatal(err)
+	}
+	model := &Model{Classifier: m, Scaler: &s}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := MarshalModel(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := UnmarshalModel(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	train := blobs(500, 4, 5, 0.8, 8)
+	m := NewKNN(5)
+	if err := m.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	x := train.X[3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Predict(x)
+	}
+}
+
+func BenchmarkDecisionTreeFit(b *testing.B) {
+	ds := blobs(300, 4, 5, 0.8, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewDecisionTree(8, 1)
+		if err := m.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

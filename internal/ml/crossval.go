@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// CrossValidate returns the mean k-fold accuracy of the classifier produced
+// by factory when trained on the folds of ds. The fold assignment is
+// deterministic for a given seed.
+func CrossValidate(factory func() Classifier, ds *Dataset, k int, seed int64) (float64, error) {
+	trains, tests, err := KFold(ds.Len(), k, seed)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	folds := 0
+	for f := range trains {
+		clf := factory()
+		if err := clf.Fit(ds.Subset(trains[f])); err != nil {
+			return 0, err
+		}
+		sum += Accuracy(clf, ds.Subset(tests[f]))
+		folds++
+	}
+	return sum / float64(folds), nil
+}
+
+// GridSearchResult records the winning SVM hyper-parameters of a grid search
+// and the cross-validation accuracy they achieved.
+type GridSearchResult struct {
+	C        float64
+	Gamma    float64
+	Accuracy float64
+	// Evaluated is the number of (C, gamma) points tried.
+	Evaluated int
+}
+
+// GridConfig controls GridSearchSVM. The zero value selects the defaults:
+// C in 2^{-2..10} (step 2^2), gamma in 2^{-10..2} (step 2^2), 5-fold CV —
+// the libSVM "grid.py" shape the paper relies on, coarsened to stay fast on
+// Nitro-sized training sets.
+type GridConfig struct {
+	CValues     []float64
+	GammaValues []float64
+	Folds       int
+	Seed        int64
+}
+
+func (g *GridConfig) defaults(dim int) {
+	if len(g.CValues) == 0 {
+		for e := -2.0; e <= 10; e += 2 {
+			g.CValues = append(g.CValues, math.Pow(2, e))
+		}
+	}
+	if len(g.GammaValues) == 0 {
+		for e := -10.0; e <= 2; e += 2 {
+			g.GammaValues = append(g.GammaValues, math.Pow(2, e))
+		}
+	}
+	if g.Folds <= 0 {
+		g.Folds = 5
+	}
+}
+
+// GridSearchSVM performs the paper's cross-validation parameter search for
+// the RBF C-SVC: it evaluates every (C, gamma) grid point by k-fold CV on the
+// (already scaled) dataset and returns an SVM trained on the full dataset
+// with the best pair. Ties prefer the smaller C then smaller gamma, keeping
+// the search deterministic.
+func GridSearchSVM(ds *Dataset, cfg GridConfig) (*SVM, GridSearchResult, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, GridSearchResult{}, errors.New("ml: empty dataset")
+	}
+	cfg.defaults(ds.Dim())
+	best := GridSearchResult{Accuracy: -1}
+	if len(ds.Classes()) < 2 || ds.Len() < 3 {
+		// Degenerate problem: no boundary to tune. Train defaults.
+		m := NewSVM(RBFKernel{Gamma: 1 / float64(max(ds.Dim(), 1))}, 1)
+		err := m.Fit(ds)
+		return m, GridSearchResult{C: 1, Gamma: 1 / float64(max(ds.Dim(), 1)), Accuracy: 1}, err
+	}
+	for _, c := range cfg.CValues {
+		for _, g := range cfg.GammaValues {
+			acc, err := CrossValidate(func() Classifier {
+				return NewSVM(RBFKernel{Gamma: g}, c)
+			}, ds, cfg.Folds, cfg.Seed)
+			if err != nil {
+				return nil, best, err
+			}
+			best.Evaluated++
+			if acc > best.Accuracy {
+				best.Accuracy = acc
+				best.C, best.Gamma = c, g
+			}
+		}
+	}
+	m := NewSVM(RBFKernel{Gamma: best.Gamma}, best.C)
+	if err := m.Fit(ds); err != nil {
+		return nil, best, err
+	}
+	return m, best, nil
+}

@@ -1,0 +1,31 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"nitro/internal/ml"
+)
+
+// ExampleSVM trains the paper's default classifier on a toy variant-selection
+// problem and classifies a new input.
+func ExampleSVM() {
+	ds := &ml.Dataset{}
+	for x := 0.0; x < 10; x++ {
+		label := 0
+		if x >= 5 {
+			label = 1
+		}
+		ds.Append([]float64{x}, label)
+	}
+	scaler := &ml.Scaler{}
+	scaled, _ := scaler.FitTransform(ds.X)
+
+	svm := ml.NewSVM(ml.RBFKernel{Gamma: 1}, 10)
+	if err := svm.Fit(&ml.Dataset{X: scaled, Y: ds.Y}); err != nil {
+		panic(err)
+	}
+	model := &ml.Model{Classifier: svm, Scaler: scaler}
+	fmt.Println(model.Predict([]float64{2}), model.Predict([]float64{8}))
+	// Output:
+	// 0 1
+}

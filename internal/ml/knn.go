@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbours classifier (Euclidean distance), provided as
+// an alternate pluggable classifier for Nitro's tuning interface and for the
+// classifier-choice ablation.
+type KNN struct {
+	K int
+
+	train   *Dataset
+	classes []int
+}
+
+// NewKNN returns an untrained k-NN classifier. k < 1 is treated as 3.
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 3
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (m *KNN) Name() string { return "knn" }
+
+// Classes implements Classifier.
+func (m *KNN) Classes() []int { return m.classes }
+
+// Fit implements Classifier by memorizing the training data.
+func (m *KNN) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return errors.New("ml: empty training set")
+	}
+	m.train = ds.Clone()
+	m.classes = ds.Classes()
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(x []float64) int {
+	scores := m.Scores(x)
+	best, bestScore := 0, math.Inf(-1)
+	for i, s := range scores {
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if len(m.classes) == 0 {
+		return 0
+	}
+	return m.classes[best]
+}
+
+// Scores implements Classifier: distance-weighted votes of the k nearest
+// neighbours, normalized to sum to 1.
+func (m *KNN) Scores(x []float64) []float64 {
+	out := make([]float64, len(m.classes))
+	if m.train == nil || m.train.Len() == 0 {
+		return out
+	}
+	type nb struct {
+		d float64
+		y int
+	}
+	nbs := make([]nb, m.train.Len())
+	for i, row := range m.train.X {
+		var d2 float64
+		for j := range row {
+			diff := row[j] - x[j]
+			d2 += diff * diff
+		}
+		nbs[i] = nb{d: d2, y: m.train.Y[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool {
+		if nbs[i].d != nbs[j].d {
+			return nbs[i].d < nbs[j].d
+		}
+		return nbs[i].y < nbs[j].y
+	})
+	k := m.K
+	if k > len(nbs) {
+		k = len(nbs)
+	}
+	idx := make(map[int]int, len(m.classes))
+	for i, c := range m.classes {
+		idx[c] = i
+	}
+	var total float64
+	for _, n := range nbs[:k] {
+		w := 1 / (1 + math.Sqrt(n.d))
+		out[idx[n.y]] += w
+		total += w
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogisticBinary(t *testing.T) {
+	ds := blobs(80, 2, 2, 0.4, 1)
+	var s Scaler
+	scaled, err := s.FitTransform(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLogistic(0, 0, 0)
+	if err := m.Fit(&Dataset{X: scaled, Y: ds.Y}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, &Dataset{X: scaled, Y: ds.Y}); acc < 0.95 {
+		t.Errorf("logistic binary accuracy %v", acc)
+	}
+}
+
+func TestLogisticMulticlassProbabilities(t *testing.T) {
+	ds := blobs(150, 4, 3, 0.5, 2)
+	var s Scaler
+	scaled, _ := s.FitTransform(ds.X)
+	sds := &Dataset{X: scaled, Y: ds.Y}
+	m := NewLogistic(0, 0, 800)
+	if err := m.Fit(sds); err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(m, sds); acc < 0.9 {
+		t.Errorf("multiclass accuracy %v", acc)
+	}
+	for i := 0; i < 20; i++ {
+		p := m.Scores(scaled[i])
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestLogisticSingleClassAndErrors(t *testing.T) {
+	m := NewLogistic(0, 0, 10)
+	if err := m.Fit(&Dataset{}); err == nil {
+		t.Error("empty fit accepted")
+	}
+	one := &Dataset{X: [][]float64{{1}, {2}}, Y: []int{3, 3}}
+	if err := m.Fit(one); err != nil {
+		t.Fatal(err)
+	}
+	if m.Predict([]float64{9}) != 3 {
+		t.Error("single-class predict wrong")
+	}
+	if s := m.Scores([]float64{9}); s[0] != 1 {
+		t.Errorf("single-class score = %v", s)
+	}
+}
+
+func TestLogisticSerializationRoundTrip(t *testing.T) {
+	ds := blobs(60, 3, 2, 0.4, 3)
+	var s Scaler
+	scaled, _ := s.FitTransform(ds.X)
+	m := NewLogistic(0, 0, 300)
+	if err := m.Fit(&Dataset{X: scaled, Y: ds.Y}); err != nil {
+		t.Fatal(err)
+	}
+	model := &Model{Classifier: m, Scaler: &s}
+	data, err := MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if model.Predict(ds.X[i]) != back.Predict(ds.X[i]) {
+			t.Fatalf("round trip changed prediction at %d", i)
+		}
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	train := blobs(90, 3, 2, 0.4, 4)
+	m := NewKNN(3)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := blobs(60, 3, 2, 0.4, 5)
+	cm := ConfusionMatrix(m, test)
+	if len(cm.Classes) != 3 {
+		t.Fatalf("classes = %v", cm.Classes)
+	}
+	if math.Abs(cm.Accuracy()-Accuracy(m, test)) > 1e-12 {
+		t.Errorf("confusion accuracy %v vs direct %v", cm.Accuracy(), Accuracy(m, test))
+	}
+	total := 0
+	for i := range cm.Counts {
+		for _, v := range cm.Counts[i] {
+			total += v
+		}
+	}
+	if total != test.Len() {
+		t.Errorf("counts sum to %d, want %d", total, test.Len())
+	}
+	rec := cm.Recall()
+	for i, r := range rec {
+		if r < 0 || r > 1 {
+			t.Errorf("recall[%d] = %v", i, r)
+		}
+	}
+	if (Confusion{}).Accuracy() != 0 {
+		t.Error("empty confusion accuracy should be 0")
+	}
+}
+
+func TestConfusionMatrixUnknownTestLabel(t *testing.T) {
+	train := &Dataset{X: [][]float64{{0}, {1}}, Y: []int{0, 1}}
+	m := NewKNN(1)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	test := &Dataset{X: [][]float64{{0}, {5}}, Y: []int{0, 7}} // label 7 unseen
+	cm := ConfusionMatrix(m, test)
+	if len(cm.Classes) != 3 {
+		t.Fatalf("unseen label not included: %v", cm.Classes)
+	}
+}

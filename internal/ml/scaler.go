@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler rescales every feature to the range [-1, 1] from per-feature min/max
+// statistics, exactly as the paper (and svm-scale) does before SVM training.
+// Constant features map to 0. The zero value is unfitted; call Fit first.
+type Scaler struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// Fit computes per-feature minima and maxima over the rows of x.
+func (s *Scaler) Fit(x [][]float64) error {
+	if len(x) == 0 {
+		return errors.New("ml: cannot fit scaler on empty data")
+	}
+	d := len(x[0])
+	s.Min = make([]float64, d)
+	s.Max = make([]float64, d)
+	copy(s.Min, x[0])
+	copy(s.Max, x[0])
+	for _, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("ml: inconsistent row dim %d, want %d", len(row), d)
+		}
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Fitted reports whether Fit has been called.
+func (s *Scaler) Fitted() bool { return len(s.Min) > 0 }
+
+// Transform maps one feature vector into [-1, 1] per feature. Values outside
+// the fitted range extrapolate linearly (they are not clamped), mirroring
+// svm-scale behaviour on unseen test data.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j >= len(s.Min) {
+			break
+		}
+		span := s.Max[j] - s.Min[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = 2*(v-s.Min[j])/span - 1
+	}
+	return out
+}
+
+// TransformAll maps a whole design matrix.
+func (s *Scaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// FitTransform fits on x and returns the transformed matrix.
+func (s *Scaler) FitTransform(x [][]float64) ([][]float64, error) {
+	if err := s.Fit(x); err != nil {
+		return nil, err
+	}
+	return s.TransformAll(x), nil
+}
+
+// Inverse maps a scaled vector back to the original feature space, for
+// diagnostics and round-trip tests.
+func (s *Scaler) Inverse(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j >= len(s.Min) {
+			break
+		}
+		span := s.Max[j] - s.Min[j]
+		out[j] = s.Min[j] + (v+1)/2*span
+	}
+	return out
+}

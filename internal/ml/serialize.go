@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Model is the serializable envelope Nitro persists after tuning: the fitted
+// classifier plus the feature scaler, so deployment-time selection needs no
+// retraining. It replaces the paper's generated C++ header + libSVM model
+// file pair.
+type Model struct {
+	Classifier Classifier
+	Scaler     *Scaler
+}
+
+// Predict scales x (if a scaler is present) and classifies it.
+func (m *Model) Predict(x []float64) int {
+	if m.Scaler != nil && m.Scaler.Fitted() {
+		x = m.Scaler.Transform(x)
+	}
+	return m.Classifier.Predict(x)
+}
+
+// Scores scales x and returns the per-class confidences.
+func (m *Model) Scores(x []float64) []float64 {
+	if m.Scaler != nil && m.Scaler.Fitted() {
+		x = m.Scaler.Transform(x)
+	}
+	return m.Classifier.Scores(x)
+}
+
+type svmPairJSON struct {
+	A      int         `json:"a"`
+	B      int         `json:"b"`
+	SVs    [][]float64 `json:"svs"`
+	Coefs  []float64   `json:"coefs"`
+	Rho    float64     `json:"rho"`
+	Iters  int         `json:"iters"`
+	Kernel kernelSpec  `json:"-"`
+}
+
+type svmJSON struct {
+	C       float64       `json:"c"`
+	Kernel  kernelSpec    `json:"kernel"`
+	Classes []int         `json:"classes"`
+	Pairs   []svmPairJSON `json:"pairs"`
+}
+
+type knnJSON struct {
+	K       int     `json:"k"`
+	Train   Dataset `json:"train"`
+	Classes []int   `json:"classes"`
+}
+
+type treeJSON struct {
+	MaxDepth int       `json:"max_depth"`
+	MinLeaf  int       `json:"min_leaf"`
+	Root     *treeNode `json:"root"`
+	Classes  []int     `json:"classes"`
+}
+
+type logisticJSON struct {
+	LR      float64     `json:"lr"`
+	L2      float64     `json:"l2"`
+	Iters   int         `json:"iters"`
+	W       [][]float64 `json:"w"`
+	Classes []int       `json:"classes"`
+}
+
+type modelJSON struct {
+	Kind     string          `json:"kind"`
+	Scaler   *Scaler         `json:"scaler,omitempty"`
+	SVM      *svmJSON        `json:"svm,omitempty"`
+	KNN      *knnJSON        `json:"knn,omitempty"`
+	Tree     *treeJSON       `json:"tree,omitempty"`
+	Logistic *logisticJSON   `json:"logistic,omitempty"`
+	Extra    json.RawMessage `json:"extra,omitempty"`
+}
+
+// MarshalModel serializes a fitted model (SVM, KNN or DecisionTree) with its
+// scaler to JSON.
+func MarshalModel(m *Model) ([]byte, error) {
+	if m == nil || m.Classifier == nil {
+		return nil, fmt.Errorf("ml: nil model")
+	}
+	env := modelJSON{Scaler: m.Scaler}
+	switch c := m.Classifier.(type) {
+	case *SVM:
+		env.Kind = "svm"
+		sj := &svmJSON{C: c.C, Kernel: specOf(c.kernel), Classes: c.classes}
+		for _, p := range c.pairs {
+			sj.Pairs = append(sj.Pairs, svmPairJSON{
+				A: p.a, B: p.b, SVs: p.sol.svX, Coefs: p.sol.svCoef, Rho: p.sol.rho, Iters: p.sol.iters,
+			})
+		}
+		env.SVM = sj
+	case *KNN:
+		env.Kind = "knn"
+		kj := &knnJSON{K: c.K, Classes: c.classes}
+		if c.train != nil {
+			kj.Train = *c.train
+		}
+		env.KNN = kj
+	case *DecisionTree:
+		env.Kind = "tree"
+		env.Tree = &treeJSON{MaxDepth: c.MaxDepth, MinLeaf: c.MinLeafSamples, Root: c.root, Classes: c.classes}
+	case *Logistic:
+		env.Kind = "logistic"
+		env.Logistic = &logisticJSON{LR: c.LR, L2: c.L2, Iters: c.Iters, W: c.W, Classes: c.classes}
+	default:
+		return nil, fmt.Errorf("ml: cannot serialize classifier kind %q", m.Classifier.Name())
+	}
+	return json.MarshalIndent(env, "", "  ")
+}
+
+// UnmarshalModel reconstructs a model serialized by MarshalModel.
+func UnmarshalModel(data []byte) (*Model, error) {
+	var env modelJSON
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("ml: bad model JSON: %w", err)
+	}
+	m := &Model{Scaler: env.Scaler}
+	switch env.Kind {
+	case "svm":
+		if env.SVM == nil {
+			return nil, fmt.Errorf("ml: svm model missing body")
+		}
+		k, err := env.SVM.Kernel.kernel()
+		if err != nil {
+			return nil, err
+		}
+		svm := NewSVM(k, env.SVM.C)
+		svm.classes = env.SVM.Classes
+		for _, p := range env.SVM.Pairs {
+			svm.pairs = append(svm.pairs, svmPair{
+				a: p.A, b: p.B,
+				sol: &smoResult{svX: p.SVs, svCoef: p.Coefs, rho: p.Rho, iters: p.Iters},
+			})
+		}
+		m.Classifier = svm
+	case "knn":
+		if env.KNN == nil {
+			return nil, fmt.Errorf("ml: knn model missing body")
+		}
+		knn := NewKNN(env.KNN.K)
+		knn.classes = env.KNN.Classes
+		train := env.KNN.Train
+		knn.train = &train
+		m.Classifier = knn
+	case "tree":
+		if env.Tree == nil {
+			return nil, fmt.Errorf("ml: tree model missing body")
+		}
+		t := NewDecisionTree(env.Tree.MaxDepth, env.Tree.MinLeaf)
+		t.root = env.Tree.Root
+		t.classes = env.Tree.Classes
+		m.Classifier = t
+	case "logistic":
+		if env.Logistic == nil {
+			return nil, fmt.Errorf("ml: logistic model missing body")
+		}
+		l := NewLogistic(env.Logistic.LR, env.Logistic.L2, env.Logistic.Iters)
+		l.W = env.Logistic.W
+		l.classes = env.Logistic.Classes
+		m.Classifier = l
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+	return m, nil
+}

@@ -1,0 +1,195 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// smoResult is the solution of one binary C-SVC problem: the dual
+// coefficients alpha_i * y_i for the support vectors and the bias rho, with
+// decision(x) = sum_i coef_i K(sv_i, x) - rho.
+type smoResult struct {
+	svX    [][]float64
+	svCoef []float64
+	rho    float64
+	iters  int
+}
+
+// solveBinary trains a binary C-SVC with the maximal-violating-pair SMO
+// solver (the working-set selection used by libSVM's Solver). x holds the
+// feature vectors, y the labels in {-1, +1}, c the box constraint, eps the
+// KKT-violation stopping tolerance.
+func solveBinary(x [][]float64, y []float64, k Kernel, c, eps float64, maxIter int) (*smoResult, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("ml: empty binary problem")
+	}
+	if len(y) != n {
+		return nil, errors.New("ml: label/row mismatch")
+	}
+	if c <= 0 {
+		return nil, errors.New("ml: C must be positive")
+	}
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	if maxIter <= 0 {
+		maxIter = 10000 * n
+		if maxIter < 1_000_000 {
+			maxIter = 1_000_000
+		}
+	}
+
+	// Precompute the kernel matrix: Nitro training sets are small (tens to
+	// hundreds of examples), so a dense cache is both fastest and simplest.
+	km := make([][]float64, n)
+	for i := range km {
+		km[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := k.Eval(x[i], x[j])
+			km[i][j] = v
+			km[j][i] = v
+		}
+	}
+
+	alpha := make([]float64, n)
+	// Gradient of the dual objective: G_i = (Q alpha)_i - 1, Q_ij = y_i y_j K_ij.
+	grad := make([]float64, n)
+	for i := range grad {
+		grad[i] = -1
+	}
+
+	const tau = 1e-12
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Working-set selection: maximal violating pair.
+		i, j := -1, -1
+		gmax, gmin := math.Inf(-1), math.Inf(1)
+		for t := 0; t < n; t++ {
+			if (y[t] > 0 && alpha[t] < c) || (y[t] < 0 && alpha[t] > 0) {
+				if v := -y[t] * grad[t]; v > gmax {
+					gmax, i = v, t
+				}
+			}
+		}
+		for t := 0; t < n; t++ {
+			if (y[t] < 0 && alpha[t] < c) || (y[t] > 0 && alpha[t] > 0) {
+				if v := -y[t] * grad[t]; v < gmin {
+					gmin, j = v, t
+				}
+			}
+		}
+		if i < 0 || j < 0 || gmax-gmin < eps {
+			break
+		}
+
+		oldAi, oldAj := alpha[i], alpha[j]
+		if y[i] != y[j] {
+			// Quadratic coefficient along the update direction: with
+			// Q_ij = y_i y_j K_ij, both label cases reduce to
+			// K_ii + K_jj - 2 K_ij (libSVM's quad_coef).
+			quad := km[i][i] + km[j][j] - 2*km[i][j]
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (-grad[i] - grad[j]) / quad
+			diff := alpha[i] - alpha[j]
+			alpha[i] += delta
+			alpha[j] += delta
+			if diff > 0 && alpha[j] < 0 {
+				alpha[j] = 0
+				alpha[i] = diff
+			} else if diff <= 0 && alpha[i] < 0 {
+				alpha[i] = 0
+				alpha[j] = -diff
+			}
+			if diff > 0 && alpha[i] > c {
+				alpha[i] = c
+				alpha[j] = c - diff
+			} else if diff <= 0 && alpha[j] > c {
+				alpha[j] = c
+				alpha[i] = c + diff
+			}
+		} else {
+			quad := km[i][i] + km[j][j] - 2*km[i][j]
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (grad[i] - grad[j]) / quad
+			sum := alpha[i] + alpha[j]
+			alpha[i] -= delta
+			alpha[j] += delta
+			if sum > c {
+				if alpha[i] > c {
+					alpha[i] = c
+					alpha[j] = sum - c
+				} else if alpha[j] > c {
+					alpha[j] = c
+					alpha[i] = sum - c
+				}
+			} else {
+				if alpha[j] < 0 {
+					alpha[j] = 0
+					alpha[i] = sum
+				} else if alpha[i] < 0 {
+					alpha[i] = 0
+					alpha[j] = sum
+				}
+			}
+		}
+
+		dAi, dAj := alpha[i]-oldAi, alpha[j]-oldAj
+		if dAi == 0 && dAj == 0 {
+			break // numerical fixpoint; avoid spinning
+		}
+		for t := 0; t < n; t++ {
+			grad[t] += y[t] * (y[i]*km[t][i]*dAi + y[j]*km[t][j]*dAj)
+		}
+	}
+
+	// rho: midpoint of the violating-pair bounds, averaged over free
+	// support vectors when any exist (libSVM's calculate_rho).
+	var rho float64
+	nFree := 0
+	var sumFree float64
+	ub, lb := math.Inf(1), math.Inf(-1)
+	for t := 0; t < n; t++ {
+		yg := y[t] * grad[t]
+		switch {
+		case alpha[t] > 0 && alpha[t] < c:
+			nFree++
+			sumFree += yg
+		case (y[t] > 0 && alpha[t] == 0) || (y[t] < 0 && alpha[t] == c):
+			if yg < ub {
+				ub = yg
+			}
+		default:
+			if yg > lb {
+				lb = yg
+			}
+		}
+	}
+	if nFree > 0 {
+		rho = sumFree / float64(nFree)
+	} else {
+		rho = (ub + lb) / 2
+	}
+
+	res := &smoResult{rho: rho, iters: iters}
+	for t := 0; t < n; t++ {
+		if alpha[t] > 1e-12 {
+			res.svX = append(res.svX, x[t])
+			res.svCoef = append(res.svCoef, alpha[t]*y[t])
+		}
+	}
+	return res, nil
+}
+
+// decision evaluates sum_i coef_i K(sv_i, x) - rho.
+func (r *smoResult) decision(k Kernel, x []float64) float64 {
+	var s float64
+	for i, sv := range r.svX {
+		s += r.svCoef[i] * k.Eval(sv, x)
+	}
+	return s - r.rho
+}

@@ -1,0 +1,182 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Classifier is the interface Nitro's tuner programs against; the paper's
+// tuning script exposes the classifier as a pluggable option
+// (svm_classifier() by default).
+type Classifier interface {
+	// Fit trains on the dataset. Feature scaling is the caller's concern.
+	Fit(ds *Dataset) error
+	// Predict returns the predicted class label of x.
+	Predict(x []float64) int
+	// Scores returns one confidence per known class, aligned with Classes;
+	// higher means more confident. Used by Best-vs-Second-Best selection.
+	Scores(x []float64) []float64
+	// Classes returns the sorted labels the classifier was trained on.
+	Classes() []int
+	// Name identifies the classifier kind.
+	Name() string
+}
+
+// SVM is a multi-class C-SVC with one-vs-one decomposition, mirroring
+// libSVM's architecture. The zero value is unusable; construct with NewSVM.
+type SVM struct {
+	C       float64
+	Eps     float64
+	MaxIter int
+	kernel  Kernel
+
+	classes []int
+	pairs   []svmPair
+}
+
+type svmPair struct {
+	a, b int // class labels; positive decision votes for a
+	sol  *smoResult
+}
+
+// NewSVM returns an untrained SVM with the given kernel and box constraint.
+func NewSVM(k Kernel, c float64) *SVM {
+	return &SVM{C: c, Eps: 1e-3, kernel: k}
+}
+
+// DefaultSVM returns the paper's default configuration: RBF kernel with
+// gamma = 1/dim (set at Fit time if Gamma is zero) and C = 1. Use GridSearch
+// to tune (C, gamma) by cross-validation as the paper does.
+func DefaultSVM() *SVM { return NewSVM(RBFKernel{}, 1) }
+
+// Kernel returns the (possibly Fit-adjusted) kernel.
+func (m *SVM) Kernel() Kernel { return m.kernel }
+
+// Name implements Classifier.
+func (m *SVM) Name() string { return "svm" }
+
+// Classes implements Classifier.
+func (m *SVM) Classes() []int { return m.classes }
+
+// Fit implements Classifier: it trains k(k-1)/2 binary machines, one per
+// unordered pair of classes.
+func (m *SVM) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return errors.New("ml: empty training set")
+	}
+	if rbf, ok := m.kernel.(RBFKernel); ok && rbf.Gamma == 0 {
+		rbf.Gamma = 1 / float64(max(ds.Dim(), 1))
+		m.kernel = rbf
+	}
+	m.classes = ds.Classes()
+	if len(m.classes) < 1 {
+		return errors.New("ml: no classes")
+	}
+	m.pairs = nil
+	if len(m.classes) == 1 {
+		return nil // degenerate: always predict the single class
+	}
+	for i := 0; i < len(m.classes); i++ {
+		for j := i + 1; j < len(m.classes); j++ {
+			a, b := m.classes[i], m.classes[j]
+			var x [][]float64
+			var y []float64
+			for t, lab := range ds.Y {
+				switch lab {
+				case a:
+					x = append(x, ds.X[t])
+					y = append(y, 1)
+				case b:
+					x = append(x, ds.X[t])
+					y = append(y, -1)
+				}
+			}
+			sol, err := solveBinary(x, y, m.kernel, m.C, m.Eps, m.MaxIter)
+			if err != nil {
+				return fmt.Errorf("ml: pair (%d,%d): %w", a, b, err)
+			}
+			m.pairs = append(m.pairs, svmPair{a: a, b: b, sol: sol})
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier using pairwise voting with soft-score
+// tie-breaking.
+func (m *SVM) Predict(x []float64) int {
+	if len(m.classes) == 0 {
+		return 0
+	}
+	scores := m.Scores(x)
+	best, bestScore := m.classes[0], math.Inf(-1)
+	for i, c := range m.classes {
+		if scores[i] > bestScore {
+			best, bestScore = c, scores[i]
+		}
+	}
+	return best
+}
+
+// Scores implements Classifier. Each pairwise decision value d contributes a
+// sigmoid-soft vote sigma(d) to the winning class and 1-sigma(d) to the
+// loser, which yields the smooth per-class confidences the
+// Best-vs-Second-Best heuristic needs.
+func (m *SVM) Scores(x []float64) []float64 {
+	out := make([]float64, len(m.classes))
+	if len(m.classes) == 1 {
+		out[0] = 1
+		return out
+	}
+	idx := make(map[int]int, len(m.classes))
+	for i, c := range m.classes {
+		idx[c] = i
+	}
+	for _, p := range m.pairs {
+		d := p.sol.decision(m.kernel, x)
+		s := 1 / (1 + math.Exp(-2*d))
+		out[idx[p.a]] += s
+		out[idx[p.b]] += 1 - s
+	}
+	return out
+}
+
+// DecisionValues returns the raw pairwise decision values (one per trained
+// class pair, in pair order), for diagnostics.
+func (m *SVM) DecisionValues(x []float64) []float64 {
+	out := make([]float64, len(m.pairs))
+	for i, p := range m.pairs {
+		out[i] = p.sol.decision(m.kernel, x)
+	}
+	return out
+}
+
+// NumSupportVectors returns the total support-vector count across pairs.
+func (m *SVM) NumSupportVectors() int {
+	n := 0
+	for _, p := range m.pairs {
+		n += len(p.sol.svX)
+	}
+	return n
+}
+
+// BvSBMargin returns the Best-versus-Second-Best margin of clf on x: the gap
+// between the highest and second-highest class confidence. Small margins mark
+// the most informative points to label next in active learning (Joshi et al.,
+// the heuristic cited by the paper).
+func BvSBMargin(clf Classifier, x []float64) float64 {
+	scores := clf.Scores(x)
+	if len(scores) < 2 {
+		return math.Inf(1)
+	}
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, s := range scores {
+		if s > best {
+			second = best
+			best = s
+		} else if s > second {
+			second = s
+		}
+	}
+	return best - second
+}

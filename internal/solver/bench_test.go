@@ -1,0 +1,65 @@
+package solver
+
+import (
+	"testing"
+
+	"nitro/internal/gpusim"
+	"nitro/internal/sparse"
+)
+
+func benchSolve(b *testing.B, run func(*sparse.CSR, []float64, Preconditioner, Config, *gpusim.Device) (Result, error), mk func(*sparse.CSR) (Preconditioner, error)) {
+	b.Helper()
+	a := sparse.SPD(sparse.Stencil2D(24, 24), 1.1, 1)
+	rhsV := rhs(a.Rows, 2)
+	d := gpusim.Fermi()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := mk(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := run(a, rhsV, m, DefaultConfig(), d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("solver did not converge in bench")
+		}
+	}
+}
+
+func BenchmarkCGJacobi(b *testing.B) {
+	benchSolve(b, CG, func(a *sparse.CSR) (Preconditioner, error) { return NewJacobi(a) })
+}
+
+func BenchmarkCGFainv(b *testing.B) {
+	benchSolve(b, CG, func(a *sparse.CSR) (Preconditioner, error) { return NewFAI(a) })
+}
+
+func BenchmarkBiCGStabBJacobi(b *testing.B) {
+	benchSolve(b, BiCGStab, func(a *sparse.CSR) (Preconditioner, error) { return NewBlockJacobi(a, 8) })
+}
+
+func BenchmarkGMRESJacobi(b *testing.B) {
+	benchSolve(b, GMRES, func(a *sparse.CSR) (Preconditioner, error) { return NewJacobi(a) })
+}
+
+func BenchmarkFAISetup(b *testing.B) {
+	a := sparse.SPD(sparse.Stencil2D(30, 30), 1.2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewFAI(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverFeatures(b *testing.B) {
+	a := sparse.RandomUniform(2000, 12000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeFeatures(a)
+	}
+}

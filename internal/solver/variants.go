@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"nitro/internal/gpusim"
+	"nitro/internal/sparse"
+)
+
+// Problem is one linear system A x = b.
+type Problem struct {
+	A *sparse.CSR
+	B []float64
+
+	Cfg Config
+}
+
+// NewProblem wraps a system with the default solve configuration.
+func NewProblem(a *sparse.CSR, b []float64) (*Problem, error) {
+	if a == nil {
+		return nil, errors.New("solver: nil matrix")
+	}
+	if a.Rows != a.Cols {
+		return nil, errors.New("solver: matrix must be square")
+	}
+	if len(b) != a.Rows {
+		return nil, errors.New("solver: rhs dimension mismatch")
+	}
+	return &Problem{A: a, B: b, Cfg: DefaultConfig()}, nil
+}
+
+// Variant is one (solver, preconditioner) combination. Run returns an error
+// only for structural failures (e.g. preconditioner setup on an unsuitable
+// matrix); numerical non-convergence is reported in Result.Converged.
+type Variant struct {
+	Name string
+	Run  func(p *Problem, dev *gpusim.Device) (Result, error)
+}
+
+// blockSize is the Block-Jacobi block edge used by the benchmark variants.
+const blockSize = 8
+
+// Variants returns the paper's six (solver, preconditioner) combinations in
+// a fixed order: CG-{Jacobi, BJacobi, Fainv}, BiCGStab-{Jacobi, BJacobi,
+// Fainv}.
+func Variants() []Variant {
+	type krylov struct {
+		name string
+		run  func(a *sparse.CSR, b []float64, m Preconditioner, cfg Config, dev *gpusim.Device) (Result, error)
+	}
+	type precond struct {
+		name  string
+		build func(a *sparse.CSR) (Preconditioner, error)
+	}
+	solvers := []krylov{{"CG", CG}, {"BiCGStab", BiCGStab}}
+	preconds := []precond{
+		{"Jacobi", func(a *sparse.CSR) (Preconditioner, error) { return NewJacobi(a) }},
+		{"BJacobi", func(a *sparse.CSR) (Preconditioner, error) { return NewBlockJacobi(a, blockSize) }},
+		{"Fainv", func(a *sparse.CSR) (Preconditioner, error) { return NewFAI(a) }},
+	}
+	var out []Variant
+	for _, s := range solvers {
+		for _, pc := range preconds {
+			s, pc := s, pc
+			out = append(out, Variant{
+				Name: s.name + "-" + pc.name,
+				Run: func(p *Problem, dev *gpusim.Device) (Result, error) {
+					m, err := pc.build(p.A)
+					if err != nil {
+						return Result{}, err
+					}
+					return s.run(p.A, p.B, m, p.Cfg, dev)
+				},
+			})
+		}
+	}
+	return out
+}
+
+// VariantNames returns the names in Variants order.
+func VariantNames() []string {
+	vs := Variants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// Cost converts a variant result to the optimization value Nitro trains on:
+// the simulated time for converged runs, +Inf otherwise (the paper's
+// constraint convention that keeps failing variants out of the label set).
+func Cost(r Result, err error) float64 {
+	if err != nil || !r.Converged {
+		return math.Inf(1)
+	}
+	return r.Seconds
+}
+
+// Features holds the numeric matrix properties used for (solver,
+// preconditioner) selection, after Bhowmick et al. as cited by the paper.
+type Features struct {
+	NNZ           float64
+	NRows         float64
+	Trace         float64
+	DiagAvg       float64
+	DiagVar       float64
+	DiagDominance float64 // fraction of rows with |a_ii| > sum_j!=i |a_ij|
+	LBw           float64 // left bandwidth: max_i (i - min col in row i)
+	Norm1         float64 // max column sum of |a_ij|
+}
+
+// Vector returns the 8-feature vector in the fixed order the paper's Fig. 4
+// lists: [NNZ, Nrows, Trace, DiagAvg, DiagVar, DiagDominance, LBw, Norm1].
+func (f Features) Vector() []float64 {
+	return []float64{f.NNZ, f.NRows, f.Trace, f.DiagAvg, f.DiagVar, f.DiagDominance, f.LBw, f.Norm1}
+}
+
+// FeatureNames lists the feature order used by Features.Vector.
+func FeatureNames() []string {
+	return []string{"NNZ", "Nrows", "Trace", "DiagAvg", "DiagVar", "DiagDominance", "LBw", "Norm1"}
+}
+
+// ComputeFeatures derives the solver-selection features in one pass over the
+// matrix.
+func ComputeFeatures(a *sparse.CSR) Features {
+	f := Features{NNZ: float64(a.NNZ()), NRows: float64(a.Rows)}
+	if a.Rows == 0 {
+		return f
+	}
+	colAbs := make([]float64, a.Cols)
+	var trace, dsum, dsq float64
+	dominant := 0
+	maxLBw := 0
+	for i := 0; i < a.Rows; i++ {
+		var diag, off float64
+		minCol := i
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			c := int(a.ColIdx[p])
+			v := a.Vals[p]
+			colAbs[c] += math.Abs(v)
+			if c == i {
+				diag = v
+			} else {
+				off += math.Abs(v)
+			}
+			if c < minCol {
+				minCol = c
+			}
+		}
+		trace += diag
+		dsum += diag
+		dsq += diag * diag
+		if math.Abs(diag) > off {
+			dominant++
+		}
+		if bw := i - minCol; bw > maxLBw {
+			maxLBw = bw
+		}
+	}
+	n := float64(a.Rows)
+	f.Trace = trace
+	f.DiagAvg = dsum / n
+	f.DiagVar = dsq/n - f.DiagAvg*f.DiagAvg
+	if f.DiagVar < 0 {
+		f.DiagVar = 0
+	}
+	f.DiagDominance = float64(dominant) / n
+	f.LBw = float64(maxLBw)
+	for _, v := range colAbs {
+		if v > f.Norm1 {
+			f.Norm1 = v
+		}
+	}
+	return f
+}

@@ -1,0 +1,53 @@
+package sortbench
+
+import (
+	"testing"
+
+	"nitro/internal/gpusim"
+)
+
+func benchSortVariant(b *testing.B, run func(*Problem, *gpusim.Device) (Result, error), keys []float64, bits int) {
+	b.Helper()
+	d := gpusim.Fermi()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewProblem(keys, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run(p, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeSort64(b *testing.B) {
+	benchSortVariant(b, MergeSort, UniformKeys(1<<17, 1), 64)
+}
+
+func BenchmarkLocalitySortAlmostSorted(b *testing.B) {
+	benchSortVariant(b, LocalitySort, AlmostSortedKeys(1<<17, 0.22, 64, 2), 64)
+}
+
+func BenchmarkRadixSort32(b *testing.B) {
+	benchSortVariant(b, RadixSort, UniformKeys(1<<17, 3), 32)
+}
+
+func BenchmarkMaxDisplacement(b *testing.B) {
+	keys := AlmostSortedKeys(1<<17, 0.22, 64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, _ := NewProblem(keys, 64)
+		_ = p.MaxDisplacement()
+	}
+}
+
+func BenchmarkSortFeatures(b *testing.B) {
+	p, _ := NewProblem(UniformKeys(1<<17, 5), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeFeatures(p)
+	}
+}

@@ -1,0 +1,89 @@
+package sparse
+
+import (
+	"testing"
+
+	"nitro/internal/gpusim"
+)
+
+func benchProblem(b *testing.B, m *CSR) *Problem {
+	b.Helper()
+	p, err := NewProblem(m, randVec(m.Cols, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchVariant(b *testing.B, run func(*Problem, *gpusim.Device) (Result, error), m *CSR) {
+	b.Helper()
+	p := benchProblem(b, m)
+	d := gpusim.Fermi()
+	// Warm the conversion caches so the bench measures the kernel path.
+	if _, err := run(p, d); err != nil {
+		b.Skip(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(p, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpMVCSRVec(b *testing.B)  { benchVariant(b, CSRVec, Stencil2D(128, 128)) }
+func BenchmarkSpMVCSRTx(b *testing.B)   { benchVariant(b, CSRVecTx, Stencil2D(128, 128)) }
+func BenchmarkSpMVDIA(b *testing.B)     { benchVariant(b, DIAKernel, Stencil2D(128, 128)) }
+func BenchmarkSpMVELL(b *testing.B)     { benchVariant(b, ELLKernel, RegularRandom(10000, 12, 1)) }
+func BenchmarkSpMVCOOFlat(b *testing.B) { benchVariant(b, COOFlat, PowerLaw(8000, 10, 1.4, 2)) }
+func BenchmarkSpMVHYB(b *testing.B)     { benchVariant(b, HYBKernel, PowerLaw(8000, 10, 1.4, 2)) }
+
+func BenchmarkConvertToCSR(b *testing.B) {
+	coo := RandomUniform(5000, 50000, 3).ToCOO()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = coo.ToCSR()
+	}
+}
+
+func BenchmarkConvertToDIA(b *testing.B) {
+	m := Stencil2D(100, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ToDIA(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvertToELL(b *testing.B) {
+	m := RegularRandom(5000, 10, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ToELL(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvertToHYB(b *testing.B) {
+	m := PowerLaw(5000, 10, 1.4, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ToHYB(0)
+	}
+}
+
+func BenchmarkComputeFeatures(b *testing.B) {
+	m := PowerLaw(20000, 10, 1.4, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeFeatures(m)
+	}
+}

@@ -1,0 +1,344 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func vecAlmostEqual(t *testing.T, a, b []float64, tol float64, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			t.Fatalf("%s: element %d differs: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestCOOToCSRRoundTrip(t *testing.T) {
+	coo := &COO{Rows: 3, Cols: 3,
+		RowIdx: []int32{2, 0, 1, 0},
+		ColIdx: []int32{2, 1, 0, 1}, // (0,1) duplicated
+		Vals:   []float64{3, 1, 2, 4},
+	}
+	csr := coo.ToCSR()
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if csr.NNZ() != 3 {
+		t.Fatalf("duplicates not summed: nnz=%d", csr.NNZ())
+	}
+	// (0,1) should hold 1+4=5.
+	if csr.Vals[0] != 5 || csr.ColIdx[0] != 1 {
+		t.Errorf("dup sum wrong: %v %v", csr.Vals[0], csr.ColIdx[0])
+	}
+	back := csr.ToCOO()
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3}
+	y1, y2 := make([]float64, 3), make([]float64, 3)
+	csr.MulVec(x, y1)
+	back.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-14, "COO round trip MulVec")
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	m := Stencil2D(4, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *m
+	bad.RowPtr = append([]int32(nil), m.RowPtr...)
+	bad.RowPtr[3] = bad.RowPtr[5] + 1 // non-monotone
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone RowPtr accepted")
+	}
+	bad2 := *m
+	bad2.ColIdx = append([]int32(nil), m.ColIdx...)
+	bad2.ColIdx[0] = 99
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := RandomUniform(30, 120, 7)
+	tt := m.Transpose().Transpose()
+	x := randVec(30, 1)
+	y1, y2 := make([]float64, 30), make([]float64, 30)
+	m.MulVec(x, y1)
+	tt.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "double transpose")
+
+	// (A^T x) . y == x . (A y)
+	a := m.Transpose()
+	yv := randVec(30, 2)
+	atx := make([]float64, 30)
+	ay := make([]float64, 30)
+	a.MulVec(x, atx)
+	m.MulVec(yv, ay)
+	var lhs, rhs float64
+	for i := range x {
+		lhs += atx[i] * yv[i]
+		rhs += x[i] * ay[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Errorf("adjoint identity broken: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestDIAConversionAgreesWithCSR(t *testing.T) {
+	m := Stencil2D(8, 9)
+	d, err := m.ToDIA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NDiags() != 5 {
+		t.Errorf("5-point stencil should have 5 diagonals, got %d", d.NDiags())
+	}
+	x := randVec(m.Cols, 3)
+	y1, y2 := make([]float64, m.Rows), make([]float64, m.Rows)
+	m.MulVec(x, y1)
+	d.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "DIA MulVec")
+	if f := d.Fill(m.NNZ()); f < 1 {
+		t.Errorf("fill %v < 1", f)
+	}
+}
+
+func TestDIABudgetExceeded(t *testing.T) {
+	m := RandomUniform(64, 512, 5) // scattered: many diagonals
+	if _, err := m.ToDIA(8); err == nil {
+		t.Error("expected ErrTooManyDiagonals")
+	}
+}
+
+func TestELLConversionAgreesWithCSR(t *testing.T) {
+	m := RegularRandom(50, 6, 11)
+	e, err := m.ToELL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxNZ != 6 {
+		t.Errorf("regular matrix width should be 6, got %d", e.MaxNZ)
+	}
+	if f := e.Fill(m.NNZ()); math.Abs(f-1) > 1e-12 {
+		t.Errorf("regular matrix ELL fill should be 1, got %v", f)
+	}
+	x := randVec(m.Cols, 4)
+	y1, y2 := make([]float64, m.Rows), make([]float64, m.Rows)
+	m.MulVec(x, y1)
+	e.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "ELL MulVec")
+}
+
+func TestELLBudgetExceeded(t *testing.T) {
+	m := PowerLaw(200, 8, 1.5, 13)
+	maxLen := 0
+	for i := 0; i < m.Rows; i++ {
+		if l := m.RowLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen < 3 {
+		t.Skip("power-law draw too tame")
+	}
+	if _, err := m.ToELL(maxLen - 1); err == nil {
+		t.Error("expected ErrRowTooLong")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Stencil2D(3, 3)
+	d := m.Diag()
+	for i, v := range d {
+		if v != 4 {
+			t.Errorf("diag[%d] = %v, want 4", i, v)
+		}
+	}
+}
+
+// Property: all four formats produce the same SpMV result on random
+// matrices.
+func TestQuickFormatAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		s := seed % 1000
+		m := RandomUniform(40, 150, s)
+		x := randVec(40, s+1)
+		ref := make([]float64, 40)
+		m.MulVec(x, ref)
+
+		coo := m.ToCOO()
+		y := make([]float64, 40)
+		coo.MulVec(x, y)
+		for i := range y {
+			if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+				return false
+			}
+		}
+		if e, err := m.ToELL(0); err == nil {
+			e.MulVec(x, y)
+			for i := range y {
+				if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+					return false
+				}
+			}
+		}
+		if d, err := m.ToDIA(0); err == nil {
+			d.MulVec(x, y)
+			for i := range y {
+				if math.Abs(y[i]-ref[i]) > 1e-9*(1+math.Abs(ref[i])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeaturesStencil(t *testing.T) {
+	m := Stencil2D(10, 10)
+	f := ComputeFeatures(m)
+	if f.NumRows != 100 || f.NNZ != float64(m.NNZ()) {
+		t.Errorf("size features wrong: %+v", f)
+	}
+	if f.DIAFill > 1.5 {
+		t.Errorf("stencil DIA fill should be near 1, got %v", f.DIAFill)
+	}
+	if f.AvgNZPerRow < 3 || f.AvgNZPerRow > 5 {
+		t.Errorf("AvgNZPerRow = %v", f.AvgNZPerRow)
+	}
+	if len(f.Vector()) != len(FeatureNames()) {
+		t.Error("Vector/FeatureNames length mismatch")
+	}
+}
+
+func TestFeaturesPowerLawVsRegular(t *testing.T) {
+	pl := ComputeFeatures(PowerLaw(300, 10, 1.6, 3))
+	reg := ComputeFeatures(RegularRandom(300, 10, 3))
+	if pl.RowLenStdDev <= reg.RowLenStdDev {
+		t.Errorf("power-law RL-SD (%v) should exceed regular (%v)", pl.RowLenStdDev, reg.RowLenStdDev)
+	}
+	if pl.ELLFill <= reg.ELLFill {
+		t.Errorf("power-law ELL fill (%v) should exceed regular (%v)", pl.ELLFill, reg.ELLFill)
+	}
+	if math.Abs(reg.ELLFill-1) > 1e-9 {
+		t.Errorf("regular ELL fill should be 1, got %v", reg.ELLFill)
+	}
+}
+
+func TestXReuse(t *testing.T) {
+	m := Banded(50, []int{-1, 0, 1}, 1)
+	r := XReuse(m)
+	if r < 2 || r > 3.5 {
+		t.Errorf("tridiagonal reuse ~3, got %v", r)
+	}
+	empty := &CSR{Rows: 2, Cols: 2, RowPtr: []int32{0, 0, 0}}
+	if XReuse(empty) != 1 {
+		t.Error("empty matrix reuse should be 1")
+	}
+}
+
+func TestSPDIsSymmetricDominant(t *testing.T) {
+	base := RandomUniform(40, 100, 9)
+	m := SPD(base, 1.5, 1)
+	tt := m.Transpose()
+	x := randVec(40, 5)
+	y1, y2 := make([]float64, 40), make([]float64, 40)
+	m.MulVec(x, y1)
+	tt.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-9, "SPD symmetry")
+	d := m.Diag()
+	for i := 0; i < m.Rows; i++ {
+		var off float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if int(m.ColIdx[p]) != i {
+				off += math.Abs(m.Vals[p])
+			}
+		}
+		if d[i] <= off {
+			t.Fatalf("row %d not strictly dominant: diag %v vs off %v", i, d[i], off)
+		}
+	}
+}
+
+func TestGeneratorsShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *CSR
+	}{
+		{"stencil2d", Stencil2D(6, 7)},
+		{"stencil3d", Stencil3D(4, 3, 5)},
+		{"banded", Banded(30, []int{-2, 0, 2}, 1)},
+		{"regular", RegularRandom(30, 4, 2)},
+		{"powerlaw", PowerLaw(60, 6, 1.8, 3)},
+		{"clustered", BlockClustered(50, 8, 16, 4)},
+		{"uniform", RandomUniform(30, 90, 5)},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+		if c.m.NNZ() == 0 {
+			t.Errorf("%s: empty matrix", c.name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(50, 5, 1.7, 42)
+	b := PowerLaw(50, 5, 1.7, 42)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different matrices")
+	}
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+}
+
+func TestEmptyRowsThroughVariants(t *testing.T) {
+	// A matrix with many completely empty rows must flow through every
+	// feasible variant without panicking and still produce the right product.
+	coo := &COO{Rows: 500, Cols: 500}
+	for i := 0; i < 500; i += 5 { // only every fifth row has entries
+		coo.RowIdx = append(coo.RowIdx, int32(i))
+		coo.ColIdx = append(coo.ColIdx, int32((i*3)%500))
+		coo.Vals = append(coo.Vals, 1.5)
+	}
+	m := coo.ToCSR()
+	p, err := NewProblem(m, randVec(500, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, 500)
+	m.MulVec(p.X, ref)
+	for _, v := range ExtendedVariants() {
+		if v.Constraint != nil && !v.Constraint(p) {
+			continue
+		}
+		res, err := v.Run(p, dev())
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		vecAlmostEqual(t, ref, res.Y, 1e-12, v.Name)
+	}
+}

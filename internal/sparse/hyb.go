@@ -1,0 +1,89 @@
+package sparse
+
+import "sort"
+
+// HYB is CUSP's hybrid format: an ELL part holding up to Width entries per
+// row (the "typical" row length) and a COO part holding the overflow of the
+// long rows. It combines ELL's coalesced regular access with COO's
+// insensitivity to row-length skew, and is the format CUSP recommends as the
+// general-purpose default.
+type HYB struct {
+	Ell *ELL
+	Coo *COO
+}
+
+// NNZ returns the stored-entry count across both parts.
+func (m *HYB) NNZ() int { return m.Ell.Rows*m.Ell.MaxNZ - m.ellPadding() + m.Coo.NNZ() }
+
+func (m *HYB) ellPadding() int {
+	pad := 0
+	for _, c := range m.Ell.ColIdx {
+		if c < 0 {
+			pad++
+		}
+	}
+	return pad
+}
+
+// MulVec computes y = A*x with the reference HYB kernel (ELL part then COO
+// accumulation).
+func (m *HYB) MulVec(x, y []float64) {
+	m.Ell.MulVec(x, y)
+	for i := range m.Coo.Vals {
+		y[m.Coo.RowIdx[i]] += m.Coo.Vals[i] * x[m.Coo.ColIdx[i]]
+	}
+}
+
+// TypicalWidth returns CUSP's heuristic ELL width for a matrix: the largest
+// width w such that at least two thirds of the rows have w or more entries —
+// bounded so the ELL part never stores more than ~1.5x the nonzeros.
+func TypicalWidth(m *CSR) int {
+	if m.Rows == 0 {
+		return 0
+	}
+	lens := make([]int, m.Rows)
+	for i := range lens {
+		lens[i] = m.RowLen(i)
+	}
+	sort.Ints(lens)
+	// Width at the 33rd percentile: two thirds of rows are at least this
+	// long, so padding waste in the ELL part stays low.
+	w := lens[m.Rows/3]
+	if w < 1 {
+		w = 1
+	}
+	for w > 1 && w*m.Rows > 3*m.NNZ()/2 {
+		w--
+	}
+	return w
+}
+
+// ToHYB splits the matrix at the given ELL width (<= 0 selects
+// TypicalWidth): the first width entries of each row go to the ELL part, the
+// rest to the COO part.
+func (m *CSR) ToHYB(width int) *HYB {
+	if width <= 0 {
+		width = TypicalWidth(m)
+	}
+	ell := &ELL{Rows: m.Rows, Cols: m.Cols, MaxNZ: width,
+		ColIdx: make([]int32, m.Rows*width), Vals: make([]float64, m.Rows*width)}
+	for i := range ell.ColIdx {
+		ell.ColIdx[i] = -1
+	}
+	coo := &COO{Rows: m.Rows, Cols: m.Cols}
+	for i := 0; i < m.Rows; i++ {
+		k := 0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			if k < width {
+				ell.ColIdx[k*m.Rows+i] = m.ColIdx[p]
+				ell.Vals[k*m.Rows+i] = m.Vals[p]
+				k++
+				continue
+			}
+			coo.RowIdx = append(coo.RowIdx, int32(i))
+			coo.ColIdx = append(coo.ColIdx, m.ColIdx[p])
+			coo.Vals = append(coo.Vals, m.Vals[p])
+		}
+	}
+	return &HYB{Ell: ell, Coo: coo}
+}

@@ -1,0 +1,174 @@
+package sparse
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestToHYBAgreesWithCSR(t *testing.T) {
+	for _, m := range []*CSR{
+		Stencil2D(12, 14),
+		PowerLaw(300, 8, 1.5, 3),
+		RegularRandom(200, 5, 4),
+		RandomUniform(150, 600, 5),
+	} {
+		h := m.ToHYB(0)
+		x := randVec(m.Cols, 1)
+		y1, y2 := make([]float64, m.Rows), make([]float64, m.Rows)
+		m.MulVec(x, y1)
+		h.MulVec(x, y2)
+		vecAlmostEqual(t, y1, y2, 1e-12, "HYB MulVec")
+		if h.NNZ() != m.NNZ() {
+			t.Errorf("HYB stores %d entries, CSR %d", h.NNZ(), m.NNZ())
+		}
+	}
+}
+
+func TestTypicalWidth(t *testing.T) {
+	reg := RegularRandom(100, 7, 1)
+	if w := TypicalWidth(reg); w != 7 {
+		t.Errorf("regular matrix typical width = %d, want 7", w)
+	}
+	pl := PowerLaw(500, 10, 1.4, 2)
+	w := TypicalWidth(pl)
+	maxLen := 0
+	for i := 0; i < pl.Rows; i++ {
+		if l := pl.RowLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	if w >= maxLen {
+		t.Errorf("power-law typical width %d should be far below max row %d", w, maxLen)
+	}
+	// ELL storage bound: width*rows <= 1.5*nnz (or width 1).
+	if w > 1 && w*pl.Rows > 3*pl.NNZ()/2 {
+		t.Errorf("typical width %d violates the storage bound", w)
+	}
+	if TypicalWidth(&CSR{RowPtr: []int32{0}}) != 0 {
+		t.Error("empty matrix width should be 0")
+	}
+}
+
+func TestToHYBExplicitWidth(t *testing.T) {
+	m := PowerLaw(200, 6, 1.5, 7)
+	h := m.ToHYB(2)
+	if h.Ell.MaxNZ != 2 {
+		t.Errorf("explicit width ignored: %d", h.Ell.MaxNZ)
+	}
+	x := randVec(m.Cols, 2)
+	y1, y2 := make([]float64, m.Rows), make([]float64, m.Rows)
+	m.MulVec(x, y1)
+	h.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "HYB width-2 MulVec")
+}
+
+func TestQuickHYBSplitPreservesProduct(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		m := RandomUniform(50, 200, seed%300)
+		h := m.ToHYB(int(width%10) + 1)
+		x := randVec(50, seed+1)
+		y1, y2 := make([]float64, 50), make([]float64, 50)
+		m.MulVec(x, y1)
+		h.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendedVariantsCorrectAndFeasible(t *testing.T) {
+	m := PowerLaw(2000, 10, 1.4, 11)
+	p, _ := NewProblem(m, randVec(m.Cols, 3))
+	ref := make([]float64, m.Rows)
+	m.MulVec(p.X, ref)
+	names := ExtendedVariantNames()
+	if len(names) != 8 || names[6] != "COO" || names[7] != "HYB" {
+		t.Fatalf("extended set wrong: %v", names)
+	}
+	for _, v := range ExtendedVariants()[6:] {
+		res, err := v.Run(p, dev())
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		vecAlmostEqual(t, ref, res.Y, 1e-9, v.Name)
+		if res.Seconds <= 0 {
+			t.Fatalf("%s: bad time", v.Name)
+		}
+	}
+}
+
+func TestCOOBeatsCSROnExtremeSkew(t *testing.T) {
+	// One gigantic row dwarfs everything: CSR-Vec eats the imbalance, the
+	// flat COO kernel does not.
+	coo := &COO{Rows: 20000, Cols: 20000}
+	for i := 0; i < 20000; i++ {
+		coo.RowIdx = append(coo.RowIdx, int32(i))
+		coo.ColIdx = append(coo.ColIdx, int32(i))
+		coo.Vals = append(coo.Vals, 1)
+	}
+	for j := 0; j < 15000; j++ {
+		coo.RowIdx = append(coo.RowIdx, 0)
+		coo.ColIdx = append(coo.ColIdx, int32(j+1))
+		coo.Vals = append(coo.Vals, 0.1)
+	}
+	m := coo.ToCSR()
+	p, _ := NewProblem(m, randVec(m.Cols, 4))
+	rCSR, err := CSRVec(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCOO, err := COOFlat(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rCOO.Seconds >= rCSR.Seconds {
+		t.Errorf("COO (%v) should beat CSR-Vec (%v) on a one-monster-row matrix", rCOO.Seconds, rCSR.Seconds)
+	}
+}
+
+func TestHYBCompetitiveOnMildSkew(t *testing.T) {
+	// Mostly-regular rows with a few heavy ones: HYB should beat pure COO
+	// (its ELL part streams the regular majority) and the best extended
+	// variant should not be a padded pure format.
+	base := RegularRandom(20000, 8, 5).ToCOO()
+	for j := 0; j < 4000; j++ {
+		base.RowIdx = append(base.RowIdx, int32(j%37))
+		base.ColIdx = append(base.ColIdx, int32((j*131)%20000))
+		base.Vals = append(base.Vals, 0.01)
+	}
+	m := base.ToCSR()
+	p, _ := NewProblem(m, randVec(m.Cols, 6))
+	rHYB, err := HYBKernel(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCOO, err := COOFlat(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCSR, err := CSRVec(p, dev())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HYB's ELL part streams the regular majority without CSR-Vec's
+	// warp-waste penalty, and stays within range of the flat COO kernel
+	// (both pay the same x-gather).
+	if rHYB.Seconds >= rCSR.Seconds {
+		t.Errorf("HYB (%v) should beat CSR-Vec (%v) on fine regular rows", rHYB.Seconds, rCSR.Seconds)
+	}
+	if rHYB.Seconds > rCOO.Seconds*1.25 {
+		t.Errorf("HYB (%v) should be competitive with flat COO (%v)", rHYB.Seconds, rCOO.Seconds)
+	}
+	name, _ := BestExtended(p, dev())
+	if strings.HasPrefix(name, "DIA") {
+		t.Errorf("best extended variant = %s, DIA should be vetoed/poor here", name)
+	}
+}

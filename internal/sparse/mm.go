@@ -1,0 +1,119 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate/real/general format,
+// the interchange format of the UFL collection the paper trains from.
+// Indices are 1-based on the wire per the format specification.
+func WriteMatrixMarket(w io.Writer, m *COO) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := range m.Vals {
+		if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", m.RowIdx[i]+1, m.ColIdx[i]+1, m.Vals[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file. The general,
+// symmetric and pattern qualifiers are supported (symmetric entries are
+// mirrored, pattern entries get value 1).
+func ReadMatrixMarket(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: only coordinate format supported, got %q", header[2])
+	}
+	pattern := header[3] == "pattern"
+	symmetric := len(header) > 4 && (header[4] == "symmetric" || header[4] == "skew-symmetric")
+	skew := len(header) > 4 && header[4] == "skew-symmetric"
+
+	// Skip comments, read size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", rows, cols)
+	}
+	m := &COO{Rows: rows, Cols: cols}
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		ri, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q", fields[0])
+		}
+		ci, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad col index %q", fields[1])
+		}
+		v := 1.0
+		if !pattern {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q", fields[2])
+			}
+		}
+		if ri < 1 || ri > rows || ci < 1 || ci > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", ri, ci, rows, cols)
+		}
+		m.RowIdx = append(m.RowIdx, int32(ri-1))
+		m.ColIdx = append(m.ColIdx, int32(ci-1))
+		m.Vals = append(m.Vals, v)
+		if symmetric && ri != ci {
+			mv := v
+			if skew {
+				mv = -v
+			}
+			m.RowIdx = append(m.RowIdx, int32(ci-1))
+			m.ColIdx = append(m.ColIdx, int32(ri-1))
+			m.Vals = append(m.Vals, mv)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, found %d", nnz, read)
+	}
+	return m, nil
+}

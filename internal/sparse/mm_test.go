@@ -1,0 +1,115 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := RandomUniform(25, 80, 3).ToCOO()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.ToCSR(), back.ToCSR()
+	if a.NNZ() != b.NNZ() || a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape changed: %dx%d/%d vs %dx%d/%d", a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+	}
+	x := randVec(a.Cols, 1)
+	y1, y2 := make([]float64, a.Rows), make([]float64, a.Rows)
+	a.MulVec(x, y1)
+	b.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "MM round trip")
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 -1.0
+3 3 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 { // two off-diagonals mirrored
+		t.Errorf("symmetric expansion produced %d entries, want 6", m.NNZ())
+	}
+	csr := m.ToCSR()
+	tt := csr.Transpose()
+	x := []float64{1, 2, 3}
+	y1, y2 := make([]float64, 3), make([]float64, 3)
+	csr.MulVec(x, y1)
+	tt.MulVec(x, y2)
+	vecAlmostEqual(t, y1, y2, 1e-12, "symmetric matrix")
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 1 || m.Vals[1] != 1 {
+		t.Errorf("pattern values should be 1: %v", m.Vals)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage header\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n-1 2 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+// Property: MatrixMarket write/read round-trips arbitrary random matrices.
+func TestQuickMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64, nz uint8) bool {
+		n := 10 + int(seed%20+20)%20
+		m := RandomUniform(n, n*(1+int(nz%8)), seed%997).ToCOO()
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		a, b := m.ToCSR(), back.ToCSR()
+		if a.NNZ() != b.NNZ() {
+			return false
+		}
+		for i := range a.Vals {
+			if a.Vals[i] != b.Vals[i] || a.ColIdx[i] != b.ColIdx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nitro/internal/gpusim"
+)
+
+// Conversion budgets: beyond these the DIA/ELL representations explode in
+// memory and the variants are structurally infeasible (their constraints
+// veto them, as in the paper's __dia_cutoff example).
+const (
+	MaxDIADiagonals = 2048
+	MaxELLWidth     = 2048
+	// DIAFillCutoff and ELLFillCutoff veto the padded formats when the
+	// wasted storage exceeds the cutoff multiple of nnz.
+	DIAFillCutoff = 20.0
+	ELLFillCutoff = 12.0
+)
+
+// Problem is one SpMV instance: a CSR matrix and an input vector, with the
+// derived formats and features cached so repeated variant executions (as in
+// exhaustive search) do not pay conversion repeatedly.
+type Problem struct {
+	A *CSR
+	X []float64
+
+	feats    *Features
+	reuse    float64
+	haveDIA  bool
+	dia      *DIA
+	diaErr   error
+	haveELL  bool
+	ell      *ELL
+	ellErr   error
+	haveReus bool
+}
+
+// NewProblem validates dimensions and wraps the matrix/vector pair.
+func NewProblem(a *CSR, x []float64) (*Problem, error) {
+	if a == nil {
+		return nil, errors.New("sparse: nil matrix")
+	}
+	if len(x) != a.Cols {
+		return nil, fmt.Errorf("sparse: x has %d entries, matrix has %d columns", len(x), a.Cols)
+	}
+	return &Problem{A: a, X: x}, nil
+}
+
+// Features returns the cached selection features.
+func (p *Problem) Features() Features {
+	if p.feats == nil {
+		f := ComputeFeatures(p.A)
+		p.feats = &f
+	}
+	return *p.feats
+}
+
+// Reuse returns the cached x-vector reuse factor.
+func (p *Problem) Reuse() float64 {
+	if !p.haveReus {
+		p.reuse = XReuse(p.A)
+		p.haveReus = true
+	}
+	return p.reuse
+}
+
+// DIA returns the cached DIA conversion (or its failure).
+func (p *Problem) DIA() (*DIA, error) {
+	if !p.haveDIA {
+		p.dia, p.diaErr = p.A.ToDIA(MaxDIADiagonals)
+		p.haveDIA = true
+	}
+	return p.dia, p.diaErr
+}
+
+// ELL returns the cached ELL conversion (or its failure).
+func (p *Problem) ELL() (*ELL, error) {
+	if !p.haveELL {
+		p.ell, p.ellErr = p.A.ToELL(MaxELLWidth)
+		p.haveELL = true
+	}
+	return p.ell, p.ellErr
+}
+
+// Result is a variant execution: the computed product and the simulated GPU
+// time. Variants return the time as their optimization value, matching the
+// paper's convention that operator() returns a double-precision cost.
+type Result struct {
+	Y       []float64
+	Seconds float64
+}
+
+// Variant is one SpMV code variant: a runner plus an optional constraint
+// (false vetoes the variant for this input).
+type Variant struct {
+	Name       string
+	Run        func(p *Problem, dev *gpusim.Device) (Result, error)
+	Constraint func(p *Problem) bool
+}
+
+// Variants returns the paper's six SpMV code variants in a fixed order:
+// CSR-Vec, DIA, ELL, CSR-Tx, DIA-Tx, ELL-Tx.
+func Variants() []Variant {
+	diaOK := func(p *Problem) bool {
+		if f := p.Features(); f.DIAFill > DIAFillCutoff {
+			return false
+		}
+		_, err := p.DIA()
+		return err == nil
+	}
+	ellOK := func(p *Problem) bool {
+		if f := p.Features(); f.ELLFill > ELLFillCutoff {
+			return false
+		}
+		_, err := p.ELL()
+		return err == nil
+	}
+	return []Variant{
+		{Name: "CSR-Vec", Run: CSRVec},
+		{Name: "DIA", Run: DIAKernel, Constraint: diaOK},
+		{Name: "ELL", Run: ELLKernel, Constraint: ellOK},
+		{Name: "CSR-Tx", Run: CSRVecTx},
+		{Name: "DIA-Tx", Run: DIATx, Constraint: diaOK},
+		{Name: "ELL-Tx", Run: ELLTx, Constraint: ellOK},
+	}
+}
+
+// VariantNames returns the names in Variants order.
+func VariantNames() []string {
+	vs := Variants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// ChargeCSRSpMV charges one CSR-vector SpMV (including the x gather through
+// the global path) to an existing kernel; iterative solvers use it to account
+// their per-iteration matrix-vector cost.
+func ChargeCSRSpMV(k *gpusim.Kernel, m *CSR, reuse float64) {
+	p := &Problem{A: m, reuse: reuse, haveReus: true}
+	csrTraffic(p, k)
+	k.Gather(m.NNZ(), 8, float64(8*m.Cols), reuse)
+}
+
+// csrTraffic charges the CSR index/value streams shared by both CSR variants
+// and returns the active-lane fraction of the warp-per-row decomposition.
+func csrTraffic(p *Problem, k *gpusim.Kernel) {
+	m := p.A
+	k.GlobalRead(float64(8 * m.Rows))        // row pointers (two per row)
+	k.GlobalRead(float64(4 * m.NNZ()))       // column indices
+	k.GlobalRead(float64(8 * m.NNZ()))       // values
+	k.GlobalWrite(float64(8 * m.Rows))       // y
+	k.ComputeDP(float64(2*m.NNZ() + m.Rows)) // FMA per entry + reduction tail
+
+	// Warp-per-row: lanes beyond the row length idle in every instruction,
+	// so rows shorter than the warp waste the whole pipeline, not just ALU
+	// slots. The floor keeps the penalty at the ~4x that csr_vector shows
+	// against csr_scalar on one-entry rows.
+	padded := 0
+	maxLen, sum := 0, 0
+	for i := 0; i < m.Rows; i++ {
+		l := m.RowLen(i)
+		padded += (l + 31) / 32 * 32
+		if l == 0 {
+			padded += 32
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+		sum += l
+	}
+	if padded > 0 {
+		eff := float64(sum) / float64(padded)
+		if eff < 0.25 {
+			eff = 0.25
+		}
+		k.Throughput(eff)
+	}
+	if m.Rows > 0 && sum > 0 {
+		k.Imbalance(float64(maxLen), float64(sum)/float64(m.Rows))
+	}
+}
+
+// CSRVec is the CUSP csr_vector kernel: one warp per row, x gathered through
+// the plain global-memory path.
+func CSRVec(p *Problem, dev *gpusim.Device) (Result, error) {
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_csr_vector", p.A.Rows*dev.WarpSize)
+	csrTraffic(p, k)
+	k.Gather(p.A.NNZ(), 8, float64(8*p.A.Cols), p.Reuse())
+	run.Done(k)
+
+	y := make([]float64, p.A.Rows)
+	p.A.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// CSRVecTx is CSRVec with the input vector bound to the texture cache.
+func CSRVecTx(p *Problem, dev *gpusim.Device) (Result, error) {
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_csr_vector_tex", p.A.Rows*dev.WarpSize)
+	csrTraffic(p, k)
+	k.TextureGather(p.A.NNZ(), 8, float64(8*p.A.Cols), p.Reuse())
+	run.Done(k)
+
+	y := make([]float64, p.A.Rows)
+	p.A.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// diaTraffic charges the diagonal-format streams shared by both DIA variants.
+func diaTraffic(d *DIA, k *gpusim.Kernel) {
+	cells := d.Rows * d.NDiags()
+	k.GlobalRead(float64(8 * cells))      // diagonal data (padded)
+	k.GlobalRead(float64(4 * d.NDiags())) // offsets
+	k.GlobalWrite(float64(8 * d.Rows))    // y
+	k.ComputeDP(float64(2 * cells))       // FMA per stored cell
+	k.Latency(float64(d.NDiags()) * 2)    // per-diagonal loop overhead
+	_ = cells
+}
+
+// DIAKernel is the CUSP dia kernel: one thread per row marching over the
+// stored diagonals; x is read with unit stride per diagonal (coalesced).
+func DIAKernel(p *Problem, dev *gpusim.Device) (Result, error) {
+	d, err := p.DIA()
+	if err != nil {
+		return Result{}, err
+	}
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_dia", d.Rows)
+	diaTraffic(d, k)
+	k.GlobalRead(float64(8 * d.Rows * d.NDiags())) // x, coalesced per diagonal
+	run.Done(k)
+
+	y := make([]float64, d.Rows)
+	d.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// DIATx is DIAKernel with x read through the texture cache; sequential
+// texture fetches have near-perfect spatial locality, modelled as a high
+// effective reuse (4 elements per cache line times the per-element reuse
+// across diagonals).
+func DIATx(p *Problem, dev *gpusim.Device) (Result, error) {
+	d, err := p.DIA()
+	if err != nil {
+		return Result{}, err
+	}
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_dia_tex", d.Rows)
+	diaTraffic(d, k)
+	k.TextureGather(d.Rows*d.NDiags(), 8, float64(8*d.Cols), 4*math.Max(float64(d.NDiags()), 1))
+	run.Done(k)
+
+	y := make([]float64, d.Rows)
+	d.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// ellTraffic charges the ELL streams shared by both ELL variants.
+func ellTraffic(p *Problem, e *ELL, k *gpusim.Kernel) {
+	cells := e.Rows * e.MaxNZ
+	k.GlobalRead(float64(4 * cells)) // column indices (padded, coalesced)
+	k.GlobalRead(float64(8 * cells)) // values (padded, coalesced)
+	k.GlobalWrite(float64(8 * e.Rows))
+	k.ComputeDP(float64(2 * cells))
+	// Padding slots branch away: active fraction is nnz over padded cells.
+	if cells > 0 {
+		k.Divergence(float64(p.A.NNZ()) / float64(cells))
+	}
+}
+
+// ELLKernel is the CUSP ell kernel: one thread per row over the padded
+// column-major arrays, x gathered through the global path.
+func ELLKernel(p *Problem, dev *gpusim.Device) (Result, error) {
+	e, err := p.ELL()
+	if err != nil {
+		return Result{}, err
+	}
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_ell", e.Rows)
+	ellTraffic(p, e, k)
+	k.Gather(p.A.NNZ(), 8, float64(8*p.A.Cols), p.Reuse())
+	run.Done(k)
+
+	y := make([]float64, e.Rows)
+	e.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// ELLTx is ELLKernel with texture-cached x gathers.
+func ELLTx(p *Problem, dev *gpusim.Device) (Result, error) {
+	e, err := p.ELL()
+	if err != nil {
+		return Result{}, err
+	}
+	run := gpusim.NewRun(dev)
+	k := run.Launch("spmv_ell_tex", e.Rows)
+	ellTraffic(p, e, k)
+	k.TextureGather(p.A.NNZ(), 8, float64(8*p.A.Cols), p.Reuse())
+	run.Done(k)
+
+	y := make([]float64, e.Rows)
+	e.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import (
+	"math"
+
+	"nitro/internal/gpusim"
+)
+
+// This file holds the extension variant set beyond the paper's six: the
+// CUSP COO (flat segmented-reduction) kernel and the HYB (ELL+COO) kernel.
+// They are not part of the Fig. 4 reproduction, but DESIGN.md's extension
+// experiment uses them to show Nitro absorbing a richer variant space
+// without any framework change.
+
+// cooCharge accounts a COO flat kernel over nnz entries.
+func cooCharge(p *Problem, k *gpusim.Kernel, nnz int) {
+	k.GlobalRead(float64(16 * nnz)) // row idx + col idx + value
+	k.Gather(nnz, 8, float64(8*p.A.Cols), p.Reuse())
+	// Segmented reduction: carry propagation between warps plus scattered
+	// partial-sum writes, but perfectly balanced regardless of row lengths.
+	k.ComputeDP(float64(4 * nnz))
+	k.Gather(nnz/32+1, 8, float64(8*p.A.Rows), 1) // per-warp carry writes
+}
+
+// COOFlat is the CUSP coo_flat kernel: one thread per nonzero with a
+// segmented reduction, completely insensitive to row-length distribution.
+func COOFlat(p *Problem, dev *gpusim.Device) (Result, error) {
+	run := gpusim.NewRun(dev)
+	nnz := p.A.NNZ()
+	k := run.Launch("spmv_coo_flat", nnz)
+	cooCharge(p, k, nnz)
+	run.Done(k)
+
+	y := make([]float64, p.A.Rows)
+	coo := p.A.ToCOO()
+	coo.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// hyb caches the HYB conversion on the problem via a tiny side table keyed
+// by the problem pointer-free way: recompute is cheap relative to variant
+// execution, so no cache is kept.
+func hybOf(p *Problem) *HYB { return p.A.ToHYB(0) }
+
+// HYBKernel is the CUSP hyb kernel: the ELL part runs the regular coalesced
+// kernel, the COO overflow runs the flat kernel.
+func HYBKernel(p *Problem, dev *gpusim.Device) (Result, error) {
+	h := hybOf(p)
+	run := gpusim.NewRun(dev)
+
+	ke := run.Launch("spmv_hyb_ell", h.Ell.Rows)
+	cells := h.Ell.Rows * h.Ell.MaxNZ
+	ke.GlobalRead(float64(12 * cells))
+	ke.GlobalWrite(float64(8 * h.Ell.Rows))
+	ke.ComputeDP(float64(2 * cells))
+	stored := cells
+	if pad := h.ellPadding(); pad > 0 {
+		stored -= pad
+		if cells > 0 {
+			ke.Divergence(float64(stored) / float64(cells))
+		}
+	}
+	ke.Gather(stored, 8, float64(8*p.A.Cols), p.Reuse())
+	run.Done(ke)
+
+	if n := h.Coo.NNZ(); n > 0 {
+		kc := run.Launch("spmv_hyb_coo", n)
+		cooCharge(p, kc, n)
+		run.Done(kc)
+	}
+
+	y := make([]float64, p.A.Rows)
+	h.MulVec(p.X, y)
+	return Result{Y: y, Seconds: run.Seconds()}, nil
+}
+
+// ExtendedVariants returns the paper's six variants plus the COO and HYB
+// extension kernels (eight in total).
+func ExtendedVariants() []Variant {
+	return append(Variants(),
+		Variant{Name: "COO", Run: COOFlat},
+		Variant{Name: "HYB", Run: HYBKernel},
+	)
+}
+
+// ExtendedVariantNames returns the names in ExtendedVariants order.
+func ExtendedVariantNames() []string {
+	vs := ExtendedVariants()
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// BestExtended runs every feasible extended variant and returns the winning
+// name, for diagnostics.
+func BestExtended(p *Problem, dev *gpusim.Device) (string, float64) {
+	best, bestT := "", math.Inf(1)
+	for _, v := range ExtendedVariants() {
+		if v.Constraint != nil && !v.Constraint(p) {
+			continue
+		}
+		res, err := v.Run(p, dev)
+		if err != nil {
+			continue
+		}
+		if res.Seconds < bestT {
+			best, bestT = v.Name, res.Seconds
+		}
+	}
+	return best, bestT
+}

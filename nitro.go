@@ -1,0 +1,98 @@
+// Package nitro is a Go implementation of Nitro, the programmer-directed
+// autotuning framework for adaptive code-variant selection described in
+//
+//	Muralidharan, Shantharam, Hall, Garland, Catanzaro.
+//	"Nitro: A Framework for Adaptive Code Variant Tuning." IPDPS 2014.
+//
+// Expert programmers register code variants — functionally equivalent
+// implementations of one computation — together with input-feature functions
+// and optional per-variant constraints. An offline autotuner labels training
+// inputs by exhaustive search, fits a multi-class SVM (RBF kernel, features
+// scaled to [-1, 1], cross-validated parameter search), and installs the
+// model so that deployment-time calls select the best variant for each new
+// input from its features alone. Incremental tuning (Best-vs-Second-Best
+// active learning) cuts the number of exhaustively searched training inputs,
+// and feature evaluation can run in parallel or asynchronously.
+//
+// The package is a thin facade over internal/core (the library runtime) and
+// internal/autotuner (the offline tuner). The five benchmark substrates the
+// paper evaluates on — SpMV, sparse linear solvers, BFS, histogram and sort,
+// each with every code variant implemented and costed on a deterministic GPU
+// model — live under internal/ and are exercised by the example programs,
+// the experiment harnesses in cmd/, and the benchmarks at the repo root.
+//
+// Minimal usage:
+//
+//	cx := nitro.NewContext()
+//	cv := nitro.NewCodeVariant[MyInput](cx, nitro.DefaultPolicy("mine"))
+//	cv.AddVariant("fast-small", fastSmall)
+//	cv.AddVariant("fast-large", fastLarge)
+//	cv.SetDefault("fast-small")
+//	cv.AddInputFeature(nitro.Feature[MyInput]{Name: "size", Eval: size})
+//
+//	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{GridSearch: true})
+//	tuner.Tune(trainingInputs)     // exhaustive search + SVM fit
+//
+//	value, chosen, err := cv.Call(input)  // adaptive dispatch
+package nitro
+
+import (
+	"nitro/internal/autotuner"
+	"nitro/internal/core"
+)
+
+// Context maintains global tuning state (models, statistics) shared by the
+// code variants of a program; it mirrors nitro::context in the paper.
+type Context = core.Context
+
+// NewContext returns an empty tuning context.
+func NewContext() *Context { return core.NewContext() }
+
+// TuningPolicy carries per-function tuning options (the contents of the
+// paper's generated tuning_policies header).
+type TuningPolicy = core.TuningPolicy
+
+// DefaultPolicy returns the paper's defaults for a named tunable function:
+// constraints enabled, serial synchronous feature evaluation.
+func DefaultPolicy(name string) TuningPolicy { return core.DefaultPolicy(name) }
+
+// CodeVariant is a tunable function with registered variants, features and
+// constraints; it mirrors nitro::code_variant.
+type CodeVariant[In any] = core.CodeVariant[In]
+
+// NewCodeVariant creates a tunable function bound to a context.
+func NewCodeVariant[In any](cx *Context, policy TuningPolicy) *CodeVariant[In] {
+	return core.New[In](cx, policy)
+}
+
+// VariantFn executes one code variant and returns its optimization value
+// (by convention, the time taken; any minimized criterion works).
+type VariantFn[In any] = core.VariantFn[In]
+
+// ConstraintFn vetoes a variant for an input when it returns false.
+type ConstraintFn[In any] = core.ConstraintFn[In]
+
+// Feature is an input-feature function with an optional evaluation-cost
+// model used for overhead accounting.
+type Feature[In any] = core.Feature[In]
+
+// CallStats aggregates deployment-time selection statistics.
+type CallStats = core.CallStats
+
+// TrainOptions configures the offline tuner's classifier ("svm", "knn" or
+// "tree") and the cross-validated grid search.
+type TrainOptions = autotuner.TrainOptions
+
+// TuneReport summarizes a training run: label distribution, skipped inputs,
+// training accuracy and grid-search outcome.
+type TuneReport = autotuner.Report
+
+// Autotuner drives the offline pipeline for one code variant: exhaustive
+// search over training inputs, feature scaling, classifier fit, and model
+// installation; it mirrors the paper's Python nitro.autotuner.
+type Autotuner[In any] = autotuner.Tuner[In]
+
+// NewAutotuner builds an offline tuner for cv.
+func NewAutotuner[In any](cv *CodeVariant[In], opts TrainOptions) *Autotuner[In] {
+	return &Autotuner[In]{CV: cv, Opts: opts}
+}

@@ -1,0 +1,148 @@
+package nitro_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nitro"
+)
+
+// toy is a minimal tunable-function input for exercising the public facade.
+type toy struct{ x float64 }
+
+func buildToy(t testing.TB, policy nitro.TuningPolicy) *nitro.CodeVariant[toy] {
+	t.Helper()
+	cx := nitro.NewContext()
+	cv := nitro.NewCodeVariant[toy](cx, policy)
+	cv.AddVariant("low", func(in toy) float64 { return 1 + in.x })
+	cv.AddVariant("high", func(in toy) float64 { return 21 - in.x })
+	if err := cv.SetDefault("low"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(nitro.Feature[toy]{
+		Name: "x",
+		Eval: func(in toy) float64 { return in.x },
+		Cost: func(toy) float64 { return 1e-7 },
+	})
+	return cv
+}
+
+func toyInputs() []toy {
+	var out []toy
+	for x := 0.0; x <= 20; x++ {
+		out = append(out, toy{x: x})
+	}
+	return out
+}
+
+// TestPublicAPIEndToEnd drives the whole facade: register, tune, persist,
+// reload, adaptively dispatch.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cv := buildToy(t, nitro.DefaultPolicy("toy"))
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{Classifier: "svm", GridSearch: true})
+	rep, err := tuner.Tune(toyInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrainAccuracy < 0.9 {
+		t.Errorf("training accuracy %v", rep.TrainAccuracy)
+	}
+	if _, chosen, _ := cv.Call(toy{x: 2}); chosen != "low" {
+		t.Errorf("x=2 chose %q", chosen)
+	}
+	if _, chosen, _ := cv.Call(toy{x: 18}); chosen != "high" {
+		t.Errorf("x=18 chose %q", chosen)
+	}
+
+	path := filepath.Join(t.TempDir(), "toy.json")
+	if err := cv.Context().SaveModel("toy", path); err != nil {
+		t.Fatal(err)
+	}
+	cx2 := nitro.NewContext()
+	if err := cx2.LoadModel("toy", path); err != nil {
+		t.Fatal(err)
+	}
+	cv2 := nitro.NewCodeVariant[toy](cx2, nitro.DefaultPolicy("toy"))
+	cv2.AddVariant("low", func(in toy) float64 { return 1 + in.x })
+	cv2.AddVariant("high", func(in toy) float64 { return 21 - in.x })
+	_ = cv2.SetDefault("low")
+	cv2.AddInputFeature(nitro.Feature[toy]{Name: "x", Eval: func(in toy) float64 { return in.x }})
+	if _, chosen, _ := cv2.Call(toy{x: 18}); chosen != "high" {
+		t.Errorf("reloaded model chose %q", chosen)
+	}
+}
+
+// TestPublicAPIConstraints verifies deployment-time constraint fallback
+// through the facade.
+func TestPublicAPIConstraints(t *testing.T) {
+	cv := buildToy(t, nitro.DefaultPolicy("toy"))
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{})
+	if _, err := tuner.Tune(toyInputs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cv.AddConstraint("high", func(in toy) bool { return in.x < 15 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, chosen, _ := cv.Call(toy{x: 19}); chosen != "low" {
+		t.Errorf("constraint should force fallback, chose %q", chosen)
+	}
+	stats := cv.Context().Stats("toy")
+	if stats.DefaultFallbacks == 0 {
+		t.Error("fallback not recorded")
+	}
+}
+
+// TestPublicAPIAsyncFeatureEval exercises the FixInputs path.
+func TestPublicAPIAsyncFeatureEval(t *testing.T) {
+	p := nitro.DefaultPolicy("toy")
+	p.AsyncFeatureEval = true
+	p.ParallelFeatureEval = true
+	cv := buildToy(t, p)
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{})
+	if _, err := tuner.Tune(toyInputs()); err != nil {
+		t.Fatal(err)
+	}
+	cv.FixInputs(toy{x: 18})
+	if _, chosen, err := cv.Call(toy{x: 18}); err != nil || chosen != "high" {
+		t.Errorf("async call: %q %v", chosen, err)
+	}
+}
+
+// Ablation benches: feature-evaluation modes (serial, parallel, async) on a
+// live code variant with several features.
+func benchFeatureMode(b *testing.B, parallel, async bool) {
+	p := nitro.DefaultPolicy("toy")
+	p.ParallelFeatureEval = parallel
+	p.AsyncFeatureEval = async
+	cv := buildToy(b, p)
+	for i := 0; i < 4; i++ {
+		cv.AddInputFeature(nitro.Feature[toy]{
+			Name: "extra",
+			Eval: func(in toy) float64 {
+				s := 0.0
+				for k := 0; k < 1000; k++ {
+					s += in.x * float64(k)
+				}
+				return s
+			},
+		})
+	}
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{})
+	if _, err := tuner.Tune(toyInputs()); err != nil {
+		b.Fatal(err)
+	}
+	in := toy{x: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if async {
+			cv.FixInputs(in)
+		}
+		if _, _, err := cv.Call(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFeatureEvalSerial(b *testing.B)   { benchFeatureMode(b, false, false) }
+func BenchmarkAblationFeatureEvalParallel(b *testing.B) { benchFeatureMode(b, true, false) }
+func BenchmarkAblationFeatureEvalAsync(b *testing.B)    { benchFeatureMode(b, true, true) }
