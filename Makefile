@@ -1,0 +1,37 @@
+# Nitro reproduction — build/test/bench entry points.
+#
+# `make ci` is what .github/workflows/ci.yml runs: vet, build, and the full
+# test suite under the race detector (the parallel tuning pipeline is
+# required to be race-clean and bit-identical at every -parallelism setting).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-parallel ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (figures + ablations + ML kernels).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Just the parallel-pipeline benchmarks: grid search (uncached vs cached vs
+# parallel) and corpus labelling (serial vs worker pool).
+bench-parallel:
+	$(GO) test -run xxx -bench 'GridSearch|Fig4Setup' ./internal/ml/ .
+
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

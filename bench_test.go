@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"nitro/internal/autotuner"
 	"nitro/internal/datasets"
@@ -51,11 +52,34 @@ func suites(b *testing.B) []*autotuner.Suite {
 
 // BenchmarkFig4Setup measures corpus construction: generating every input
 // and exhaustively executing every code variant on it (the paper's training
-// data collection cost).
+// data collection cost). Variant labelling fans out over all cores; the
+// reported "speedup" metric compares against a serial (Parallelism=1) run in
+// the same process. Corpora are bit-identical at every worker count.
 func BenchmarkFig4Setup(b *testing.B) {
 	dev := gpusim.Fermi()
+	serialCfg := benchCfg()
+	serialCfg.Parallelism = 1
+	start := time.Now()
+	if _, err := datasets.All(serialCfg, dev); err != nil {
+		b.Fatal(err)
+	}
+	serialDur := time.Since(start)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := datasets.All(benchCfg(), dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(serialDur)/(float64(b.Elapsed())/float64(b.N)), "speedup")
+}
+
+// BenchmarkFig4SetupSerial is the one-worker baseline of BenchmarkFig4Setup.
+func BenchmarkFig4SetupSerial(b *testing.B) {
+	dev := gpusim.Fermi()
+	cfg := benchCfg()
+	cfg.Parallelism = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := datasets.All(cfg, dev); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -33,14 +33,17 @@ func main() {
 	trainN := flag.Int("train", 0, "override training corpus size (0 = paper)")
 	testN := flag.Int("test", 0, "override test corpus size (0 = paper)")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
+	parallelism := flag.Int("parallelism", 0, "worker count for corpus labelling, grid search and per-suite figures (0 = all cores, 1 = serial); results are identical at every setting")
 	flag.Parse()
 
 	opts := experiments.Options{
-		Cfg: datasets.Config{Seed: *seed, Scale: *scale, TrainCount: *trainN, TestCount: *testN},
+		Cfg: datasets.Config{Seed: *seed, Scale: *scale, TrainCount: *trainN, TestCount: *testN,
+			Parallelism: *parallelism},
 		Train: autotuner.TrainOptions{
-			Classifier: *classifier,
-			GridSearch: *classifier == "svm" && !*nogrid,
-			Seed:       *seed,
+			Classifier:  *classifier,
+			GridSearch:  *classifier == "svm" && !*nogrid,
+			Seed:        *seed,
+			Parallelism: *parallelism,
 		},
 	}
 	dev := gpusim.Fermi()

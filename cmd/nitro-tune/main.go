@@ -58,6 +58,11 @@ type Spec struct {
 	ModelOut   string  `json:"model_out"`
 	Evaluate   bool    `json:"evaluate"`
 
+	// Parallelism is the worker count used for corpus labelling and the SVM
+	// grid search (0 = all cores, 1 = serial). Results are bit-identical at
+	// every setting; the -parallelism flag overrides the spec value.
+	Parallelism int `json:"parallelism"`
+
 	TrainGlob string `json:"train_glob"`
 	TestGlob  string `json:"test_glob"`
 
@@ -81,6 +86,7 @@ type Spec struct {
 
 func main() {
 	specPath := flag.String("spec", "", "path to the JSON tuning spec (required)")
+	parallelism := flag.Int("parallelism", -1, "worker count for corpus labelling and grid search (0 = all cores, 1 = serial, -1 = use spec value); results are identical at every setting")
 	flag.Parse()
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
@@ -93,6 +99,9 @@ func main() {
 	var spec Spec
 	if err := json.Unmarshal(data, &spec); err != nil {
 		fatal(fmt.Errorf("bad spec: %w", err))
+	}
+	if *parallelism >= 0 {
+		spec.Parallelism = *parallelism
 	}
 	if err := runSpec(spec, os.Stdout); err != nil {
 		fatal(err)
@@ -109,9 +118,10 @@ func runSpec(spec Spec, out io.Writer) error {
 		spec.Function, len(suite.VariantNames), len(suite.FeatureNames), len(suite.Train), len(suite.Test))
 
 	opts := autotuner.TrainOptions{
-		Classifier: spec.Classifier,
-		GridSearch: spec.GridSearch,
-		Seed:       spec.Seed,
+		Classifier:  spec.Classifier,
+		GridSearch:  spec.GridSearch,
+		Seed:        spec.Seed,
+		Parallelism: spec.Parallelism,
 	}
 	var model *ml.Model
 	if spec.Incremental != nil {
@@ -188,7 +198,8 @@ func buildSuite(spec Spec, dev *gpusim.Device) (*autotuner.Suite, error) {
 		return spmvSuiteFromFiles(spec, dev)
 	}
 	cfg := datasets.Config{Seed: spec.Seed, Scale: spec.Scale,
-		TrainCount: spec.TrainCount, TestCount: spec.TestCount}
+		TrainCount: spec.TrainCount, TestCount: spec.TestCount,
+		Parallelism: spec.Parallelism}
 	for _, b := range datasets.Builders() {
 		if strings.EqualFold(b.Name, spec.Benchmark) {
 			return b.Build(cfg, dev)

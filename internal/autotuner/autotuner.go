@@ -17,6 +17,7 @@ import (
 
 	"nitro/internal/core"
 	"nitro/internal/ml"
+	"nitro/internal/par"
 )
 
 // Instance is one tuning input reduced to what the autotuner needs: its
@@ -67,6 +68,13 @@ type TrainOptions struct {
 	Grid ml.GridConfig
 	// Seed drives fold assignment.
 	Seed int64
+	// Parallelism caps the worker count of the offline pipeline's parallel
+	// stages (exhaustive-search labelling in Tuner.Tune, the SVM grid
+	// search): 0 uses all cores, 1 forces the serial path. Results are
+	// deterministic and identical at every setting; when Parallelism != 1
+	// the tuned function's variant, feature and constraint callbacks must be
+	// safe for concurrent invocation.
+	Parallelism int
 }
 
 // Report summarizes a training run.
@@ -137,6 +145,9 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 		grid := opts.Grid
 		if grid.Seed == 0 {
 			grid.Seed = opts.Seed + 1
+		}
+		if grid.Parallelism == 0 {
+			grid.Parallelism = opts.Parallelism
 		}
 		svm, res, err := ml.GridSearchSVM(scaled, grid)
 		if err != nil {
@@ -293,16 +304,23 @@ type Tuner[In any] struct {
 }
 
 // Tune runs the full offline pipeline on the given training inputs.
+//
+// The labelling stage — one feature-vector evaluation plus one exhaustive
+// search over every variant per input — is embarrassingly parallel, so it
+// fans the inputs out over Opts.Parallelism workers (0 = all cores,
+// 1 = serial). Results land in input order, so the trained model is
+// independent of scheduling; the variant/feature/constraint callbacks must
+// tolerate concurrent invocation unless Parallelism is 1.
 func (t *Tuner[In]) Tune(inputs []In) (Report, error) {
 	if t.CV == nil {
 		return Report{}, errors.New("autotuner: nil code variant")
 	}
-	instances := make([]Instance, 0, len(inputs))
-	for i, in := range inputs {
-		vec, _ := t.CV.FeatureVector(in)
-		times, _ := t.CV.ExhaustiveSearch(in)
-		instances = append(instances, Instance{ID: fmt.Sprint(i), Features: vec, Times: times})
-	}
+	instances := make([]Instance, len(inputs))
+	par.For(len(inputs), par.Workers(t.Opts.Parallelism), func(i int) {
+		vec, _ := t.CV.FeatureVector(inputs[i])
+		times, _ := t.CV.ExhaustiveSearch(inputs[i])
+		instances[i] = Instance{ID: fmt.Sprint(i), Features: vec, Times: times}
+	})
 	model, rep, err := Train(instances, t.Opts)
 	if err != nil {
 		return rep, err

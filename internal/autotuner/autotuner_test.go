@@ -279,6 +279,74 @@ func TestLiveTunerEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTrainParallelismInvariant asserts the grid-searched training pipeline
+// is bit-identical at every Parallelism setting: same selected
+// hyper-parameters, same CV accuracy, same predictions.
+func TestTrainParallelismInvariant(t *testing.T) {
+	s := syntheticSuite(60, 40, 6)
+	run := func(parallelism int) (*ml.Model, Report) {
+		model, rep, err := Train(s.Train, TrainOptions{
+			Classifier: "svm", GridSearch: true, Parallelism: parallelism,
+			Grid: ml.GridConfig{CValues: []float64{1, 16}, GammaValues: []float64{0.5, 2}, Folds: 3},
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return model, rep
+	}
+	m1, rep1 := run(1)
+	m8, rep8 := run(8)
+	if rep1.Grid != rep8.Grid {
+		t.Errorf("grid result differs: serial %+v, parallel %+v", rep1.Grid, rep8.Grid)
+	}
+	if rep1.TrainAccuracy != rep8.TrainAccuracy {
+		t.Errorf("train accuracy differs: %v vs %v", rep1.TrainAccuracy, rep8.TrainAccuracy)
+	}
+	for _, in := range s.Test {
+		if m1.Predict(in.Features) != m8.Predict(in.Features) {
+			t.Fatal("parallel and serial models disagree on a test instance")
+		}
+	}
+}
+
+// TestTunerParallelLabelling asserts Tuner.Tune's worker-pool exhaustive
+// search labels the corpus identically at every Parallelism setting.
+func TestTunerParallelLabelling(t *testing.T) {
+	var inputs []float64
+	for x := 0.0; x <= 10; x += 0.25 {
+		inputs = append(inputs, x)
+	}
+	run := func(parallelism int) (Report, []string) {
+		cx := core.NewContext()
+		cv := core.New[float64](cx, core.DefaultPolicy("toy"))
+		cv.AddVariant("low", func(x float64) float64 { return 1 + x })
+		cv.AddVariant("high", func(x float64) float64 { return 11 - x })
+		cv.AddInputFeature(core.Feature[float64]{Name: "x", Eval: func(x float64) float64 { return x }})
+		_ = cv.SetDefault("low")
+		tuner := &Tuner[float64]{CV: cv, Opts: TrainOptions{Classifier: "svm", Parallelism: parallelism}}
+		rep, err := tuner.Tune(inputs)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		var picks []string
+		for _, x := range inputs {
+			_, name, _ := cv.Call(x)
+			picks = append(picks, name)
+		}
+		return rep, picks
+	}
+	rep1, picks1 := run(1)
+	rep4, picks4 := run(4)
+	if rep1.TrainAccuracy != rep4.TrainAccuracy || rep1.Skipped != rep4.Skipped {
+		t.Errorf("reports differ: serial %+v, parallel %+v", rep1, rep4)
+	}
+	for i := range picks1 {
+		if picks1[i] != picks4[i] {
+			t.Fatalf("input %d: serial picked %q, parallel picked %q", i, picks1[i], picks4[i])
+		}
+	}
+}
+
 func TestTrainLogisticClassifier(t *testing.T) {
 	s := syntheticSuite(80, 60, 9)
 	model, _, err := Train(s.Train, TrainOptions{Classifier: "logistic"})

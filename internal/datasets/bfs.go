@@ -8,6 +8,7 @@ import (
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
 	"nitro/internal/graph"
+	"nitro/internal/par"
 )
 
 // bfsGroups spans the degree/diameter axis of the DIMACS10 suite: meshes
@@ -72,8 +73,11 @@ func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Vari
 		DefaultVariant: 2, // CE-Fused: robust across the corpus
 	}
 	build := func(n int, seedOff int64) []autotuner.Instance {
+		// Phase 1 (serial): generate graphs, sources and features in
+		// instance order so the RNG stream is consumed deterministically.
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		out := make([]autotuner.Instance, 0, n)
+		out := make([]autotuner.Instance, n)
+		probs := make([]*graph.Problem, n)
 		for i := 0; i < n; i++ {
 			group := bfsGroups[i%len(bfsGroups)]
 			g := bfsGraph(group, i/len(bfsGroups), cfg, rng)
@@ -86,7 +90,8 @@ func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Vari
 				panic(err) // generator bug: sources are always in range
 			}
 			f := graph.ComputeFeatures(g)
-			inst := autotuner.Instance{
+			probs[i] = p
+			out[i] = autotuner.Instance{
 				ID:       fmt.Sprintf("%s-%d", group, i),
 				Features: f.Vector(),
 				FeatureCosts: []float64{
@@ -97,16 +102,20 @@ func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Vari
 					host.Constant(),                 // Nedges
 				},
 			}
+		}
+		// Phase 2 (parallel): label each graph by exhaustive search.
+		par.For(n, cfg.workers(), func(i int) {
+			var times []float64
 			for _, v := range variants {
-				res, err := v.Run(p, dev)
+				res, err := v.Run(probs[i], dev)
 				if err != nil {
-					inst.Times = append(inst.Times, math.Inf(1))
+					times = append(times, math.Inf(1))
 					continue
 				}
-				inst.Times = append(inst.Times, res.Seconds)
+				times = append(times, res.Seconds)
 			}
-			out = append(out, inst)
-		}
+			out[i].Times = times
+		})
 		return out
 	}
 	s.Train = build(nTrain, 21)

@@ -15,6 +15,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
+	"nitro/internal/par"
 )
 
 // Config controls corpus construction.
@@ -27,7 +28,16 @@ type Config struct {
 	// TrainCount / TestCount override the paper's corpus sizes when > 0.
 	TrainCount int
 	TestCount  int
+	// Parallelism caps the worker count of each builder's labelling stage
+	// (running every variant on every input): 0 uses all cores, 1 runs
+	// serially. Input generation stays serial either way — the seeded RNG
+	// stream is consumed in instance order — so corpora are bit-identical
+	// at every setting.
+	Parallelism int
 }
+
+// workers resolves the Parallelism knob for the labelling stage.
+func (c Config) workers() int { return par.Workers(c.Parallelism) }
 
 // Norm fills defaults: seed 42, scale 1.
 func (c Config) Norm() Config {

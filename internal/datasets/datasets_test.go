@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"nitro/internal/autotuner"
@@ -167,6 +168,29 @@ func TestSuitesDeterministic(t *testing.T) {
 			if a.Test[i].Times[j] != b.Test[i].Times[j] {
 				t.Fatalf("suite not deterministic at instance %d variant %d", i, j)
 			}
+		}
+	}
+}
+
+// TestSuitesParallelismInvariant asserts the two-phase builders' guarantee:
+// corpora are bit-identical at every Parallelism setting, because instance
+// generation consumes the seeded RNG serially and only the RNG-free variant
+// labelling fans out over workers.
+func TestSuitesParallelismInvariant(t *testing.T) {
+	for _, b := range Builders() {
+		serial, parallel := smallCfg(), smallCfg()
+		serial.Parallelism = 1
+		parallel.Parallelism = 4
+		s1, err := b.Build(serial, gpusim.Fermi())
+		if err != nil {
+			t.Fatalf("%s serial: %v", b.Name, err)
+		}
+		s4, err := b.Build(parallel, gpusim.Fermi())
+		if err != nil {
+			t.Fatalf("%s parallel: %v", b.Name, err)
+		}
+		if !reflect.DeepEqual(s1, s4) {
+			t.Errorf("%s: suite differs between Parallelism 1 and 4", b.Name)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
 	"nitro/internal/histogram"
+	"nitro/internal/par"
 )
 
 // histGroups spans the input-distribution regimes that flip the histogram
@@ -45,8 +46,11 @@ func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 		DefaultVariant: 0, // Sort-ES: contention-proof
 	}
 	build := func(n int, seedOff int64) []autotuner.Instance {
+		// Phase 1 (serial): generate inputs and features in instance order
+		// so the RNG stream is consumed deterministically.
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		out := make([]autotuner.Instance, 0, n)
+		out := make([]autotuner.Instance, n)
+		probs := make([]*histogram.Problem, n)
 		for i := 0; i < n; i++ {
 			group := histGroups[i%len(histGroups)]
 			size := cfg.scaled(8192*(1+i%8), 2048)
@@ -58,7 +62,8 @@ func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 			}
 			sub := histogram.DefaultSubSample(size)
 			f := histogram.ComputeFeatures(p, sub)
-			inst := autotuner.Instance{
+			probs[i] = p
+			out[i] = autotuner.Instance{
 				ID:       fmt.Sprintf("%s-%d-b%d", group, i, bins),
 				Features: f.Vector(),
 				FeatureCosts: []float64{
@@ -67,16 +72,20 @@ func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 					host.Scan(float64(8*sub), 2, 8), // SubSampleSD
 				},
 			}
+		}
+		// Phase 2 (parallel): label each input by exhaustive search.
+		par.For(n, cfg.workers(), func(i int) {
+			var times []float64
 			for _, v := range histogram.Variants() {
-				res, err := v.Run(p, dev)
+				res, err := v.Run(probs[i], dev)
 				if err != nil {
-					inst.Times = append(inst.Times, math.Inf(1))
+					times = append(times, math.Inf(1))
 					continue
 				}
-				inst.Times = append(inst.Times, res.Seconds)
+				times = append(times, res.Seconds)
 			}
-			out = append(out, inst)
-		}
+			out[i].Times = times
+		})
 		return out
 	}
 	s.Train = build(nTrain, 31)

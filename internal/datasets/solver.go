@@ -6,6 +6,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
+	"nitro/internal/par"
 	"nitro/internal/solver"
 	"nitro/internal/sparse"
 )
@@ -176,8 +177,11 @@ func solverSuite(cfg Config, dev *gpusim.Device, name string, variants []solver.
 		DefaultVariant: 3, // BiCGStab-Jacobi: the most broadly applicable combination
 	}
 	build := func(n int, seedOff int64) []autotuner.Instance {
+		// Phase 1 (serial): generate systems and features in instance order
+		// so the RNG stream is consumed deterministically.
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		out := make([]autotuner.Instance, 0, n)
+		out := make([]autotuner.Instance, n)
+		probs := make([]*solver.Problem, n)
 		for i := 0; i < n; i++ {
 			group := solverGroups[i%len(solverGroups)]
 			m := solverMatrix(group, i/len(solverGroups), cfg, rng)
@@ -191,7 +195,8 @@ func solverSuite(cfg Config, dev *gpusim.Device, name string, variants []solver.
 			}
 			f := solver.ComputeFeatures(m)
 			nnzBytes := float64(12 * m.NNZ())
-			inst := autotuner.Instance{
+			probs[i] = p
+			out[i] = autotuner.Instance{
 				ID:       fmt.Sprintf("%s-%d", group, i),
 				Features: f.Vector(),
 				FeatureCosts: []float64{
@@ -205,12 +210,16 @@ func solverSuite(cfg Config, dev *gpusim.Device, name string, variants []solver.
 					host.Scan(nnzBytes, 2, 12),         // Norm1
 				},
 			}
-			for _, v := range variants {
-				res, err := v.Run(p, dev)
-				inst.Times = append(inst.Times, solver.Cost(res, err))
-			}
-			out = append(out, inst)
 		}
+		// Phase 2 (parallel): label each system by exhaustive search.
+		par.For(n, cfg.workers(), func(i int) {
+			times := make([]float64, 0, len(variants))
+			for _, v := range variants {
+				res, err := v.Run(probs[i], dev)
+				times = append(times, solver.Cost(res, err))
+			}
+			out[i].Times = times
+		})
 		return out
 	}
 	s.Train = build(nTrain, 11)

@@ -7,6 +7,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
+	"nitro/internal/par"
 	"nitro/internal/sortbench"
 )
 
@@ -49,8 +50,11 @@ func Sort(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 		DefaultVariant: 0, // Merge: competitive on both key widths
 	}
 	build := func(n int, seedOff int64) []autotuner.Instance {
+		// Phase 1 (serial): generate key sequences and features in instance
+		// order so the RNG stream is consumed deterministically.
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		out := make([]autotuner.Instance, 0, n)
+		out := make([]autotuner.Instance, n)
+		probs := make([]*sortbench.Problem, n)
 		for i := 0; i < n; i++ {
 			bits := 32
 			if i%2 == 1 {
@@ -67,7 +71,8 @@ func Sort(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 				panic(err) // generator bug: sizes/widths always valid
 			}
 			f := sortbench.ComputeFeatures(p)
-			inst := autotuner.Instance{
+			probs[i] = p
+			out[i] = autotuner.Instance{
 				ID:       fmt.Sprintf("%s-%dbit-%d", category, bits, i),
 				Features: f.Vector(),
 				FeatureCosts: []float64{
@@ -76,16 +81,20 @@ func Sort(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 					host.Scan(float64(size*bits/8), 1, bits/8), // NAscSeq
 				},
 			}
+		}
+		// Phase 2 (parallel): label each sequence by exhaustive search.
+		par.For(n, cfg.workers(), func(i int) {
+			var times []float64
 			for _, v := range sortbench.Variants() {
-				res, err := v.Run(p, dev)
+				res, err := v.Run(probs[i], dev)
 				if err != nil {
-					inst.Times = append(inst.Times, math.Inf(1))
+					times = append(times, math.Inf(1))
 					continue
 				}
-				inst.Times = append(inst.Times, res.Seconds)
+				times = append(times, res.Seconds)
 			}
-			out = append(out, inst)
-		}
+			out[i].Times = times
+		})
 		return out
 	}
 	s.Train = build(nTrain, 41)

@@ -7,6 +7,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
+	"nitro/internal/par"
 	"nitro/internal/sparse"
 )
 
@@ -47,8 +48,10 @@ func spmvMatrix(group string, i int, cfg Config, rng *rand.Rand) *sparse.CSR {
 	}
 }
 
-// spmvInstance runs the given variants on one matrix.
-func spmvInstance(id string, m *sparse.CSR, dev *gpusim.Device, rng *rand.Rand, variants []sparse.Variant) autotuner.Instance {
+// spmvProblem builds the problem and the instance skeleton (features and
+// feature costs, but no Times) for one matrix. It consumes rng and therefore
+// must run serially in instance order.
+func spmvProblem(id string, m *sparse.CSR, rng *rand.Rand) (*sparse.Problem, autotuner.Instance) {
 	x := make([]float64, m.Cols)
 	for j := range x {
 		x[j] = rng.NormFloat64()
@@ -58,7 +61,7 @@ func spmvInstance(id string, m *sparse.CSR, dev *gpusim.Device, rng *rand.Rand, 
 		panic(err) // generator bug: dimensions always match
 	}
 	f := p.Features()
-	inst := autotuner.Instance{
+	return p, autotuner.Instance{
 		ID:       id,
 		Features: f.Vector(),
 		FeatureCosts: []float64{
@@ -69,19 +72,25 @@ func spmvInstance(id string, m *sparse.CSR, dev *gpusim.Device, rng *rand.Rand, 
 			host.Scan(float64(4*m.Rows), 1, 4),  // ELL-Fill
 		},
 	}
+}
+
+// spmvTimes exhaustively runs the given variants on one problem (the
+// labelling stage). It is pure in p and dev, so instances label in parallel.
+func spmvTimes(p *sparse.Problem, dev *gpusim.Device, variants []sparse.Variant) []float64 {
+	times := make([]float64, 0, len(variants))
 	for _, v := range variants {
 		if v.Constraint != nil && !v.Constraint(p) {
-			inst.Times = append(inst.Times, math.Inf(1))
+			times = append(times, math.Inf(1))
 			continue
 		}
 		res, err := v.Run(p, dev)
 		if err != nil {
-			inst.Times = append(inst.Times, math.Inf(1))
+			times = append(times, math.Inf(1))
 			continue
 		}
-		inst.Times = append(inst.Times, res.Seconds)
+		times = append(times, res.Seconds)
 	}
-	return inst
+	return times
 }
 
 // SpMV builds the sparse matrix-vector multiply suite (paper: 54 training /
@@ -107,13 +116,21 @@ func spmvSuite(cfg Config, dev *gpusim.Device, name string, variants []sparse.Va
 		DefaultVariant: 0, // CSR-Vec handles every matrix
 	}
 	build := func(n int, seedOff int64) []autotuner.Instance {
+		// Phase 1 (serial): generate matrices and feature vectors in
+		// instance order — the RNG stream must be consumed deterministically.
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		out := make([]autotuner.Instance, 0, n)
+		out := make([]autotuner.Instance, n)
+		probs := make([]*sparse.Problem, n)
 		for i := 0; i < n; i++ {
 			group := spmvGroups[i%len(spmvGroups)]
 			m := spmvMatrix(group, i/len(spmvGroups), cfg, rng)
-			out = append(out, spmvInstance(fmt.Sprintf("%s-%d", group, i), m, dev, rng, variants))
+			probs[i], out[i] = spmvProblem(fmt.Sprintf("%s-%d", group, i), m, rng)
 		}
+		// Phase 2 (parallel): exhaustive-search labelling, independent per
+		// instance; results land in index order.
+		par.For(n, cfg.workers(), func(i int) {
+			out[i].Times = spmvTimes(probs[i], dev, variants)
+		})
 		return out
 	}
 	s.Train = build(nTrain, 1)

@@ -17,6 +17,7 @@ import (
 	"nitro/internal/datasets"
 	"nitro/internal/gpusim"
 	"nitro/internal/ml"
+	"nitro/internal/par"
 )
 
 // Options configures an experiment run.
@@ -97,22 +98,29 @@ type Fig5Row struct {
 	NitroPerf    float64
 }
 
-// Fig5 computes the per-variant bars for every suite.
+// Fig5 computes the per-variant bars for every suite. Suites are
+// independent, so they train and evaluate in parallel (opts.Train.Parallelism
+// workers; rows land in suite order regardless of scheduling).
 func Fig5(suites []*autotuner.Suite, opts Options) ([]Fig5Row, error) {
 	opts = opts.Norm()
-	out := make([]Fig5Row, 0, len(suites))
-	for _, s := range suites {
+	out := make([]Fig5Row, len(suites))
+	err := par.ForErr(len(suites), par.Workers(opts.Train.Parallelism), func(i int) error {
+		s := suites[i]
 		model, _, err := autotuner.Train(s.Train, opts.Train)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
+			return fmt.Errorf("%s: %w", s.Name, err)
 		}
 		eval := autotuner.Evaluate(model, s, s.Test)
-		out = append(out, Fig5Row{
+		out[i] = Fig5Row{
 			Benchmark:    s.Name,
 			VariantNames: s.VariantNames,
 			VariantPerf:  autotuner.VariantPerf(s, s.Test),
 			NitroPerf:    eval.MeanPerf,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -171,14 +179,16 @@ type Fig6Row struct {
 }
 
 // Fig6 trains on each suite's training corpus and evaluates selection
-// quality on the held-out test corpus.
+// quality on the held-out test corpus. Suites are independent, so they run
+// in parallel (opts.Train.Parallelism workers); rows land in suite order.
 func Fig6(suites []*autotuner.Suite, opts Options, dev *gpusim.Device) ([]Fig6Row, error) {
 	opts = opts.Norm()
-	out := make([]Fig6Row, 0, len(suites))
-	for _, s := range suites {
+	out := make([]Fig6Row, len(suites))
+	err := par.ForErr(len(suites), par.Workers(opts.Train.Parallelism), func(si int) error {
+		s := suites[si]
 		model, rep, err := autotuner.Train(s.Train, opts.Train)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
+			return fmt.Errorf("%s: %w", s.Name, err)
 		}
 		eval := autotuner.Evaluate(model, s, s.Test)
 		row := Fig6Row{
@@ -221,7 +231,7 @@ func Fig6(suites []*autotuner.Suite, opts Options, dev *gpusim.Device) ([]Fig6Ro
 		if s.Name == "BFS" {
 			hybrid, err := datasets.BFSHybridTimes(opts.Cfg, dev)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var hPerf, speedup float64
 			n := 0
@@ -246,7 +256,11 @@ func Fig6(suites []*autotuner.Suite, opts Options, dev *gpusim.Device) ([]Fig6Ro
 				row.NitroOverHybrid = speedup / float64(n)
 			}
 		}
-		out = append(out, row)
+		out[si] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -3,6 +3,8 @@ package ml
 import (
 	"errors"
 	"math"
+
+	"nitro/internal/par"
 )
 
 // CrossValidate returns the mean k-fold accuracy of the classifier produced
@@ -32,7 +34,10 @@ type GridSearchResult struct {
 	C        float64
 	Gamma    float64
 	Accuracy float64
-	// Evaluated is the number of (C, gamma) points tried.
+	// Evaluated is the number of (C, gamma) points tried by cross-validation.
+	// It is 0 on the degenerate path (single class or < 3 examples), where no
+	// boundary exists to tune and Accuracy reports the training-set accuracy
+	// of the default model instead of a CV estimate.
 	Evaluated int
 }
 
@@ -45,9 +50,17 @@ type GridConfig struct {
 	GammaValues []float64
 	Folds       int
 	Seed        int64
+	// Parallelism caps the number of worker goroutines that evaluate
+	// (C, gamma) grid points concurrently: 0 uses all cores (GOMAXPROCS),
+	// 1 runs the search serially on the calling goroutine. The result is
+	// bit-identical at every setting — fold assignment is fixed up front,
+	// kernel matrices are cached per gamma, and the smaller-C-then-
+	// smaller-gamma tie-break is applied in a deterministic scan after all
+	// points are collected, never in completion order.
+	Parallelism int
 }
 
-func (g *GridConfig) defaults(dim int) {
+func (g *GridConfig) defaults() {
 	if len(g.CValues) == 0 {
 		for e := -2.0; e <= 10; e += 2 {
 			g.CValues = append(g.CValues, math.Pow(2, e))
@@ -68,35 +81,85 @@ func (g *GridConfig) defaults(dim int) {
 // (already scaled) dataset and returns an SVM trained on the full dataset
 // with the best pair. Ties prefer the smaller C then smaller gamma, keeping
 // the search deterministic.
+//
+// The search is cache-aware and parallel: the RBF Gram matrix depends only
+// on gamma, so one n×n matrix per gamma value is computed lazily and shared
+// across every C value and every CV fold (folds train on index-subset views
+// and score held-out points by row lookups), and the independent grid points
+// fan out over cfg.Parallelism workers. Both optimizations are bit-exact:
+// the selected hyper-parameters, CV accuracy and final model are identical
+// to the serial, cache-free search.
 func GridSearchSVM(ds *Dataset, cfg GridConfig) (*SVM, GridSearchResult, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, GridSearchResult{}, errors.New("ml: empty dataset")
 	}
-	cfg.defaults(ds.Dim())
-	best := GridSearchResult{Accuracy: -1}
+	cfg.defaults()
 	if len(ds.Classes()) < 2 || ds.Len() < 3 {
-		// Degenerate problem: no boundary to tune. Train defaults.
-		m := NewSVM(RBFKernel{Gamma: 1 / float64(max(ds.Dim(), 1))}, 1)
-		err := m.Fit(ds)
-		return m, GridSearchResult{C: 1, Gamma: 1 / float64(max(ds.Dim(), 1)), Accuracy: 1}, err
+		// Degenerate problem: a single class or fewer than 3 examples leaves
+		// no decision boundary to tune and no room for k-fold CV. Train the
+		// libSVM-style defaults (C=1, gamma=1/dim) on the full set and report
+		// the honestly measured training-set accuracy with Evaluated=0 —
+		// callers can tell this apart from a real CV estimate.
+		gamma := 1 / float64(max(ds.Dim(), 1))
+		m := NewSVM(RBFKernel{Gamma: gamma}, 1)
+		if err := m.Fit(ds); err != nil {
+			return nil, GridSearchResult{C: 1, Gamma: gamma}, err
+		}
+		return m, GridSearchResult{C: 1, Gamma: gamma, Accuracy: Accuracy(m, ds)}, nil
 	}
-	for _, c := range cfg.CValues {
-		for _, g := range cfg.GammaValues {
-			acc, err := CrossValidate(func() Classifier {
-				return NewSVM(RBFKernel{Gamma: g}, c)
-			}, ds, cfg.Folds, cfg.Seed)
-			if err != nil {
-				return nil, best, err
+
+	// Fold assignment is computed once up front; the serial search derived
+	// the identical folds inside every CrossValidate call (same n, k, seed).
+	trains, tests, err := KFold(ds.Len(), cfg.Folds, cfg.Seed)
+	if err != nil {
+		return nil, GridSearchResult{Accuracy: -1}, err
+	}
+
+	// One lazily computed Gram matrix per gamma, shared across all C values
+	// and folds. A zero gamma is anchored at 1/dim exactly as SVM.Fit would.
+	kernels := make([]RBFKernel, len(cfg.GammaValues))
+	grams := make([]lazyGram, len(cfg.GammaValues))
+	for gi, g := range cfg.GammaValues {
+		if g == 0 {
+			g = 1 / float64(max(ds.Dim(), 1))
+		}
+		kernels[gi] = RBFKernel{Gamma: g}
+	}
+
+	nC, nG := len(cfg.CValues), len(cfg.GammaValues)
+	accs := make([]float64, nC*nG)
+	errs := make([]error, nC*nG)
+	par.For(nC*nG, par.Workers(cfg.Parallelism), func(p int) {
+		ci, gi := p/nG, p%nG
+		km := grams[gi].get(ds.X, kernels[gi])
+		accs[p], errs[p] = crossValidateSVMGram(ds, km, cfg.CValues[ci], defaultSVMEps, trains, tests)
+	})
+
+	// Winner selection happens in a deterministic serial scan over the same
+	// (C outer, gamma inner) order the serial search used, with a strict
+	// improvement test — so ties resolve to the smaller C then the smaller
+	// gamma regardless of which worker finished first.
+	best := GridSearchResult{Accuracy: -1}
+	bestGi := -1
+	for ci := 0; ci < nC; ci++ {
+		for gi := 0; gi < nG; gi++ {
+			p := ci*nG + gi
+			if errs[p] != nil {
+				return nil, best, errs[p]
 			}
 			best.Evaluated++
-			if acc > best.Accuracy {
-				best.Accuracy = acc
-				best.C, best.Gamma = c, g
+			if accs[p] > best.Accuracy {
+				best.Accuracy = accs[p]
+				best.C, best.Gamma = cfg.CValues[ci], cfg.GammaValues[gi]
+				bestGi = gi
 			}
 		}
 	}
-	m := NewSVM(RBFKernel{Gamma: best.Gamma}, best.C)
-	if err := m.Fit(ds); err != nil {
+
+	// Final fit on the full dataset, reusing the winning gamma's cached Gram
+	// matrix instead of re-evaluating the kernel.
+	m := NewSVM(kernels[bestGi], best.C)
+	if err := m.fit(ds, grams[bestGi].get(ds.X, kernels[bestGi])); err != nil {
 		return nil, best, err
 	}
 	return m, best, nil

@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements the gamma-keyed kernel-matrix cache behind the
+// cross-validated grid search. The RBF Gram matrix of the training set
+// depends only on gamma — not on C and not on the CV fold split — so the
+// search computes one n×n matrix per gamma value and shares it across every
+// C value and every fold. Folds train on index-subset gathers of the cached
+// matrix (solveBinaryKM) and score test points by row lookups, eliminating
+// every k.Eval call from the inner loop while staying bit-identical to
+// direct evaluation: the cache stores the exact floats k.Eval would return.
+
+// kernelMatrix computes the dense symmetric Gram matrix km[i][j] =
+// K(x[i], x[j]). Rows share one flat backing array to keep the allocation
+// count independent of n.
+func kernelMatrix(x [][]float64, k Kernel) [][]float64 {
+	n := len(x)
+	flat := make([]float64, n*n)
+	km := make([][]float64, n)
+	for i := range km {
+		km[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := k.Eval(x[i], x[j])
+			km[i][j] = v
+			km[j][i] = v
+		}
+	}
+	return km
+}
+
+// gatherKM extracts the |idx|×|idx| principal submatrix of km at the given
+// global indices — the kernel matrix of the corresponding row subset.
+func gatherKM(km [][]float64, idx []int) [][]float64 {
+	n := len(idx)
+	flat := make([]float64, n*n)
+	sub := make([][]float64, n)
+	for i, gi := range idx {
+		row := flat[i*n : (i+1)*n : (i+1)*n]
+		src := km[gi]
+		for j, gj := range idx {
+			row[j] = src[gj]
+		}
+		sub[i] = row
+	}
+	return sub
+}
+
+// lazyGram computes a dataset's Gram matrix for one gamma on first use and
+// then shares it across all (C, fold) consumers. Safe for concurrent use.
+type lazyGram struct {
+	once sync.Once
+	km   [][]float64
+}
+
+func (g *lazyGram) get(x [][]float64, k Kernel) [][]float64 {
+	g.once.Do(func() { g.km = kernelMatrix(x, k) })
+	return g.km
+}
+
+// gramPair is one one-vs-one binary machine trained through the kernel
+// cache: support vectors are identified by their global row index into the
+// cached Gram matrix, so decision values on any cached point are pure table
+// lookups.
+type gramPair struct {
+	a, b int // class labels; positive decision votes for a
+	svGI []int
+	coef []float64
+	rho  float64
+}
+
+// gramSVM is the cache-backed counterpart of SVM used inside cross-
+// validation: it trains on an index subset of the cached dataset and
+// predicts other cached points without evaluating the kernel. Its numerics
+// replicate SVM.Fit/Predict/Scores exactly (same pair order, same summation
+// order, same tie-breaks), which the determinism tests assert.
+type gramSVM struct {
+	classes []int
+	pairs   []gramPair
+}
+
+// fitGramSVM trains the one-vs-one ensemble on the rows of ds selected by
+// idx, reading kernel values from km (the full-dataset Gram matrix).
+func fitGramSVM(ds *Dataset, km [][]float64, idx []int, c, eps float64, maxIter int) (*gramSVM, error) {
+	sub := ds.Subset(idx)
+	g := &gramSVM{classes: sub.Classes()}
+	if len(g.classes) < 1 {
+		return nil, fmt.Errorf("ml: no classes")
+	}
+	if len(g.classes) == 1 {
+		return g, nil // degenerate: always predict the single class
+	}
+	for i := 0; i < len(g.classes); i++ {
+		for j := i + 1; j < len(g.classes); j++ {
+			a, b := g.classes[i], g.classes[j]
+			var gi []int
+			var x [][]float64
+			var y []float64
+			for t, row := range idx {
+				switch sub.Y[t] {
+				case a:
+					gi = append(gi, row)
+					x = append(x, ds.X[row])
+					y = append(y, 1)
+				case b:
+					gi = append(gi, row)
+					x = append(x, ds.X[row])
+					y = append(y, -1)
+				}
+			}
+			sol, err := solveBinaryKM(x, y, gatherKM(km, gi), c, eps, maxIter)
+			if err != nil {
+				return nil, fmt.Errorf("ml: pair (%d,%d): %w", a, b, err)
+			}
+			p := gramPair{a: a, b: b, rho: sol.rho, coef: sol.svCoef}
+			// Map the solver's local support-vector positions back to global
+			// row indices into the cached Gram matrix.
+			p.svGI = make([]int, len(sol.svIdx))
+			for s, t := range sol.svIdx {
+				p.svGI[s] = gi[t]
+			}
+			g.pairs = append(g.pairs, p)
+		}
+	}
+	return g, nil
+}
+
+// scores replicates SVM.Scores for cached point t: each pairwise decision
+// contributes a sigmoid-soft vote, accumulated in pair order.
+func (g *gramSVM) scores(km [][]float64, t int) []float64 {
+	out := make([]float64, len(g.classes))
+	if len(g.classes) == 1 {
+		out[0] = 1
+		return out
+	}
+	idx := make(map[int]int, len(g.classes))
+	for i, c := range g.classes {
+		idx[c] = i
+	}
+	row := km[t]
+	for _, p := range g.pairs {
+		var d float64
+		for i, gi := range p.svGI {
+			d += p.coef[i] * row[gi]
+		}
+		d -= p.rho
+		s := 1 / (1 + math.Exp(-2*d))
+		out[idx[p.a]] += s
+		out[idx[p.b]] += 1 - s
+	}
+	return out
+}
+
+// predict replicates SVM.Predict for cached point t.
+func (g *gramSVM) predict(km [][]float64, t int) int {
+	if len(g.classes) == 0 {
+		return 0
+	}
+	scores := g.scores(km, t)
+	best, bestScore := g.classes[0], math.Inf(-1)
+	for i, c := range g.classes {
+		if scores[i] > bestScore {
+			best, bestScore = c, scores[i]
+		}
+	}
+	return best
+}
+
+// accuracy replicates Accuracy over the cached points in test.
+func (g *gramSVM) accuracy(ds *Dataset, km [][]float64, test []int) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, t := range test {
+		if g.predict(km, t) == ds.Y[t] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(test))
+}
+
+// crossValidateSVMGram runs the k-fold CV of an RBF C-SVC entirely through
+// the kernel cache: per fold it trains on index views of km and scores the
+// held-out fold by row lookups. The result equals
+// CrossValidate(NewSVM(kernel, c).Fit, ...) bit for bit.
+func crossValidateSVMGram(ds *Dataset, km [][]float64, c, eps float64, trains, tests [][]int) (float64, error) {
+	var sum float64
+	folds := 0
+	for f := range trains {
+		g, err := fitGramSVM(ds, km, trains[f], c, eps, 0)
+		if err != nil {
+			return 0, err
+		}
+		sum += g.accuracy(ds, km, tests[f])
+		folds++
+	}
+	return sum / float64(folds), nil
+}

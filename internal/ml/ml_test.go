@@ -427,12 +427,18 @@ func TestCrossValidateAndGridSearch(t *testing.T) {
 
 func TestGridSearchDegenerate(t *testing.T) {
 	ds := &Dataset{X: [][]float64{{1}, {2}}, Y: []int{0, 0}}
-	m, _, err := GridSearchSVM(ds, GridConfig{})
+	m, res, err := GridSearchSVM(ds, GridConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.Predict([]float64{5}) != 0 {
 		t.Error("degenerate grid search should still predict the lone class")
+	}
+	if res.Evaluated != 0 {
+		t.Errorf("degenerate path evaluated %d grid points, want 0", res.Evaluated)
+	}
+	if want := Accuracy(m, ds); res.Accuracy != want {
+		t.Errorf("degenerate path reported accuracy %v, want measured %v", res.Accuracy, want)
 	}
 	if _, _, err := GridSearchSVM(nil, GridConfig{}); err == nil {
 		t.Error("nil dataset should error")

@@ -138,6 +138,7 @@ func UnmarshalModel(data []byte) (*Model, error) {
 				sol: &smoResult{svX: p.SVs, svCoef: p.Coefs, rho: p.Rho, iters: p.Iters},
 			})
 		}
+		svm.buildSVCache()
 		m.Classifier = svm
 	case "knn":
 		if env.KNN == nil {

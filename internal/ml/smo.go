@@ -7,10 +7,14 @@ import (
 
 // smoResult is the solution of one binary C-SVC problem: the dual
 // coefficients alpha_i * y_i for the support vectors and the bias rho, with
-// decision(x) = sum_i coef_i K(sv_i, x) - rho.
+// decision(x) = sum_i coef_i K(sv_i, x) - rho. svIdx records each support
+// vector's position in the training-row slice passed to the solver, so
+// callers holding a precomputed kernel matrix can map support vectors back
+// to cached rows without pointer comparisons.
 type smoResult struct {
 	svX    [][]float64
 	svCoef []float64
+	svIdx  []int
 	rho    float64
 	iters  int
 }
@@ -20,12 +24,29 @@ type smoResult struct {
 // feature vectors, y the labels in {-1, +1}, c the box constraint, eps the
 // KKT-violation stopping tolerance.
 func solveBinary(x [][]float64, y []float64, k Kernel, c, eps float64, maxIter int) (*smoResult, error) {
+	if len(x) == 0 {
+		return nil, errors.New("ml: empty binary problem")
+	}
+	// Precompute the kernel matrix: Nitro training sets are small (tens to
+	// hundreds of examples), so a dense cache is both fastest and simplest.
+	return solveBinaryKM(x, y, kernelMatrix(x, k), c, eps, maxIter)
+}
+
+// solveBinaryKM is solveBinary with the dense kernel matrix km (km[i][j] =
+// K(x[i], x[j])) supplied by the caller. The gamma-keyed kernel cache used by
+// the grid search computes the Gram matrix of the full training set once per
+// gamma and feeds index-subset gathers of it through this entry point, so
+// cached and direct training are bit-identical by construction.
+func solveBinaryKM(x [][]float64, y []float64, km [][]float64, c, eps float64, maxIter int) (*smoResult, error) {
 	n := len(x)
 	if n == 0 {
 		return nil, errors.New("ml: empty binary problem")
 	}
 	if len(y) != n {
 		return nil, errors.New("ml: label/row mismatch")
+	}
+	if len(km) != n {
+		return nil, errors.New("ml: kernel matrix/row mismatch")
 	}
 	if c <= 0 {
 		return nil, errors.New("ml: C must be positive")
@@ -37,18 +58,6 @@ func solveBinary(x [][]float64, y []float64, k Kernel, c, eps float64, maxIter i
 		maxIter = 10000 * n
 		if maxIter < 1_000_000 {
 			maxIter = 1_000_000
-		}
-	}
-
-	// Precompute the kernel matrix: Nitro training sets are small (tens to
-	// hundreds of examples), so a dense cache is both fastest and simplest.
-	km := make([][]float64, n)
-	for i := range km {
-		km[i] = make([]float64, n)
-		for j := 0; j <= i; j++ {
-			v := k.Eval(x[i], x[j])
-			km[i][j] = v
-			km[j][i] = v
 		}
 	}
 
@@ -180,6 +189,7 @@ func solveBinary(x [][]float64, y []float64, k Kernel, c, eps float64, maxIter i
 		if alpha[t] > 1e-12 {
 			res.svX = append(res.svX, x[t])
 			res.svCoef = append(res.svCoef, alpha[t]*y[t])
+			res.svIdx = append(res.svIdx, t)
 		}
 	}
 	return res, nil

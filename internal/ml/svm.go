@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,10 @@ type Classifier interface {
 	Name() string
 }
 
+// defaultSVMEps is the KKT-violation stopping tolerance NewSVM installs —
+// libSVM's default.
+const defaultSVMEps = 1e-3
+
 // SVM is a multi-class C-SVC with one-vs-one decomposition, mirroring
 // libSVM's architecture. The zero value is unusable; construct with NewSVM.
 type SVM struct {
@@ -33,16 +38,28 @@ type SVM struct {
 
 	classes []int
 	pairs   []svmPair
+	// svRows holds the distinct support vectors across all one-vs-one pairs.
+	// At deployment time, pairs frequently share support vectors (a training
+	// row participates in every pair involving its class), so Scores and
+	// DecisionValues evaluate K(sv, x) once per distinct vector here and let
+	// each pair look the value up via svmPair.svID instead of re-evaluating
+	// the kernel per pair. Built by fit/UnmarshalModel; read-only afterwards,
+	// so concurrent Scores calls are safe.
+	svRows [][]float64
 }
 
 type svmPair struct {
 	a, b int // class labels; positive decision votes for a
 	sol  *smoResult
+	// svID maps each of sol's support vectors to its slot in SVM.svRows
+	// (nil when the shared cache is unavailable; decision then falls back to
+	// direct kernel evaluation).
+	svID []int
 }
 
 // NewSVM returns an untrained SVM with the given kernel and box constraint.
 func NewSVM(k Kernel, c float64) *SVM {
-	return &SVM{C: c, Eps: 1e-3, kernel: k}
+	return &SVM{C: c, Eps: defaultSVMEps, kernel: k}
 }
 
 // DefaultSVM returns the paper's default configuration: RBF kernel with
@@ -61,7 +78,14 @@ func (m *SVM) Classes() []int { return m.classes }
 
 // Fit implements Classifier: it trains k(k-1)/2 binary machines, one per
 // unordered pair of classes.
-func (m *SVM) Fit(ds *Dataset) error {
+func (m *SVM) Fit(ds *Dataset) error { return m.fit(ds, nil) }
+
+// fit trains the one-vs-one ensemble. When km is non-nil it must be the
+// Gram matrix of ds.X under m.kernel (with any zero RBF gamma already
+// resolved); each pair then trains on an index-subset gather of km instead
+// of re-evaluating the kernel — the path the grid search's gamma-keyed
+// kernel cache uses. Both paths produce bit-identical models.
+func (m *SVM) fit(ds *Dataset, km [][]float64) error {
 	if ds == nil || ds.Len() == 0 {
 		return errors.New("ml: empty training set")
 	}
@@ -74,29 +98,53 @@ func (m *SVM) Fit(ds *Dataset) error {
 		return errors.New("ml: no classes")
 	}
 	m.pairs = nil
+	m.svRows = nil
 	if len(m.classes) == 1 {
 		return nil // degenerate: always predict the single class
 	}
+	// rowID assigns each dataset row used as a support vector one slot in
+	// the shared svRows table, deduplicating across pairs.
+	rowID := make(map[int]int)
 	for i := 0; i < len(m.classes); i++ {
 		for j := i + 1; j < len(m.classes); j++ {
 			a, b := m.classes[i], m.classes[j]
+			var gi []int
 			var x [][]float64
 			var y []float64
 			for t, lab := range ds.Y {
 				switch lab {
 				case a:
+					gi = append(gi, t)
 					x = append(x, ds.X[t])
 					y = append(y, 1)
 				case b:
+					gi = append(gi, t)
 					x = append(x, ds.X[t])
 					y = append(y, -1)
 				}
 			}
-			sol, err := solveBinary(x, y, m.kernel, m.C, m.Eps, m.MaxIter)
+			var sol *smoResult
+			var err error
+			if km != nil {
+				sol, err = solveBinaryKM(x, y, gatherKM(km, gi), m.C, m.Eps, m.MaxIter)
+			} else {
+				sol, err = solveBinary(x, y, m.kernel, m.C, m.Eps, m.MaxIter)
+			}
 			if err != nil {
 				return fmt.Errorf("ml: pair (%d,%d): %w", a, b, err)
 			}
-			m.pairs = append(m.pairs, svmPair{a: a, b: b, sol: sol})
+			p := svmPair{a: a, b: b, sol: sol, svID: make([]int, len(sol.svIdx))}
+			for s, t := range sol.svIdx {
+				row := gi[t]
+				id, ok := rowID[row]
+				if !ok {
+					id = len(m.svRows)
+					m.svRows = append(m.svRows, ds.X[row])
+					rowID[row] = id
+				}
+				p.svID[s] = id
+			}
+			m.pairs = append(m.pairs, p)
 		}
 	}
 	return nil
@@ -118,10 +166,40 @@ func (m *SVM) Predict(x []float64) int {
 	return best
 }
 
+// svKernels evaluates K(sv, x) once per distinct support vector in the
+// shared svRows table, or returns nil when the cache is unavailable.
+// Because the kernel is a pure function, reusing one evaluation across all
+// pairs sharing a support vector is bit-identical to per-pair evaluation.
+func (m *SVM) svKernels(x []float64) []float64 {
+	if m.svRows == nil {
+		return nil
+	}
+	kv := make([]float64, len(m.svRows))
+	for i, sv := range m.svRows {
+		kv[i] = m.kernel.Eval(sv, x)
+	}
+	return kv
+}
+
+// pairDecision evaluates one pair's decision value, reading kernel values
+// from kv (the shared support-vector cache) when available.
+func (m *SVM) pairDecision(p *svmPair, x []float64, kv []float64) float64 {
+	if kv == nil || p.svID == nil {
+		return p.sol.decision(m.kernel, x)
+	}
+	var s float64
+	for i, id := range p.svID {
+		s += p.sol.svCoef[i] * kv[id]
+	}
+	return s - p.sol.rho
+}
+
 // Scores implements Classifier. Each pairwise decision value d contributes a
 // sigmoid-soft vote sigma(d) to the winning class and 1-sigma(d) to the
 // loser, which yields the smooth per-class confidences the
-// Best-vs-Second-Best heuristic needs.
+// Best-vs-Second-Best heuristic needs. One-vs-one pairs share support
+// vectors, so K(sv, x) is evaluated once per distinct vector (svKernels)
+// rather than once per pair.
 func (m *SVM) Scores(x []float64) []float64 {
 	out := make([]float64, len(m.classes))
 	if len(m.classes) == 1 {
@@ -132,8 +210,10 @@ func (m *SVM) Scores(x []float64) []float64 {
 	for i, c := range m.classes {
 		idx[c] = i
 	}
-	for _, p := range m.pairs {
-		d := p.sol.decision(m.kernel, x)
+	kv := m.svKernels(x)
+	for i := range m.pairs {
+		p := &m.pairs[i]
+		d := m.pairDecision(p, x, kv)
 		s := 1 / (1 + math.Exp(-2*d))
 		out[idx[p.a]] += s
 		out[idx[p.b]] += 1 - s
@@ -142,14 +222,47 @@ func (m *SVM) Scores(x []float64) []float64 {
 }
 
 // DecisionValues returns the raw pairwise decision values (one per trained
-// class pair, in pair order), for diagnostics.
+// class pair, in pair order), for diagnostics. Like Scores, it shares one
+// kernel evaluation per distinct support vector across pairs.
 func (m *SVM) DecisionValues(x []float64) []float64 {
 	out := make([]float64, len(m.pairs))
-	for i, p := range m.pairs {
-		out[i] = p.sol.decision(m.kernel, x)
+	kv := m.svKernels(x)
+	for i := range m.pairs {
+		out[i] = m.pairDecision(&m.pairs[i], x, kv)
 	}
 	return out
 }
+
+// buildSVCache rebuilds the shared support-vector table by vector content,
+// deduplicating identical vectors across pairs. fit builds the table from
+// dataset row identity; this variant serves deserialized models, where row
+// identity is lost but equal content still implies equal kernel values.
+func (m *SVM) buildSVCache() {
+	m.svRows = nil
+	seen := make(map[string]int)
+	var key []byte
+	for i := range m.pairs {
+		p := &m.pairs[i]
+		p.svID = make([]int, len(p.sol.svX))
+		for s, sv := range p.sol.svX {
+			key = key[:0]
+			for _, v := range sv {
+				key = binary.LittleEndian.AppendUint64(key, math.Float64bits(v))
+			}
+			id, ok := seen[string(key)]
+			if !ok {
+				id = len(m.svRows)
+				m.svRows = append(m.svRows, sv)
+				seen[string(key)] = id
+			}
+			p.svID[s] = id
+		}
+	}
+}
+
+// NumDistinctSupportVectors returns the size of the shared support-vector
+// table — the number of kernel evaluations one Scores call costs.
+func (m *SVM) NumDistinctSupportVectors() int { return len(m.svRows) }
 
 // NumSupportVectors returns the total support-vector count across pairs.
 func (m *SVM) NumSupportVectors() int {

@@ -1,0 +1,85 @@
+// Package par provides the tiny worker-pool substrate shared by Nitro's
+// offline tuning pipeline: the autotuner's exhaustive-search labelling stage,
+// the dataset corpus builders, the experiment harness and the ml grid search
+// all fan independent work items out over a bounded number of goroutines.
+//
+// The package deliberately has no knobs beyond a worker count. Every caller
+// threads a single `Parallelism int` option through to Workers, with the
+// shared convention: 0 (the zero value) means "use all available cores"
+// (runtime.GOMAXPROCS) and 1 means "run serially on the calling goroutine" —
+// today's pre-parallel behaviour, bit-for-bit. Determinism is the caller's
+// concern: callers must write results into index-addressed slots (never
+// append in completion order) so the output is independent of scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a concrete worker count:
+// n <= 0 selects runtime.GOMAXPROCS(0), any positive n is returned as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) using at most workers goroutines
+// (workers <= 1 runs everything on the calling goroutine) and returns once
+// all calls have completed. Work items are handed out via a shared atomic
+// counter, so the assignment of items to workers is scheduling-dependent —
+// fn must therefore be safe for concurrent invocation and must write its
+// result to an index-addressed slot to keep the overall computation
+// deterministic.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64 // shared work counter: workers claim indices
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) like For and returns the error
+// from the lowest index that failed (deterministic regardless of which
+// worker observed its error first), or nil when every call succeeded.
+// All n calls run even when some fail; short-circuiting would make the set
+// of executed side effects scheduling-dependent.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

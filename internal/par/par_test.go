@@ -1,0 +1,65 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		counts := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndSmall(t *testing.T) {
+	For(0, 8, func(int) { t.Fatal("fn called for n=0") })
+	ran := false
+	For(1, 8, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Error("fn not called for n=1")
+	}
+}
+
+func TestForErrLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForErr(100, workers, func(i int) error {
+			if i == 7 || i == 93 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-7" {
+			t.Errorf("workers=%d: err = %v, want fail-7", workers, err)
+		}
+		if err := ForErr(50, workers, func(int) error { return nil }); err != nil {
+			t.Errorf("workers=%d: unexpected error %v", workers, err)
+		}
+	}
+	if !errors.Is(ForErr(1, 1, func(int) error { return errSentinel }), errSentinel) {
+		t.Error("error identity not preserved")
+	}
+}
+
+var errSentinel = errors.New("sentinel")
