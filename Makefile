@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel ci clean
+.PHONY: all build vet test race bench bench-parallel bench-call lint ci clean
 
 all: build
 
@@ -22,7 +22,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark sweep (figures + ablations + ML kernels).
+# Full benchmark sweep (figures + ablations + ML kernels + the
+# deployment-runtime parallel-call benches in internal/core).
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
@@ -31,7 +32,25 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'GridSearch|Fig4Setup' ./internal/ml/ .
 
-ci: vet build race
+# Deployment-runtime benchmarks: the lock-free selection hot path under
+# b.RunParallel (Call / CallFixed futures / batched CallConcurrent), at one
+# and several scheduler threads. Run on a multi-core host for scaling
+# numbers; at 1 core this checks that the concurrency machinery adds no
+# serial overhead.
+bench-call:
+	$(GO) test -run xxx -bench 'BenchmarkCall' -cpu 1,2,4 ./internal/core/
+
+# Static analysis beyond vet. Uses staticcheck when it is installed
+# (CI installs it); locally it is skipped with a note rather than failing
+# the build, because the toolchain image is offline.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: lint build race
 
 clean:
 	$(GO) clean ./...

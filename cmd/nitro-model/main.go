@@ -8,6 +8,12 @@
 //
 //	nitro-model -model spmv.model.json
 //	nitro-model -model spmv.model.json -predict "12.5,3.1,88,1.2,1.0"
+//	nitro-model -model spmv.model.json -predict-file vectors.txt -parallelism 0
+//
+// -predict-file reads one comma-separated feature vector per line (blank
+// lines and '#' comments skipped) and classifies the batch, fanning the
+// predictions over -parallelism workers; model prediction is read-only and
+// safe to share, so the output is identical at every worker count.
 package main
 
 import (
@@ -19,14 +25,17 @@ import (
 	"strings"
 
 	"nitro/internal/ml"
+	"nitro/internal/par"
 )
 
 func main() {
 	modelPath := flag.String("model", "", "path to a model JSON file (required)")
 	predict := flag.String("predict", "", "comma-separated feature vector to classify")
+	predictFile := flag.String("predict-file", "", "file with one comma-separated feature vector per line to classify as a batch")
+	parallelism := flag.Int("parallelism", 0, "worker count for batch prediction (0 = all cores, 1 = serial); output is identical at every setting")
 	flag.Parse()
 	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: nitro-model -model file.json [-predict \"1,2,3\"]")
+		fmt.Fprintln(os.Stderr, "usage: nitro-model -model file.json [-predict \"1,2,3\"] [-predict-file vectors.txt]")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(*modelPath)
@@ -35,6 +44,15 @@ func main() {
 	}
 	if err := inspect(data, *predict, os.Stdout); err != nil {
 		fatal(err)
+	}
+	if *predictFile != "" {
+		batch, err := os.ReadFile(*predictFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := predictBatch(data, string(batch), *parallelism, os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 
@@ -62,22 +80,70 @@ func inspect(data []byte, predict string, out io.Writer) error {
 	if predict == "" {
 		return nil
 	}
-	var vec []float64
-	for _, tok := range strings.Split(predict, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-		if err != nil {
-			return fmt.Errorf("bad feature value %q: %w", tok, err)
-		}
-		vec = append(vec, v)
-	}
-	if model.Scaler != nil && model.Scaler.Fitted() && len(vec) != len(model.Scaler.Min) {
-		return fmt.Errorf("feature vector has %d values, model expects %d", len(vec), len(model.Scaler.Min))
+	vec, err := parseVector(model, predict)
+	if err != nil {
+		return err
 	}
 	pred := model.Predict(vec)
 	scores := model.Scores(vec)
 	fmt.Fprintf(out, "prediction: variant label %d\n", pred)
 	for i, c := range model.Classifier.Classes() {
 		fmt.Fprintf(out, "  label %d score %.4f\n", c, scores[i])
+	}
+	return nil
+}
+
+// parseVector parses a comma-separated feature vector and validates its
+// dimension against the model's scaler.
+func parseVector(model *ml.Model, s string) ([]float64, error) {
+	var vec []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad feature value %q: %w", tok, err)
+		}
+		vec = append(vec, v)
+	}
+	if model.Scaler != nil && model.Scaler.Fitted() && len(vec) != len(model.Scaler.Min) {
+		return nil, fmt.Errorf("feature vector has %d values, model expects %d", len(vec), len(model.Scaler.Min))
+	}
+	return vec, nil
+}
+
+// predictBatch classifies every vector in content (one comma-separated
+// vector per line; blank lines and lines starting with '#' are skipped),
+// fanning the predictions over the given worker count. Model prediction is
+// read-only, so sharing one model across workers is safe; results are
+// written in input order regardless of scheduling.
+func predictBatch(data []byte, content string, parallelism int, out io.Writer) error {
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("predict-file contains no feature vectors")
+	}
+	vecs := make([][]float64, len(lines))
+	for i, line := range lines {
+		if vecs[i], err = parseVector(model, line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	preds := make([]int, len(vecs))
+	par.For(len(vecs), par.Workers(parallelism), func(i int) {
+		preds[i] = model.Predict(vecs[i])
+	})
+	fmt.Fprintf(out, "batch predictions (%d vectors, %d workers):\n", len(vecs), par.Workers(parallelism))
+	for i, p := range preds {
+		fmt.Fprintf(out, "  %s -> variant label %d\n", lines[i], p)
 	}
 	return nil
 }

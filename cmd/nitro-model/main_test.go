@@ -64,6 +64,53 @@ func TestInspectPredict(t *testing.T) {
 	}
 }
 
+func TestPredictBatch(t *testing.T) {
+	data := fixtureModel(t)
+	content := "# comment\n1,2\n\n8, 16\n3,6\n9,18\n"
+	var serial bytes.Buffer
+	if err := predictBatch(data, content, 1, &serial); err != nil {
+		t.Fatal(err)
+	}
+	out := serial.String()
+	for _, want := range []string{
+		"batch predictions (4 vectors",
+		"1,2 -> variant label 0",
+		"8, 16 -> variant label 1",
+		"3,6 -> variant label 0",
+		"9,18 -> variant label 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing %q:\n%s", want, out)
+		}
+	}
+	// The fanned-out batch produces predictions in the same input order.
+	var conc bytes.Buffer
+	if err := predictBatch(data, content, 4, &conc); err != nil {
+		t.Fatal(err)
+	}
+	serialLines := strings.SplitN(serial.String(), "\n", 2)[1]
+	concLines := strings.SplitN(conc.String(), "\n", 2)[1]
+	if serialLines != concLines {
+		t.Errorf("concurrent batch differs from serial:\n%s\nvs\n%s", concLines, serialLines)
+	}
+}
+
+func TestPredictBatchErrors(t *testing.T) {
+	data := fixtureModel(t)
+	if err := predictBatch(data, "# only comments\n", 1, &bytes.Buffer{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := predictBatch(data, "1,2\n1,x\n", 1, &bytes.Buffer{}); err == nil {
+		t.Error("bad token in batch accepted")
+	}
+	if err := predictBatch(data, "1\n", 1, &bytes.Buffer{}); err == nil {
+		t.Error("dimension mismatch in batch accepted")
+	}
+	if err := predictBatch([]byte("junk"), "1,2\n", 1, &bytes.Buffer{}); err == nil {
+		t.Error("junk model accepted")
+	}
+}
+
 func TestInspectErrors(t *testing.T) {
 	if err := inspect([]byte("junk"), "", &bytes.Buffer{}); err == nil {
 		t.Error("junk model accepted")

@@ -36,12 +36,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"nitro/internal/autotuner"
 	"nitro/internal/core"
 	"nitro/internal/datasets"
 	"nitro/internal/gpusim"
 	"nitro/internal/ml"
+	"nitro/internal/par"
 	"nitro/internal/sparse"
 )
 
@@ -82,11 +84,21 @@ type Spec struct {
 	// CrossValidate, when >= 2, additionally reports k-fold cross-validated
 	// selection performance on the training corpus.
 	CrossValidate int `json:"cross_validate"`
+
+	// Throughput, when > 0, replays that many deployment-time selections of
+	// the tuned model over the feasible test instances through a live
+	// core.CodeVariant — once serially and once fanned over all cores — and
+	// reports calls/sec plus the concurrent speedup. This exercises the
+	// lock-free selection engine (atomic model load, constraint check,
+	// sharded statistics), not the simulated kernels. The -throughput flag
+	// overrides the spec value.
+	Throughput int `json:"throughput"`
 }
 
 func main() {
 	specPath := flag.String("spec", "", "path to the JSON tuning spec (required)")
 	parallelism := flag.Int("parallelism", -1, "worker count for corpus labelling and grid search (0 = all cores, 1 = serial, -1 = use spec value); results are identical at every setting")
+	throughput := flag.Int("throughput", -1, "number of deployment-replay selections to time after tuning (0 = none, -1 = use spec value)")
 	flag.Parse()
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
@@ -102,6 +114,9 @@ func main() {
 	}
 	if *parallelism >= 0 {
 		spec.Parallelism = *parallelism
+	}
+	if *throughput >= 0 {
+		spec.Throughput = *throughput
 	}
 	if err := runSpec(spec, os.Stdout); err != nil {
 		fatal(err)
@@ -187,6 +202,68 @@ func runSpec(spec Spec, out io.Writer) error {
 		fmt.Fprintf(out, "test evaluation: %.2f%% of exhaustive-search performance (%d/%d exact picks)\n",
 			100*eval.MeanPerf, eval.ExactMatches, eval.Evaluated)
 	}
+	if spec.Throughput > 0 {
+		if err := replayThroughput(spec, suite, model, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayThroughput installs the tuned model into a fresh context, wraps the
+// suite in a live replay CodeVariant (autotuner.ReplayVariant), and times
+// spec.Throughput deployment-time selections over the feasible test
+// instances: once serially and once fanned over all cores. The replay
+// variants return pre-measured costs, so what is being measured is the
+// selection engine itself — atomic model load, feature evaluation,
+// constraint check, sharded statistics — not the simulated kernels.
+func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io.Writer) error {
+	feasible := autotuner.FeasibleTest(suite)
+	if len(feasible) == 0 {
+		return fmt.Errorf("throughput replay: no feasible test instances (set test_count or evaluate a benchmark with test inputs)")
+	}
+	cx := core.NewContext()
+	cx.SetModel(spec.Function, model)
+	policy := core.TuningPolicy{
+		Name:                spec.Function,
+		ParallelFeatureEval: spec.ParallelFeatureEval,
+		AsyncFeatureEval:    spec.AsyncFeatureEval,
+		ConstraintsEnabled:  spec.Constraints == nil || *spec.Constraints,
+	}
+	cv, err := autotuner.ReplayVariant(cx, suite, policy)
+	if err != nil {
+		return err
+	}
+	batch := make([]autotuner.Instance, spec.Throughput)
+	for i := range batch {
+		batch[i] = feasible[i%len(feasible)]
+	}
+	run := func(parallelism int) (float64, error) {
+		start := time.Now()
+		for _, r := range cv.CallConcurrent(batch, parallelism) {
+			if r.Err != nil {
+				return 0, r.Err
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed <= 0 {
+			elapsed = time.Nanosecond
+		}
+		return float64(len(batch)) / elapsed.Seconds(), nil
+	}
+	serial, err := run(1)
+	if err != nil {
+		return err
+	}
+	concurrent, err := run(0)
+	if err != nil {
+		return err
+	}
+	st := cx.Stats(spec.Function)
+	fmt.Fprintf(out, "deployment replay: %d selections over %d feasible test inputs\n", spec.Throughput, len(feasible))
+	fmt.Fprintf(out, "  serial:     %.0f calls/sec\n", serial)
+	fmt.Fprintf(out, "  concurrent: %.0f calls/sec (%.2fx, %d workers)\n", concurrent, concurrent/serial, par.Workers(0))
+	fmt.Fprintf(out, "  constraint fallbacks: %d of %d calls\n", st.DefaultFallbacks, st.Calls)
 	return nil
 }
 

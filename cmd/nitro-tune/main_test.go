@@ -114,6 +114,25 @@ func TestRunSpecGlobErrors(t *testing.T) {
 	}
 }
 
+func TestRunSpecThroughputReplay(t *testing.T) {
+	spec := smallSpec()
+	spec.Throughput = 200
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"deployment replay: 200 selections", "serial:", "concurrent:", "constraint fallbacks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both passes ran, so the replay context recorded 2 * Throughput calls.
+	if !strings.Contains(out, "of 400 calls") {
+		t.Errorf("replay stats should count both passes (400 calls):\n%s", out)
+	}
+}
+
 func TestRunSpecPolicyAndCrossValidate(t *testing.T) {
 	spec := smallSpec()
 	off := false

@@ -129,6 +129,36 @@ func main() {
 		}
 		fmt.Printf("%-22s -> %-9s (%.3f ms)\n", tc.name, chosen, secs*1e3)
 	}
+
+	// Concurrent deployment: a tuned CodeVariant is safe to share, so a
+	// whole batch can be fanned over all cores in one call ...
+	batch := make([]input, 32)
+	for i := range batch {
+		if i%2 == 0 {
+			batch[i] = gen(rng, 8192, 0.002)
+		} else {
+			batch[i] = gen(rng, 8192, 1.0)
+		}
+	}
+	counts := map[string]int{}
+	for i, r := range cv.CallConcurrent(batch, 0) {
+		if r.Err != nil {
+			panic(fmt.Sprintf("batch input %d: %v", i, r.Err))
+		}
+		counts[r.Variant]++
+	}
+	fmt.Printf("concurrent batch of %d: %v\n", len(batch), counts)
+
+	// ... and feature evaluation can overlap other work: FixInputs starts
+	// evaluating features for one input and returns a single-shot future.
+	f := cv.FixInputs(gen(rng, 16384, 0.001))
+	// (other work would happen here while features evaluate)
+	if _, chosen, err := f.Call(); err != nil {
+		panic(err)
+	} else {
+		fmt.Printf("async future            -> %s\n", chosen)
+	}
+
 	stats := cx.Stats("sortints")
 	fmt.Printf("calls: %d, per-variant: %v\n", stats.Calls, stats.PerVariant)
 }

@@ -136,6 +136,33 @@ func main() {
 		fmt.Printf("%-38s -> %-8s (%.3f ms; DIA fill %.1f, ELL fill %.1f)\n",
 			tc.name, chosen, secs*1e3, f.DIAFill, f.ELLFill)
 	}
+	// Concurrent serving: the tuned library handles simultaneous callers —
+	// one CodeVariant shared by a batch fanned over all cores.
+	var probs []*sparse.Problem
+	for i := 0; i < 12; i++ {
+		m := sparse.Stencil2D(48+8*i, 48+8*i)
+		if i%3 == 2 {
+			m = sparse.PowerLaw(3000+500*i, 8, 1.4, int64(300+i))
+		}
+		x := make([]float64, m.Cols)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		p, err := sparse.NewProblem(m, x)
+		if err != nil {
+			panic(err)
+		}
+		probs = append(probs, p)
+	}
+	served := map[string]int{}
+	for i, r := range lib.cv.CallConcurrent(probs, 0) {
+		if r.Err != nil {
+			panic(fmt.Sprintf("concurrent call %d: %v", i, r.Err))
+		}
+		served[r.Variant]++
+	}
+	fmt.Printf("served %d concurrent SpMV calls: %v\n", len(probs), served)
+
 	stats := lib.cx.Stats("spmv")
 	fmt.Printf("calls: %d, fallbacks to default: %d, per-variant: %v\n",
 		stats.Calls, stats.DefaultFallbacks, stats.PerVariant)

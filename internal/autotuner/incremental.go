@@ -32,14 +32,24 @@ type IncrementalResult struct {
 	PerfCurve []float64
 }
 
-// seedAndPool splits the feasible training instances into a seed set with at
-// least one instance of every observed label (the paper requires the seed to
-// cover the label set) and an unlabelled active pool.
+// seedAndPool splits the training instances into a seed set with at least
+// one instance of every observed label (the paper requires the seed to cover
+// the label set) and an unlabelled active pool.
+//
+// Infeasible instances (no variant could handle them, best < 0) go into the
+// pool, not the bin: per the paper's fallback convention they carry the
+// default-variant label when the oracle is asked (see IncrementalTune's
+// oracle closure), so the active learner can still spend a query on them and
+// learn that such inputs belong to the default. Dropping them — the old
+// behaviour — silently shrank the active pool and made the oracle's
+// infeasible branch dead code. They are kept out of the seed because their
+// label is a convention, not an observation.
 func seedAndPool(instances []Instance) (seed []Instance, pool []Instance) {
 	seen := map[int]bool{}
 	for _, in := range instances {
 		best, _ := in.Best()
 		if best < 0 {
+			pool = append(pool, in)
 			continue
 		}
 		if !seen[best] {
@@ -89,6 +99,10 @@ func IncrementalTune(s *Suite, opts IncrementalOptions, suiteForCurve *Suite) (I
 	oracle := func(i int) int {
 		best, _ := pool[i].Best()
 		if best < 0 {
+			// Infeasible input: exhaustive search found no variant that can
+			// handle it, so it is labelled with the deployment-time fallback
+			// — the default variant — per the paper's convention. Reachable
+			// because seedAndPool routes infeasible instances into the pool.
 			best = s.DefaultVariant
 		}
 		return best

@@ -1,0 +1,67 @@
+package autotuner
+
+import (
+	"fmt"
+	"math"
+
+	"nitro/internal/core"
+)
+
+// ReplayVariant builds a live core.CodeVariant whose variants replay the
+// pre-measured per-variant costs of a Suite's instances: variant i on
+// instance in simply returns in.Times[i], features return the precomputed
+// vector entries, and a constraint vetoes variants whose recorded cost is
+// +Inf (the suite convention for "could not run"). The result is a faithful
+// deployment-time stand-in for the benchmark — install a trained model into
+// cx and hammer Call/CallConcurrent to measure the selection engine itself
+// (model predict + constraint check + statistics) without re-simulating the
+// kernels.
+//
+// The policy's Name keys the model and statistics in cx, exactly as for a
+// real tunable function.
+func ReplayVariant(cx *core.Context, s *Suite, policy core.TuningPolicy) (*core.CodeVariant[Instance], error) {
+	if s == nil || len(s.VariantNames) == 0 {
+		return nil, fmt.Errorf("autotuner: replay needs a suite with variants")
+	}
+	cv := core.New[Instance](cx, policy)
+	for vi, name := range s.VariantNames {
+		vi := vi
+		cv.AddVariant(name, func(in Instance) float64 { return in.Times[vi] })
+		if err := cv.AddConstraint(name, func(in Instance) bool {
+			return vi < len(in.Times) && !math.IsInf(in.Times[vi], 1)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if s.DefaultVariant >= 0 && s.DefaultVariant < len(s.VariantNames) {
+		if err := cv.SetDefault(s.VariantNames[s.DefaultVariant]); err != nil {
+			return nil, err
+		}
+	}
+	for fi, name := range s.FeatureNames {
+		fi := fi
+		cv.AddInputFeature(core.Feature[Instance]{
+			Name: name,
+			Eval: func(in Instance) float64 { return in.Features[fi] },
+			Cost: func(in Instance) float64 {
+				if fi < len(in.FeatureCosts) {
+					return in.FeatureCosts[fi]
+				}
+				return 0
+			},
+		})
+	}
+	return cv, nil
+}
+
+// FeasibleTest returns the suite's test instances on which at least one
+// variant is feasible — the inputs a deployment replay can actually serve.
+func FeasibleTest(s *Suite) []Instance {
+	out := make([]Instance, 0, len(s.Test))
+	for _, in := range s.Test {
+		if b, _ := in.Best(); b >= 0 {
+			out = append(out, in)
+		}
+	}
+	return out
+}

@@ -2,51 +2,194 @@
 // contribution. It provides the code_variant abstraction: a tunable function
 // with registered variants, input-feature functions and per-variant
 // constraints, plus the deployment-time selection engine that consults a
-// trained model, enforces constraints (falling back to the default variant),
+// trained model, enforces constraints (falling back to an allowed variant),
 // and evaluates features in parallel or asynchronously (the paper's TBB
 // optimizations, realized with goroutines).
 //
 // The generic parameter In is the tunable function's input type, mirroring
 // the C++ template argument tuple of the original library.
+//
+// # Concurrency model
+//
+// The runtime is built to serve concurrent traffic on one shared
+// CodeVariant:
+//
+//   - Registration (AddVariant, AddInputFeature, AddConstraint, SetDefault)
+//     is a setup-phase activity: finish it before the first concurrent Call,
+//     per the usual Go convention that configuration happens-before use.
+//   - Call, FixInputs, CallFixed, CallConcurrent, FeatureVector, SelectIndex
+//     and Allowed are safe for unlimited concurrent use. They carry no shared
+//     mutable state: asynchronous feature evaluation lives in a per-call
+//     Fixed handle, never in the CodeVariant.
+//   - The installed model is held in an atomic pointer, so Context.SetModel
+//     hot-swaps a retuned model mid-traffic without ever blocking the
+//     predict path.
+//   - Call statistics are sharded atomic counters; recording a call takes no
+//     lock, and Context.Stats sums the shards into a consistent-enough
+//     snapshot (counts never tear; a snapshot taken during traffic may lag
+//     in-flight calls by design).
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"nitro/internal/ml"
+	"nitro/internal/par"
 )
+
+// ErrAllVariantsVetoed is returned by Call/SelectIndex when constraints veto
+// every registered variant for an input: there is nothing safe to execute,
+// and silently running a vetoed variant (the pre-fix behaviour for a vetoed
+// default) could crash or diverge.
+var ErrAllVariantsVetoed = errors.New("core: all variants vetoed by constraints")
+
+// errNoVariants is returned when Call runs before any variant is registered.
+var errNoVariants = errors.New("core: no variants registered")
+
+// modelSlot is one function's installed-model cell. The pointer is swapped
+// atomically so model installation (SetModel/LoadModel) never contends with
+// the predict path: readers Load, writers Store, nobody locks.
+type modelSlot struct {
+	p atomic.Pointer[ml.Model]
+}
+
+// statsShards is the number of counter shards per tunable function. Calls
+// scatter across shards to keep concurrent writers off each other's cache
+// lines; 32 comfortably covers the core counts this repo targets while
+// keeping snapshots cheap.
+const statsShards = 32
+
+// atomicFloat64 is a float64 accumulated with compare-and-swap, for the
+// value/feature-cost sums on the lock-free record path.
+type atomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat64) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// statsShard is one slice of a function's call counters. The trailing pad
+// separates neighbouring shards so two cores incrementing different shards do
+// not false-share a cache line.
+type statsShard struct {
+	calls     atomic.Int64
+	fallbacks atomic.Int64
+	value     atomicFloat64
+	featSecs  atomicFloat64
+	// perVariant maps variant name -> *atomic.Int64. After the first call to
+	// a given variant the sync.Map read path is lock-free.
+	perVariant sync.Map
+	_          [64]byte
+}
+
+// funcStats aggregates one tunable function's deployment statistics across
+// shards. Recording picks a shard with a cheap per-goroutine random draw
+// (math/rand/v2's lock-free per-thread generator), so the hot path is a
+// handful of uncontended atomic adds.
+type funcStats struct {
+	shards [statsShards]statsShard
+}
+
+func (fs *funcStats) record(variant string, value, featSeconds float64, fallback bool) {
+	sh := &fs.shards[rand.Uint64N(statsShards)]
+	sh.calls.Add(1)
+	sh.value.Add(value)
+	if featSeconds != 0 {
+		sh.featSecs.Add(featSeconds)
+	}
+	if fallback {
+		sh.fallbacks.Add(1)
+	}
+	c, ok := sh.perVariant.Load(variant)
+	if !ok {
+		c, _ = sh.perVariant.LoadOrStore(variant, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// snapshot sums the shards into a CallStats copy.
+func (fs *funcStats) snapshot() CallStats {
+	out := CallStats{PerVariant: map[string]int{}}
+	for i := range fs.shards {
+		sh := &fs.shards[i]
+		out.Calls += int(sh.calls.Load())
+		out.DefaultFallbacks += int(sh.fallbacks.Load())
+		out.TotalValue += sh.value.Load()
+		out.FeatureSeconds += sh.featSecs.Load()
+		sh.perVariant.Range(func(k, v any) bool {
+			out.PerVariant[k.(string)] += int(v.(*atomic.Int64).Load())
+			return true
+		})
+	}
+	return out
+}
 
 // Context maintains the global state shared by all code variants in a
 // program: the per-function trained models and call statistics. It mirrors
-// the paper's nitro::context. A Context is safe for concurrent use.
+// the paper's nitro::context. A Context is safe for concurrent use; model
+// lookup and statistics recording on the Call hot path are lock-free (the
+// mutex only guards registration of new function names).
 type Context struct {
-	mu     sync.Mutex
-	models map[string]*ml.Model
-	stats  map[string]*CallStats
+	mu     sync.Mutex // guards the maps below, never held on the Call hot path
+	models map[string]*modelSlot
+	stats  map[string]*funcStats
 }
 
 // NewContext returns an empty tuning context.
 func NewContext() *Context {
-	return &Context{models: map[string]*ml.Model{}, stats: map[string]*CallStats{}}
+	return &Context{models: map[string]*modelSlot{}, stats: map[string]*funcStats{}}
 }
 
-// SetModel installs the trained model for the named tunable function.
-func (cx *Context) SetModel(fn string, m *ml.Model) {
+// slotFor returns (creating if needed) the named function's model cell.
+func (cx *Context) slotFor(fn string) *modelSlot {
 	cx.mu.Lock()
 	defer cx.mu.Unlock()
-	cx.models[fn] = m
+	s, ok := cx.models[fn]
+	if !ok {
+		s = &modelSlot{}
+		cx.models[fn] = s
+	}
+	return s
+}
+
+// statsFor returns (creating if needed) the named function's counters.
+func (cx *Context) statsFor(fn string) *funcStats {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	s, ok := cx.stats[fn]
+	if !ok {
+		s = &funcStats{}
+		cx.stats[fn] = s
+	}
+	return s
+}
+
+// SetModel installs the trained model for the named tunable function. The
+// swap is atomic: calls in flight keep the model they already loaded, and
+// subsequent calls see m — tuned models can be reloaded mid-traffic without
+// pausing the predict path. Installing nil uninstalls the model.
+func (cx *Context) SetModel(fn string, m *ml.Model) {
+	cx.slotFor(fn).p.Store(m)
 }
 
 // Model returns the model for the named function, if one is installed.
 func (cx *Context) Model(fn string) (*ml.Model, bool) {
-	cx.mu.Lock()
-	defer cx.mu.Unlock()
-	m, ok := cx.models[fn]
-	return m, ok
+	m := cx.slotFor(fn).p.Load()
+	return m, m != nil
 }
 
 // SaveModel persists the named function's model to a JSON file (the
@@ -64,7 +207,8 @@ func (cx *Context) SaveModel(fn, path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadModel reads a model from a JSON file and installs it for fn.
+// LoadModel reads a model from a JSON file and installs it for fn. Like
+// SetModel it is safe to call while fn is serving traffic.
 func (cx *Context) LoadModel(fn, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -88,37 +232,11 @@ type CallStats struct {
 	FeatureSeconds   float64
 }
 
-// Stats returns a copy of the call statistics for fn.
+// Stats returns a snapshot of the call statistics for fn. Taken under
+// concurrent traffic the snapshot is a sum over shards: totals never tear,
+// but calls that complete while the snapshot runs may or may not be counted.
 func (cx *Context) Stats(fn string) CallStats {
-	cx.mu.Lock()
-	defer cx.mu.Unlock()
-	s := cx.stats[fn]
-	if s == nil {
-		return CallStats{PerVariant: map[string]int{}}
-	}
-	out := *s
-	out.PerVariant = make(map[string]int, len(s.PerVariant))
-	for k, v := range s.PerVariant {
-		out.PerVariant[k] = v
-	}
-	return out
-}
-
-func (cx *Context) record(fn, variant string, value, featSeconds float64, fallback bool) {
-	cx.mu.Lock()
-	defer cx.mu.Unlock()
-	s := cx.stats[fn]
-	if s == nil {
-		s = &CallStats{PerVariant: map[string]int{}}
-		cx.stats[fn] = s
-	}
-	s.Calls++
-	s.PerVariant[variant]++
-	s.TotalValue += value
-	s.FeatureSeconds += featSeconds
-	if fallback {
-		s.DefaultFallbacks++
-	}
+	return cx.statsFor(fn).snapshot()
 }
 
 // TuningPolicy carries the per-function options the paper's Python tuning
@@ -128,8 +246,9 @@ type TuningPolicy struct {
 	Name string
 	// ParallelFeatureEval evaluates feature functions concurrently.
 	ParallelFeatureEval bool
-	// AsyncFeatureEval lets FixInputs start feature evaluation in the
-	// background; Call then blocks on the result (the implicit barrier).
+	// AsyncFeatureEval makes FixInputs start feature evaluation in the
+	// background; CallFixed then blocks on the result (the implicit
+	// barrier). Without it FixInputs evaluates eagerly on the caller.
 	AsyncFeatureEval bool
 	// ConstraintsEnabled toggles deployment-time constraint checking.
 	ConstraintsEnabled bool
@@ -165,8 +284,12 @@ type variantEntry[In any] struct {
 
 // CodeVariant is the Go rendering of the paper's nitro::code_variant: a
 // tunable function with registered variants, features and constraints.
-// It is not safe for concurrent Call use with AsyncFeatureEval; guard
-// externally or use one per goroutine.
+//
+// Register variants/features/constraints first, then share the CodeVariant
+// freely: Call, FixInputs/CallFixed and CallConcurrent are safe for
+// unlimited concurrent use (see the package comment for the full model).
+// The variant, feature and constraint callbacks themselves must tolerate
+// concurrent invocation when the CodeVariant is called concurrently.
 type CodeVariant[In any] struct {
 	cx       *Context
 	policy   TuningPolicy
@@ -174,13 +297,12 @@ type CodeVariant[In any] struct {
 	features []Feature[In]
 	defIdx   int
 
-	pending chan evaluated
-	fixed   bool
-}
-
-type evaluated struct {
-	vec     []float64
-	seconds float64
+	// model and stats are this function's cells in the context, resolved
+	// once at construction so the Call hot path is a single atomic load away
+	// from the model and a few atomic adds away from the statistics — no map
+	// lookups, no locks.
+	model *modelSlot
+	stats *funcStats
 }
 
 // New creates a tunable function bound to the context, mirroring
@@ -189,7 +311,13 @@ func New[In any](cx *Context, policy TuningPolicy) *CodeVariant[In] {
 	if cx == nil {
 		cx = NewContext()
 	}
-	return &CodeVariant[In]{cx: cx, policy: policy, defIdx: -1}
+	return &CodeVariant[In]{
+		cx:     cx,
+		policy: policy,
+		defIdx: -1,
+		model:  cx.slotFor(policy.Name),
+		stats:  cx.statsFor(policy.Name),
+	}
 }
 
 // Context returns the bound tuning context.
@@ -207,8 +335,8 @@ func (cv *CodeVariant[In]) AddVariant(name string, fn VariantFn[In]) int {
 	return len(cv.variants) - 1
 }
 
-// SetDefault marks the named variant as the fallback used when no model is
-// installed or a predicted variant is vetoed at deployment time.
+// SetDefault marks the named variant as the preferred fallback used when no
+// model is installed or a predicted variant is vetoed at deployment time.
 func (cv *CodeVariant[In]) SetDefault(name string) error {
 	for i, v := range cv.variants {
 		if v.name == name {
@@ -313,68 +441,163 @@ func (cv *CodeVariant[In]) FeatureVector(in In) ([]float64, float64) {
 	return cv.evalFeatures(in)
 }
 
-// FixInputs mirrors the paper's fix_inputs: with AsyncFeatureEval enabled it
+// Fixed is a per-call future produced by FixInputs: the input it was created
+// for plus the (possibly still evaluating) feature vector. Binding the input
+// into the handle guarantees that feature evaluation, constraint checking
+// and variant execution always agree on one input — the handle, not the
+// CodeVariant, carries the async state, so any number of goroutines can hold
+// independent Fixed handles on one shared CodeVariant.
+//
+// A Fixed handle is single-shot: consume it with CallFixed (or Fixed.Call)
+// exactly once. The handle itself must not be shared between goroutines.
+type Fixed[In any] struct {
+	cv       *CodeVariant[In]
+	in       In
+	done     chan struct{} // non-nil iff evaluation runs in the background
+	vec      []float64
+	seconds  float64
+	consumed atomic.Bool
+}
+
+// FixInputs mirrors the paper's fix_inputs, upgraded from implicit shared
+// state to an explicit per-call future. With AsyncFeatureEval enabled it
 // starts feature evaluation in the background so the caller can overlap
-// other work; the next Call blocks on the result. Without the async policy
-// it is a no-op.
-func (cv *CodeVariant[In]) FixInputs(in In) {
-	if !cv.policy.AsyncFeatureEval {
-		return
+// other work before CallFixed; otherwise it evaluates eagerly on the calling
+// goroutine. Either way the returned handle remembers in, so the subsequent
+// CallFixed executes the selection on exactly the input the features were
+// computed from.
+func (cv *CodeVariant[In]) FixInputs(in In) *Fixed[In] {
+	f := &Fixed[In]{cv: cv, in: in}
+	if cv.policy.AsyncFeatureEval {
+		f.done = make(chan struct{})
+		go func() {
+			f.vec, f.seconds = cv.evalFeatures(in)
+			close(f.done)
+		}()
+		return f
 	}
-	ch := make(chan evaluated, 1)
-	cv.pending = ch
-	cv.fixed = true
-	go func() {
-		vec, cost := cv.evalFeatures(in)
-		ch <- evaluated{vec: vec, seconds: cost}
-	}()
+	f.vec, f.seconds = cv.evalFeatures(in)
+	return f
+}
+
+// Input returns the input the handle was fixed on.
+func (f *Fixed[In]) Input() In { return f.in }
+
+// Features blocks until feature evaluation completes (the paper's implicit
+// barrier) and returns the feature vector with its modelled evaluation cost.
+func (f *Fixed[In]) Features() ([]float64, float64) {
+	if f.done != nil {
+		<-f.done
+	}
+	return f.vec, f.seconds
+}
+
+// Call consumes the handle: it waits for the features, selects and executes
+// a variant on the fixed input, and records statistics. Equivalent to
+// cv.CallFixed(f).
+func (f *Fixed[In]) Call() (float64, string, error) {
+	return f.cv.CallFixed(f)
+}
+
+// CallFixed consumes a handle produced by this CodeVariant's FixInputs: it
+// waits for the feature vector (the implicit barrier), then selects,
+// constraint-checks and executes a variant on the input bound into the
+// handle. Under AsyncFeatureEval the feature cost is recorded as hidden
+// (zero), because evaluation overlapped the caller's other work.
+//
+// Consuming a handle twice, or a handle from a different CodeVariant, is an
+// error.
+func (cv *CodeVariant[In]) CallFixed(f *Fixed[In]) (float64, string, error) {
+	if f == nil {
+		return 0, "", errors.New("core: CallFixed on nil handle")
+	}
+	if f.cv != cv {
+		return 0, "", errors.New("core: CallFixed with a handle from a different code variant")
+	}
+	if f.consumed.Swap(true) {
+		return 0, "", errors.New("core: Fixed handle already consumed")
+	}
+	vec, featSeconds := f.Features()
+	if cv.policy.AsyncFeatureEval {
+		featSeconds = 0 // hidden: evaluation overlapped other work
+	}
+	return cv.dispatch(f.in, vec, featSeconds)
 }
 
 // SelectIndex returns the variant label the selection engine would execute
 // for in: the model's prediction when a model is installed and the predicted
-// variant passes its constraints, otherwise the default variant. The second
-// result reports whether a constraint/absence fallback happened.
-func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool) {
+// variant passes its constraints, otherwise the first allowed fallback (the
+// default variant when its own constraints pass, else the lowest-indexed
+// allowed variant). The second result reports whether a fallback happened.
+// When constraints veto every variant the index is -1 and the error is
+// ErrAllVariantsVetoed.
+func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) {
 	if len(cv.variants) == 0 {
-		return -1, false
+		return -1, false, errNoVariants
 	}
-	model, ok := cv.cx.Model(cv.policy.Name)
-	if !ok {
-		return cv.defIdx, true
+	if m := cv.model.p.Load(); m != nil {
+		pred := m.Predict(vec)
+		if pred >= 0 && pred < len(cv.variants) && cv.Allowed(pred, in) {
+			return pred, false, nil
+		}
 	}
-	pred := model.Predict(vec)
-	if pred < 0 || pred >= len(cv.variants) {
-		return cv.defIdx, true
+	// Fallback chain: the default variant only if it passes its own
+	// constraints (a vetoed default must never execute), then the first
+	// allowed variant in registration order.
+	if cv.defIdx >= 0 && cv.Allowed(cv.defIdx, in) {
+		return cv.defIdx, true, nil
 	}
-	if !cv.Allowed(pred, in) {
-		return cv.defIdx, true
+	for i := range cv.variants {
+		if i != cv.defIdx && cv.Allowed(i, in) {
+			return i, true, nil
+		}
 	}
-	return pred, false
+	return -1, true, ErrAllVariantsVetoed
 }
 
-// Call is the paper's operator(): it evaluates (or collects) the feature
-// vector, selects a variant via the model with constraint fallback, executes
-// it, records statistics, and returns the variant's value with the chosen
-// variant name.
+// dispatch runs selection + execution + statistics on an already evaluated
+// feature vector.
+func (cv *CodeVariant[In]) dispatch(in In, vec []float64, featSeconds float64) (float64, string, error) {
+	idx, fallback, err := cv.SelectIndex(in, vec)
+	if err != nil {
+		return 0, "", err
+	}
+	v := &cv.variants[idx]
+	value := v.fn(in)
+	cv.stats.record(v.name, value, featSeconds, fallback)
+	return value, v.name, nil
+}
+
+// Call is the paper's operator(): it evaluates the feature vector, selects a
+// variant via the model with constraint fallback, executes it, records
+// statistics, and returns the variant's value with the chosen variant name.
+// Call is safe for unlimited concurrent use on one CodeVariant.
 func (cv *CodeVariant[In]) Call(in In) (float64, string, error) {
 	if len(cv.variants) == 0 {
-		return 0, "", errors.New("core: no variants registered")
+		return 0, "", errNoVariants
 	}
-	var vec []float64
-	var featSeconds float64
-	if cv.fixed && cv.pending != nil {
-		ev := <-cv.pending // implicit barrier
-		vec, featSeconds = ev.vec, 0
-		cv.pending = nil
-		cv.fixed = false
-	} else {
-		vec, featSeconds = cv.evalFeatures(in)
-	}
-	idx, fallback := cv.SelectIndex(in, vec)
-	v := cv.variants[idx]
-	value := v.fn(in)
-	cv.cx.record(cv.policy.Name, v.name, value, featSeconds, fallback)
-	return value, v.name, nil
+	vec, featSeconds := cv.evalFeatures(in)
+	return cv.dispatch(in, vec, featSeconds)
+}
+
+// CallResult is one outcome of a batched dispatch.
+type CallResult struct {
+	Value   float64
+	Variant string
+	Err     error
+}
+
+// CallConcurrent dispatches every input through Call, fanning the batch out
+// over at most par.Workers(parallelism) goroutines (0 = all cores,
+// 1 = serial). Results land in input order regardless of scheduling. The
+// per-input selection is independent, so throughput scales with cores as
+// long as the variant/feature callbacks do.
+func (cv *CodeVariant[In]) CallConcurrent(ins []In, parallelism int) []CallResult {
+	out := make([]CallResult, len(ins))
+	par.For(len(ins), par.Workers(parallelism), func(i int) {
+		out[i].Value, out[i].Variant, out[i].Err = cv.Call(ins[i])
+	})
+	return out
 }
 
 // ExhaustiveSearch runs every variant on in (vetoed variants score +Inf, per

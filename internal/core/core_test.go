@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -171,8 +172,8 @@ func TestAsyncFeatureEval(t *testing.T) {
 	p.AsyncFeatureEval = true
 	cv := newCV(t, p)
 	trainToy(t, cv)
-	cv.FixInputs(testInput{X: 8})
-	_, name, err := cv.Call(testInput{X: 8})
+	f := cv.FixInputs(testInput{X: 8})
+	_, name, err := cv.CallFixed(f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,18 +184,100 @@ func TestAsyncFeatureEval(t *testing.T) {
 	if st := cv.Context().Stats("toy"); st.FeatureSeconds != 0 {
 		t.Errorf("async feature cost should be hidden: %+v", st)
 	}
-	// Next call without FixInputs evaluates synchronously again.
+	// A plain Call needs no handle and evaluates synchronously.
 	_, name, _ = cv.Call(testInput{X: 1})
 	if name != "small" {
 		t.Errorf("post-async call selected %q", name)
 	}
 }
 
-func TestFixInputsNoopWhenSyncPolicy(t *testing.T) {
+func TestFixInputsEagerWhenSyncPolicy(t *testing.T) {
 	cv := newCV(t, DefaultPolicy("toy"))
-	cv.FixInputs(testInput{X: 1}) // must not arm anything
-	if cv.fixed {
-		t.Error("FixInputs armed async state under a sync policy")
+	evals := 0
+	cv.AddInputFeature(Feature[testInput]{
+		Name: "probe",
+		Eval: func(in testInput) float64 { evals++; return in.X },
+	})
+	f := cv.FixInputs(testInput{X: 1})
+	if evals != 1 {
+		t.Fatalf("sync-policy FixInputs should evaluate eagerly, evals = %d", evals)
+	}
+	if f.done != nil {
+		t.Error("sync-policy FixInputs armed a background evaluation")
+	}
+	if _, name, err := f.Call(); err != nil || name != "small" {
+		t.Errorf("CallFixed under sync policy: %q %v", name, err)
+	}
+	// Eager (non-overlapped) evaluation charges the feature cost.
+	if st := cv.Context().Stats("toy"); st.FeatureSeconds <= 0 {
+		t.Errorf("sync FixInputs cost should be recorded: %+v", st)
+	}
+}
+
+// TestCallFixedBindsFixedInput is the regression test for the async
+// input-mismatch bug: the old API stored the pending future on the
+// CodeVariant, so FixInputs(in1) followed by Call(in2) selected a variant
+// from in1's features but checked constraints on — and executed — in2. The
+// per-call handle binds the input, so features, constraints and execution
+// must all see the fixed input.
+func TestCallFixedBindsFixedInput(t *testing.T) {
+	p := DefaultPolicy("toy")
+	p.AsyncFeatureEval = true
+
+	// "large" is allowed on the fixed input (X=8) but vetoed on small X.
+	// With the shared-state bug, FixInputs(8) + Call(2) selected from X=8's
+	// features but checked the constraint on — and executed — X=2, silently
+	// falling back to the default on the wrong input. The handle pins
+	// features, constraints and execution to X=8.
+	var got testInput
+	cv := New[testInput](NewContext(), p)
+	cv.AddVariant("small", func(in testInput) float64 { got = in; return 1 + in.X })
+	cv.AddVariant("large", func(in testInput) float64 { got = in; return 10 - in.X })
+	if err := cv.SetDefault("small"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(Feature[testInput]{Name: "x", Eval: func(in testInput) float64 { return in.X }})
+	trainToy(t, cv)
+	if err := cv.AddConstraint("large", func(in testInput) bool { return in.X > 5 }); err != nil {
+		t.Fatal(err)
+	}
+
+	f := cv.FixInputs(testInput{X: 8})
+	_, name, err := cv.CallFixed(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "large" {
+		t.Errorf("fixed call selected %q, want the model's pick for the fixed input", name)
+	}
+	if got.X != 8 {
+		t.Errorf("variant executed on X=%v, want the fixed input X=8", got.X)
+	}
+	if st := cv.Context().Stats("toy"); st.DefaultFallbacks != 0 {
+		t.Errorf("fixed call should not fall back: %+v", st)
+	}
+}
+
+func TestFixedHandleSingleShot(t *testing.T) {
+	p := DefaultPolicy("toy")
+	p.AsyncFeatureEval = true
+	cv := newCV(t, p)
+	f := cv.FixInputs(testInput{X: 1})
+	if _, _, err := f.Call(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Call(); err == nil {
+		t.Error("consuming a Fixed handle twice should error")
+	}
+	other := newCV(t, DefaultPolicy("toy"))
+	if _, _, err := other.CallFixed(cv.FixInputs(testInput{X: 1})); err == nil {
+		t.Error("CallFixed with a foreign handle should error")
+	}
+	if _, _, err := cv.CallFixed(nil); err == nil {
+		t.Error("CallFixed(nil) should error")
+	}
+	if in := cv.FixInputs(testInput{X: 3}).Input(); in.X != 3 {
+		t.Errorf("Input() = %+v", in)
 	}
 }
 
@@ -299,7 +382,10 @@ func TestQuickSelectionRespectsConstraints(t *testing.T) {
 		x := float64(raw%1000) / 100 // [0, 10)
 		in := testInput{X: x}
 		vec, _ := cv.FeatureVector(in)
-		idx, _ := cv.SelectIndex(in, vec)
+		idx, _, err := cv.SelectIndex(in, vec)
+		if err != nil {
+			return false
+		}
 		if idx == 1 && x >= 7 {
 			return false // vetoed variant selected
 		}
@@ -307,5 +393,88 @@ func TestQuickSelectionRespectsConstraints(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSelectIndexSkipsVetoedDefault is the regression test for the vetoed-
+// default bug: the selection engine fell back to the default variant without
+// checking the default's own constraints, so a vetoed default could execute.
+// The fallback chain must land on the first allowed variant instead.
+func TestSelectIndexSkipsVetoedDefault(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	// Veto the model's pick for X=8 ("large") AND the default ("small"):
+	// the engine must not execute the vetoed default.
+	if err := cv.AddConstraint("large", func(testInput) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	if err := cv.AddConstraint("small", func(in testInput) bool { return in.X < 5 }); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddVariant("rescue", func(in testInput) float64 { return 100 })
+
+	in := testInput{X: 8} // "large" predicted, "large" and "small" vetoed
+	vec, _ := cv.FeatureVector(in)
+	idx, fallback, err := cv.SelectIndex(in, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 || !fallback {
+		t.Errorf("SelectIndex = (%d, %v), want the first allowed variant (2, true)", idx, fallback)
+	}
+	if _, name, err := cv.Call(in); err != nil || name != "rescue" {
+		t.Errorf("Call with vetoed default executed %q (err %v), want rescue", name, err)
+	}
+}
+
+func TestAllVariantsVetoedSurfacesError(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	for _, name := range cv.VariantNames() {
+		if err := cv.AddConstraint(name, func(testInput) bool { return false }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := testInput{X: 3}
+	vec, _ := cv.FeatureVector(in)
+	idx, _, err := cv.SelectIndex(in, vec)
+	if !errors.Is(err, ErrAllVariantsVetoed) || idx != -1 {
+		t.Errorf("SelectIndex = (%d, err %v), want (-1, ErrAllVariantsVetoed)", idx, err)
+	}
+	if _, _, err := cv.Call(in); !errors.Is(err, ErrAllVariantsVetoed) {
+		t.Errorf("Call on an all-vetoed input returned err %v, want ErrAllVariantsVetoed", err)
+	}
+	// The failed call must not be recorded as executed.
+	if st := cv.Context().Stats("toy"); st.Calls != 0 {
+		t.Errorf("vetoed call recorded in stats: %+v", st)
+	}
+}
+
+func TestCallConcurrentMatchesSerial(t *testing.T) {
+	cv := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, cv)
+	var ins []testInput
+	for x := 0.0; x < 10; x += 0.25 {
+		ins = append(ins, testInput{X: x})
+	}
+	serial := make([]CallResult, len(ins))
+	ref := newCV(t, DefaultPolicy("toy"))
+	trainToy(t, ref)
+	for i, in := range ins {
+		serial[i].Value, serial[i].Variant, serial[i].Err = ref.Call(in)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got := cv.CallConcurrent(ins, workers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(serial))
+		}
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Errorf("workers=%d input %d: got %+v want %+v", workers, i, got[i], serial[i])
+			}
+		}
+	}
+	st := cv.Context().Stats("toy")
+	if st.Calls != 3*len(ins) {
+		t.Errorf("stats counted %d calls, want %d", st.Calls, 3*len(ins))
 	}
 }

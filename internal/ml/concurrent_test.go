@@ -1,0 +1,81 @@
+package ml
+
+// Concurrency audit for the deployment predict path (see SVM.svRows): a
+// fitted model's Scores/Predict/DecisionValues must be safe — and
+// bit-identical to serial — under unlimited concurrent callers, including
+// models that went through a serialize/deserialize round trip (whose
+// support-vector cache is rebuilt by content). core.CodeVariant's lock-free
+// hot path depends on this property.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSVMConcurrentPredictDeterministic(t *testing.T) {
+	ds := blobs(120, 3, 4, 0.9, 11)
+	scaler := &Scaler{}
+	scaled, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := &Dataset{X: scaled, Y: ds.Y}
+	svm := NewSVM(RBFKernel{Gamma: 0.5}, 8)
+	if err := svm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deserialized twin exercises the content-keyed SV cache rebuild path.
+	blob, err := MarshalModel(&Model{Classifier: svm, Scaler: scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probe := blobs(80, 3, 4, 1.3, 12)
+	type ref struct {
+		pred   int
+		scores []float64
+		decs   []float64
+	}
+	want := make([]ref, len(probe.X))
+	for i, x := range probe.X {
+		xs := scaler.Transform(x)
+		want[i] = ref{pred: svm.Predict(xs), scores: svm.Scores(xs), decs: svm.DecisionValues(xs)}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, x := range probe.X {
+				xs := scaler.Transform(x)
+				if p := svm.Predict(xs); p != want[i].pred {
+					t.Errorf("g%d probe %d: concurrent Predict %d != serial %d", g, i, p, want[i].pred)
+					return
+				}
+				if s := svm.Scores(xs); !reflect.DeepEqual(s, want[i].scores) {
+					t.Errorf("g%d probe %d: concurrent Scores differ", g, i)
+					return
+				}
+				if d := svm.DecisionValues(xs); !reflect.DeepEqual(d, want[i].decs) {
+					t.Errorf("g%d probe %d: concurrent DecisionValues differ", g, i)
+					return
+				}
+				// The deserialized model (shared Scaler via Model.Predict on
+				// the raw vector) must agree under the same concurrency.
+				if p := reloaded.Predict(x); p != want[i].pred {
+					t.Errorf("g%d probe %d: reloaded concurrent Predict %d != %d", g, i, p, want[i].pred)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -42,15 +42,28 @@ func (s *Scaler) Fit(x [][]float64) error {
 // Fitted reports whether Fit has been called.
 func (s *Scaler) Fitted() bool { return len(s.Min) > 0 }
 
+// checkDim panics unless x matches the fitted width. Transform/Inverse used
+// to silently truncate (extra features dropped) or zero-fill (missing
+// features mapped to the mid-range) on mismatch, feeding wrong-width vectors
+// straight into the SVM — a model-corrupting bug class that must fail loudly
+// at the boundary, not statistically downstream.
+func (s *Scaler) checkDim(op string, x []float64) {
+	if !s.Fitted() {
+		panic(fmt.Sprintf("ml: Scaler.%s on unfitted scaler (call Fit first)", op))
+	}
+	if len(x) != len(s.Min) {
+		panic(fmt.Sprintf("ml: Scaler.%s dimension mismatch: vector has %d features, scaler fitted on %d", op, len(x), len(s.Min)))
+	}
+}
+
 // Transform maps one feature vector into [-1, 1] per feature. Values outside
 // the fitted range extrapolate linearly (they are not clamped), mirroring
-// svm-scale behaviour on unseen test data.
+// svm-scale behaviour on unseen test data. It panics when the vector's width
+// does not match the fitted dimension.
 func (s *Scaler) Transform(x []float64) []float64 {
+	s.checkDim("Transform", x)
 	out := make([]float64, len(x))
 	for j, v := range x {
-		if j >= len(s.Min) {
-			break
-		}
 		span := s.Max[j] - s.Min[j]
 		if span == 0 {
 			out[j] = 0
@@ -79,13 +92,12 @@ func (s *Scaler) FitTransform(x [][]float64) ([][]float64, error) {
 }
 
 // Inverse maps a scaled vector back to the original feature space, for
-// diagnostics and round-trip tests.
+// diagnostics and round-trip tests. Like Transform it panics on a
+// dimension mismatch rather than truncating or zero-filling.
 func (s *Scaler) Inverse(x []float64) []float64 {
+	s.checkDim("Inverse", x)
 	out := make([]float64, len(x))
 	for j, v := range x {
-		if j >= len(s.Min) {
-			break
-		}
 		span := s.Max[j] - s.Min[j]
 		out[j] = s.Min[j] + (v+1)/2*span
 	}

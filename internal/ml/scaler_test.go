@@ -1,0 +1,81 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test when fn returns normally.
+func mustPanic(t *testing.T, what string, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = toString(r)
+			} else {
+				t.Errorf("%s should panic on dimension mismatch", what)
+			}
+		}()
+		fn()
+	}()
+	return msg
+}
+
+func toString(r any) string {
+	if s, ok := r.(string); ok {
+		return s
+	}
+	if e, ok := r.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+// TestScalerDimensionMismatchPanics is the regression test for the silent
+// truncate/zero-fill bug: Transform and Inverse used to `break` past the
+// fitted width, so a wrong-width vector produced a wrong-width (or silently
+// padded) output that flowed straight into the SVM. Mismatches must now fail
+// loudly with an actionable message.
+func TestScalerDimensionMismatchPanics(t *testing.T) {
+	s := &Scaler{}
+	if err := s.Fit([][]float64{{0, 0, 0}, {1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Matching width stays fine.
+	if got := s.Transform([]float64{0.5, 1, 1.5}); len(got) != 3 {
+		t.Fatalf("Transform width = %d", len(got))
+	}
+	if got := s.Inverse([]float64{0, 0, 0}); len(got) != 3 {
+		t.Fatalf("Inverse width = %d", len(got))
+	}
+
+	tooWide := []float64{1, 2, 3, 4}
+	tooNarrow := []float64{1}
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Transform/too-wide", func() { s.Transform(tooWide) }},
+		{"Transform/too-narrow", func() { s.Transform(tooNarrow) }},
+		{"Inverse/too-wide", func() { s.Inverse(tooWide) }},
+		{"Inverse/too-narrow", func() { s.Inverse(tooNarrow) }},
+	} {
+		msg := mustPanic(t, tc.name, tc.fn)
+		if !strings.Contains(msg, "dimension mismatch") {
+			t.Errorf("%s: panic message %q should name the dimension mismatch", tc.name, msg)
+		}
+	}
+
+	// TransformAll inherits the check.
+	mustPanic(t, "TransformAll", func() { s.TransformAll([][]float64{{1, 2, 3}, {1, 2}}) })
+
+	// Unfitted scalers fail loudly too instead of emitting zeros.
+	unfitted := &Scaler{}
+	msg := mustPanic(t, "unfitted Transform", func() { unfitted.Transform([]float64{1}) })
+	if !strings.Contains(msg, "unfitted") {
+		t.Errorf("unfitted panic message %q should say the scaler is unfitted", msg)
+	}
+}

@@ -43,9 +43,19 @@ type SVM struct {
 	// row participates in every pair involving its class), so Scores and
 	// DecisionValues evaluate K(sv, x) once per distinct vector here and let
 	// each pair look the value up via svmPair.svID instead of re-evaluating
-	// the kernel per pair. Built by fit/UnmarshalModel; read-only afterwards,
-	// so concurrent Scores calls are safe.
+	// the kernel per pair.
+	//
+	// Concurrency audit (deployment runtime): svRows, classIdx, classes,
+	// pairs and kernel are all written only by Fit/fit/buildSVCache (i.e.
+	// training or deserialization) and read-only afterwards; Scores,
+	// Predict and DecisionValues allocate their scratch (kv, out) per call.
+	// A fitted *SVM is therefore safe for unlimited concurrent prediction —
+	// the property core.CodeVariant's lock-free predict path relies on.
 	svRows [][]float64
+	// classIdx maps class label -> slot in classes, precomputed at fit time
+	// so the Scores hot path does not rebuild (and reallocate) the map on
+	// every prediction.
+	classIdx map[int]int
 }
 
 type svmPair struct {
@@ -99,6 +109,7 @@ func (m *SVM) fit(ds *Dataset, km [][]float64) error {
 	}
 	m.pairs = nil
 	m.svRows = nil
+	m.buildClassIndex()
 	if len(m.classes) == 1 {
 		return nil // degenerate: always predict the single class
 	}
@@ -206,9 +217,12 @@ func (m *SVM) Scores(x []float64) []float64 {
 		out[0] = 1
 		return out
 	}
-	idx := make(map[int]int, len(m.classes))
-	for i, c := range m.classes {
-		idx[c] = i
+	idx := m.classIdx
+	if idx == nil { // e.g. a hand-assembled SVM in tests
+		idx = make(map[int]int, len(m.classes))
+		for i, c := range m.classes {
+			idx[c] = i
+		}
 	}
 	kv := m.svKernels(x)
 	for i := range m.pairs {
@@ -233,11 +247,22 @@ func (m *SVM) DecisionValues(x []float64) []float64 {
 	return out
 }
 
+// buildClassIndex precomputes the label -> slot lookup Scores uses on every
+// prediction. Called whenever classes are (re)assigned — fit and model
+// deserialization — so the predict hot path never allocates the map.
+func (m *SVM) buildClassIndex() {
+	m.classIdx = make(map[int]int, len(m.classes))
+	for i, c := range m.classes {
+		m.classIdx[c] = i
+	}
+}
+
 // buildSVCache rebuilds the shared support-vector table by vector content,
 // deduplicating identical vectors across pairs. fit builds the table from
 // dataset row identity; this variant serves deserialized models, where row
 // identity is lost but equal content still implies equal kernel values.
 func (m *SVM) buildSVCache() {
+	m.buildClassIndex()
 	m.svRows = nil
 	seen := make(map[string]int)
 	var key []byte

@@ -34,6 +34,17 @@
 //	tuner.Tune(trainingInputs)     // exhaustive search + SVM fit
 //
 //	value, chosen, err := cv.Call(input)  // adaptive dispatch
+//
+// A tuned CodeVariant is safe to share: Call, FixInputs/CallFixed and
+// CallConcurrent may run from any number of goroutines, models can be
+// hot-swapped mid-traffic with Context.SetModel/LoadModel, and Context.Stats
+// snapshots the sharded call counters without stopping traffic:
+//
+//	results := cv.CallConcurrent(batch, 0) // fan a batch over all cores
+//
+//	f := cv.FixInputs(input) // async: overlap feature evaluation ...
+//	doOtherWork()
+//	value, chosen, err = f.Call() // ... then select on the fixed input
 package nitro
 
 import (
@@ -78,6 +89,19 @@ type Feature[In any] = core.Feature[In]
 
 // CallStats aggregates deployment-time selection statistics.
 type CallStats = core.CallStats
+
+// Fixed is the per-call future returned by CodeVariant.FixInputs: it binds
+// one input to its (possibly still evaluating) feature vector so that
+// selection, constraints and execution always agree on the same input.
+// Consume it exactly once with Fixed.Call or CodeVariant.CallFixed.
+type Fixed[In any] = core.Fixed[In]
+
+// CallResult is one outcome of a CodeVariant.CallConcurrent batch.
+type CallResult = core.CallResult
+
+// ErrAllVariantsVetoed is returned by Call when deployment-time constraints
+// veto every registered variant for an input.
+var ErrAllVariantsVetoed = core.ErrAllVariantsVetoed
 
 // TrainOptions configures the offline tuner's classifier ("svm", "knn" or
 // "tree") and the cross-validated grid search.

@@ -102,9 +102,58 @@ func TestPublicAPIAsyncFeatureEval(t *testing.T) {
 	if _, err := tuner.Tune(toyInputs()); err != nil {
 		t.Fatal(err)
 	}
-	cv.FixInputs(toy{x: 18})
-	if _, chosen, err := cv.Call(toy{x: 18}); err != nil || chosen != "high" {
+	f := cv.FixInputs(toy{x: 18})
+	if _, chosen, err := f.Call(); err != nil || chosen != "high" {
 		t.Errorf("async call: %q %v", chosen, err)
+	}
+	// The future API also works through CallFixed, and handles are
+	// single-shot.
+	f2 := cv.FixInputs(toy{x: 2})
+	if _, chosen, err := cv.CallFixed(f2); err != nil || chosen != "low" {
+		t.Errorf("async call 2: %q %v", chosen, err)
+	}
+	if _, _, err := cv.CallFixed(f2); err == nil {
+		t.Error("reusing a consumed Fixed handle should error")
+	}
+}
+
+// TestPublicAPIConcurrentDispatch shares one tuned CodeVariant across
+// goroutines: batched CallConcurrent, per-call futures and a mid-traffic
+// model hot swap, with statistics that account for every call.
+func TestPublicAPIConcurrentDispatch(t *testing.T) {
+	cv := buildToy(t, nitro.DefaultPolicy("toy"))
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{})
+	if _, err := tuner.Tune(toyInputs()); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]toy, 64)
+	for i := range batch {
+		batch[i] = toy{x: float64(i % 21)}
+	}
+	results := cv.CallConcurrent(batch, 0)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("input %d: %v", i, r.Err)
+		}
+		want := "low"
+		if batch[i].x > 10 {
+			want = "high"
+		}
+		if r.Variant != want {
+			t.Errorf("input %d (x=%v): chose %q, want %q", i, batch[i].x, r.Variant, want)
+		}
+	}
+	// Hot-swap the model mid-traffic: reinstalling is just a SetModel.
+	m, ok := cv.Context().Model("toy")
+	if !ok {
+		t.Fatal("tuned model missing")
+	}
+	cv.Context().SetModel("toy", m)
+	if _, chosen, err := cv.Call(toy{x: 18}); err != nil || chosen != "high" {
+		t.Errorf("post-swap call: %q %v", chosen, err)
+	}
+	if st := cv.Context().Stats("toy"); st.Calls != len(batch)+1 {
+		t.Errorf("stats counted %d calls, want %d", st.Calls, len(batch)+1)
 	}
 }
 
@@ -135,7 +184,11 @@ func benchFeatureMode(b *testing.B, parallel, async bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if async {
-			cv.FixInputs(in)
+			f := cv.FixInputs(in)
+			if _, _, err := f.Call(); err != nil {
+				b.Fatal(err)
+			}
+			continue
 		}
 		if _, _, err := cv.Call(in); err != nil {
 			b.Fatal(err)
