@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-parallel bench-call lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call lint ci clean
 
 all: build
 
@@ -21,6 +21,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-injection stress: the robustness suites (panic isolation, deadlines,
+# quarantine breaker, seeded fault harness) under the race detector, with a
+# hard wall-clock bound so a hung fallback path fails fast instead of
+# wedging CI.
+stress:
+	$(GO) test -race -timeout 120s -run 'Fault|Quarantine|Panic|Timeout|Cancel|Veto' ./internal/core/ ./internal/autotuner/ ./cmd/nitro-tune/
+
+# Native-fuzzer smoke: a short bounded run of the model-deserializer fuzz
+# target (arbitrary bytes must never panic and must round-trip to a fixed
+# point). The accumulated corpus keeps regressions reproducible.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzUnmarshalModel -fuzztime 10s ./internal/ml/
 
 # Full benchmark sweep (figures + ablations + ML kernels + the
 # deployment-runtime parallel-call benches in internal/core).

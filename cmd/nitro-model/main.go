@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,32 +29,68 @@ import (
 	"nitro/internal/par"
 )
 
+// options holds the parsed command line.
+type options struct {
+	Model       string
+	Predict     string
+	PredictFile string
+	Parallelism int
+}
+
+// errBadFlags is wrapped by every flag-validation failure so tests can detect
+// rejected invocations with errors.Is.
+var errBadFlags = errors.New("invalid flags")
+
+// validate rejects nonsensical invocations before any file is touched.
+func (o options) validate() error {
+	if o.Model == "" {
+		return fmt.Errorf("%w: -model is required", errBadFlags)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: -parallelism %d must be >= 0 (0 = all cores)", errBadFlags, o.Parallelism)
+	}
+	return nil
+}
+
 func main() {
-	modelPath := flag.String("model", "", "path to a model JSON file (required)")
-	predict := flag.String("predict", "", "comma-separated feature vector to classify")
-	predictFile := flag.String("predict-file", "", "file with one comma-separated feature vector per line to classify as a batch")
-	parallelism := flag.Int("parallelism", 0, "worker count for batch prediction (0 = all cores, 1 = serial); output is identical at every setting")
+	var opts options
+	flag.StringVar(&opts.Model, "model", "", "path to a model JSON file (required)")
+	flag.StringVar(&opts.Predict, "predict", "", "comma-separated feature vector to classify")
+	flag.StringVar(&opts.PredictFile, "predict-file", "", "file with one comma-separated feature vector per line to classify as a batch")
+	flag.IntVar(&opts.Parallelism, "parallelism", 0, "worker count for batch prediction (0 = all cores, 1 = serial); output is identical at every setting")
 	flag.Parse()
-	if *modelPath == "" {
+	if opts.Model == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-model -model file.json [-predict \"1,2,3\"] [-predict-file vectors.txt]")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(*modelPath)
+	if err := run(opts, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// run executes one nitro-model invocation: validate flags, load and inspect
+// the model, optionally classify a vector and/or a batch file.
+func run(opts options, out io.Writer) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(opts.Model)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("read model: %w", err)
 	}
-	if err := inspect(data, *predict, os.Stdout); err != nil {
-		fatal(err)
+	if err := inspect(data, opts.Predict, out); err != nil {
+		return err
 	}
-	if *predictFile != "" {
-		batch, err := os.ReadFile(*predictFile)
+	if opts.PredictFile != "" {
+		batch, err := os.ReadFile(opts.PredictFile)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("read predict-file: %w", err)
 		}
-		if err := predictBatch(data, string(batch), *parallelism, os.Stdout); err != nil {
-			fatal(err)
+		if err := predictBatch(data, string(batch), opts.Parallelism, out); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // inspect parses a serialized model, writes its summary and optionally a
@@ -61,7 +98,7 @@ func main() {
 func inspect(data []byte, predict string, out io.Writer) error {
 	model, err := ml.UnmarshalModel(data)
 	if err != nil {
-		return err
+		return fmt.Errorf("parse model: %w", err)
 	}
 	fmt.Fprintf(out, "classifier: %s\n", model.Classifier.Name())
 	fmt.Fprintf(out, "classes (variant labels): %v\n", model.Classifier.Classes())

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -120,5 +123,73 @@ func TestInspectErrors(t *testing.T) {
 	}
 	if err := inspect(fixtureModel(t), "1", &bytes.Buffer{}); err == nil {
 		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestOptionsValidateTable(t *testing.T) {
+	cases := []struct {
+		name string
+		opts options
+		ok   bool
+	}{
+		{"valid", options{Model: "m.json"}, true},
+		{"valid with parallelism", options{Model: "m.json", Parallelism: 4}, true},
+		{"missing model", options{}, false},
+		{"negative parallelism", options{Model: "m.json", Parallelism: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid options rejected: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("invalid options accepted")
+				}
+				if !errors.Is(err, errBadFlags) {
+					t.Fatalf("error %v does not wrap errBadFlags", err)
+				}
+			}
+		})
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(modelPath, fixtureModel(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	batchPath := filepath.Join(dir, "vectors.txt")
+	if err := os.WriteFile(batchPath, []byte("1,2\n8,16\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(options{Model: modelPath, Predict: "8,16", PredictFile: batchPath, Parallelism: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classifier: svm", "prediction: variant label 1", "batch predictions (2 vectors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(modelPath, fixtureModel(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{Model: modelPath, Parallelism: -2}, &bytes.Buffer{}); !errors.Is(err, errBadFlags) {
+		t.Errorf("negative parallelism: err = %v", err)
+	}
+	if err := run(options{Model: filepath.Join(dir, "missing.json")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing model file accepted")
+	}
+	if err := run(options{Model: modelPath, PredictFile: filepath.Join(dir, "missing.txt")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing predict-file accepted")
 	}
 }

@@ -28,6 +28,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -93,12 +95,139 @@ type Spec struct {
 	// sharded statistics), not the simulated kernels. The -throughput flag
 	// overrides the spec value.
 	Throughput int `json:"throughput"`
+
+	// InjectFaults, when non-empty, injects seeded faults into one variant of
+	// the throughput replay to demonstrate graceful degradation. Format:
+	// "variant=<name>[,panic=R][,error=R][,delay=R][,delayms=N][,timeoutms=N][,seed=N]"
+	// where the R rates are per-call probabilities in [0, 1]. The replay then
+	// runs with the quarantine breaker and (when timeoutms is set) a
+	// per-variant deadline, and reports the fault counters instead of aborting
+	// on the injected failures. Requires Throughput > 0. The -inject-faults
+	// flag overrides the spec value.
+	InjectFaults string `json:"inject_faults"`
+}
+
+// errBadSpec is wrapped by every spec-validation failure, so tests (and
+// callers) can detect rejected configurations with errors.Is.
+var errBadSpec = errors.New("invalid tuning spec")
+
+// validateSpec rejects nonsensical configurations up front, before any
+// tuning work (or partial output) happens.
+func validateSpec(spec Spec) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", errBadSpec, fmt.Sprintf(format, args...))
+	}
+	if spec.Function == "" {
+		return bad("function must be set")
+	}
+	if spec.Benchmark == "" && spec.TrainGlob == "" {
+		return bad("either benchmark or train_glob must be set")
+	}
+	if spec.Scale < 0 {
+		return bad("scale %v must be >= 0", spec.Scale)
+	}
+	if spec.TrainCount < 0 || spec.TestCount < 0 {
+		return bad("train_count/test_count must be >= 0, got %d/%d", spec.TrainCount, spec.TestCount)
+	}
+	if spec.Parallelism < 0 {
+		return bad("parallelism %d must be >= 0 (0 = all cores)", spec.Parallelism)
+	}
+	if spec.Throughput < 0 {
+		return bad("throughput %d must be >= 0", spec.Throughput)
+	}
+	if spec.CrossValidate < 0 || spec.CrossValidate == 1 {
+		return bad("cross_validate %d must be 0 (off) or >= 2 folds", spec.CrossValidate)
+	}
+	if inc := spec.Incremental; inc != nil {
+		if inc.Iterations < 0 {
+			return bad("incremental.iterations %d must be >= 0", inc.Iterations)
+		}
+		if inc.Iterations == 0 && inc.TargetAccuracy <= 0 {
+			return bad("incremental tuning needs iterations > 0 or target_accuracy > 0")
+		}
+		if inc.TargetAccuracy < 0 || inc.TargetAccuracy > 1 {
+			return bad("incremental.target_accuracy %v must be in [0, 1]", inc.TargetAccuracy)
+		}
+	}
+	if spec.InjectFaults != "" {
+		if spec.Throughput <= 0 {
+			return bad("inject_faults requires throughput > 0")
+		}
+		if _, err := parseFaultSpec(spec.InjectFaults); err != nil {
+			return fmt.Errorf("%w: %v", errBadSpec, err)
+		}
+	}
+	return nil
+}
+
+// faultSpec is the parsed form of the inject_faults option.
+type faultSpec struct {
+	Variant string
+	Cfg     core.FaultConfig
+	Timeout time.Duration
+}
+
+// parseFaultSpec parses "variant=NAME,panic=0.15,delay=0.1,delayms=30,...".
+func parseFaultSpec(s string) (faultSpec, error) {
+	fs := faultSpec{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fs, fmt.Errorf("inject_faults: %q is not key=value", part)
+		}
+		num := func() (float64, error) {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return 0, fmt.Errorf("inject_faults: bad value %q for %s", val, key)
+			}
+			return f, nil
+		}
+		var f float64
+		var err error
+		switch key {
+		case "variant":
+			fs.Variant = val
+			continue
+		default:
+			if f, err = num(); err != nil {
+				return fs, err
+			}
+		}
+		switch key {
+		case "panic":
+			fs.Cfg.PanicRate = f
+		case "error":
+			fs.Cfg.ErrorRate = f
+		case "delay":
+			fs.Cfg.DelayRate = f
+		case "delayms":
+			fs.Cfg.Delay = time.Duration(f * float64(time.Millisecond))
+		case "timeoutms":
+			fs.Timeout = time.Duration(f * float64(time.Millisecond))
+		case "seed":
+			fs.Cfg.Seed = int64(f)
+		default:
+			return fs, fmt.Errorf("inject_faults: unknown key %q", key)
+		}
+	}
+	if fs.Variant == "" {
+		return fs, errors.New("inject_faults: variant=<name> is required")
+	}
+	if sum := fs.Cfg.PanicRate + fs.Cfg.ErrorRate + fs.Cfg.DelayRate; sum > 1 {
+		return fs, fmt.Errorf("inject_faults: rates sum to %v > 1", sum)
+	}
+	return fs, nil
 }
 
 func main() {
 	specPath := flag.String("spec", "", "path to the JSON tuning spec (required)")
 	parallelism := flag.Int("parallelism", -1, "worker count for corpus labelling and grid search (0 = all cores, 1 = serial, -1 = use spec value); results are identical at every setting")
 	throughput := flag.Int("throughput", -1, "number of deployment-replay selections to time after tuning (0 = none, -1 = use spec value)")
+	injectFaults := flag.String("inject-faults", "", "inject seeded faults into one replay variant, e.g. \"variant=CSR,panic=0.15,delay=0.1,delayms=30,timeoutms=5\" (requires a throughput replay; overrides the spec value)")
 	flag.Parse()
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
@@ -106,11 +235,11 @@ func main() {
 	}
 	data, err := os.ReadFile(*specPath)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("read spec: %w", err))
 	}
 	var spec Spec
 	if err := json.Unmarshal(data, &spec); err != nil {
-		fatal(fmt.Errorf("bad spec: %w", err))
+		fatal(fmt.Errorf("bad spec %s: %w", *specPath, err))
 	}
 	if *parallelism >= 0 {
 		spec.Parallelism = *parallelism
@@ -118,12 +247,18 @@ func main() {
 	if *throughput >= 0 {
 		spec.Throughput = *throughput
 	}
+	if *injectFaults != "" {
+		spec.InjectFaults = *injectFaults
+	}
 	if err := runSpec(spec, os.Stdout); err != nil {
 		fatal(err)
 	}
 }
 
 func runSpec(spec Spec, out io.Writer) error {
+	if err := validateSpec(spec); err != nil {
+		return err
+	}
 	dev := gpusim.Fermi()
 	suite, err := buildSuite(spec, dev)
 	if err != nil {
@@ -222,40 +357,87 @@ func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io
 	if len(feasible) == 0 {
 		return fmt.Errorf("throughput replay: no feasible test instances (set test_count or evaluate a benchmark with test inputs)")
 	}
+	var inject *faultSpec
+	if spec.InjectFaults != "" {
+		fs, err := parseFaultSpec(spec.InjectFaults)
+		if err != nil {
+			return err
+		}
+		inject = &fs
+	}
 	cx := core.NewContext()
-	cx.SetModel(spec.Function, model)
 	policy := core.TuningPolicy{
 		Name:                spec.Function,
 		ParallelFeatureEval: spec.ParallelFeatureEval,
 		AsyncFeatureEval:    spec.AsyncFeatureEval,
 		ConstraintsEnabled:  spec.Constraints == nil || *spec.Constraints,
 	}
+	if inject != nil {
+		// Fault injection exercises the degradation machinery: quarantine the
+		// flaky variant after repeated failures and (when configured) bound
+		// each invocation with a deadline.
+		policy.Quarantine = core.DefaultQuarantine()
+		policy.VariantTimeout = inject.Timeout
+	}
+	// Build the replay variant first so the context knows the function's
+	// shape, then install the model — SetModel validates it against the
+	// registered features/variants and rejects a mismatched artifact.
 	cv, err := autotuner.ReplayVariant(cx, suite, policy)
 	if err != nil {
 		return err
+	}
+	if err := cx.SetModel(spec.Function, model); err != nil {
+		return err
+	}
+	if inject != nil {
+		found := false
+		cv.WrapVariants(func(name string, fn core.VariantFn[autotuner.Instance]) core.VariantFn[autotuner.Instance] {
+			if name != inject.Variant {
+				return fn
+			}
+			found = true
+			return core.WrapFault(fn, inject.Cfg)
+		})
+		if !found {
+			return fmt.Errorf("%w: inject_faults variant %q is not registered (have %v)", errBadSpec, inject.Variant, suite.VariantNames)
+		}
+		fmt.Fprintf(out, "fault injection: variant %q panic=%.0f%% error=%.0f%% delay=%.0f%% (delay %v, timeout %v)\n",
+			inject.Variant, 100*inject.Cfg.PanicRate, 100*inject.Cfg.ErrorRate, 100*inject.Cfg.DelayRate,
+			inject.Cfg.Delay, inject.Timeout)
 	}
 	batch := make([]autotuner.Instance, spec.Throughput)
 	for i := range batch {
 		batch[i] = feasible[i%len(feasible)]
 	}
-	run := func(parallelism int) (float64, error) {
+	run := func(parallelism int) (float64, int, error) {
 		start := time.Now()
+		failed := 0
 		for _, r := range cv.CallConcurrent(batch, parallelism) {
-			if r.Err != nil {
-				return 0, r.Err
+			if r.Err == nil {
+				continue
 			}
+			// Under fault injection, typed variant errors are the expected
+			// degraded outcome (the fallback chain itself was exhausted or the
+			// instance had a single feasible variant); anything else — and any
+			// error without injection — is a real failure.
+			var ve *core.VariantError
+			if inject != nil && errors.As(r.Err, &ve) {
+				failed++
+				continue
+			}
+			return 0, 0, r.Err
 		}
 		elapsed := time.Since(start)
 		if elapsed <= 0 {
 			elapsed = time.Nanosecond
 		}
-		return float64(len(batch)) / elapsed.Seconds(), nil
+		return float64(len(batch)) / elapsed.Seconds(), failed, nil
 	}
-	serial, err := run(1)
+	serial, serialFailed, err := run(1)
 	if err != nil {
 		return err
 	}
-	concurrent, err := run(0)
+	concurrent, concFailed, err := run(0)
 	if err != nil {
 		return err
 	}
@@ -264,6 +446,12 @@ func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io
 	fmt.Fprintf(out, "  serial:     %.0f calls/sec\n", serial)
 	fmt.Fprintf(out, "  concurrent: %.0f calls/sec (%.2fx, %d workers)\n", concurrent, concurrent/serial, par.Workers(0))
 	fmt.Fprintf(out, "  constraint fallbacks: %d of %d calls\n", st.DefaultFallbacks, st.Calls)
+	if inject != nil {
+		fmt.Fprintf(out, "  graceful degradation: %d panics recovered, %d timeouts, %d fallback hops\n",
+			st.Panics, st.Timeouts, st.Fallbacks)
+		fmt.Fprintf(out, "  quarantine: %d trips, %d recoveries; unresolved errors: %d serial + %d concurrent of %d calls\n",
+			st.Quarantined, st.Recoveries, serialFailed, concFailed, 2*len(batch))
+	}
 	return nil
 }
 

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nitro/internal/ml"
 	"nitro/internal/sparse"
@@ -157,5 +159,145 @@ func TestRunSpecPolicyAndCrossValidate(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("policy file missing %q:\n%s", want, data)
 		}
+	}
+}
+
+func TestValidateSpecTable(t *testing.T) {
+	mut := func(f func(*Spec)) Spec {
+		s := smallSpec()
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"valid", smallSpec(), true},
+		{"empty function", mut(func(s *Spec) { s.Function = "" }), false},
+		{"no corpus source", mut(func(s *Spec) { s.Benchmark = "" }), false},
+		{"negative scale", mut(func(s *Spec) { s.Scale = -1 }), false},
+		{"negative train count", mut(func(s *Spec) { s.TrainCount = -5 }), false},
+		{"negative test count", mut(func(s *Spec) { s.TestCount = -1 }), false},
+		{"negative parallelism", mut(func(s *Spec) { s.Parallelism = -2 }), false},
+		{"negative throughput", mut(func(s *Spec) { s.Throughput = -1 }), false},
+		{"one-fold cross validation", mut(func(s *Spec) { s.CrossValidate = 1 }), false},
+		{"negative cross validation", mut(func(s *Spec) { s.CrossValidate = -3 }), false},
+		{"valid cross validation", mut(func(s *Spec) { s.CrossValidate = 3 }), true},
+		{"incremental negative iterations", mut(func(s *Spec) {
+			s.Incremental = &struct {
+				Iterations     int     `json:"iterations"`
+				TargetAccuracy float64 `json:"target_accuracy"`
+			}{Iterations: -1}
+		}), false},
+		{"incremental zero iterations no target", mut(func(s *Spec) {
+			s.Incremental = &struct {
+				Iterations     int     `json:"iterations"`
+				TargetAccuracy float64 `json:"target_accuracy"`
+			}{}
+		}), false},
+		{"incremental zero iterations with target", mut(func(s *Spec) {
+			s.Incremental = &struct {
+				Iterations     int     `json:"iterations"`
+				TargetAccuracy float64 `json:"target_accuracy"`
+			}{TargetAccuracy: 0.9}
+		}), true},
+		{"incremental bad target", mut(func(s *Spec) {
+			s.Incremental = &struct {
+				Iterations     int     `json:"iterations"`
+				TargetAccuracy float64 `json:"target_accuracy"`
+			}{Iterations: 5, TargetAccuracy: 2}
+		}), false},
+		{"inject faults without throughput", mut(func(s *Spec) { s.InjectFaults = "variant=Merge,panic=0.1" }), false},
+		{"inject faults with throughput", mut(func(s *Spec) {
+			s.Throughput = 10
+			s.InjectFaults = "variant=Merge,panic=0.1"
+		}), true},
+		{"inject faults bad spec", mut(func(s *Spec) {
+			s.Throughput = 10
+			s.InjectFaults = "panic=0.1" // no variant
+		}), false},
+		{"inject faults rates over 1", mut(func(s *Spec) {
+			s.Throughput = 10
+			s.InjectFaults = "variant=Merge,panic=0.7,error=0.7"
+		}), false},
+		{"inject faults bad number", mut(func(s *Spec) {
+			s.Throughput = 10
+			s.InjectFaults = "variant=Merge,panic=lots"
+		}), false},
+		{"inject faults unknown key", mut(func(s *Spec) {
+			s.Throughput = 10
+			s.InjectFaults = "variant=Merge,frobnicate=1"
+		}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateSpec(tc.spec)
+			if tc.ok && err != nil {
+				t.Fatalf("valid spec rejected: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("invalid spec accepted")
+				}
+				if !errors.Is(err, errBadSpec) {
+					t.Fatalf("error %v does not wrap errBadSpec", err)
+				}
+			}
+		})
+	}
+}
+
+func TestRunSpecRejectsInvalidWithoutPartialOutput(t *testing.T) {
+	spec := smallSpec()
+	spec.Parallelism = -4
+	var buf bytes.Buffer
+	err := runSpec(spec, &buf)
+	if !errors.Is(err, errBadSpec) {
+		t.Fatalf("err = %v, want errBadSpec", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("invalid spec produced partial output:\n%s", buf.String())
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	fs, err := parseFaultSpec("variant=Radix, panic=0.15, error=0.05, delay=0.1, delayms=30, timeoutms=5, seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Variant != "Radix" || fs.Cfg.PanicRate != 0.15 || fs.Cfg.ErrorRate != 0.05 ||
+		fs.Cfg.DelayRate != 0.1 || fs.Cfg.Delay != 30*time.Millisecond ||
+		fs.Timeout != 5*time.Millisecond || fs.Cfg.Seed != 9 {
+		t.Fatalf("parsed %+v", fs)
+	}
+}
+
+// TestRunSpecInjectFaults runs the graceful-degradation demo end to end: a
+// throughput replay with one variant panicking 15% and hanging 10% of the
+// time must complete (no process crash), report the fault counters, and show
+// the variant quarantined.
+func TestRunSpecInjectFaults(t *testing.T) {
+	spec := smallSpec()
+	spec.Throughput = 400
+	spec.InjectFaults = "variant=Merge,panic=0.15,delay=0.10,delayms=30,timeoutms=5,seed=11"
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fault injection: variant \"Merge\"", "graceful degradation:", "quarantine:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpecInjectFaultsUnknownVariant(t *testing.T) {
+	spec := smallSpec()
+	spec.Throughput = 10
+	spec.InjectFaults = "variant=NoSuchVariant,panic=0.1"
+	if err := runSpec(spec, &bytes.Buffer{}); !errors.Is(err, errBadSpec) {
+		t.Fatalf("err = %v, want errBadSpec for unknown variant", err)
 	}
 }

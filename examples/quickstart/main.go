@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -161,4 +162,34 @@ func main() {
 
 	stats := cx.Stats("sortints")
 	fmt.Printf("calls: %d, per-variant: %v\n", stats.Calls, stats.PerVariant)
+
+	// Fault tolerance: dispatch survives broken variants. Build a second
+	// tunable function whose preferred variant panics 30% of the time, with a
+	// quarantine breaker: the runtime recovers each panic, falls back to the
+	// healthy variant, and after repeated failures stops selecting the flaky
+	// one altogether (re-probing it after a cooldown).
+	fp := nitro.DefaultPolicy("sortints-faulty")
+	fp.Quarantine = nitro.DefaultQuarantine()
+	fcv := nitro.NewCodeVariant[input](cx, fp)
+	flaky := nitro.WrapFault(timed(insertionSort), nitro.FaultConfig{PanicRate: 0.3, Seed: 5})
+	fcv.AddVariant("flaky-insertion", flaky)
+	fcv.AddVariant("std", timed(func(a []int) { sort.Ints(a) }))
+	if err := fcv.SetDefault("flaky-insertion"); err != nil {
+		panic(err)
+	}
+	fcv.AddInputFeature(nitro.Feature[input]{Name: "n", Eval: func(in input) float64 { return float64(len(in.data)) }})
+	fcv.AddInputFeature(nitro.Feature[input]{Name: "disorder", Eval: disorder})
+	for i := 0; i < 50; i++ {
+		if _, _, err := fcv.Call(gen(rng, 512, 0.01)); err != nil {
+			// Even total variant failure surfaces as a typed error, never a
+			// crash.
+			var ve *nitro.VariantError
+			if !errors.As(err, &ve) {
+				panic(err)
+			}
+		}
+	}
+	fstats := cx.Stats("sortints-faulty")
+	fmt.Printf("fault demo: %d calls served, %d panics recovered, %d fallback hops, %d quarantine trips, %d recoveries\n",
+		fstats.Calls, fstats.Panics, fstats.Fallbacks, fstats.Quarantined, fstats.Recoveries)
 }

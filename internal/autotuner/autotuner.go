@@ -11,6 +11,7 @@
 package autotuner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -311,20 +312,66 @@ type Tuner[In any] struct {
 // 1 = serial). Results land in input order, so the trained model is
 // independent of scheduling; the variant/feature/constraint callbacks must
 // tolerate concurrent invocation unless Parallelism is 1.
+//
+// Labelling is fault-tolerant: a variant that panics, aborts or times out on
+// an input scores +Inf for that input (it is infeasible there, exactly like a
+// constraint veto), and a feature function that panics marks the whole input
+// infeasible — a single broken variant or pathological input degrades the
+// corpus instead of aborting the tuning run. Tune is exactly TuneCtx with a
+// background context.
 func (t *Tuner[In]) Tune(inputs []In) (Report, error) {
+	return t.TuneCtx(context.Background(), inputs)
+}
+
+// TuneCtx is Tune with caller-controlled cancellation: once ctx is cancelled
+// no further inputs are labelled and TuneCtx returns ctx.Err() without
+// training or installing a model. With a background context it is
+// byte-identical to Tune.
+func (t *Tuner[In]) TuneCtx(ctx context.Context, inputs []In) (Report, error) {
 	if t.CV == nil {
 		return Report{}, errors.New("autotuner: nil code variant")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	instances := make([]Instance, len(inputs))
-	par.For(len(inputs), par.Workers(t.Opts.Parallelism), func(i int) {
-		vec, _ := t.CV.FeatureVector(inputs[i])
-		times, _ := t.CV.ExhaustiveSearch(inputs[i])
-		instances[i] = Instance{ID: fmt.Sprint(i), Features: vec, Times: times}
+	cerr := par.ForCtx(ctx, len(inputs), par.Workers(t.Opts.Parallelism), func(i int) {
+		instances[i] = t.labelInput(ctx, i, inputs[i])
 	})
+	if cerr != nil {
+		return Report{}, cerr
+	}
 	model, rep, err := Train(instances, t.Opts)
 	if err != nil {
 		return rep, err
 	}
-	t.CV.Context().SetModel(t.CV.Policy().Name, model)
+	if err := t.CV.Context().SetModel(t.CV.Policy().Name, model); err != nil {
+		return rep, fmt.Errorf("autotuner: install tuned model: %w", err)
+	}
 	return rep, nil
+}
+
+// labelInput labels one training input: feature vector + exhaustive-search
+// cost vector. The exhaustive search already isolates variant panics (failed
+// variants score +Inf); feature-function panics are recovered here and mark
+// the input all-infeasible so buildDataset skips it.
+func (t *Tuner[In]) labelInput(ctx context.Context, i int, in In) (inst Instance) {
+	inst = Instance{ID: fmt.Sprint(i)}
+	nv := t.CV.NumVariants()
+	defer func() {
+		if r := recover(); r != nil {
+			// A feature function panicked: this input cannot be labelled.
+			inf := make([]float64, nv)
+			for j := range inf {
+				inf[j] = math.Inf(1)
+			}
+			inst.Features = make([]float64, len(t.CV.FeatureNames()))
+			inst.Times = inf
+		}
+	}()
+	vec, _ := t.CV.FeatureVector(in)
+	times, _ := t.CV.ExhaustiveSearchCtx(ctx, in)
+	inst.Features = vec
+	inst.Times = times
+	return inst
 }

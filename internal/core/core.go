@@ -31,6 +31,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -38,6 +39,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nitro/internal/ml"
 	"nitro/internal/par"
@@ -51,6 +53,13 @@ var ErrAllVariantsVetoed = errors.New("core: all variants vetoed by constraints"
 
 // errNoVariants is returned when Call runs before any variant is registered.
 var errNoVariants = errors.New("core: no variants registered")
+
+// ErrModelMismatch is wrapped by SetModel/LoadModel when an installed model
+// is structurally incompatible with the registered tunable function (scaler
+// feature dimension != registered feature count, or a class label outside
+// the registered variant range). Installing such a model used to succeed and
+// then corrupt or crash the predict path on the first call.
+var ErrModelMismatch = errors.New("core: model incompatible with registered function")
 
 // modelSlot is one function's installed-model cell. The pointer is swapped
 // atomically so model installation (SetModel/LoadModel) never contends with
@@ -90,6 +99,12 @@ type statsShard struct {
 	fallbacks atomic.Int64
 	value     atomicFloat64
 	featSecs  atomicFloat64
+	// Failure accounting (the fault-tolerant dispatch layer).
+	panics     atomic.Int64 // variant invocations that panicked (recovered)
+	timeouts   atomic.Int64 // variant invocations that exceeded VariantTimeout
+	failFb     atomic.Int64 // failure-driven fallback hops (one per attempt)
+	trips      atomic.Int64 // quarantine trips (variant entered quarantine)
+	recoveries atomic.Int64 // successful half-open probes (variant recovered)
 	// perVariant maps variant name -> *atomic.Int64. After the first call to
 	// a given variant the sync.Map read path is lock-free.
 	perVariant sync.Map
@@ -102,10 +117,47 @@ type statsShard struct {
 // handful of uncontended atomic adds.
 type funcStats struct {
 	shards [statsShards]statsShard
+	// breakers maps variant name -> *breaker: the per-variant quarantine
+	// state, shared by every CodeVariant bound to this function name so all
+	// of them agree on variant health. Stored here (not per shard) because a
+	// circuit breaker must trip globally.
+	breakers sync.Map
 }
 
+// breakerFor returns (creating if needed) the named variant's breaker.
+func (fs *funcStats) breakerFor(variant string) *breaker {
+	if b, ok := fs.breakers.Load(variant); ok {
+		return b.(*breaker)
+	}
+	b, _ := fs.breakers.LoadOrStore(variant, &breaker{})
+	return b.(*breaker)
+}
+
+// shard picks a random shard (lock-free per-thread generator).
+func (fs *funcStats) shard() *statsShard { return &fs.shards[rand.Uint64N(statsShards)] }
+
+// recordFailure counts one failed variant invocation.
+func (fs *funcStats) recordFailure(panicked, timedOut bool) {
+	sh := fs.shard()
+	if panicked {
+		sh.panics.Add(1)
+	}
+	if timedOut {
+		sh.timeouts.Add(1)
+	}
+}
+
+// recordHop counts one failure-driven fallback attempt.
+func (fs *funcStats) recordHop() { fs.shard().failFb.Add(1) }
+
+// recordTrip counts one quarantine trip.
+func (fs *funcStats) recordTrip() { fs.shard().trips.Add(1) }
+
+// recordRecovery counts one successful half-open probe.
+func (fs *funcStats) recordRecovery() { fs.shard().recoveries.Add(1) }
+
 func (fs *funcStats) record(variant string, value, featSeconds float64, fallback bool) {
-	sh := &fs.shards[rand.Uint64N(statsShards)]
+	sh := fs.shard()
 	sh.calls.Add(1)
 	sh.value.Add(value)
 	if featSeconds != 0 {
@@ -130,6 +182,11 @@ func (fs *funcStats) snapshot() CallStats {
 		out.DefaultFallbacks += int(sh.fallbacks.Load())
 		out.TotalValue += sh.value.Load()
 		out.FeatureSeconds += sh.featSecs.Load()
+		out.Panics += int(sh.panics.Load())
+		out.Timeouts += int(sh.timeouts.Load())
+		out.Fallbacks += int(sh.failFb.Load())
+		out.Quarantined += int(sh.trips.Load())
+		out.Recoveries += int(sh.recoveries.Load())
 		sh.perVariant.Range(func(k, v any) bool {
 			out.PerVariant[k.(string)] += int(v.(*atomic.Int64).Load())
 			return true
@@ -147,11 +204,62 @@ type Context struct {
 	mu     sync.Mutex // guards the maps below, never held on the Call hot path
 	models map[string]*modelSlot
 	stats  map[string]*funcStats
+	shapes map[string]funcShape
+}
+
+// funcShape records what a registered tunable function looks like — how many
+// features and variants it has — so model installation can be validated
+// against it. Zero fields mean "not registered yet" and skip that check.
+type funcShape struct {
+	featureDim  int
+	numVariants int
 }
 
 // NewContext returns an empty tuning context.
 func NewContext() *Context {
-	return &Context{models: map[string]*modelSlot{}, stats: map[string]*funcStats{}}
+	return &Context{models: map[string]*modelSlot{}, stats: map[string]*funcStats{}, shapes: map[string]funcShape{}}
+}
+
+// noteShape records (monotonically) the named function's feature/variant
+// counts as a CodeVariant registers them.
+func (cx *Context) noteShape(fn string, featureDim, numVariants int) {
+	cx.mu.Lock()
+	defer cx.mu.Unlock()
+	s := cx.shapes[fn]
+	if featureDim > s.featureDim {
+		s.featureDim = featureDim
+	}
+	if numVariants > s.numVariants {
+		s.numVariants = numVariants
+	}
+	cx.shapes[fn] = s
+}
+
+// validateModel checks m against the registered shape of fn (when one is
+// known): the scaler's feature dimension must match the registered feature
+// count, and every class label must name a registered variant. A model
+// installed before any CodeVariant registered fn's features/variants is
+// accepted as-is (there is nothing to check it against yet).
+func (cx *Context) validateModel(fn string, m *ml.Model) error {
+	cx.mu.Lock()
+	shape, ok := cx.shapes[fn]
+	cx.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if shape.featureDim > 0 && m.Scaler != nil && m.Scaler.Fitted() && len(m.Scaler.Min) != shape.featureDim {
+		return fmt.Errorf("%w: scaler expects %d features, function %q registers %d",
+			ErrModelMismatch, len(m.Scaler.Min), fn, shape.featureDim)
+	}
+	if shape.numVariants > 0 && m.Classifier != nil {
+		for _, c := range m.Classifier.Classes() {
+			if c < 0 || c >= shape.numVariants {
+				return fmt.Errorf("%w: class label %d outside function %q's %d registered variants",
+					ErrModelMismatch, c, fn, shape.numVariants)
+			}
+		}
+	}
+	return nil
 }
 
 // slotFor returns (creating if needed) the named function's model cell.
@@ -182,8 +290,20 @@ func (cx *Context) statsFor(fn string) *funcStats {
 // swap is atomic: calls in flight keep the model they already loaded, and
 // subsequent calls see m — tuned models can be reloaded mid-traffic without
 // pausing the predict path. Installing nil uninstalls the model.
-func (cx *Context) SetModel(fn string, m *ml.Model) {
+//
+// When fn's shape is known (a CodeVariant has registered features/variants
+// for it), the model is validated first: a scaler whose feature dimension
+// disagrees with the registered features, or a class label naming no
+// registered variant, is rejected with an error wrapping ErrModelMismatch
+// and the previously installed model stays in place.
+func (cx *Context) SetModel(fn string, m *ml.Model) error {
+	if m != nil {
+		if err := cx.validateModel(fn, m); err != nil {
+			return fmt.Errorf("core: install model for %q: %w", fn, err)
+		}
+	}
 	cx.slotFor(fn).p.Store(m)
+	return nil
 }
 
 // Model returns the model for the named function, if one is installed.
@@ -216,9 +336,11 @@ func (cx *Context) LoadModel(fn, path string) error {
 	}
 	m, err := ml.UnmarshalModel(data)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: load model for %q from %s: %w", fn, path, err)
 	}
-	cx.SetModel(fn, m)
+	if err := cx.SetModel(fn, m); err != nil {
+		return fmt.Errorf("core: load model from %s: %w", path, err)
+	}
 	return nil
 }
 
@@ -230,6 +352,24 @@ type CallStats struct {
 	DefaultFallbacks int
 	TotalValue       float64
 	FeatureSeconds   float64
+
+	// Failure accounting (fault-tolerant dispatch).
+
+	// Panics counts variant invocations that panicked and were recovered.
+	Panics int
+	// Timeouts counts variant invocations that exceeded VariantTimeout.
+	Timeouts int
+	// Fallbacks counts failure-driven fallback hops: every additional
+	// variant attempted after a panic/timeout/abort (distinct from
+	// DefaultFallbacks, which counts constraint/model fallbacks at
+	// selection time).
+	Fallbacks int
+	// Quarantined counts quarantine trips — times a variant's circuit
+	// breaker opened after Threshold failures inside one Window.
+	Quarantined int
+	// Recoveries counts successful half-open probes — times a quarantined
+	// variant was readmitted to selection.
+	Recoveries int
 }
 
 // Stats returns a snapshot of the call statistics for fn. Taken under
@@ -252,6 +392,16 @@ type TuningPolicy struct {
 	AsyncFeatureEval bool
 	// ConstraintsEnabled toggles deployment-time constraint checking.
 	ConstraintsEnabled bool
+	// VariantTimeout, when positive, bounds every variant invocation: a
+	// variant that runs longer fails with ErrVariantTimeout (wrapped in a
+	// *VariantError) and dispatch walks the fallback chain. The overrunning
+	// goroutine is abandoned, not killed — Go cannot preempt arbitrary code
+	// — so variants should still be written to terminate.
+	VariantTimeout time.Duration
+	// Quarantine configures the per-variant failure circuit breaker; the
+	// zero value disables it (no behaviour change relative to the
+	// pre-fault-tolerance runtime).
+	Quarantine QuarantinePolicy
 }
 
 // DefaultPolicy returns the paper's defaults: constraints on, serial
@@ -280,6 +430,11 @@ type variantEntry[In any] struct {
 	name        string
 	fn          VariantFn[In]
 	constraints []ConstraintFn[In]
+	// br is this variant's quarantine circuit breaker, resolved from the
+	// function's funcStats at registration (shared across CodeVariants bound
+	// to the same function name). Consulted only when the policy enables
+	// quarantining.
+	br *breaker
 }
 
 // CodeVariant is the Go rendering of the paper's nitro::code_variant: a
@@ -311,6 +466,7 @@ func New[In any](cx *Context, policy TuningPolicy) *CodeVariant[In] {
 	if cx == nil {
 		cx = NewContext()
 	}
+	policy.Quarantine = policy.Quarantine.normalized()
 	return &CodeVariant[In]{
 		cx:     cx,
 		policy: policy,
@@ -328,10 +484,11 @@ func (cv *CodeVariant[In]) Policy() TuningPolicy { return cv.policy }
 
 // AddVariant registers a variant and returns its label index.
 func (cv *CodeVariant[In]) AddVariant(name string, fn VariantFn[In]) int {
-	cv.variants = append(cv.variants, variantEntry[In]{name: name, fn: fn})
+	cv.variants = append(cv.variants, variantEntry[In]{name: name, fn: fn, br: cv.stats.breakerFor(name)})
 	if cv.defIdx < 0 {
 		cv.defIdx = 0
 	}
+	cv.cx.noteShape(cv.policy.Name, len(cv.features), len(cv.variants))
 	return len(cv.variants) - 1
 }
 
@@ -350,6 +507,7 @@ func (cv *CodeVariant[In]) SetDefault(name string) error {
 // AddInputFeature registers a feature function.
 func (cv *CodeVariant[In]) AddInputFeature(f Feature[In]) {
 	cv.features = append(cv.features, f)
+	cv.cx.noteShape(cv.policy.Name, len(cv.features), len(cv.variants))
 }
 
 // AddConstraint attaches a constraint to the named variant.
@@ -521,63 +679,96 @@ func (cv *CodeVariant[In]) CallFixed(f *Fixed[In]) (float64, string, error) {
 	if cv.policy.AsyncFeatureEval {
 		featSeconds = 0 // hidden: evaluation overlapped other work
 	}
-	return cv.dispatch(f.in, vec, featSeconds)
+	return cv.dispatch(context.Background(), f.in, vec, featSeconds)
 }
 
 // SelectIndex returns the variant label the selection engine would execute
 // for in: the model's prediction when a model is installed and the predicted
-// variant passes its constraints, otherwise the first allowed fallback (the
-// default variant when its own constraints pass, else the lowest-indexed
-// allowed variant). The second result reports whether a fallback happened.
-// When constraints veto every variant the index is -1 and the error is
-// ErrAllVariantsVetoed.
+// variant passes its constraints (and is not quarantined), otherwise the
+// first available fallback (the default variant when its own constraints
+// pass, else the lowest-indexed allowed variant). With quarantining enabled,
+// quarantined variants are skipped; when every allowed variant is
+// quarantined the chain is retried constraints-only as a last resort, since
+// a quarantined variant may still succeed while selecting nothing cannot.
+// The second result reports whether a fallback happened. When constraints
+// veto every variant the index is -1 and the error is ErrAllVariantsVetoed.
 func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) {
 	if len(cv.variants) == 0 {
 		return -1, false, errNoVariants
 	}
+	var now int64
+	if cv.policy.Quarantine.Enabled() {
+		now = nowNanos()
+	}
 	if m := cv.model.p.Load(); m != nil {
 		pred := m.Predict(vec)
-		if pred >= 0 && pred < len(cv.variants) && cv.Allowed(pred, in) {
+		if pred >= 0 && pred < len(cv.variants) && cv.selectable(pred, in, now) {
 			return pred, false, nil
 		}
 	}
 	// Fallback chain: the default variant only if it passes its own
 	// constraints (a vetoed default must never execute), then the first
 	// allowed variant in registration order.
-	if cv.defIdx >= 0 && cv.Allowed(cv.defIdx, in) {
-		return cv.defIdx, true, nil
+	if idx := cv.firstFallback(func(i int) bool { return cv.selectable(i, in, now) }); idx >= 0 {
+		return idx, true, nil
 	}
-	for i := range cv.variants {
-		if i != cv.defIdx && cv.Allowed(i, in) {
-			return i, true, nil
+	if cv.policy.Quarantine.Enabled() {
+		// Everything allowed is quarantined: last resort, constraints only.
+		if idx := cv.firstFallback(func(i int) bool { return cv.Allowed(i, in) }); idx >= 0 {
+			return idx, true, nil
 		}
 	}
 	return -1, true, ErrAllVariantsVetoed
 }
 
 // dispatch runs selection + execution + statistics on an already evaluated
-// feature vector.
-func (cv *CodeVariant[In]) dispatch(in In, vec []float64, featSeconds float64) (float64, string, error) {
-	idx, fallback, err := cv.SelectIndex(in, vec)
+// feature vector. Execution is fault-tolerant: the selected variant runs
+// with panic isolation and an optional deadline, and on failure dispatch
+// walks the fallback chain (score-ranked alternatives → default →
+// registration order) before surfacing a typed error.
+func (cv *CodeVariant[In]) dispatch(ctx context.Context, in In, vec []float64, featSeconds float64) (float64, string, error) {
+	idx, fellBack, err := cv.SelectIndex(in, vec)
 	if err != nil {
 		return 0, "", err
 	}
-	v := &cv.variants[idx]
-	value := v.fn(in)
-	cv.stats.record(v.name, value, featSeconds, fallback)
-	return value, v.name, nil
+	value, verr := cv.exec(ctx, idx, in, featSeconds, fellBack)
+	if verr == nil {
+		return value, cv.variants[idx].name, nil
+	}
+	var ve *VariantError
+	if !errors.As(verr, &ve) {
+		return 0, "", verr // context cancellation: do not fall back
+	}
+	return cv.dispatchFallback(ctx, in, vec, featSeconds, idx, verr)
 }
 
 // Call is the paper's operator(): it evaluates the feature vector, selects a
 // variant via the model with constraint fallback, executes it, records
 // statistics, and returns the variant's value with the chosen variant name.
-// Call is safe for unlimited concurrent use on one CodeVariant.
+// Call is safe for unlimited concurrent use on one CodeVariant. It is
+// exactly CallCtx with a background context.
 func (cv *CodeVariant[In]) Call(in In) (float64, string, error) {
+	return cv.CallCtx(context.Background(), in)
+}
+
+// CallCtx is Call with caller-controlled cancellation: a context that is
+// cancelled before dispatch returns ctx.Err() immediately, and one cancelled
+// mid-variant abandons the variant and returns ctx.Err() without walking the
+// fallback chain (cancellation is the caller's choice, not a variant
+// failure). With a background (never-cancelled) context it is byte-identical
+// to Call in both results and recorded statistics.
+func (cv *CodeVariant[In]) CallCtx(ctx context.Context, in In) (float64, string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, "", err
+	}
 	if len(cv.variants) == 0 {
 		return 0, "", errNoVariants
 	}
 	vec, featSeconds := cv.evalFeatures(in)
-	return cv.dispatch(in, vec, featSeconds)
+	return cv.dispatch(ctx, in, vec, featSeconds)
 }
 
 // CallResult is one outcome of a batched dispatch.
@@ -591,28 +782,69 @@ type CallResult struct {
 // over at most par.Workers(parallelism) goroutines (0 = all cores,
 // 1 = serial). Results land in input order regardless of scheduling. The
 // per-input selection is independent, so throughput scales with cores as
-// long as the variant/feature callbacks do.
+// long as the variant/feature callbacks do. It is exactly CallConcurrentCtx
+// with a background context.
 func (cv *CodeVariant[In]) CallConcurrent(ins []In, parallelism int) []CallResult {
+	return cv.CallConcurrentCtx(context.Background(), ins, parallelism)
+}
+
+// CallConcurrentCtx is CallConcurrent with caller-controlled cancellation:
+// once ctx is cancelled no further inputs are dispatched, and every input
+// that never ran carries ctx.Err() in its result slot. Inputs already in
+// flight finish (or are abandoned by their own CallCtx per the cancellation
+// rules). With a background context it is byte-identical to CallConcurrent.
+func (cv *CodeVariant[In]) CallConcurrentCtx(ctx context.Context, ins []In, parallelism int) []CallResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]CallResult, len(ins))
-	par.For(len(ins), par.Workers(parallelism), func(i int) {
-		out[i].Value, out[i].Variant, out[i].Err = cv.Call(ins[i])
+	ran := make([]bool, len(ins))
+	cerr := par.ForCtx(ctx, len(ins), par.Workers(parallelism), func(i int) {
+		ran[i] = true
+		out[i].Value, out[i].Variant, out[i].Err = cv.CallCtx(ctx, ins[i])
 	})
+	if cerr != nil {
+		for i := range out {
+			if !ran[i] {
+				out[i].Err = cerr
+			}
+		}
+	}
 	return out
 }
 
 // ExhaustiveSearch runs every variant on in (vetoed variants score +Inf, per
 // the paper's training-phase convention) and returns the value vector with
 // the argmin label. It is the oracle the autotuner labels training inputs
-// with. When every variant is vetoed the best index is -1.
+// with. When every variant is vetoed the best index is -1. It is exactly
+// ExhaustiveSearchCtx with a background context.
 func (cv *CodeVariant[In]) ExhaustiveSearch(in In) ([]float64, int) {
+	return cv.ExhaustiveSearchCtx(context.Background(), in)
+}
+
+// ExhaustiveSearchCtx is ExhaustiveSearch with panic isolation and deadlines:
+// each variant runs through the fault-tolerant execution path, and one that
+// panics, aborts or times out scores +Inf — it is simply infeasible for this
+// input, exactly like a constraint veto, so a single broken variant no longer
+// aborts a whole training corpus. Context cancellation stops the sweep early
+// (remaining variants score +Inf).
+func (cv *CodeVariant[In]) ExhaustiveSearchCtx(ctx context.Context, in In) ([]float64, int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	values := make([]float64, len(cv.variants))
 	best, bestV := -1, math.Inf(1)
-	for i, v := range cv.variants {
-		if !cv.Allowed(i, in) {
+	for i := range cv.variants {
+		if !cv.Allowed(i, in) || ctx.Err() != nil {
 			values[i] = math.Inf(1)
 			continue
 		}
-		values[i] = v.fn(in)
+		v, err := cv.runVariant(ctx, i, in)
+		if err != nil {
+			values[i] = math.Inf(1)
+			continue
+		}
+		values[i] = v
 		if values[i] < bestV {
 			best, bestV = i, values[i]
 		}

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedModels marshals one fitted model of every serializable kind, for
+// the fuzz seed corpus and the lossless-round-trip check.
+func fuzzSeedModels(tb testing.TB) [][]byte {
+	tb.Helper()
+	ds := &Dataset{}
+	for x := 0.0; x <= 9; x++ {
+		label := 0
+		if x > 4.5 {
+			label = 1
+		}
+		ds.Append([]float64{x, 9 - x}, label)
+	}
+	scaler := &Scaler{}
+	scaledX, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	scaled := &Dataset{X: scaledX, Y: ds.Y}
+	var out [][]byte
+	for _, clf := range []Classifier{
+		NewSVM(RBFKernel{Gamma: 0.5}, 4),
+		NewKNN(3),
+		NewDecisionTree(4, 1),
+		NewLogistic(0, 0, 50),
+	} {
+		if err := clf.Fit(scaled); err != nil {
+			tb.Fatal(err)
+		}
+		data, err := MarshalModel(&Model{Classifier: clf, Scaler: scaler})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}
+
+// FuzzUnmarshalModel asserts the model deserializer is total: arbitrary bytes
+// must produce either a model or an error — never a panic — and any blob that
+// deserializes must round-trip to a fixed point (marshal ∘ unmarshal is
+// idempotent, so nothing is silently lost or mutated).
+func FuzzUnmarshalModel(f *testing.F) {
+	for _, seed := range fuzzSeedModels(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"svm"}`))
+	f.Add([]byte(`{"kind":"knn","knn":{"k":-1}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"kind":"tree","tree":{"root":{"leaf":true}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalModel(data) // must never panic
+		if err != nil {
+			return
+		}
+		out1, err := MarshalModel(m)
+		if err != nil {
+			// A deserialized model that cannot re-serialize would lose the
+			// artifact on the next save.
+			t.Fatalf("deserialized model failed to marshal: %v", err)
+		}
+		m2, err := UnmarshalModel(out1)
+		if err != nil {
+			t.Fatalf("re-serialized model failed to parse: %v", err)
+		}
+		out2, err := MarshalModel(m2)
+		if err != nil {
+			t.Fatalf("second marshal failed: %v", err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("round trip is not a fixed point:\nfirst:  %s\nsecond: %s", out1, out2)
+		}
+	})
+}
+
+// TestModelRoundTripLossless asserts valid models survive a serialize /
+// deserialize cycle exactly: identical serialized form and identical
+// predictions.
+func TestModelRoundTripLossless(t *testing.T) {
+	for _, data := range fuzzSeedModels(t) {
+		m, err := UnmarshalModel(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := MarshalModel(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("round trip changed the artifact:\nbefore: %s\nafter:  %s", data, again)
+		}
+		for x := 0.0; x <= 9; x += 0.5 {
+			vec := []float64{x, 9 - x}
+			m2, _ := UnmarshalModel(again)
+			if m.Predict(vec) != m2.Predict(vec) {
+				t.Fatalf("predictions diverged after round trip at %v", vec)
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package ml
+
+import "sort"
+
+// RankedClasses scales x and returns every class label ordered by decision
+// score, best first. The ordering is deterministic: ties break toward the
+// classifier's Classes() order, which also guarantees RankedClasses(x)[0] ==
+// Predict(x) (Predict is an argmax with the same first-wins tie break).
+//
+// The fault-tolerant dispatch layer uses the ranked tail as its failure
+// fallback chain: when the top-ranked variant panics or times out, the next
+// best variant by decision score is the most informed substitute.
+func (m *Model) RankedClasses(x []float64) []int {
+	scores := m.Scores(x)
+	classes := m.Classifier.Classes()
+	n := len(classes)
+	if len(scores) < n {
+		n = len(scores)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	out := make([]int, n)
+	for i, j := range idx {
+		out[i] = classes[j]
+	}
+	return out
+}

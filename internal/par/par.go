@@ -13,6 +13,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,6 +64,55 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx runs fn(i) for every i in [0, n) like For, but stops handing out new
+// work items once ctx is cancelled: items not yet claimed never run, items
+// already claimed finish normally. It returns ctx.Err() when the run was cut
+// short and nil when every item ran. Callers that need to know which items
+// ran must track that themselves (e.g. a ran[i] flag set inside fn), since
+// cancellation races with the work hand-out.
+//
+// With a nil or never-cancellable context (ctx.Done() == nil) it degrades to
+// exactly For — same hand-out, same scheduling, no per-item Err check — so
+// serial/parallel determinism guarantees carry over unchanged.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		For(n, workers, fn)
+		return nil
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // ForErr runs fn(i) for every i in [0, n) like For and returns the error

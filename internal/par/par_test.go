@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -63,3 +64,57 @@ func TestForErrLowestIndexWins(t *testing.T) {
 }
 
 var errSentinel = errors.New("sentinel")
+
+func TestForCtxBackgroundMatchesFor(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 500
+		a := make([]int, n)
+		b := make([]int, n)
+		For(n, workers, func(i int) { a[i] = i * i })
+		if err := ForCtx(context.Background(), n, workers, func(i int) { b[i] = i * i }); err != nil {
+			t.Fatalf("workers=%d: ForCtx = %v", workers, err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+	if err := ForCtx(nil, 3, 2, func(int) {}); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+func TestForCtxCancellationStopsHandout(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 100000
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForCtx(ctx, n, workers, func(i int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the hand-out (%d items ran)", workers, got)
+		}
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 50, 4, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Parallel workers may each claim at most a first item before observing
+	// cancellation on the serial path; the serial path runs nothing.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("pre-cancelled ForCtx ran %d items", got)
+	}
+}

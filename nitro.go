@@ -45,6 +45,19 @@
 //	f := cv.FixInputs(input) // async: overlap feature evaluation ...
 //	doOtherWork()
 //	value, chosen, err = f.Call() // ... then select on the fixed input
+//
+// Dispatch is fault tolerant: a variant that panics, aborts (Abort) or
+// exceeds TuningPolicy.VariantTimeout surfaces as a typed *VariantError and
+// the runtime falls back to the next-best variant (model score order, then
+// the default) instead of crashing; an optional per-variant quarantine
+// circuit breaker (TuningPolicy.Quarantine) excludes repeatedly failing
+// variants from selection until a half-open probe recovers them. CallCtx and
+// CallConcurrentCtx add caller-controlled cancellation, and WrapFault
+// provides the seeded fault-injection harness used to test degradation:
+//
+//	policy.VariantTimeout = 5 * time.Millisecond
+//	policy.Quarantine = nitro.DefaultQuarantine()
+//	value, chosen, err = cv.CallCtx(ctx, input)
 package nitro
 
 import (
@@ -102,6 +115,45 @@ type CallResult = core.CallResult
 // ErrAllVariantsVetoed is returned by Call when deployment-time constraints
 // veto every registered variant for an input.
 var ErrAllVariantsVetoed = core.ErrAllVariantsVetoed
+
+// VariantError describes one failed variant invocation (recovered panic,
+// Abort, or timeout); use errors.As to inspect it.
+type VariantError = core.VariantError
+
+// ErrVariantTimeout is the VariantError cause when an invocation exceeds
+// TuningPolicy.VariantTimeout.
+var ErrVariantTimeout = core.ErrVariantTimeout
+
+// ErrModelMismatch is wrapped by Context.SetModel/LoadModel when a model is
+// structurally incompatible with the registered tunable function.
+var ErrModelMismatch = core.ErrModelMismatch
+
+// ErrInjectedFault is the error mode injected by WrapFault.
+var ErrInjectedFault = core.ErrInjectedFault
+
+// Abort aborts the calling variant with err: dispatch converts it into a
+// *VariantError and walks the fallback chain, exactly as for a panic. It is
+// the sanctioned way for a value-returning VariantFn to report that it cannot
+// handle an input.
+func Abort(err error) { core.Abort(err) }
+
+// QuarantinePolicy configures the per-variant failure circuit breaker
+// (TuningPolicy.Quarantine); the zero value disables quarantining.
+type QuarantinePolicy = core.QuarantinePolicy
+
+// DefaultQuarantine returns the breaker configuration used by the examples
+// and the fault-injection harness: 5 failures within 1s quarantine a variant
+// for 100ms.
+func DefaultQuarantine() QuarantinePolicy { return core.DefaultQuarantine() }
+
+// FaultConfig configures WrapFault's seeded fault injection.
+type FaultConfig = core.FaultConfig
+
+// WrapFault wraps a variant function with seeded fault injection (panics,
+// aborts, delays) for robustness testing.
+func WrapFault[In any](fn VariantFn[In], cfg FaultConfig) VariantFn[In] {
+	return core.WrapFault(fn, cfg)
+}
 
 // TrainOptions configures the offline tuner's classifier ("svm", "knn" or
 // "tree") and the cross-validated grid search.
