@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call online-replay lint ci clean
 
 all: build
 
@@ -47,11 +47,34 @@ bench-parallel:
 
 # Deployment-runtime benchmarks: the lock-free selection hot path under
 # b.RunParallel (Call / CallFixed futures / batched CallConcurrent), at one
-# and several scheduler threads. Run on a multi-core host for scaling
+# and several scheduler threads, plus the adaptation-overhead benches
+# (BenchmarkCallAdaptive{Off,On,OnExploring}) that bound what an attached
+# online engine costs per call. Run on a multi-core host for scaling
 # numbers; at 1 core this checks that the concurrency machinery adds no
 # serial overhead.
 bench-call:
 	$(GO) test -run xxx -bench 'BenchmarkCall' -cpu 1,2,4 ./internal/core/
+
+# Online-adaptation smoke: replay a seeded drifting input stream through
+# cmd/nitro-tune's adaptation engine twice and assert the printed timeline
+# (drift detected -> retrain -> hot-swap -> recovered) is reproducible byte
+# for byte, then check the expected events actually appear. This is the
+# closed loop end to end: offline tune, synthetic mid-stream drift, online
+# retrain, model v2 swap.
+online-replay:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	printf '%s\n' '{"function":"sort","benchmark":"Sort","classifier":"svm","scale":0.1,"seed":3,"train_count":12,"test_count":12,"online_replay":600}' > "$$tmp/online.json" && \
+	$(GO) run ./cmd/nitro-tune -spec "$$tmp/online.json" > "$$tmp/run1.txt" && \
+	$(GO) run ./cmd/nitro-tune -spec "$$tmp/online.json" > "$$tmp/run2.txt" && \
+	if ! cmp -s "$$tmp/run1.txt" "$$tmp/run2.txt"; then \
+		echo "FAIL: online replay timeline is not reproducible:"; \
+		diff "$$tmp/run1.txt" "$$tmp/run2.txt"; exit 1; \
+	fi && \
+	for ev in '] drift:' '] retrain (' '] swap (v1 -> v2' '] recovered:'; do \
+		grep -F "$$ev" "$$tmp/run1.txt" >/dev/null || { \
+			echo "FAIL: timeline missing \"$$ev\" event:"; cat "$$tmp/run1.txt"; exit 1; }; \
+	done && \
+	echo "online replay reproducible: $$(grep -c '\[call ' "$$tmp/run1.txt") timeline events, drift -> retrain -> swap -> recovered"
 
 # Static analysis beyond vet. Uses staticcheck when it is installed
 # (CI installs it); locally it is skipped with a note rather than failing

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	nitro-model -model spmv.model.json
+//	nitro-model -model spmv.model.json -json
 //	nitro-model -model spmv.model.json -predict "12.5,3.1,88,1.2,1.0"
 //	nitro-model -model spmv.model.json -predict-file vectors.txt -parallelism 0
 //
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +37,7 @@ type options struct {
 	Predict     string
 	PredictFile string
 	Parallelism int
+	JSON        bool
 }
 
 // errBadFlags is wrapped by every flag-validation failure so tests can detect
@@ -49,6 +52,9 @@ func (o options) validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("%w: -parallelism %d must be >= 0 (0 = all cores)", errBadFlags, o.Parallelism)
 	}
+	if o.JSON && (o.Predict != "" || o.PredictFile != "") {
+		return fmt.Errorf("%w: -json is a summary-only mode (drop -predict/-predict-file)", errBadFlags)
+	}
 	return nil
 }
 
@@ -58,6 +64,7 @@ func main() {
 	flag.StringVar(&opts.Predict, "predict", "", "comma-separated feature vector to classify")
 	flag.StringVar(&opts.PredictFile, "predict-file", "", "file with one comma-separated feature vector per line to classify as a batch")
 	flag.IntVar(&opts.Parallelism, "parallelism", 0, "worker count for batch prediction (0 = all cores, 1 = serial); output is identical at every setting")
+	flag.BoolVar(&opts.JSON, "json", false, "print a machine-readable model summary (classifier, classes, feature count, provenance metadata) instead of the textual inspection")
 	flag.Parse()
 	if opts.Model == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-model -model file.json [-predict \"1,2,3\"] [-predict-file vectors.txt]")
@@ -77,6 +84,9 @@ func run(opts options, out io.Writer) error {
 	data, err := os.ReadFile(opts.Model)
 	if err != nil {
 		return fmt.Errorf("read model: %w", err)
+	}
+	if opts.JSON {
+		return inspectJSON(data, out)
 	}
 	if err := inspect(data, opts.Predict, out); err != nil {
 		return err
@@ -127,6 +137,44 @@ func inspect(data []byte, predict string, out io.Writer) error {
 	for i, c := range model.Classifier.Classes() {
 		fmt.Fprintf(out, "  label %d score %.4f\n", c, scores[i])
 	}
+	return nil
+}
+
+// inspectJSON writes the machine-readable model summary: classifier kind,
+// label set, feature dimension, SVM size when applicable, and the provenance
+// metadata (version / created_at / trained_on) stamped by the tuner — the
+// fields a deployment dashboard needs to tell a hot-swapped v2 retrain from
+// the offline v1 artifact. Legacy artifacts without metadata report
+// "meta": null.
+func inspectJSON(data []byte, out io.Writer) error {
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		return fmt.Errorf("parse model: %w", err)
+	}
+	summary := struct {
+		Classifier     string        `json:"classifier"`
+		Classes        []int         `json:"classes"`
+		Features       int           `json:"features"`
+		SupportVectors int           `json:"support_vectors,omitempty"`
+		Version        int           `json:"version"`
+		Meta           *ml.ModelMeta `json:"meta"`
+	}{
+		Classifier: model.Classifier.Name(),
+		Classes:    model.Classifier.Classes(),
+		Version:    model.Version(),
+		Meta:       model.Meta,
+	}
+	if model.Scaler != nil && model.Scaler.Fitted() {
+		summary.Features = len(model.Scaler.Min)
+	}
+	if svm, ok := model.Classifier.(*ml.SVM); ok {
+		summary.SupportVectors = svm.NumSupportVectors()
+	}
+	enc, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", enc)
 	return nil
 }
 

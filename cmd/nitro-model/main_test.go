@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -191,5 +192,80 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(options{Model: modelPath, PredictFile: filepath.Join(dir, "missing.txt")}, &bytes.Buffer{}); err == nil {
 		t.Error("missing predict-file accepted")
+	}
+}
+
+// stampedModel returns the fixture model with provenance metadata, as the
+// tuner and the online retrainer write it.
+func stampedModel(t *testing.T) []byte {
+	t.Helper()
+	model, err := ml.UnmarshalModel(fixtureModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Meta = &ml.ModelMeta{Version: 2, TrainedOn: 30}
+	data, err := ml.MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestInspectJSON pins the machine-readable summary: classifier shape plus
+// the provenance metadata a deployment dashboard keys on.
+func TestInspectJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := inspectJSON(stampedModel(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Classifier     string `json:"classifier"`
+		Classes        []int  `json:"classes"`
+		Features       int    `json:"features"`
+		SupportVectors int    `json:"support_vectors"`
+		Version        int    `json:"version"`
+		Meta           *ml.ModelMeta
+	}
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("summary does not parse: %v\n%s", err, buf.String())
+	}
+	if summary.Classifier != "svm" || len(summary.Classes) != 2 || summary.Features != 2 {
+		t.Errorf("summary shape: %+v", summary)
+	}
+	if summary.Version != 2 || summary.Meta == nil || summary.Meta.TrainedOn != 30 {
+		t.Errorf("summary metadata: %+v", summary)
+	}
+}
+
+// TestInspectJSONLegacyModel: artifacts written before metadata stamping
+// report version 0 and a null meta instead of failing.
+func TestInspectJSONLegacyModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := inspectJSON(fixtureModel(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 0`, `"meta": null`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("legacy summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunJSONMode drives -json through run, including the exclusivity check.
+func TestRunJSONMode(t *testing.T) {
+	modelPath := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(modelPath, stampedModel(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(options{Model: modelPath, JSON: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Errorf("-json output missing version:\n%s", buf.String())
+	}
+	if err := run(options{Model: modelPath, JSON: true, Predict: "1,2"}, &bytes.Buffer{}); !errors.Is(err, errBadFlags) {
+		t.Errorf("-json with -predict: err = %v, want errBadFlags", err)
 	}
 }

@@ -105,6 +105,24 @@ type Spec struct {
 	// on the injected failures. Requires Throughput > 0. The -inject-faults
 	// flag overrides the spec value.
 	InjectFaults string `json:"inject_faults"`
+
+	// OnlineReplay, when > 0, replays that many deployment calls through a
+	// live CodeVariant with an online adaptation engine attached, injecting a
+	// synthetic concept drift (every instance's per-variant costs rotated by
+	// one slot) at DriftAt of the stream, and prints the engine's adaptation
+	// timeline: windows, drift detection, retrain, hot-swap (or rollback) and
+	// recovery. The replay is serial and seeded, so its output is reproducible
+	// byte for byte. The -online-replay flag overrides the spec value.
+	OnlineReplay int `json:"online_replay"`
+	// DriftAt is the fraction of the online replay stream after which the
+	// drift is injected (default 0.3; must be in [0, 1)).
+	DriftAt float64 `json:"drift_at"`
+
+	// StatsJSON additionally emits the replay context's CallStats — and, for
+	// an online replay, the engine's AdaptStats — as one machine-readable JSON
+	// line after each replay. Requires Throughput > 0 or OnlineReplay > 0.
+	// The -stats-json flag overrides the spec value.
+	StatsJSON bool `json:"stats_json"`
 }
 
 // errBadSpec is wrapped by every spec-validation failure, so tests (and
@@ -156,6 +174,18 @@ func validateSpec(spec Spec) error {
 		if _, err := parseFaultSpec(spec.InjectFaults); err != nil {
 			return fmt.Errorf("%w: %v", errBadSpec, err)
 		}
+	}
+	if spec.OnlineReplay < 0 {
+		return bad("online_replay %d must be >= 0", spec.OnlineReplay)
+	}
+	if spec.DriftAt < 0 || spec.DriftAt >= 1 {
+		return bad("drift_at %v must be in [0, 1)", spec.DriftAt)
+	}
+	if spec.DriftAt > 0 && spec.OnlineReplay == 0 {
+		return bad("drift_at requires online_replay > 0")
+	}
+	if spec.StatsJSON && spec.Throughput <= 0 && spec.OnlineReplay <= 0 {
+		return bad("stats_json requires throughput > 0 or online_replay > 0")
 	}
 	return nil
 }
@@ -228,6 +258,8 @@ func main() {
 	parallelism := flag.Int("parallelism", -1, "worker count for corpus labelling and grid search (0 = all cores, 1 = serial, -1 = use spec value); results are identical at every setting")
 	throughput := flag.Int("throughput", -1, "number of deployment-replay selections to time after tuning (0 = none, -1 = use spec value)")
 	injectFaults := flag.String("inject-faults", "", "inject seeded faults into one replay variant, e.g. \"variant=CSR,panic=0.15,delay=0.1,delayms=30,timeoutms=5\" (requires a throughput replay; overrides the spec value)")
+	onlineReplay := flag.Int("online-replay", -1, "number of deployment calls to replay through an online adaptation engine with a synthetic mid-stream drift (0 = none, -1 = use spec value); the printed timeline is reproducible byte for byte")
+	statsJSON := flag.Bool("stats-json", false, "emit replay CallStats/AdaptStats as machine-readable JSON lines (requires a throughput or online replay; overrides the spec value)")
 	flag.Parse()
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
@@ -249,6 +281,12 @@ func main() {
 	}
 	if *injectFaults != "" {
 		spec.InjectFaults = *injectFaults
+	}
+	if *onlineReplay >= 0 {
+		spec.OnlineReplay = *onlineReplay
+	}
+	if *statsJSON {
+		spec.StatsJSON = true
 	}
 	if err := runSpec(spec, os.Stdout); err != nil {
 		fatal(err)
@@ -339,6 +377,11 @@ func runSpec(spec Spec, out io.Writer) error {
 	}
 	if spec.Throughput > 0 {
 		if err := replayThroughput(spec, suite, model, out); err != nil {
+			return err
+		}
+	}
+	if spec.OnlineReplay > 0 {
+		if err := runOnlineReplay(spec, suite, model, out); err != nil {
 			return err
 		}
 	}
@@ -451,6 +494,9 @@ func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io
 			st.Panics, st.Timeouts, st.Fallbacks)
 		fmt.Fprintf(out, "  quarantine: %d trips, %d recoveries; unresolved errors: %d serial + %d concurrent of %d calls\n",
 			st.Quarantined, st.Recoveries, serialFailed, concFailed, 2*len(batch))
+	}
+	if spec.StatsJSON {
+		return emitStatsJSON(out, st, nil)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"nitro/internal/core"
 	"nitro/internal/ml"
 	"nitro/internal/sparse"
 )
@@ -229,6 +231,21 @@ func TestValidateSpecTable(t *testing.T) {
 			s.Throughput = 10
 			s.InjectFaults = "variant=Merge,frobnicate=1"
 		}), false},
+		{"negative online replay", mut(func(s *Spec) { s.OnlineReplay = -1 }), false},
+		{"drift_at out of range", mut(func(s *Spec) {
+			s.OnlineReplay = 100
+			s.DriftAt = 1
+		}), false},
+		{"drift_at without online replay", mut(func(s *Spec) { s.DriftAt = 0.5 }), false},
+		{"stats_json without replay", mut(func(s *Spec) { s.StatsJSON = true }), false},
+		{"stats_json with online replay", mut(func(s *Spec) {
+			s.StatsJSON = true
+			s.OnlineReplay = 100
+		}), true},
+		{"valid online replay", mut(func(s *Spec) {
+			s.OnlineReplay = 100
+			s.DriftAt = 0.25
+		}), true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -290,6 +307,124 @@ func TestRunSpecInjectFaults(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// onlineSpec is the shared online-replay configuration: 600 calls with the
+// synthetic drift injected at the default 30% mark.
+func onlineSpec() Spec {
+	spec := smallSpec()
+	spec.Evaluate = false
+	spec.OnlineReplay = 600
+	return spec
+}
+
+// TestRunSpecOnlineReplay drives the adaptation loop through the CLI: the
+// replay must detect the injected drift, retrain on the explored samples,
+// hot-swap a v2 model, and recover — and report it all machine-readably
+// through -stats-json.
+func TestRunSpecOnlineReplay(t *testing.T) {
+	spec := onlineSpec()
+	spec.StatsJSON = true
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"online replay: 600 calls",
+		"drift injected at call 180",
+		"adaptation timeline:",
+		"] drift: ",
+		"] retrain (",
+		"] swap (v1 -> v2",
+		"] recovered: ",
+		"installed model: v2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The stats json line must parse back into the typed snapshots.
+	idx := strings.Index(out, "stats json: ")
+	if idx < 0 {
+		t.Fatalf("no stats json line:\n%s", out)
+	}
+	line := out[idx+len("stats json: "):]
+	line = line[:strings.Index(line, "\n")]
+	var payload struct {
+		CallStats  core.CallStats   `json:"call_stats"`
+		AdaptStats *core.AdaptStats `json:"adapt_stats"`
+	}
+	if err := json.Unmarshal([]byte(line), &payload); err != nil {
+		t.Fatalf("stats json does not parse: %v\n%s", err, line)
+	}
+	if payload.CallStats.Calls != 600 {
+		t.Errorf("call_stats.calls = %d, want 600", payload.CallStats.Calls)
+	}
+	if payload.AdaptStats == nil || payload.AdaptStats.Swaps < 1 || payload.AdaptStats.ModelVersion < 2 {
+		t.Errorf("adapt_stats did not record the swap: %+v", payload.AdaptStats)
+	}
+}
+
+// TestRunSpecOnlineReplayDeterministic is the reproducibility contract: two
+// runs of the same spec must produce byte-identical output, timeline
+// included. (StatsJSON stays off: CallStats.TotalValue sums float values
+// across randomly picked statistics shards, so its last bits are not
+// deterministic — everything the replay itself prints is.)
+func TestRunSpecOnlineReplayDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		if err := runSpec(onlineSpec(), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("online replay not reproducible:\nrun A:\n%s\nrun B:\n%s", a, b)
+	}
+	if !strings.Contains(a, "] swap (") {
+		t.Fatalf("replay never swapped:\n%s", a)
+	}
+}
+
+// TestRunSpecOnlineReplayIncremental routes the retrain through the BvSB
+// incremental loop (spec.incremental applies to online retrains too).
+func TestRunSpecOnlineReplayIncremental(t *testing.T) {
+	spec := onlineSpec()
+	spec.Incremental = &struct {
+		Iterations     int     `json:"iterations"`
+		TargetAccuracy float64 `json:"target_accuracy"`
+	}{Iterations: 10}
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "] retrain (") {
+		t.Errorf("incremental online replay never retrained:\n%s", buf.String())
+	}
+}
+
+// TestRunSpecThroughputStatsJSON covers the stats json emission on the plain
+// throughput replay (no adaptation engine → no adapt_stats key).
+func TestRunSpecThroughputStatsJSON(t *testing.T) {
+	spec := smallSpec()
+	spec.Throughput = 100
+	spec.StatsJSON = true
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "stats json: ") {
+		t.Fatalf("no stats json line:\n%s", out)
+	}
+	if strings.Contains(out, "adapt_stats") {
+		t.Errorf("throughput-only replay should omit adapt_stats:\n%s", out)
+	}
+	if !strings.Contains(out, `"calls":200`) {
+		t.Errorf("stats json should count both passes (200 calls):\n%s", out)
 	}
 }
 

@@ -166,7 +166,11 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 			return nil, rep, err
 		}
 	}
-	model := &ml.Model{Classifier: clf, Scaler: scaler}
+	// Stamp provenance: offline tuning is generation 1. CreatedAt stays zero
+	// so identical corpora produce byte-identical artifacts (the online
+	// retrainer stamps wall-clock time instead).
+	model := &ml.Model{Classifier: clf, Scaler: scaler,
+		Meta: &ml.ModelMeta{Version: 1, TrainedOn: ds.Len()}}
 	rep.TrainAccuracy = ml.Accuracy(clf, scaled)
 	return model, rep, nil
 }

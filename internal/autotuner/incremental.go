@@ -161,7 +161,8 @@ func IncrementalTune(s *Suite, opts IncrementalOptions, suiteForCurve *Suite) (I
 		record()
 	}
 	res.Queries = al.Queries()
-	res.Model = &ml.Model{Classifier: al.Classifier(), Scaler: scaler}
+	res.Model = &ml.Model{Classifier: al.Classifier(), Scaler: scaler,
+		Meta: &ml.ModelMeta{Version: 1, TrainedOn: len(seed) + al.Queries()}}
 	return res, nil
 }
 

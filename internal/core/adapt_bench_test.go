@@ -1,0 +1,108 @@
+package core_test
+
+// Adaptation-overhead benchmarks, kept with the other BenchmarkCall* benches
+// so `make bench-call` sweeps them. They live in an external test package
+// because they attach a real internal/online engine (which imports core) to
+// the deployment hot path:
+//
+//   - BenchmarkCallAdaptiveOff: no engine attached — the baseline every call
+//     pays after this subsystem landed is one atomic observer load. The hard
+//     requirement is that this stays within 2% of BenchmarkCallParallel
+//     (the pre-adaptation dispatch baseline).
+//   - BenchmarkCallAdaptiveOn: engine attached with ExploreRate 0 — the
+//     sampling hook with zero exploration. The non-sampled path writes no
+//     shared engine state (two flag loads + one per-thread admission draw);
+//     the residual cost over AdaptiveOff is the CallObservation construction
+//     and interface dispatch, a fixed handful of ns per call. On this
+//     fixture's nanosecond-closure variants that is a visible percentage;
+//     on any real variant workload (µs and up) it is noise.
+//   - BenchmarkCallAdaptiveOnExploring: the DefaultPolicy budget (sample
+//     every 4th call, explore a quarter of the samples) — what a deployment
+//     actually pays, including the epsilon-greedy re-timing work.
+
+import (
+	"testing"
+
+	"nitro/internal/core"
+	"nitro/internal/ml"
+	"nitro/internal/online"
+)
+
+type benchInput struct{ X float64 }
+
+// buildAdaptiveCV constructs the same two-variant x<4.5 fixture as the
+// in-package concurrency benchmarks, through the exported API.
+func buildAdaptiveCV(tb testing.TB) *core.CodeVariant[benchInput] {
+	tb.Helper()
+	cx := core.NewContext()
+	cv := core.New[benchInput](cx, core.DefaultPolicy("adapt-bench"))
+	cv.AddVariant("small", func(in benchInput) float64 { return 1 + in.X })
+	cv.AddVariant("large", func(in benchInput) float64 { return 10 - in.X })
+	if err := cv.SetDefault("small"); err != nil {
+		tb.Fatal(err)
+	}
+	cv.AddInputFeature(core.Feature[benchInput]{
+		Name: "x",
+		Eval: func(in benchInput) float64 { return in.X },
+	})
+	ds := &ml.Dataset{}
+	for x := 0.0; x <= 9; x++ {
+		label := 0
+		if x > 4.5 {
+			label = 1
+		}
+		ds.Append([]float64{x}, label)
+	}
+	scaler := &ml.Scaler{}
+	scaled, err := scaler.FitTransform(ds.X)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	svm := ml.NewSVM(ml.RBFKernel{Gamma: 1}, 10)
+	if err := svm.Fit(&ml.Dataset{X: scaled, Y: ds.Y}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := cx.SetModel("adapt-bench", &ml.Model{Classifier: svm, Scaler: scaler}); err != nil {
+		tb.Fatal(err)
+	}
+	return cv
+}
+
+func benchAdaptiveCalls(b *testing.B, cv *core.CodeVariant[benchInput]) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := cv.Call(benchInput{X: float64(i % 10)}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkCallAdaptiveOff(b *testing.B) {
+	benchAdaptiveCalls(b, buildAdaptiveCV(b))
+}
+
+func BenchmarkCallAdaptiveOn(b *testing.B) {
+	cv := buildAdaptiveCV(b)
+	pol := online.DefaultPolicy(1)
+	pol.ExploreRate = 0 // hook + sampling overhead only
+	eng, err := online.Attach(cv, pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	benchAdaptiveCalls(b, cv)
+}
+
+func BenchmarkCallAdaptiveOnExploring(b *testing.B) {
+	cv := buildAdaptiveCV(b)
+	eng, err := online.Attach(cv, online.DefaultPolicy(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	benchAdaptiveCalls(b, cv)
+}

@@ -458,6 +458,12 @@ type CodeVariant[In any] struct {
 	// lookups, no locks.
 	model *modelSlot
 	stats *funcStats
+
+	// observer is the optional adaptation hook (SetCallObserver): consulted
+	// with one atomic load after every successful Call-path dispatch. Nil —
+	// the default — keeps the runtime byte-identical to the pre-adaptation
+	// behaviour.
+	observer atomic.Pointer[CallObserver[In]]
 }
 
 // New creates a tunable function bound to the context, mirroring
@@ -693,32 +699,42 @@ func (cv *CodeVariant[In]) CallFixed(f *Fixed[In]) (float64, string, error) {
 // The second result reports whether a fallback happened. When constraints
 // veto every variant the index is -1 and the error is ErrAllVariantsVetoed.
 func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) {
+	idx, _, fellBack, err := cv.selectWithPred(in, vec)
+	return idx, fellBack, err
+}
+
+// selectWithPred is SelectIndex plus the model's raw prediction (-1 when no
+// model is installed), which the adaptation observer needs to compare the
+// predicted variant against the observed best.
+func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64) (int, int, bool, error) {
 	if len(cv.variants) == 0 {
-		return -1, false, errNoVariants
+		return -1, -1, false, errNoVariants
 	}
 	var now int64
 	if cv.policy.Quarantine.Enabled() {
 		now = nowNanos()
 	}
+	rawPred := -1
 	if m := cv.model.p.Load(); m != nil {
 		pred := m.Predict(vec)
+		rawPred = pred
 		if pred >= 0 && pred < len(cv.variants) && cv.selectable(pred, in, now) {
-			return pred, false, nil
+			return pred, rawPred, false, nil
 		}
 	}
 	// Fallback chain: the default variant only if it passes its own
 	// constraints (a vetoed default must never execute), then the first
 	// allowed variant in registration order.
 	if idx := cv.firstFallback(func(i int) bool { return cv.selectable(i, in, now) }); idx >= 0 {
-		return idx, true, nil
+		return idx, rawPred, true, nil
 	}
 	if cv.policy.Quarantine.Enabled() {
 		// Everything allowed is quarantined: last resort, constraints only.
 		if idx := cv.firstFallback(func(i int) bool { return cv.Allowed(i, in) }); idx >= 0 {
-			return idx, true, nil
+			return idx, rawPred, true, nil
 		}
 	}
-	return -1, true, ErrAllVariantsVetoed
+	return -1, rawPred, true, ErrAllVariantsVetoed
 }
 
 // dispatch runs selection + execution + statistics on an already evaluated
@@ -727,19 +743,20 @@ func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) 
 // walks the fallback chain (score-ranked alternatives → default →
 // registration order) before surfacing a typed error.
 func (cv *CodeVariant[In]) dispatch(ctx context.Context, in In, vec []float64, featSeconds float64) (float64, string, error) {
-	idx, fellBack, err := cv.SelectIndex(in, vec)
+	idx, pred, fellBack, err := cv.selectWithPred(in, vec)
 	if err != nil {
 		return 0, "", err
 	}
 	value, verr := cv.exec(ctx, idx, in, featSeconds, fellBack)
 	if verr == nil {
+		cv.observe(in, vec, pred, idx, value, fellBack)
 		return value, cv.variants[idx].name, nil
 	}
 	var ve *VariantError
 	if !errors.As(verr, &ve) {
 		return 0, "", verr // context cancellation: do not fall back
 	}
-	return cv.dispatchFallback(ctx, in, vec, featSeconds, idx, verr)
+	return cv.dispatchFallback(ctx, in, vec, featSeconds, idx, pred, verr)
 }
 
 // Call is the paper's operator(): it evaluates the feature vector, selects a

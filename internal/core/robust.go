@@ -394,7 +394,7 @@ func (cv *CodeVariant[In]) fallbackOrder(in In, vec []float64, tried []bool, now
 // variant failed with firstErr, recording one Fallbacks hop per attempt.
 // It returns the first successful execution, the context error if the caller
 // cancelled mid-chain, or the last variant error when every candidate failed.
-func (cv *CodeVariant[In]) dispatchFallback(ctx context.Context, in In, vec []float64, featSeconds float64, failed int, firstErr error) (float64, string, error) {
+func (cv *CodeVariant[In]) dispatchFallback(ctx context.Context, in In, vec []float64, featSeconds float64, failed int, pred int, firstErr error) (float64, string, error) {
 	tried := make([]bool, len(cv.variants))
 	tried[failed] = true
 	lastErr := firstErr
@@ -405,6 +405,7 @@ func (cv *CodeVariant[In]) dispatchFallback(ctx context.Context, in In, vec []fl
 		cv.stats.recordHop()
 		value, err := cv.exec(ctx, idx, in, featSeconds, true)
 		if err == nil {
+			cv.observe(in, vec, pred, idx, value, true)
 			return value, cv.variants[idx].name, nil
 		}
 		tried[idx] = true

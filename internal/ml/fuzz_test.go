@@ -52,6 +52,8 @@ func FuzzUnmarshalModel(f *testing.F) {
 	}
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"kind":"svm"}`))
+	f.Add([]byte(`{"kind":"knn","meta":{"version":2,"created_at":"2026-08-06T00:00:00Z","trained_on":7},"knn":{"k":1}}`))
+	f.Add([]byte(`{"kind":"knn","meta":{},"knn":{"k":1}}`))
 	f.Add([]byte(`{"kind":"knn","knn":{"k":-1}}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"kind":"tree","tree":{"root":{"leaf":true}}}`))

@@ -3,7 +3,24 @@ package ml
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
+
+// ModelMeta stamps a trained model with its provenance, so deployment logs,
+// statistics and hot-swap events can attribute which model served a call.
+// Old model files without a meta block deserialize with a nil Meta — the
+// stamp is additive and fully backward compatible.
+type ModelMeta struct {
+	// Version is a monotonically increasing model generation: 1 for the
+	// first offline tuning, incremented by every accepted retrain.
+	Version int `json:"version"`
+	// CreatedAt records when the model was fitted (UTC). The offline tuner
+	// leaves it zero so identical inputs produce byte-identical artifacts;
+	// the online retrainer stamps wall-clock time.
+	CreatedAt time.Time `json:"created_at"`
+	// TrainedOn counts the labelled instances the classifier was fitted on.
+	TrainedOn int `json:"trained_on"`
+}
 
 // Model is the serializable envelope Nitro persists after tuning: the fitted
 // classifier plus the feature scaler, so deployment-time selection needs no
@@ -12,6 +29,17 @@ import (
 type Model struct {
 	Classifier Classifier
 	Scaler     *Scaler
+	// Meta optionally stamps the model's provenance (version, creation time,
+	// training-set size); nil for artifacts written before stamping existed.
+	Meta *ModelMeta
+}
+
+// Version returns the stamped model generation, or 0 when unstamped.
+func (m *Model) Version() int {
+	if m == nil || m.Meta == nil {
+		return 0
+	}
+	return m.Meta.Version
 }
 
 // Predict scales x (if a scaler is present) and classifies it.
@@ -70,6 +98,7 @@ type logisticJSON struct {
 
 type modelJSON struct {
 	Kind     string          `json:"kind"`
+	Meta     *ModelMeta      `json:"meta,omitempty"`
 	Scaler   *Scaler         `json:"scaler,omitempty"`
 	SVM      *svmJSON        `json:"svm,omitempty"`
 	KNN      *knnJSON        `json:"knn,omitempty"`
@@ -84,7 +113,7 @@ func MarshalModel(m *Model) ([]byte, error) {
 	if m == nil || m.Classifier == nil {
 		return nil, fmt.Errorf("ml: nil model")
 	}
-	env := modelJSON{Scaler: m.Scaler}
+	env := modelJSON{Scaler: m.Scaler, Meta: m.Meta}
 	switch c := m.Classifier.(type) {
 	case *SVM:
 		env.Kind = "svm"
@@ -120,7 +149,7 @@ func UnmarshalModel(data []byte) (*Model, error) {
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("ml: bad model JSON: %w", err)
 	}
-	m := &Model{Scaler: env.Scaler}
+	m := &Model{Scaler: env.Scaler, Meta: env.Meta}
 	switch env.Kind {
 	case "svm":
 		if env.SVM == nil {

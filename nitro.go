@@ -58,11 +58,25 @@
 //	policy.VariantTimeout = 5 * time.Millisecond
 //	policy.Quarantine = nitro.DefaultQuarantine()
 //	value, chosen, err = cv.CallCtx(ctx, input)
+//
+// Deployments whose input distribution drifts away from the offline training
+// corpus can enable online adaptation: an engine samples live calls, spends a
+// small epsilon-greedy exploration budget re-timing the alternative variants
+// on sampled inputs, detects sustained drift with a windowed mismatch/regret
+// detector, retrains in the background on the drifted observations, and
+// hot-swaps the new model in (rolling back when the candidate loses its
+// holdout validation). Adaptation is inert by default and deterministic under
+// a fixed seed:
+//
+//	eng, err := nitro.EnableAdaptation(cv, nitro.DefaultAdaptPolicy(42))
+//	defer eng.Close()
+//	// ... serve traffic; eng.Stats() / eng.Events() report the timeline.
 package nitro
 
 import (
 	"nitro/internal/autotuner"
 	"nitro/internal/core"
+	"nitro/internal/online"
 )
 
 // Context maintains global tuning state (models, statistics) shared by the
@@ -171,4 +185,44 @@ type Autotuner[In any] = autotuner.Tuner[In]
 // NewAutotuner builds an offline tuner for cv.
 func NewAutotuner[In any](cv *CodeVariant[In], opts TrainOptions) *Autotuner[In] {
 	return &Autotuner[In]{CV: cv, Opts: opts}
+}
+
+// AdaptPolicy configures an online adaptation engine: sampling rate,
+// exploration budget, drift-detector windows/thresholds/hysteresis, and the
+// background retrainer.
+type AdaptPolicy = online.Policy
+
+// DefaultAdaptPolicy returns a balanced adaptation configuration (sample
+// every 4th call, explore a quarter of the samples) driven by seed.
+func DefaultAdaptPolicy(seed int64) AdaptPolicy { return online.DefaultPolicy(seed) }
+
+// AdaptEngine is a per-function online adaptation engine; detach with Close,
+// toggle with Pause/Resume, observe with Stats/State/Events.
+type AdaptEngine[In any] = online.Engine[In]
+
+// AdaptEvent is one entry of an adaptation engine's deterministic timeline
+// (window closures, drift detections, retrains, swaps, rollbacks).
+type AdaptEvent = online.Event
+
+// AdaptState is the engine's drift state ("healthy", "drifting",
+// "retraining").
+type AdaptState = online.State
+
+// AdaptStats is a point-in-time snapshot of an adaptation engine's counters;
+// it serializes to stable snake_case JSON like CallStats.
+type AdaptStats = core.AdaptStats
+
+// RetrainOptions configures the online retrainer (classifier options,
+// optional BvSB incremental seeding, holdout fraction, acceptance margin).
+type RetrainOptions = autotuner.RetrainOptions
+
+// EnableAdaptation attaches an online adaptation engine to cv: live calls
+// are sampled and explored per pol, sustained drift triggers a background
+// retrain on the drifted observations, and an accepted candidate is
+// hot-swapped into the context's model slot (a rejected one is rolled back).
+// The engine observes every Call path until Close. Adaptation never changes
+// what a call returns — with ExploreRate 0 the engine is observationally
+// identical to plain Call.
+func EnableAdaptation[In any](cv *CodeVariant[In], pol AdaptPolicy) (*AdaptEngine[In], error) {
+	return online.Attach(cv, pol)
 }

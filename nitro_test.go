@@ -1,7 +1,10 @@
 package nitro_test
 
 import (
+	"encoding/json"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"nitro"
@@ -154,6 +157,108 @@ func TestPublicAPIConcurrentDispatch(t *testing.T) {
 	}
 	if st := cv.Context().Stats("toy"); st.Calls != len(batch)+1 {
 		t.Errorf("stats counted %d calls, want %d", st.Calls, len(batch)+1)
+	}
+}
+
+// TestPublicAPIOnlineAdaptation drives the online adaptation loop through
+// the facade: tune offline, flip the variant cost surfaces mid-traffic (a
+// concept drift), and watch the engine detect it, retrain on its explored
+// observations, and hot-swap a v2 model that restores correct selection.
+func TestPublicAPIOnlineAdaptation(t *testing.T) {
+	var drifted atomic.Bool
+	cx := nitro.NewContext()
+	cv := nitro.NewCodeVariant[toy](cx, nitro.DefaultPolicy("adaptive-toy"))
+	cv.AddVariant("low", func(in toy) float64 {
+		if drifted.Load() {
+			return 21 - in.x
+		}
+		return 1 + in.x
+	})
+	cv.AddVariant("high", func(in toy) float64 {
+		if drifted.Load() {
+			return 1 + in.x
+		}
+		return 21 - in.x
+	})
+	if err := cv.SetDefault("low"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(nitro.Feature[toy]{Name: "x", Eval: func(in toy) float64 { return in.x }})
+	tuner := nitro.NewAutotuner(cv, nitro.TrainOptions{Classifier: "svm", Seed: 1})
+	if _, err := tuner.Tune(toyInputs()); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := nitro.AdaptPolicy{
+		SamplePeriod:      1,
+		ExploreRate:       1,
+		ReservoirSize:     128,
+		Window:            10,
+		MismatchThreshold: 0.5,
+		RegretThreshold:   2.0,
+		DriftWindows:      2,
+		RecoveryWindows:   2,
+		CooldownWindows:   2,
+		MinRetrainSamples: 20,
+		Retrain:           nitro.RetrainOptions{TrainOptions: nitro.TrainOptions{Classifier: "svm", Seed: 1}},
+		Seed:              7,
+		Synchronous:       true,
+	}
+	eng, err := nitro.EnableAdaptation(cv, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	serveCycle := func(n int) {
+		ins := toyInputs()
+		for i := 0; i < n; i++ {
+			if _, _, err := cv.Call(ins[i%len(ins)]); err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+		}
+	}
+	serveCycle(30) // healthy windows
+	if st := eng.Stats(); st.Drifts != 0 || st.State != "healthy" {
+		t.Fatalf("healthy traffic triggered adaptation: %v", st)
+	}
+	drifted.Store(true)
+	serveCycle(60) // detect, retrain, swap, recover
+
+	st := eng.Stats()
+	if st.Drifts != 1 || st.Retrains != 1 || st.Swaps != 1 || st.Rollbacks != 0 {
+		t.Fatalf("drift loop: %v", st)
+	}
+	if st.ModelVersion != 2 {
+		t.Errorf("installed model version = %d, want 2", st.ModelVersion)
+	}
+	// The swapped model must now select correctly on the drifted surfaces.
+	if _, chosen, _ := cv.Call(toy{x: 2}); chosen != "high" {
+		t.Errorf("post-swap x=2 chose %q, want high", chosen)
+	}
+	if _, chosen, _ := cv.Call(toy{x: 18}); chosen != "low" {
+		t.Errorf("post-swap x=18 chose %q, want low", chosen)
+	}
+
+	// AdaptStats serializes to the stable snake_case wire form and round-trips.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"model_version":2`, `"state":"healthy"`, `"swaps":1`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("AdaptStats JSON missing %s: %s", key, raw)
+		}
+	}
+	var back nitro.AdaptStats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("AdaptStats round trip: %v != %v", back, st)
+	}
+	if !strings.Contains(st.String(), "state=healthy") {
+		t.Errorf("AdaptStats.String() = %q", st.String())
 	}
 }
 
