@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call online-replay lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace online-replay metrics-smoke lint ci clean
 
 all: build
 
@@ -75,6 +75,32 @@ online-replay:
 			echo "FAIL: timeline missing \"$$ev\" event:"; cat "$$tmp/run1.txt"; exit 1; }; \
 	done && \
 	echo "online replay reproducible: $$(grep -c '\[call ' "$$tmp/run1.txt") timeline events, drift -> retrain -> swap -> recovered"
+
+# Observability benchmarks: the dispatch hot path with tracing disabled /
+# sampled / always-on and with latency histograms enabled, against the
+# untraced BenchmarkCallParallel baseline. "Tracing off" must sit within
+# noise of the baseline (ISSUE-5 acceptance criterion).
+bench-trace:
+	$(GO) test -run xxx -bench 'BenchmarkCallParallel$$|BenchmarkCallTraced|BenchmarkCallHistograms' -cpu 1,2,4 ./internal/core/
+
+# Telemetry-endpoint smoke: run a tuned throughput replay with tracing,
+# phase timings and a live metrics endpoint on an ephemeral port, then
+# assert (a) the endpoint came up, (b) the shutdown self-scrape validated
+# the Prometheus exposition (format + nitro_ name lint — the CLI exits
+# non-zero if validation fails), (c) decision traces were recorded, and
+# (d) the phase report names the pipeline stages. The live-HTTP scrape
+# itself is covered by Go tests (TestServeScrape and friends), which run
+# second for an end-to-end check over a real listener.
+metrics-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	printf '%s\n' '{"function":"sort","benchmark":"Sort","classifier":"svm","scale":0.1,"seed":3,"train_count":12,"test_count":12,"throughput":200,"trace":"sampled","phase_timings":true,"metrics_addr":"127.0.0.1:0"}' > "$$tmp/metrics.json" && \
+	$(GO) run ./cmd/nitro-tune -spec "$$tmp/metrics.json" > "$$tmp/run.txt" && \
+	for want in 'metrics endpoint: http://127.0.0.1:' 'metrics exposition valid: ' 'decision traces recorded: ' 'phase timings: '; do \
+		grep -F "$$want" "$$tmp/run.txt" >/dev/null || { \
+			echo "FAIL: metrics smoke output missing \"$$want\":"; cat "$$tmp/run.txt"; exit 1; }; \
+	done && \
+	echo "metrics smoke ok: $$(grep -F 'metrics exposition valid: ' "$$tmp/run.txt")" && \
+	$(GO) test -run 'TestServeScrape|TestPublicAPIMetricsEndpoint|TestRunSpecMetricsEndpointLiveScrape' ./internal/obs/ ./cmd/nitro-tune/ .
 
 # Static analysis beyond vet. Uses staticcheck when it is installed
 # (CI installs it); locally it is skipped with a note rather than failing

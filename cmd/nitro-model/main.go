@@ -10,11 +10,19 @@
 //	nitro-model -model spmv.model.json -json
 //	nitro-model -model spmv.model.json -predict "12.5,3.1,88,1.2,1.0"
 //	nitro-model -model spmv.model.json -predict-file vectors.txt -parallelism 0
+//	nitro-model -model spmv.model.json -explain "12.5,3.1,88,1.2,1.0"
 //
 // -predict-file reads one comma-separated feature vector per line (blank
 // lines and '#' comments skipped) and classifies the batch, fanning the
 // predictions over -parallelism workers; model prediction is read-only and
 // safe to share, so the output is identical at every worker count.
+//
+// -explain prints the full decision derivation for one feature vector: the
+// raw and scaled features, every class score, the pairwise SVM decision
+// values, and the ranked preference order — the exact fallback chain the
+// deployment runtime walks when the predicted variant is vetoed, quarantined
+// or fails. The derivation reuses the scoring paths dispatch itself uses, so
+// the printed order is the order Call would try.
 package main
 
 import (
@@ -36,6 +44,7 @@ type options struct {
 	Model       string
 	Predict     string
 	PredictFile string
+	Explain     string
 	Parallelism int
 	JSON        bool
 }
@@ -52,8 +61,8 @@ func (o options) validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("%w: -parallelism %d must be >= 0 (0 = all cores)", errBadFlags, o.Parallelism)
 	}
-	if o.JSON && (o.Predict != "" || o.PredictFile != "") {
-		return fmt.Errorf("%w: -json is a summary-only mode (drop -predict/-predict-file)", errBadFlags)
+	if o.JSON && (o.Predict != "" || o.PredictFile != "" || o.Explain != "") {
+		return fmt.Errorf("%w: -json is a summary-only mode (drop -predict/-predict-file/-explain)", errBadFlags)
 	}
 	return nil
 }
@@ -63,6 +72,7 @@ func main() {
 	flag.StringVar(&opts.Model, "model", "", "path to a model JSON file (required)")
 	flag.StringVar(&opts.Predict, "predict", "", "comma-separated feature vector to classify")
 	flag.StringVar(&opts.PredictFile, "predict-file", "", "file with one comma-separated feature vector per line to classify as a batch")
+	flag.StringVar(&opts.Explain, "explain", "", "comma-separated feature vector to explain: scaled features, class scores, pairwise SVM decisions and the ranked fallback order")
 	flag.IntVar(&opts.Parallelism, "parallelism", 0, "worker count for batch prediction (0 = all cores, 1 = serial); output is identical at every setting")
 	flag.BoolVar(&opts.JSON, "json", false, "print a machine-readable model summary (classifier, classes, feature count, provenance metadata) instead of the textual inspection")
 	flag.Parse()
@@ -90,6 +100,11 @@ func run(opts options, out io.Writer) error {
 	}
 	if err := inspect(data, opts.Predict, out); err != nil {
 		return err
+	}
+	if opts.Explain != "" {
+		if err := explain(data, opts.Explain, out); err != nil {
+			return err
+		}
 	}
 	if opts.PredictFile != "" {
 		batch, err := os.ReadFile(opts.PredictFile)
@@ -176,6 +191,63 @@ func inspectJSON(data []byte, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%s\n", enc)
 	return nil
+}
+
+// explain prints the full decision derivation for one feature vector: raw
+// and scaled features, per-class scores, the pairwise SVM decision values
+// (when the classifier is an SVM), and the ranked preference order — the
+// deployment runtime's fallback chain. Output is deterministic for a given
+// model and vector.
+func explain(data []byte, vector string, out io.Writer) error {
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		return fmt.Errorf("parse model: %w", err)
+	}
+	vec, err := parseVector(model, vector)
+	if err != nil {
+		return err
+	}
+	ex := model.Explain(vec)
+	fmt.Fprintf(out, "explanation (model v%d):\n", ex.Version)
+	fmt.Fprintf(out, "  raw features:    %v\n", ex.Raw)
+	if ex.Scaled != nil {
+		fmt.Fprintf(out, "  scaled features: %v\n", formatVec(ex.Scaled))
+	} else {
+		fmt.Fprintln(out, "  scaled features: (no scaler; raw used)")
+	}
+	for i, c := range ex.Classes {
+		fmt.Fprintf(out, "  label %d score %.4f\n", c, ex.Scores[i])
+	}
+	for i, pair := range ex.PairClasses {
+		winner := pair[0]
+		if ex.PairDecisions[i] < 0 {
+			winner = pair[1]
+		}
+		fmt.Fprintf(out, "  svm pair %d vs %d: decision %+.4f -> %d\n",
+			pair[0], pair[1], ex.PairDecisions[i], winner)
+	}
+	fmt.Fprintf(out, "  ranked fallback order: %s\n", rankedString(ex.Ranked))
+	fmt.Fprintf(out, "  predicted: variant label %d\n", ex.Predicted)
+	return nil
+}
+
+// formatVec renders a scaled feature vector with fixed precision so the
+// output is stable across architectures.
+func formatVec(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.FormatFloat(x, 'g', 6, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// rankedString renders the preference order as "2 -> 0 -> 1".
+func rankedString(ranked []int) string {
+	parts := make([]string, len(ranked))
+	for i, r := range ranked {
+		parts[i] = strconv.Itoa(r)
+	}
+	return strings.Join(parts, " -> ")
 }
 
 // parseVector parses a comma-separated feature vector and validates its

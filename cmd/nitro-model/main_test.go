@@ -6,10 +6,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
+	"nitro/internal/core"
 	"nitro/internal/ml"
+	"nitro/internal/obs"
 )
 
 func fixtureModel(t *testing.T) []byte {
@@ -248,6 +251,122 @@ func TestInspectJSONLegacyModel(t *testing.T) {
 	for _, want := range []string{`"version": 0`, `"meta": null`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("legacy summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainOutput checks the derivation printout: raw and scaled features,
+// per-class scores, the pairwise SVM decision, the ranked fallback order and
+// the prediction, and that the explained prediction agrees with -predict.
+func TestExplainOutput(t *testing.T) {
+	data := fixtureModel(t)
+	var buf bytes.Buffer
+	if err := explain(data, "8,16", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"explanation (model v0):",
+		"raw features:    [8 16]",
+		"scaled features:",
+		"label 0 score",
+		"label 1 score",
+		"svm pair 0 vs 1: decision",
+		"ranked fallback order: 1 -> 0",
+		"predicted: variant label 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	// Errors mirror -predict's.
+	if err := explain(data, "1,x", &bytes.Buffer{}); err == nil {
+		t.Error("bad feature token accepted")
+	}
+	if err := explain(data, "1", &bytes.Buffer{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := explain([]byte("junk"), "1,2", &bytes.Buffer{}); err == nil {
+		t.Error("junk model accepted")
+	}
+}
+
+// TestExplainMatchesCallUnderFaults is the acceptance check: the ranked
+// fallback order -explain prints is the exact chain the deployment runtime
+// walks. We install the same model on a live CodeVariant, make the predicted
+// variant panic, and verify Call lands on the explanation's second choice
+// with exactly one fallback hop.
+func TestExplainMatchesCallUnderFaults(t *testing.T) {
+	data := fixtureModel(t)
+
+	var buf bytes.Buffer
+	if err := explain(data, "8,16", &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rankedLine string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "ranked fallback order:") {
+			rankedLine = strings.TrimSpace(strings.SplitN(line, ":", 2)[1])
+		}
+	}
+	if rankedLine == "" {
+		t.Fatalf("no ranked line in:\n%s", buf.String())
+	}
+	var ranked []int
+	for _, tok := range strings.Split(rankedLine, "->") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			t.Fatalf("bad ranked token %q: %v", tok, err)
+		}
+		ranked = append(ranked, n)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked = %v, want 2 entries", ranked)
+	}
+
+	type in struct{ x float64 }
+	cx := core.NewContext()
+	cv := core.New[in](cx, core.DefaultPolicy("fn"))
+	names := []string{"v0", "v1"}
+	cv.AddVariant("v0", func(i in) float64 { return 1 })
+	cv.AddVariant("v1", func(i in) float64 { panic("predicted variant down") })
+	if err := cv.SetDefault("v0"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(core.Feature[in]{Name: "x", Eval: func(i in) float64 { return i.x }})
+	cv.AddInputFeature(core.Feature[in]{Name: "2x", Eval: func(i in) float64 { return 2 * i.x }})
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cx.SetModel("fn", model); err != nil {
+		t.Fatal(err)
+	}
+	tracer := cv.EnableTracing(obs.TracePolicy{Mode: obs.TraceAlways})
+
+	_, chosen, err := cv.Call(in{x: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := names[ranked[1]]; chosen != want {
+		t.Errorf("Call chose %q, explain's fallback chain says %q", chosen, want)
+	}
+	traces := tracer.Recent(1)
+	if len(traces) != 1 {
+		t.Fatal("no trace captured")
+	}
+	tr := traces[0]
+	if tr.Predicted != ranked[0] || !tr.FellBack || tr.FallbackHops != 1 {
+		t.Errorf("trace = predicted=%d fellback=%v hops=%d, want predicted=%d one hop",
+			tr.Predicted, tr.FellBack, tr.FallbackHops, ranked[0])
+	}
+	if len(tr.Ranked) != len(ranked) {
+		t.Fatalf("trace ranked %v vs explain %v", tr.Ranked, ranked)
+	}
+	for i := range ranked {
+		if tr.Ranked[i] != ranked[i] {
+			t.Errorf("trace ranked %v differs from explain's %v", tr.Ranked, ranked)
+			break
 		}
 	}
 }

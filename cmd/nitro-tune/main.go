@@ -45,6 +45,7 @@ import (
 	"nitro/internal/datasets"
 	"nitro/internal/gpusim"
 	"nitro/internal/ml"
+	"nitro/internal/obs"
 	"nitro/internal/par"
 	"nitro/internal/sparse"
 )
@@ -123,6 +124,28 @@ type Spec struct {
 	// line after each replay. Requires Throughput > 0 or OnlineReplay > 0.
 	// The -stats-json flag overrides the spec value.
 	StatsJSON bool `json:"stats_json"`
+
+	// Trace enables decision tracing on the replay CodeVariant: "off",
+	// "sampled" (1-in-64, counter-exact) or "always". A throughput replay
+	// reports the number of captured traces; an online replay — which is
+	// serial — additionally prints the trace timeline, reproducible byte for
+	// byte across runs. Requires Throughput > 0 or OnlineReplay > 0. The
+	// -trace flag overrides the spec value.
+	Trace string `json:"trace"`
+
+	// PhaseTimings prints the accumulated per-phase wall time of the offline
+	// pipeline (corpus generate/label, feature scaling, classifier fit or
+	// grid search) after tuning. The -phase-timings flag overrides the spec
+	// value.
+	PhaseTimings bool `json:"phase_timings"`
+
+	// MetricsAddr, when non-empty, serves the live telemetry endpoint
+	// (/metrics Prometheus text, /vars JSON debug view, /healthz) on that
+	// address for the duration of the run: tuner phase timings, replay
+	// deployment counters and — for an online replay — the adaptation
+	// engine's drift gauges. Use "127.0.0.1:0" to pick a free port; the bound
+	// address is printed. The -metrics-addr flag overrides the spec value.
+	MetricsAddr string `json:"metrics_addr"`
 }
 
 // errBadSpec is wrapped by every spec-validation failure, so tests (and
@@ -186,6 +209,14 @@ func validateSpec(spec Spec) error {
 	}
 	if spec.StatsJSON && spec.Throughput <= 0 && spec.OnlineReplay <= 0 {
 		return bad("stats_json requires throughput > 0 or online_replay > 0")
+	}
+	if spec.Trace != "" {
+		if _, err := obs.ParseTraceMode(spec.Trace); err != nil {
+			return fmt.Errorf("%w: %v", errBadSpec, err)
+		}
+		if spec.Throughput <= 0 && spec.OnlineReplay <= 0 {
+			return bad("trace requires throughput > 0 or online_replay > 0")
+		}
 	}
 	return nil
 }
@@ -260,6 +291,9 @@ func main() {
 	injectFaults := flag.String("inject-faults", "", "inject seeded faults into one replay variant, e.g. \"variant=CSR,panic=0.15,delay=0.1,delayms=30,timeoutms=5\" (requires a throughput replay; overrides the spec value)")
 	onlineReplay := flag.Int("online-replay", -1, "number of deployment calls to replay through an online adaptation engine with a synthetic mid-stream drift (0 = none, -1 = use spec value); the printed timeline is reproducible byte for byte")
 	statsJSON := flag.Bool("stats-json", false, "emit replay CallStats/AdaptStats as machine-readable JSON lines (requires a throughput or online replay; overrides the spec value)")
+	trace := flag.String("trace", "", "decision tracing for the replays: off, sampled or always (requires a throughput or online replay; overrides the spec value)")
+	phaseTimings := flag.Bool("phase-timings", false, "print accumulated per-phase wall time of the offline pipeline (overrides the spec value)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live telemetry endpoint (/metrics, /vars, /healthz) on this address for the run, e.g. 127.0.0.1:9090 (overrides the spec value)")
 	flag.Parse()
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: nitro-tune -spec tuning.json")
@@ -288,17 +322,80 @@ func main() {
 	if *statsJSON {
 		spec.StatsJSON = true
 	}
+	if *trace != "" {
+		spec.Trace = *trace
+	}
+	if *phaseTimings {
+		spec.PhaseTimings = true
+	}
+	if *metricsAddr != "" {
+		spec.MetricsAddr = *metricsAddr
+	}
 	if err := runSpec(spec, os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// telemetry bundles the run-scoped observability state runSpec threads
+// through the pipeline and the replays: the phase tracker (always present;
+// printed only with PhaseTimings), the optional live metrics registry, and
+// the parsed trace mode.
+type telemetry struct {
+	phases   *obs.PhaseTracker
+	reg      *obs.Registry // nil unless MetricsAddr is set
+	trace    obs.TraceMode
+	traceSet bool
+}
+
+// newTelemetry builds the run's telemetry state from the validated spec.
+func newTelemetry(spec Spec) (*telemetry, error) {
+	tel := &telemetry{phases: obs.NewPhaseTracker()}
+	if spec.Trace != "" {
+		mode, err := obs.ParseTraceMode(spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		tel.trace = mode
+		tel.traceSet = true
+	}
+	if spec.MetricsAddr != "" {
+		tel.reg = obs.NewRegistry()
+		tel.reg.Register(tel.phases.Collector())
+	}
+	return tel, nil
+}
+
+// enableTracing installs a tracer on the replay CodeVariant when the spec
+// asked for one, and registers its counters on the metrics registry.
+func (tel *telemetry) enableTracing(cv *core.CodeVariant[autotuner.Instance], function string) *obs.Tracer {
+	if !tel.traceSet {
+		return nil
+	}
+	tracer := cv.EnableTracing(obs.TracePolicy{Mode: tel.trace})
+	if tel.reg != nil {
+		tel.reg.Register(tracer.Collector(function))
+	}
+	return tracer
 }
 
 func runSpec(spec Spec, out io.Writer) error {
 	if err := validateSpec(spec); err != nil {
 		return err
 	}
+	tel, err := newTelemetry(spec)
+	if err != nil {
+		return err
+	}
+	if tel.reg != nil {
+		srv, err := tel.reg.Serve(spec.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics endpoint: http://%s/metrics\n", srv.Addr())
+	}
 	dev := gpusim.Fermi()
-	suite, err := buildSuite(spec, dev)
+	suite, err := buildSuite(spec, tel, dev)
 	if err != nil {
 		return err
 	}
@@ -310,6 +407,7 @@ func runSpec(spec Spec, out io.Writer) error {
 		GridSearch:  spec.GridSearch,
 		Seed:        spec.Seed,
 		Parallelism: spec.Parallelism,
+		Phases:      tel.phases,
 	}
 	var model *ml.Model
 	if spec.Incremental != nil {
@@ -376,14 +474,30 @@ func runSpec(spec Spec, out io.Writer) error {
 			100*eval.MeanPerf, eval.ExactMatches, eval.Evaluated)
 	}
 	if spec.Throughput > 0 {
-		if err := replayThroughput(spec, suite, model, out); err != nil {
+		if err := replayThroughput(spec, tel, suite, model, out); err != nil {
 			return err
 		}
 	}
 	if spec.OnlineReplay > 0 {
-		if err := runOnlineReplay(spec, suite, model, out); err != nil {
+		if err := runOnlineReplay(spec, tel, suite, model, out); err != nil {
 			return err
 		}
+	}
+	if spec.PhaseTimings {
+		fmt.Fprintln(out, tel.phases)
+	}
+	if tel.reg != nil {
+		// Self-scrape before shutdown: validate the exposition the endpoint
+		// served (format + nitro_ name lint) and report its size, so a batch
+		// run leaves evidence of what a scraper would have seen.
+		text, err := tel.reg.PrometheusText()
+		if err != nil {
+			return fmt.Errorf("metrics exposition: %w", err)
+		}
+		if err := obs.ValidatePrometheusText(text); err != nil {
+			return fmt.Errorf("metrics exposition: %w", err)
+		}
+		fmt.Fprintf(out, "metrics exposition valid: %d lines at shutdown\n", strings.Count(text, "\n"))
 	}
 	return nil
 }
@@ -395,7 +509,7 @@ func runSpec(spec Spec, out io.Writer) error {
 // variants return pre-measured costs, so what is being measured is the
 // selection engine itself — atomic model load, feature evaluation,
 // constraint check, sharded statistics — not the simulated kernels.
-func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io.Writer) error {
+func replayThroughput(spec Spec, tel *telemetry, suite *autotuner.Suite, model *ml.Model, out io.Writer) error {
 	feasible := autotuner.FeasibleTest(suite)
 	if len(feasible) == 0 {
 		return fmt.Errorf("throughput replay: no feasible test instances (set test_count or evaluate a benchmark with test inputs)")
@@ -431,6 +545,14 @@ func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io
 	}
 	if err := cx.SetModel(spec.Function, model); err != nil {
 		return err
+	}
+	tracer := tel.enableTracing(cv, spec.Function)
+	if tel.reg != nil {
+		// The endpoint's deployment view: per-function counters, per-variant
+		// latency histograms, and the CallStats JSON debug var.
+		cx.EnableLatencyHistograms(spec.Function)
+		tel.reg.Register(cx.Collector())
+		tel.reg.RegisterVar("call_stats:"+spec.Function, func() any { return cx.Stats(spec.Function) })
 	}
 	if inject != nil {
 		found := false
@@ -495,13 +617,18 @@ func replayThroughput(spec Spec, suite *autotuner.Suite, model *ml.Model, out io
 		fmt.Fprintf(out, "  quarantine: %d trips, %d recoveries; unresolved errors: %d serial + %d concurrent of %d calls\n",
 			st.Quarantined, st.Recoveries, serialFailed, concFailed, 2*len(batch))
 	}
+	if tracer != nil {
+		// The concurrent replay is unordered, so only the count is reported
+		// here; the serial online replay prints full trace timelines.
+		fmt.Fprintf(out, "  decision traces recorded: %d (mode %s)\n", tracer.Count(), tracer.Mode())
+	}
 	if spec.StatsJSON {
 		return emitStatsJSON(out, st, nil)
 	}
 	return nil
 }
 
-func buildSuite(spec Spec, dev *gpusim.Device) (*autotuner.Suite, error) {
+func buildSuite(spec Spec, tel *telemetry, dev *gpusim.Device) (*autotuner.Suite, error) {
 	if spec.TrainGlob != "" {
 		if !strings.EqualFold(spec.Benchmark, "SpMV") && spec.Benchmark != "" {
 			return nil, fmt.Errorf("file-based tuning is supported for SpMV only")
@@ -510,7 +637,7 @@ func buildSuite(spec Spec, dev *gpusim.Device) (*autotuner.Suite, error) {
 	}
 	cfg := datasets.Config{Seed: spec.Seed, Scale: spec.Scale,
 		TrainCount: spec.TrainCount, TestCount: spec.TestCount,
-		Parallelism: spec.Parallelism}
+		Parallelism: spec.Parallelism, Phases: tel.phases}
 	for _, b := range datasets.Builders() {
 		if strings.EqualFold(b.Name, spec.Benchmark) {
 			return b.Build(cfg, dev)

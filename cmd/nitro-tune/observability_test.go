@@ -1,0 +1,152 @@
+package main
+
+// CLI coverage for the observability flags: -trace (decision tracing on the
+// replays, byte-identical under the serial online replay), -phase-timings
+// (pipeline phase report) and -metrics-addr (live telemetry endpoint with a
+// validated shutdown self-scrape).
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRunSpecTracedOnlineReplayDeterministic is the ISSUE-5 acceptance
+// criterion: a deterministic replay with tracing enabled yields
+// byte-identical trace timelines across two runs — the traces ride the same
+// serial, seeded stream as the adaptation timeline.
+func TestRunSpecTracedOnlineReplayDeterministic(t *testing.T) {
+	run := func() string {
+		spec := onlineSpec()
+		spec.Trace = "sampled"
+		var buf bytes.Buffer
+		if err := runSpec(spec, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("traced online replay not reproducible:\nrun A:\n%s\nrun B:\n%s", a, b)
+	}
+	if !strings.Contains(a, "decision traces (") {
+		t.Fatalf("no decision-trace section:\n%s", a)
+	}
+	if !strings.Contains(a, "[trace 000001] sort v1 ") {
+		t.Errorf("no captured trace lines:\n%s", a)
+	}
+	// Sampled admission is 1-in-64 counter-exact over 600 calls: ~10 traces.
+	if n := strings.Count(a, "[trace "); n < 5 || n > 20 {
+		t.Errorf("sampled replay captured %d traces, want ~10", n)
+	}
+}
+
+// TestRunSpecTracedAlwaysCapturesSwap: in Always mode every served call is
+// traced, and the traces straddling the hot-swap carry different model
+// versions — the trace timeline records the swap the adaptation timeline
+// reports.
+func TestRunSpecTracedAlwaysCapturesSwap(t *testing.T) {
+	spec := onlineSpec()
+	spec.Trace = "always"
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "] swap (") {
+		t.Fatalf("replay never swapped:\n%s", out)
+	}
+	if n := strings.Count(out, "[trace "); n < 500 {
+		t.Errorf("always-mode replay captured %d traces, want every served call", n)
+	}
+}
+
+// TestRunSpecPhaseTimings: the phase report names every pipeline stage the
+// run exercised.
+func TestRunSpecPhaseTimings(t *testing.T) {
+	spec := smallSpec()
+	spec.PhaseTimings = true
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "phase timings:") {
+		t.Fatalf("no phase report:\n%s", out)
+	}
+	for _, phase := range []string{"generate=", "label=", "scale=", "fit="} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("phase report missing %q:\n%s", phase, out)
+		}
+	}
+}
+
+// TestRunSpecMetricsEndpoint: -metrics-addr serves the live endpoint for the
+// run and validates the exposition (Prometheus format + nitro_ name lint) on
+// shutdown; the throughput replay's counters and histograms are registered.
+func TestRunSpecMetricsEndpoint(t *testing.T) {
+	spec := smallSpec()
+	spec.Throughput = 100
+	spec.MetricsAddr = "127.0.0.1:0"
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "metrics endpoint: http://127.0.0.1:") {
+		t.Errorf("no endpoint line:\n%s", out)
+	}
+	if !strings.Contains(out, "metrics exposition valid: ") {
+		t.Errorf("no shutdown self-scrape line:\n%s", out)
+	}
+}
+
+// TestRunSpecMetricsEndpointLiveScrape drives the endpoint over real HTTP
+// while a replay context is still registered: newTelemetry + a served
+// registry mirror what runSpec wires, scraped from a live listener.
+func TestRunSpecMetricsEndpointLiveScrape(t *testing.T) {
+	spec := smallSpec()
+	spec.MetricsAddr = "127.0.0.1:0"
+	tel, err := newTelemetry(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.phases.Add("label", 1500) // 1.5µs: any non-zero span
+	srv, err := tel.reg.Serve(spec.MetricsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `nitro_tuner_phase_seconds{phase="label"}`) {
+		t.Errorf("scrape missing phase gauge:\n%s", body)
+	}
+}
+
+// TestValidateSpecObservability covers the new spec knobs' validation.
+func TestValidateSpecObservability(t *testing.T) {
+	spec := smallSpec()
+	spec.Trace = "sampled"
+	if err := validateSpec(spec); !errors.Is(err, errBadSpec) {
+		t.Errorf("trace without replay: err = %v, want errBadSpec", err)
+	}
+	spec.Throughput = 10
+	if err := validateSpec(spec); err != nil {
+		t.Errorf("trace with throughput replay rejected: %v", err)
+	}
+	spec.Trace = "verbose"
+	if err := validateSpec(spec); !errors.Is(err, errBadSpec) {
+		t.Errorf("unknown trace mode: err = %v, want errBadSpec", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"nitro/internal/autotuner"
 	"nitro/internal/core"
 	"nitro/internal/ml"
+	"nitro/internal/obs"
 	"nitro/internal/online"
 )
 
@@ -72,7 +73,7 @@ func rotateTimes(in autotuner.Instance) autotuner.Instance {
 // feasible test instances through a live CodeVariant with an adaptation
 // engine attached, switching every instance to its drifted (time-rotated)
 // form at spec.DriftAt of the stream.
-func runOnlineReplay(spec Spec, suite *autotuner.Suite, model *ml.Model, out io.Writer) error {
+func runOnlineReplay(spec Spec, tel *telemetry, suite *autotuner.Suite, model *ml.Model, out io.Writer) error {
 	feasible := autotuner.FeasibleTest(suite)
 	if len(feasible) == 0 {
 		return fmt.Errorf("online replay: no feasible test instances (set test_count or evaluate a benchmark with test inputs)")
@@ -97,6 +98,20 @@ func runOnlineReplay(spec Spec, suite *autotuner.Suite, model *ml.Model, out io.
 	}
 	defer eng.Close()
 
+	// Decision tracing: the replay is serial, admission is counter-exact and
+	// DecisionTrace.String excludes wall-clock fields, so the collected
+	// timeline is reproducible byte for byte across runs.
+	var traceLines []string
+	if tracer := tel.enableTracing(cv, spec.Function); tracer != nil {
+		tracer.SetSink(func(tr obs.DecisionTrace) { traceLines = append(traceLines, tr.String()) })
+	}
+	if tel.reg != nil {
+		cx.EnableLatencyHistograms(spec.Function)
+		tel.reg.Register(cx.Collector())
+		tel.reg.Register(eng.Collector(spec.Function))
+		eng.RegisterVars(tel.reg, spec.Function, 64)
+	}
+
 	driftAt := spec.DriftAt
 	if driftAt == 0 {
 		driftAt = 0.3
@@ -117,6 +132,12 @@ func runOnlineReplay(spec Spec, suite *autotuner.Suite, model *ml.Model, out io.
 			continue
 		}
 		served++
+	}
+	if tel.traceSet {
+		fmt.Fprintf(out, "decision traces (%d):\n", len(traceLines))
+		for _, line := range traceLines {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
 	}
 	fmt.Fprintln(out, "adaptation timeline:")
 	for _, ev := range eng.Events() {

@@ -18,6 +18,7 @@ import (
 
 	"nitro/internal/core"
 	"nitro/internal/ml"
+	"nitro/internal/obs"
 	"nitro/internal/par"
 )
 
@@ -76,6 +77,10 @@ type TrainOptions struct {
 	// the tuned function's variant, feature and constraint callbacks must be
 	// safe for concurrent invocation.
 	Parallelism int
+	// Phases, when non-nil, accumulates per-phase wall time for the pipeline
+	// ("label", "scale", "fit" / "grid-search", "install"); the nil tracker
+	// is a valid no-op, so instrumentation costs nothing when unset.
+	Phases *obs.PhaseTracker
 }
 
 // Report summarizes a training run.
@@ -134,8 +139,10 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 	if ds.Len() == 0 {
 		return nil, rep, errors.New("autotuner: no feasible training instances")
 	}
+	stopScale := opts.Phases.Start("scale")
 	scaler := &ml.Scaler{}
 	scaledX, err := scaler.FitTransform(ds.X)
+	stopScale()
 	if err != nil {
 		return nil, rep, err
 	}
@@ -150,7 +157,9 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 		if grid.Parallelism == 0 {
 			grid.Parallelism = opts.Parallelism
 		}
+		stopGrid := opts.Phases.Start("grid-search")
 		svm, res, err := ml.GridSearchSVM(scaled, grid)
+		stopGrid()
 		if err != nil {
 			return nil, rep, err
 		}
@@ -162,7 +171,10 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 			return nil, rep, err
 		}
 		clf = factory()
-		if err := clf.Fit(scaled); err != nil {
+		stopFit := opts.Phases.Start("fit")
+		err = clf.Fit(scaled)
+		stopFit()
+		if err != nil {
 			return nil, rep, err
 		}
 	}
@@ -339,9 +351,11 @@ func (t *Tuner[In]) TuneCtx(ctx context.Context, inputs []In) (Report, error) {
 		ctx = context.Background()
 	}
 	instances := make([]Instance, len(inputs))
+	stopLabel := t.Opts.Phases.Start("label")
 	cerr := par.ForCtx(ctx, len(inputs), par.Workers(t.Opts.Parallelism), func(i int) {
 		instances[i] = t.labelInput(ctx, i, inputs[i])
 	})
+	stopLabel()
 	if cerr != nil {
 		return Report{}, cerr
 	}
@@ -349,7 +363,10 @@ func (t *Tuner[In]) TuneCtx(ctx context.Context, inputs []In) (Report, error) {
 	if err != nil {
 		return rep, err
 	}
-	if err := t.CV.Context().SetModel(t.CV.Policy().Name, model); err != nil {
+	stopInstall := t.Opts.Phases.Start("install")
+	err = t.CV.Context().SetModel(t.CV.Policy().Name, model)
+	stopInstall()
+	if err != nil {
 		return rep, fmt.Errorf("autotuner: install tuned model: %w", err)
 	}
 	return rep, nil

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"nitro/internal/obs"
 )
 
 // CallObservation is what the runtime tells an installed CallObserver about
@@ -223,16 +225,17 @@ func (s AdaptStats) String() string {
 
 // callStatsJSON fixes CallStats's wire field names (see adaptStatsJSON).
 type callStatsJSON struct {
-	Calls            int            `json:"calls"`
-	PerVariant       map[string]int `json:"per_variant"`
-	DefaultFallbacks int            `json:"default_fallbacks"`
-	TotalValue       float64        `json:"total_value"`
-	FeatureSeconds   float64        `json:"feature_seconds"`
-	Panics           int            `json:"panics"`
-	Timeouts         int            `json:"timeouts"`
-	Fallbacks        int            `json:"fallbacks"`
-	Quarantined      int            `json:"quarantined"`
-	Recoveries       int            `json:"recoveries"`
+	Calls            int                           `json:"calls"`
+	PerVariant       map[string]int                `json:"per_variant"`
+	DefaultFallbacks int                           `json:"default_fallbacks"`
+	TotalValue       float64                       `json:"total_value"`
+	FeatureSeconds   float64                       `json:"feature_seconds"`
+	Panics           int                           `json:"panics"`
+	Timeouts         int                           `json:"timeouts"`
+	Fallbacks        int                           `json:"fallbacks"`
+	Quarantined      int                           `json:"quarantined"`
+	Recoveries       int                           `json:"recoveries"`
+	Latency          map[string]obs.LatencySummary `json:"latency,omitempty"`
 }
 
 // MarshalJSON serializes the snapshot with stable snake_case field names

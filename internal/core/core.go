@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"nitro/internal/ml"
+	"nitro/internal/obs"
 	"nitro/internal/par"
 )
 
@@ -122,6 +123,10 @@ type funcStats struct {
 	// of them agree on variant health. Stored here (not per shard) because a
 	// circuit breaker must trip globally.
 	breakers sync.Map
+	// hists is the opt-in per-variant latency histogram table
+	// (Context.EnableLatencyHistograms). Nil — the default — costs the record
+	// hot path exactly one atomic pointer load.
+	hists atomic.Pointer[histTable]
 }
 
 // breakerFor returns (creating if needed) the named variant's breaker.
@@ -171,9 +176,14 @@ func (fs *funcStats) record(variant string, value, featSeconds float64, fallback
 		c, _ = sh.perVariant.LoadOrStore(variant, new(atomic.Int64))
 	}
 	c.(*atomic.Int64).Add(1)
+	if ht := fs.hists.Load(); ht != nil {
+		ht.record(variant, value)
+	}
 }
 
-// snapshot sums the shards into a CallStats copy.
+// snapshot sums the shards into a CallStats copy. When latency histograms are
+// enabled the per-variant summaries are digested too, with the regret
+// estimate filled relative to the best (lowest-mean) variant.
 func (fs *funcStats) snapshot() CallStats {
 	out := CallStats{PerVariant: map[string]int{}}
 	for i := range fs.shards {
@@ -191,6 +201,9 @@ func (fs *funcStats) snapshot() CallStats {
 			out.PerVariant[k.(string)] += int(v.(*atomic.Int64).Load())
 			return true
 		})
+	}
+	if ht := fs.hists.Load(); ht != nil {
+		out.Latency = ht.summaries()
 	}
 	return out
 }
@@ -370,13 +383,29 @@ type CallStats struct {
 	// Recoveries counts successful half-open probes — times a quarantined
 	// variant was readmitted to selection.
 	Recoveries int
+
+	// Latency holds the per-variant latency digest (p50/p95/p99 plus the
+	// regret estimate relative to the best variant), populated only after
+	// Context.EnableLatencyHistograms(fn); nil otherwise.
+	Latency map[string]obs.LatencySummary
 }
 
 // Stats returns a snapshot of the call statistics for fn. Taken under
 // concurrent traffic the snapshot is a sum over shards: totals never tear,
 // but calls that complete while the snapshot runs may or may not be counted.
+//
+// Contract: Stats on a function name that has never been registered (no
+// CodeVariant bound, no call recorded) returns the zero-value CallStats with
+// a non-nil empty PerVariant map — callers can range over PerVariant
+// unconditionally — and does NOT register the name as a side effect.
 func (cx *Context) Stats(fn string) CallStats {
-	return cx.statsFor(fn).snapshot()
+	cx.mu.Lock()
+	fs, ok := cx.stats[fn]
+	cx.mu.Unlock()
+	if !ok {
+		return CallStats{PerVariant: map[string]int{}}
+	}
+	return fs.snapshot()
 }
 
 // TuningPolicy carries the per-function options the paper's Python tuning
@@ -464,6 +493,11 @@ type CodeVariant[In any] struct {
 	// the default — keeps the runtime byte-identical to the pre-adaptation
 	// behaviour.
 	observer atomic.Pointer[CallObserver[In]]
+
+	// tracer is the optional decision-trace collector (EnableTracing). Nil —
+	// the default — costs the dispatch hot path exactly one atomic pointer
+	// load; Off/Sampled/Always admission is the tracer's policy.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // New creates a tunable function bound to the context, mirroring
@@ -737,26 +771,57 @@ func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64) (int, int, bool,
 	return -1, rawPred, true, ErrAllVariantsVetoed
 }
 
+// dispatchResult is the full outcome of one dispatch: what ran, whether
+// selection fell back, and how many failure-driven fallback hops were taken —
+// everything the decision tracer needs beyond the (value, name, err) triple
+// the Call paths return.
+type dispatchResult struct {
+	value    float64
+	idx      int
+	name     string
+	fellBack bool
+	hops     int
+	err      error
+}
+
 // dispatch runs selection + execution + statistics on an already evaluated
 // feature vector. Execution is fault-tolerant: the selected variant runs
 // with panic isolation and an optional deadline, and on failure dispatch
 // walks the fallback chain (score-ranked alternatives → default →
 // registration order) before surfacing a typed error.
+//
+// When a tracer is installed and admits this call, the dispatch is wrapped in
+// a DecisionTrace capture; the untraced path pays one atomic load.
 func (cv *CodeVariant[In]) dispatch(ctx context.Context, in In, vec []float64, featSeconds float64) (float64, string, error) {
+	if t := cv.tracer.Load(); t != nil && t.Admit() {
+		return cv.dispatchTraced(ctx, t, in, vec, featSeconds)
+	}
+	r := cv.dispatchRun(ctx, in, vec, featSeconds)
+	return r.value, r.name, r.err
+}
+
+// dispatchRun is the single dispatch implementation behind both the traced
+// and untraced paths.
+func (cv *CodeVariant[In]) dispatchRun(ctx context.Context, in In, vec []float64, featSeconds float64) dispatchResult {
 	idx, pred, fellBack, err := cv.selectWithPred(in, vec)
 	if err != nil {
-		return 0, "", err
+		return dispatchResult{idx: -1, fellBack: fellBack, err: err}
 	}
 	value, verr := cv.exec(ctx, idx, in, featSeconds, fellBack)
 	if verr == nil {
 		cv.observe(in, vec, pred, idx, value, fellBack)
-		return value, cv.variants[idx].name, nil
+		return dispatchResult{value: value, idx: idx, name: cv.variants[idx].name, fellBack: fellBack}
 	}
 	var ve *VariantError
 	if !errors.As(verr, &ve) {
-		return 0, "", verr // context cancellation: do not fall back
+		return dispatchResult{idx: -1, fellBack: fellBack, err: verr} // context cancellation: do not fall back
 	}
-	return cv.dispatchFallback(ctx, in, vec, featSeconds, idx, pred, verr)
+	value, cidx, hops, ferr := cv.dispatchFallback(ctx, in, vec, featSeconds, idx, pred, verr)
+	r := dispatchResult{value: value, idx: cidx, fellBack: true, hops: hops, err: ferr}
+	if cidx >= 0 && ferr == nil {
+		r.name = cv.variants[cidx].name
+	}
+	return r
 }
 
 // Call is the paper's operator(): it evaluates the feature vector, selects a

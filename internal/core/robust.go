@@ -392,30 +392,35 @@ func (cv *CodeVariant[In]) fallbackOrder(in In, vec []float64, tried []bool, now
 
 // dispatchFallback walks the failure fallback chain after the primary
 // variant failed with firstErr, recording one Fallbacks hop per attempt.
-// It returns the first successful execution, the context error if the caller
-// cancelled mid-chain, or the last variant error when every candidate failed.
-func (cv *CodeVariant[In]) dispatchFallback(ctx context.Context, in In, vec []float64, featSeconds float64, failed int, pred int, firstErr error) (float64, string, error) {
+// It returns the first successful execution (value, chosen variant index and
+// the number of hops walked), the context error if the caller cancelled
+// mid-chain, or the last variant error when every candidate failed. The
+// chosen index is -1 on error; the hop count is meaningful either way (the
+// decision tracer records it).
+func (cv *CodeVariant[In]) dispatchFallback(ctx context.Context, in In, vec []float64, featSeconds float64, failed int, pred int, firstErr error) (float64, int, int, error) {
 	tried := make([]bool, len(cv.variants))
 	tried[failed] = true
 	lastErr := firstErr
+	hops := 0
 	for _, idx := range cv.fallbackOrder(in, vec, tried, nowNanos()) {
 		if ctx != nil && ctx.Err() != nil {
-			return 0, "", ctx.Err()
+			return 0, -1, hops, ctx.Err()
 		}
 		cv.stats.recordHop()
+		hops++
 		value, err := cv.exec(ctx, idx, in, featSeconds, true)
 		if err == nil {
 			cv.observe(in, vec, pred, idx, value, true)
-			return value, cv.variants[idx].name, nil
+			return value, idx, hops, nil
 		}
 		tried[idx] = true
 		var ve *VariantError
 		if !errors.As(err, &ve) {
-			return 0, "", err // context cancellation: stop the chain
+			return 0, -1, hops, err // context cancellation: stop the chain
 		}
 		lastErr = err
 	}
-	return 0, "", lastErr
+	return 0, -1, hops, lastErr
 }
 
 // FaultConfig configures WrapFault's seeded fault injection: per-call

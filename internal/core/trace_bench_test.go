@@ -1,0 +1,59 @@
+package core_test
+
+// Decision-trace overhead benchmarks. The ISSUE-5 acceptance criterion is
+// that BenchmarkCallParallel with tracing off stays within noise of the
+// pre-observability baseline: the untraced dispatch pays exactly one atomic
+// tracer load. These benches quantify the three policy modes on the same
+// two-variant fixture the adaptation benches use:
+//
+//   - BenchmarkCallTracedOff: tracer installed in Off mode — one atomic load
+//     plus one mode check per call (the EnableTracing-but-muted cost).
+//   - BenchmarkCallTracedSampled: 1-in-64 admission (the default period) —
+//     the amortized production configuration.
+//   - BenchmarkCallTracedAlways: every call captured, including the
+//     ml.Model.Explain re-derivation — the debugging ceiling, not a
+//     deployment mode.
+//
+// Numbers are recorded in EXPERIMENTS.md §trace-overhead.
+
+import (
+	"testing"
+
+	"nitro/internal/obs"
+)
+
+func benchTraced(b *testing.B, mode obs.TraceMode) {
+	cv := buildAdaptiveCV(b)
+	cv.EnableTracing(obs.TracePolicy{Mode: mode})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := cv.Call(benchInput{X: float64(i % 10)}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkCallTracedOff(b *testing.B)     { benchTraced(b, obs.TraceOff) }
+func BenchmarkCallTracedSampled(b *testing.B) { benchTraced(b, obs.TraceSampled) }
+func BenchmarkCallTracedAlways(b *testing.B)  { benchTraced(b, obs.TraceAlways) }
+
+// BenchmarkCallHistograms measures the latency-histogram record cost on the
+// same fixture (one atomic pointer load + bucket add + CAS sum per call).
+func BenchmarkCallHistograms(b *testing.B) {
+	cv := buildAdaptiveCV(b)
+	cv.Context().EnableLatencyHistograms("adapt-bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := cv.Call(benchInput{X: float64(i % 10)}); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -75,6 +75,7 @@ func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Vari
 	build := func(n int, seedOff int64) []autotuner.Instance {
 		// Phase 1 (serial): generate graphs, sources and features in
 		// instance order so the RNG stream is consumed deterministically.
+		stopGen := cfg.Phases.Start("generate")
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
 		out := make([]autotuner.Instance, n)
 		probs := make([]*graph.Problem, n)
@@ -103,7 +104,9 @@ func bfsSuite(cfg Config, dev *gpusim.Device, name string, variants []graph.Vari
 				},
 			}
 		}
+		stopGen()
 		// Phase 2 (parallel): label each graph by exhaustive search.
+		defer cfg.Phases.Start("label")()
 		par.For(n, cfg.workers(), func(i int) {
 			var times []float64
 			for _, v := range variants {

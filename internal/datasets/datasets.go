@@ -15,6 +15,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/gpusim"
+	"nitro/internal/obs"
 	"nitro/internal/par"
 )
 
@@ -34,6 +35,11 @@ type Config struct {
 	// stream is consumed in instance order — so corpora are bit-identical
 	// at every setting.
 	Parallelism int
+	// Phases, when non-nil, accumulates per-phase wall time for corpus
+	// construction ("generate" for the serial seeded generation, "label" for
+	// the parallel exhaustive-search labelling); the nil tracker is a valid
+	// no-op.
+	Phases *obs.PhaseTracker
 }
 
 // workers resolves the Parallelism knob for the labelling stage.

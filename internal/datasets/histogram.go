@@ -48,6 +48,7 @@ func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 	build := func(n int, seedOff int64) []autotuner.Instance {
 		// Phase 1 (serial): generate inputs and features in instance order
 		// so the RNG stream is consumed deterministically.
+		stopGen := cfg.Phases.Start("generate")
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
 		out := make([]autotuner.Instance, n)
 		probs := make([]*histogram.Problem, n)
@@ -73,7 +74,9 @@ func Histogram(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 				},
 			}
 		}
+		stopGen()
 		// Phase 2 (parallel): label each input by exhaustive search.
+		defer cfg.Phases.Start("label")()
 		par.For(n, cfg.workers(), func(i int) {
 			var times []float64
 			for _, v := range histogram.Variants() {

@@ -179,6 +179,7 @@ func solverSuite(cfg Config, dev *gpusim.Device, name string, variants []solver.
 	build := func(n int, seedOff int64) []autotuner.Instance {
 		// Phase 1 (serial): generate systems and features in instance order
 		// so the RNG stream is consumed deterministically.
+		stopGen := cfg.Phases.Start("generate")
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
 		out := make([]autotuner.Instance, n)
 		probs := make([]*solver.Problem, n)
@@ -211,7 +212,9 @@ func solverSuite(cfg Config, dev *gpusim.Device, name string, variants []solver.
 				},
 			}
 		}
+		stopGen()
 		// Phase 2 (parallel): label each system by exhaustive search.
+		defer cfg.Phases.Start("label")()
 		par.For(n, cfg.workers(), func(i int) {
 			times := make([]float64, 0, len(variants))
 			for _, v := range variants {

@@ -52,6 +52,7 @@ func Sort(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 	build := func(n int, seedOff int64) []autotuner.Instance {
 		// Phase 1 (serial): generate key sequences and features in instance
 		// order so the RNG stream is consumed deterministically.
+		stopGen := cfg.Phases.Start("generate")
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
 		out := make([]autotuner.Instance, n)
 		probs := make([]*sortbench.Problem, n)
@@ -82,7 +83,9 @@ func Sort(cfg Config, dev *gpusim.Device) (*autotuner.Suite, error) {
 				},
 			}
 		}
+		stopGen()
 		// Phase 2 (parallel): label each sequence by exhaustive search.
+		defer cfg.Phases.Start("label")()
 		par.For(n, cfg.workers(), func(i int) {
 			var times []float64
 			for _, v := range sortbench.Variants() {

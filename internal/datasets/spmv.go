@@ -118,6 +118,7 @@ func spmvSuite(cfg Config, dev *gpusim.Device, name string, variants []sparse.Va
 	build := func(n int, seedOff int64) []autotuner.Instance {
 		// Phase 1 (serial): generate matrices and feature vectors in
 		// instance order — the RNG stream must be consumed deterministically.
+		stopGen := cfg.Phases.Start("generate")
 		rng := rand.New(rand.NewSource(cfg.Seed + seedOff))
 		out := make([]autotuner.Instance, n)
 		probs := make([]*sparse.Problem, n)
@@ -126,8 +127,10 @@ func spmvSuite(cfg Config, dev *gpusim.Device, name string, variants []sparse.Va
 			m := spmvMatrix(group, i/len(spmvGroups), cfg, rng)
 			probs[i], out[i] = spmvProblem(fmt.Sprintf("%s-%d", group, i), m, rng)
 		}
+		stopGen()
 		// Phase 2 (parallel): exhaustive-search labelling, independent per
 		// instance; results land in index order.
+		defer cfg.Phases.Start("label")()
 		par.For(n, cfg.workers(), func(i int) {
 			out[i].Times = spmvTimes(probs[i], dev, variants)
 		})

@@ -1,0 +1,77 @@
+package ml
+
+// Explanation is the full story of one model decision: everything the
+// selection engine computed between "here is a feature vector" and "dispatch
+// variant k". It is the payload behind `nitro-model -explain` and the
+// model-side half of a core DecisionTrace; both surfaces promise that the
+// explanation reproduces the exact choice Call would make, so every field is
+// derived from the same code paths dispatch uses (Scores, RankedClasses,
+// Predict) rather than a parallel re-implementation.
+type Explanation struct {
+	// Raw is the feature vector as passed in (copied; safe to retain).
+	Raw []float64 `json:"raw"`
+	// Scaled is the vector after the model's scaler mapped it into the
+	// training range ([-1,1] per the paper); nil when no fitted scaler is
+	// installed.
+	Scaled []float64 `json:"scaled,omitempty"`
+	// Classes lists the known class labels; Scores is aligned with it.
+	Classes []int     `json:"classes"`
+	Scores  []float64 `json:"scores"`
+	// PairDecisions holds the raw one-vs-one decision values (pair order,
+	// aligned with PairClasses) when the classifier is an SVM; nil otherwise.
+	PairDecisions []float64 `json:"pair_decisions,omitempty"`
+	// PairClasses lists the class-label pair behind each decision value;
+	// a positive decision votes for the first label of the pair.
+	PairClasses [][2]int `json:"pair_classes,omitempty"`
+	// Ranked is the full preference order, best first — the failure fallback
+	// chain fault-tolerant dispatch walks. Ranked[0] == Predicted always.
+	Ranked []int `json:"ranked"`
+	// Predicted is the model's class prediction (identical to Predict(x)).
+	Predicted int `json:"predicted"`
+	// Version is the stamped model generation (0 when unstamped).
+	Version int `json:"version"`
+}
+
+// PairClasses returns the class-label pair of every trained one-vs-one
+// machine, in the same order DecisionValues reports decision values. The
+// positive side of pair i's decision votes for PairClasses()[i][0].
+func (m *SVM) PairClasses() [][2]int {
+	out := make([][2]int, len(m.pairs))
+	for i := range m.pairs {
+		out[i] = [2]int{m.pairs[i].a, m.pairs[i].b}
+	}
+	return out
+}
+
+// Explain runs one prediction and captures every intermediate the selection
+// engine would see: the scaled vector, per-class confidences, the ranked
+// preference order and (for SVMs) the raw pairwise decision values. The
+// returned explanation owns its slices.
+//
+// Contract: Explain(x).Predicted == Predict(x) and Explain(x).Ranked is
+// exactly RankedClasses(x) — the explanation is computed by the same
+// functions, not a reimplementation, so it can never drift from dispatch.
+func (m *Model) Explain(x []float64) Explanation {
+	ex := Explanation{
+		Raw:     append([]float64(nil), x...),
+		Version: m.Version(),
+	}
+	scaled := x
+	if m.Scaler != nil && m.Scaler.Fitted() {
+		scaled = m.Scaler.Transform(x)
+		ex.Scaled = append([]float64(nil), scaled...)
+	}
+	ex.Classes = append([]int(nil), m.Classifier.Classes()...)
+	ex.Scores = m.Classifier.Scores(scaled)
+	if svm, ok := m.Classifier.(*SVM); ok {
+		ex.PairDecisions = svm.DecisionValues(scaled)
+		ex.PairClasses = svm.PairClasses()
+	}
+	ex.Ranked = m.RankedClasses(x)
+	if len(ex.Ranked) > 0 {
+		ex.Predicted = ex.Ranked[0]
+	} else {
+		ex.Predicted = m.Predict(x)
+	}
+	return ex
+}

@@ -1,0 +1,405 @@
+// Telemetry export: a small metrics registry with Prometheus text exposition
+// and an expvar-compatible JSON view, served over an opt-in HTTP endpoint.
+//
+// The registry is pull-based: sources register Collector closures that emit
+// Metric values at scrape time, so the hot path pays nothing for telemetry —
+// all aggregation work happens when a scraper asks. Metric naming is linted
+// at exposition time: every metric must carry the "nitro_" prefix (enforced,
+// not advised), names and label sets are validated against the Prometheus
+// data model, and output is sorted so scrapes of an idle process are
+// byte-identical.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricKind is the Prometheus metric type.
+type MetricKind string
+
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// Label is one metric label; ordered slices keep exposition deterministic.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Bucket is one cumulative histogram bucket (observations <= LE).
+type Bucket struct {
+	LE    float64
+	Count int64
+}
+
+// Metric is one exported sample (or, for KindHistogram, one bucketed series).
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   MetricKind
+	Labels []Label
+	// Value carries the sample for counters and gauges.
+	Value float64
+	// Buckets / Count / Sum carry the series for histograms.
+	Buckets []Bucket
+	Count   int64
+	Sum     float64
+}
+
+// Collector emits metrics at scrape time.
+type Collector func(emit func(Metric))
+
+// Registry aggregates collectors and debug variables into one telemetry
+// surface: Prometheus text at /metrics, a JSON dump at /vars (also published
+// as the process-wide "nitro" expvar), and /healthz. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+	vars       []debugVar
+}
+
+type debugVar struct {
+	name string
+	fn   func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a metrics collector.
+func (r *Registry) Register(c Collector) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// RegisterVar adds a named debug variable to the JSON view (/vars and the
+// "nitro" expvar). fn is called at dump time and must return a
+// JSON-marshalable value.
+func (r *Registry) RegisterVar(name string, fn func() any) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vars = append(r.vars, debugVar{name: name, fn: fn})
+}
+
+// gather runs every collector and returns the metrics.
+func (r *Registry) gather() []Metric {
+	r.mu.Lock()
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	var out []Metric
+	for _, c := range collectors {
+		c(func(m Metric) { out = append(out, m) })
+	}
+	return out
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// validateMetric enforces the naming contract: Prometheus-legal names and
+// label keys, and the repo-wide "nitro_" prefix on every exported metric.
+func validateMetric(m Metric) error {
+	if !strings.HasPrefix(m.Name, "nitro_") {
+		return fmt.Errorf("obs: metric %q violates the nitro_ prefix convention", m.Name)
+	}
+	if !metricNameRe.MatchString(m.Name) {
+		return fmt.Errorf("obs: metric %q is not a legal Prometheus name", m.Name)
+	}
+	for _, l := range m.Labels {
+		if !labelNameRe.MatchString(l.Key) {
+			return fmt.Errorf("obs: metric %q has illegal label name %q", m.Name, l.Key)
+		}
+	}
+	switch m.Kind {
+	case KindCounter, KindGauge, KindHistogram:
+	default:
+		return fmt.Errorf("obs: metric %q has unknown kind %q", m.Name, m.Kind)
+	}
+	return nil
+}
+
+// labelString renders {k="v",...} (empty string for no labels), with one
+// extra label appended when extra is non-nil.
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extra.Key, extra.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtValue renders a sample value the way Prometheus expects.
+func fmtValue(v float64) string { return strconv64(v) }
+
+func strconv64(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if s == "+Inf" || s == "-Inf" {
+		return s
+	}
+	return s
+}
+
+// WritePrometheus writes the registry's metrics in Prometheus text
+// exposition format (version 0.0.4). Metrics are grouped by name with one
+// HELP/TYPE header each and sorted by (name, labels), so repeated scrapes of
+// an unchanged registry are byte-identical. A metric violating the naming
+// contract fails the whole exposition — the lint is load-bearing, not
+// advisory.
+func (r *Registry) WritePrometheus(w *strings.Builder) error {
+	metrics := r.gather()
+	for _, m := range metrics {
+		if err := validateMetric(m); err != nil {
+			return err
+		}
+	}
+	byName := map[string][]Metric{}
+	var names []string
+	for _, m := range metrics {
+		if _, ok := byName[m.Name]; !ok {
+			names = append(names, m.Name)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		if group[0].Help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, group[0].Help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, group[0].Kind)
+		lines := make([]string, 0, len(group))
+		for _, m := range group {
+			switch m.Kind {
+			case KindHistogram:
+				var cum string
+				for _, b := range m.Buckets {
+					le := Label{"le", fmtValue(b.LE)}
+					cum = fmt.Sprintf("%s_bucket%s %d\n", name, labelString(m.Labels, &le), b.Count)
+					lines = append(lines, cum)
+				}
+				inf := Label{"le", "+Inf"}
+				lines = append(lines,
+					fmt.Sprintf("%s_bucket%s %d\n", name, labelString(m.Labels, &inf), m.Count),
+					fmt.Sprintf("%s_sum%s %s\n", name, labelString(m.Labels, nil), fmtValue(m.Sum)),
+					fmt.Sprintf("%s_count%s %d\n", name, labelString(m.Labels, nil), m.Count))
+			default:
+				lines = append(lines, fmt.Sprintf("%s%s %s\n", name, labelString(m.Labels, nil), fmtValue(m.Value)))
+			}
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			w.WriteString(l)
+		}
+	}
+	return nil
+}
+
+// PrometheusText returns the full exposition (or an error when a collector
+// emitted an illegal metric).
+func (r *Registry) PrometheusText() (string, error) {
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// varsSnapshot builds the JSON debug view: every registered variable plus a
+// flat dump of the metric samples.
+func (r *Registry) varsSnapshot() map[string]any {
+	r.mu.Lock()
+	vars := make([]debugVar, len(r.vars))
+	copy(vars, r.vars)
+	r.mu.Unlock()
+	out := map[string]any{}
+	for _, v := range vars {
+		out[v.name] = v.fn()
+	}
+	samples := map[string]any{}
+	for _, m := range r.gather() {
+		key := m.Name + labelString(m.Labels, nil)
+		if m.Kind == KindHistogram {
+			samples[key] = map[string]any{"count": m.Count, "sum": m.Sum}
+		} else {
+			samples[key] = m.Value
+		}
+	}
+	out["metrics"] = samples
+	return out
+}
+
+// VarsJSON returns the JSON debug view (deterministic: object keys sort).
+func (r *Registry) VarsJSON() ([]byte, error) {
+	return json.MarshalIndent(r.varsSnapshot(), "", "  ")
+}
+
+// liveRegistries tracks every registry that has built an HTTP handler, so the
+// process-wide "nitro" expvar (published once) can enumerate them all.
+var (
+	liveRegistries sync.Map // *Registry -> struct{}
+	publishOnce    sync.Once
+)
+
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("nitro", expvar.Func(func() any {
+			all := []map[string]any{}
+			liveRegistries.Range(func(k, _ any) bool {
+				all = append(all, k.(*Registry).varsSnapshot())
+				return true
+			})
+			if len(all) == 1 {
+				return all[0]
+			}
+			return all
+		}))
+	})
+}
+
+// Handler returns the telemetry endpoint:
+//
+//	/metrics     Prometheus text exposition
+//	/vars        this registry's JSON debug view
+//	/debug/vars  the standard expvar page (includes the "nitro" var)
+//	/healthz     "ok"
+//
+// Building a handler registers the registry with the process-wide "nitro"
+// expvar.
+func (r *Registry) Handler() http.Handler {
+	liveRegistries.Store(r, struct{}{})
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		text, err := r.PrometheusText()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, text)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, req *http.Request) {
+		data, err := r.VarsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(data)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a running telemetry endpoint.
+type Server struct {
+	listener net.Listener
+	srv      *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the telemetry endpoint on addr (":0" picks a free port) and
+// serves it on a background goroutine until Close.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // Close surfaces as ErrServerClosed
+	return &Server{listener: ln, srv: srv}, nil
+}
+
+// ValidatePrometheusText lints a scraped exposition: every sample line must
+// parse, every metric must be nitro_-prefixed and covered by a preceding
+// TYPE header. This is the checker `make metrics-smoke` runs against a live
+// scrape.
+func ValidatePrometheusText(text string) error {
+	typed := map[string]string{}
+	sawSample := false
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("obs: line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			typed[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sawSample = true
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("obs: line %d: illegal metric name %q", ln+1, name)
+		}
+		if !strings.HasPrefix(name, "nitro_") {
+			return fmt.Errorf("obs: line %d: metric %q violates the nitro_ prefix convention", ln+1, name)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				return fmt.Errorf("obs: line %d: sample %q has no TYPE header", ln+1, name)
+			}
+		}
+		rest := line[len(name):]
+		if i := strings.LastIndexByte(rest, ' '); i < 0 || strings.TrimSpace(rest[i:]) == "" {
+			return fmt.Errorf("obs: line %d: sample %q has no value", ln+1, line)
+		}
+	}
+	if !sawSample {
+		return fmt.Errorf("obs: exposition contains no samples")
+	}
+	return nil
+}

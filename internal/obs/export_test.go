@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func staticCollector(ms ...Metric) Collector {
+	return func(emit func(Metric)) {
+		for _, m := range ms {
+			emit(m)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Register(staticCollector(
+		Metric{Name: "nitro_calls_total", Help: "Calls.", Kind: KindCounter,
+			Labels: []Label{{"function", "b"}}, Value: 2},
+		Metric{Name: "nitro_calls_total", Help: "Calls.", Kind: KindCounter,
+			Labels: []Label{{"function", "a"}}, Value: 1},
+		Metric{Name: "nitro_adapt_state", Help: "State.", Kind: KindGauge, Value: 0},
+	))
+	a, err := r.PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two scrapes differ:\n%s\n---\n%s", a, b)
+	}
+	want := `# HELP nitro_adapt_state State.
+# TYPE nitro_adapt_state gauge
+nitro_adapt_state 0
+# HELP nitro_calls_total Calls.
+# TYPE nitro_calls_total counter
+nitro_calls_total{function="a"} 1
+nitro_calls_total{function="b"} 2
+`
+	if a != want {
+		t.Fatalf("exposition =\n%s\nwant\n%s", a, want)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Register(staticCollector(Metric{
+		Name: "nitro_call_seconds", Help: "Latency.", Kind: KindHistogram,
+		Labels:  []Label{{"variant", "dia"}},
+		Buckets: []Bucket{{LE: 0.001, Count: 5}, {LE: 0.01, Count: 9}},
+		Count:   10, Sum: 0.042,
+	}))
+	text, err := r.PrometheusText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE nitro_call_seconds histogram",
+		`nitro_call_seconds_bucket{variant="dia",le="0.001"} 5`,
+		`nitro_call_seconds_bucket{variant="dia",le="0.01"} 9`,
+		`nitro_call_seconds_bucket{variant="dia",le="+Inf"} 10`,
+		`nitro_call_seconds_sum{variant="dia"} 0.042`,
+		`nitro_call_seconds_count{variant="dia"} 10`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := ValidatePrometheusText(text); err != nil {
+		t.Fatalf("histogram exposition fails its own lint: %v", err)
+	}
+}
+
+func TestPrefixLintIsLoadBearing(t *testing.T) {
+	r := NewRegistry()
+	r.Register(staticCollector(Metric{Name: "rogue_total", Kind: KindCounter}))
+	if _, err := r.PrometheusText(); err == nil || !strings.Contains(err.Error(), "nitro_ prefix") {
+		t.Fatalf("un-prefixed metric did not fail exposition: %v", err)
+	}
+}
+
+func TestValidateMetricRejections(t *testing.T) {
+	cases := []Metric{
+		{Name: "nitro_bad name", Kind: KindGauge},
+		{Name: "nitro_ok", Kind: KindGauge, Labels: []Label{{"bad-key", "v"}}},
+		{Name: "nitro_ok", Kind: MetricKind("summary")},
+	}
+	for _, m := range cases {
+		if err := validateMetric(m); err == nil {
+			t.Errorf("validateMetric(%+v) accepted an illegal metric", m)
+		}
+	}
+	if err := validateMetric(Metric{Name: "nitro_ok_total", Kind: KindCounter,
+		Labels: []Label{{"function", "f"}}}); err != nil {
+		t.Errorf("legal metric rejected: %v", err)
+	}
+}
+
+func TestRegistryVarsJSON(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterVar("model", func() any { return map[string]any{"version": 3} })
+	r.Register(staticCollector(Metric{Name: "nitro_calls_total", Kind: KindCounter, Value: 7}))
+	data, err := r.VarsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if mv, ok := m["model"].(map[string]any); !ok || mv["version"] != float64(3) {
+		t.Fatalf("vars model = %v", m["model"])
+	}
+	metrics, ok := m["metrics"].(map[string]any)
+	if !ok || metrics["nitro_calls_total"] != float64(7) {
+		t.Fatalf("vars metrics = %v", m["metrics"])
+	}
+}
+
+func TestServeScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Register(staticCollector(Metric{Name: "nitro_up", Help: "Up.", Kind: KindGauge, Value: 1}))
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	if err := ValidatePrometheusText(metrics); err != nil {
+		t.Errorf("live scrape fails lint: %v\n%s", err, metrics)
+	}
+	if !strings.Contains(metrics, "nitro_up 1") {
+		t.Errorf("scrape missing sample:\n%s", metrics)
+	}
+
+	vars, _ := get("/vars")
+	if !strings.Contains(vars, "nitro_up") {
+		t.Errorf("/vars missing metric: %s", vars)
+	}
+
+	debugVars, _ := get("/debug/vars")
+	if !strings.Contains(debugVars, `"nitro"`) {
+		t.Errorf("/debug/vars missing published nitro var")
+	}
+
+	health, _ := get("/healthz")
+	if strings.TrimSpace(health) != "ok" {
+		t.Errorf("/healthz = %q", health)
+	}
+}
+
+func TestValidatePrometheusText(t *testing.T) {
+	good := "# HELP nitro_x X.\n# TYPE nitro_x gauge\nnitro_x 1\n"
+	if err := ValidatePrometheusText(good); err != nil {
+		t.Errorf("good text rejected: %v", err)
+	}
+	cases := map[string]string{
+		"no samples":     "# TYPE nitro_x gauge\n",
+		"no TYPE header": "nitro_x 1\n",
+		"bad prefix":     "# TYPE other_x gauge\nother_x 1\n",
+		"illegal name":   "# TYPE nitro_x gauge\n0bad 1\n",
+		"malformed TYPE": "# TYPE nitro_x\nnitro_x 1\n",
+	}
+	for what, text := range cases {
+		if err := ValidatePrometheusText(text); err == nil {
+			t.Errorf("%s: accepted %q", what, text)
+		}
+	}
+	// Histogram suffixes resolve to the base TYPE header.
+	hist := "# TYPE nitro_h histogram\n" +
+		`nitro_h_bucket{le="+Inf"} 3` + "\nnitro_h_sum 0.5\nnitro_h_count 3\n"
+	if err := ValidatePrometheusText(hist); err != nil {
+		t.Errorf("histogram suffix samples rejected: %v", err)
+	}
+}

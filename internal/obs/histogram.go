@@ -1,0 +1,219 @@
+// Log-bucketed, sharded, lock-free latency histograms.
+//
+// Record is designed for the dispatch hot path of internal/core: the bucket
+// index is computed from the float64 bit pattern (exponent + top two mantissa
+// bits — no math.Log), and the increment is one atomic add on one of several
+// cache-line-independent shards, exactly the trick core's funcStats uses for
+// its call counters. Snapshots merge the shards; quantiles are read off the
+// bucket boundaries (relative error is bounded by the 1/4-octave bucket
+// width, ~9%, which is plenty for p50/p95/p99 dashboards).
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+const (
+	// histExpMin / histExpMax bound the binary exponent range covered with
+	// full resolution: 2^-50 (~8.9e-16 s) to 2^14 (~16384 s). Values outside
+	// clamp to the edge buckets.
+	histExpMin = -50
+	histExpMax = 13
+	// histSubBuckets splits each octave into 4 sub-buckets (top two mantissa
+	// bits), bounding the quantile error at ~9%.
+	histSubBuckets = 4
+	// histBuckets is the positive-value bucket count; slot 0 is reserved for
+	// values <= 0 (and NaN), so the array has histBuckets+1 slots.
+	histBuckets = (histExpMax - histExpMin + 1) * histSubBuckets
+
+	// histShards spreads concurrent writers; each shard has its own bucket
+	// array and sum, so two cores recording different calls do not share a
+	// cache line (a smaller count than funcStats's 32 because each shard here
+	// is a whole bucket array, not a single counter line).
+	histShards = 4
+)
+
+// histShard is one writer shard: bucket counts plus a CAS-accumulated sum.
+type histShard struct {
+	counts  [histBuckets + 1]atomic.Int64
+	sumBits atomic.Uint64
+	_       [64]byte
+}
+
+func (s *histShard) addSum(v float64) {
+	for {
+		old := s.sumBits.Load()
+		if s.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Histogram is a lock-free log-bucketed histogram of nonnegative values
+// (by convention, seconds). The zero value is NOT ready; use NewHistogram.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value to its bucket using only integer bit operations.
+func bucketIndex(v float64) int {
+	if !(v > 0) { // catches <= 0 and NaN
+		return 0
+	}
+	bits := math.Float64bits(v)
+	exp := int(bits>>52&0x7ff) - 1023
+	sub := int(bits >> 50 & 3)
+	if exp < histExpMin {
+		return 1
+	}
+	if exp > histExpMax {
+		return histBuckets
+	}
+	return 1 + (exp-histExpMin)*histSubBuckets + sub
+}
+
+// bucketLower returns the inclusive lower bound of a positive-value bucket.
+func bucketLower(idx int) float64 {
+	idx--
+	exp := histExpMin + idx/histSubBuckets
+	sub := idx % histSubBuckets
+	return math.Ldexp(1+float64(sub)/histSubBuckets, exp)
+}
+
+// bucketUpper returns the exclusive upper bound of a positive-value bucket.
+func bucketUpper(idx int) float64 {
+	if idx >= histBuckets {
+		return math.Inf(1)
+	}
+	return bucketLower(idx + 1)
+}
+
+// bucketMid returns the bucket's representative value (geometric midpoint).
+func bucketMid(idx int) float64 {
+	if idx == 0 {
+		return 0
+	}
+	lo := bucketLower(idx)
+	up := bucketUpper(idx)
+	if math.IsInf(up, 1) {
+		return lo
+	}
+	return math.Sqrt(lo * up)
+}
+
+// Record adds one observation. Lock-free: a per-thread random shard pick,
+// one atomic bucket increment and one CAS sum accumulation.
+func (h *Histogram) Record(v float64) {
+	sh := &h.shards[rand.Uint64N(histShards)]
+	sh.counts[bucketIndex(v)].Add(1)
+	sh.addSum(v)
+}
+
+// merged sums the shards into one bucket array plus (count, sum).
+func (h *Histogram) merged() (buckets [histBuckets + 1]int64, count int64, sum float64) {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			c := sh.counts[b].Load()
+			buckets[b] += c
+			count += c
+		}
+		sum += math.Float64frombits(sh.sumBits.Load())
+	}
+	return buckets, count, sum
+}
+
+// LatencySummary is a point-in-time digest of one histogram: count, sum and
+// the quantiles a dashboard wants, plus the per-variant regret estimate the
+// runtime computes relative to the best variant of the same function
+// (0 for the best variant; 0.25 means "25% slower on average").
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Regret is filled by the caller that can see sibling histograms (see
+	// core.CallStats); the histogram itself leaves it 0.
+	Regret float64 `json:"regret"`
+}
+
+// Snapshot digests the histogram. Min/Max are bucket-resolution
+// approximations (lower bound of the lowest / highest non-empty bucket).
+func (h *Histogram) Snapshot() LatencySummary {
+	buckets, count, sum := h.merged()
+	out := LatencySummary{Count: count, Sum: sum}
+	if count == 0 {
+		return out
+	}
+	out.Mean = sum / float64(count)
+	minB, maxB := -1, -1
+	for b, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		if minB < 0 {
+			minB = b
+		}
+		maxB = b
+	}
+	lowerOf := func(b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return bucketLower(b)
+	}
+	out.Min = lowerOf(minB)
+	out.Max = lowerOf(maxB)
+	q := func(p float64) float64 {
+		target := int64(math.Ceil(p * float64(count)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for b, c := range buckets {
+			cum += c
+			if cum >= target {
+				return bucketMid(b)
+			}
+		}
+		return bucketMid(histBuckets)
+	}
+	out.P50, out.P95, out.P99 = q(0.50), q(0.95), q(0.99)
+	return out
+}
+
+// DefaultBounds is the coarse `le` bound set histograms export to Prometheus
+// (decade steps over the simulated-seconds range this repo works in).
+func DefaultBounds() []float64 {
+	return []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+}
+
+// Cumulative returns, for each le bound, the number of observations <= le
+// (bucket-resolution approximation: a fine bucket counts toward a bound when
+// its representative value is <= le), plus the exact total count and sum —
+// exactly the triple a Prometheus histogram exposition needs.
+func (h *Histogram) Cumulative(bounds []float64) (counts []int64, count int64, sum float64) {
+	buckets, count, sum := h.merged()
+	counts = make([]int64, len(bounds))
+	for b, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		mid := bucketMid(b)
+		for i, le := range bounds {
+			if mid <= le {
+				counts[i] += c
+			}
+		}
+	}
+	return counts, count, sum
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{-1, 0},
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{5e-17, 1},                 // below 2^-50: clamps to lowest positive bucket
+		{math.Inf(1), histBuckets}, // clamps to top bucket
+		{1e30, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketIndexBoundsContainValue(t *testing.T) {
+	// Every in-range value must land in a bucket whose [lower, upper) contains it.
+	vals := []float64{1e-9, 3.7e-6, 0.001, 0.0123, 0.5, 1, 1.999, 2, 3, 7.5, 100, 8191}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		lo, up := bucketLower(idx), bucketUpper(idx)
+		if v < lo || v >= up {
+			t.Errorf("value %g landed in bucket %d [%g, %g)", v, idx, lo, up)
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := 1e-12; v < 1e4; v *= 1.07 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %g: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations: 90 around 1ms, 9 around 10ms, 1 around 100ms.
+	for i := 0; i < 90; i++ {
+		h.Record(1e-3)
+	}
+	for i := 0; i < 9; i++ {
+		h.Record(1e-2)
+	}
+	h.Record(1e-1)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	wantSum := 90*1e-3 + 9*1e-2 + 1e-1
+	if math.Abs(s.Sum-wantSum) > 1e-12 {
+		t.Fatalf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+	if math.Abs(s.Mean-wantSum/100) > 1e-12 {
+		t.Fatalf("Mean = %g", s.Mean)
+	}
+	// Quantiles are bucket-resolution approximations: within ~15% is fine.
+	checkApprox := func(name string, got, want float64) {
+		t.Helper()
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("%s = %g, want ~%g", name, got, want)
+		}
+	}
+	checkApprox("P50", s.P50, 1e-3)
+	checkApprox("P95", s.P95, 1e-2)
+	checkApprox("P99", s.P99, 1e-2)
+	if s.Min > 1e-3 || s.Min < 1e-3/1.3 {
+		t.Errorf("Min = %g, want ~1e-3 lower bound", s.Min)
+	}
+	if s.Max > 1e-1 || s.Max < 1e-1/1.3 {
+		t.Errorf("Max = %g, want ~1e-1 lower bound", s.Max)
+	}
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	// Relative quantile error must stay under the 1/4-octave bucket width (~19%
+	// worst case at the geometric midpoint).
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i) * 1e-4) // uniform 0.1ms .. 100ms
+	}
+	s := h.Snapshot()
+	if rel := math.Abs(s.P50-0.05) / 0.05; rel > 0.2 {
+		t.Errorf("P50 rel error %.3f too large (P50=%g)", rel, s.P50)
+	}
+	if rel := math.Abs(s.P99-0.099) / 0.099; rel > 0.2 {
+		t.Errorf("P99 rel error %.3f too large (P99=%g)", rel, s.P99)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(1e-3)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+	if math.Abs(s.Sum-goroutines*per*1e-3) > 1e-6 {
+		t.Fatalf("Sum = %g", s.Sum)
+	}
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5e-4) // <= 1e-3
+	h.Record(5e-4)
+	h.Record(5e-2) // <= 1e-1
+	bounds := []float64{1e-3, 1e-1, 10}
+	counts, count, sum := h.Cumulative(bounds)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	if math.Abs(sum-0.051) > 1e-12 {
+		t.Fatalf("sum = %g", sum)
+	}
+	if counts[0] != 2 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("cumulative counts = %v, want [2 3 3]", counts)
+	}
+}
+
+func TestHistogramZeroAndNegativeGoToSlotZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(0)
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Fatalf("snapshot of nonpositive values = %+v", s)
+	}
+}
+
+func TestDefaultBoundsSorted(t *testing.T) {
+	b := DefaultBounds()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("DefaultBounds not strictly increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package obs is Nitro's observability subsystem: decision traces, latency
+// histograms, phase timing and telemetry export for the deployment runtime.
+//
+// On-line autotuners are only trustworthy when the selection loop is
+// continuously monitored (cf. Martinovič et al., "On-line Application
+// Autotuning Exploiting Ensemble Models"): a deployed CodeVariant must be
+// able to answer "why did call #N dispatch variant X?" and "what is variant
+// Y's p99?". This package supplies the building blocks; internal/core wires
+// them through every dispatch path and internal/online exports its drift
+// gauges through them.
+//
+// The package is a leaf: it imports only the standard library, so core, ml,
+// autotuner and online can all depend on it without cycles. Everything here
+// is designed for the hot path of a lock-free runtime:
+//
+//   - Tracer admission is one atomic counter op (Sampled) or nothing
+//     (Always); the un-traced runtime pays exactly one atomic pointer load
+//     per call to discover that no tracer is installed.
+//   - Histogram.Record is a handful of integer bit operations plus one
+//     sharded atomic add — no floating-point log, no locks.
+//   - The trace ring buffer stores atomically swapped pointers; readers
+//     never block writers.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceMode is the decision-trace policy knob.
+type TraceMode int32
+
+const (
+	// TraceOff records nothing. The hot path pays one atomic pointer load.
+	TraceOff TraceMode = iota
+	// TraceSampled records every SamplePeriod-th dispatch (exact counter, so
+	// serial replays are deterministic).
+	TraceSampled
+	// TraceAlways records every dispatch.
+	TraceAlways
+)
+
+// String implements fmt.Stringer.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceOff:
+		return "off"
+	case TraceSampled:
+		return "sampled"
+	case TraceAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("mode(%d)", int32(m))
+	}
+}
+
+// ParseTraceMode parses "off", "sampled" or "always".
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off":
+		return TraceOff, nil
+	case "sampled", "sample":
+		return TraceSampled, nil
+	case "always", "on", "all":
+		return TraceAlways, nil
+	default:
+		return TraceOff, fmt.Errorf("obs: unknown trace mode %q (want off, sampled or always)", s)
+	}
+}
+
+// TracePolicy configures a Tracer.
+type TracePolicy struct {
+	// Mode selects Off / Sampled / Always.
+	Mode TraceMode
+	// SamplePeriod records 1 of every N admitted dispatches in Sampled mode
+	// (default 64). The counter is exact, so a serial replay traces the same
+	// calls every run.
+	SamplePeriod int
+	// Capacity is the trace ring-buffer size (default 256). When full, the
+	// oldest record is overwritten.
+	Capacity int
+}
+
+// normalized fills defaults.
+func (p TracePolicy) normalized() TracePolicy {
+	if p.SamplePeriod < 1 {
+		p.SamplePeriod = 64
+	}
+	if p.Capacity < 1 {
+		p.Capacity = 256
+	}
+	return p
+}
+
+// DecisionTrace is one explained dispatch decision: everything the selection
+// engine knew when it chose a variant, plus what actually happened. Slices
+// are owned by the trace (copied at capture time); readers may retain them.
+type DecisionTrace struct {
+	// Seq is the trace's position in this tracer's timeline (1-based).
+	Seq int64 `json:"seq"`
+	// Function names the tunable function.
+	Function string `json:"function"`
+	// RawFeatures is the feature vector as evaluated from the input.
+	RawFeatures []float64 `json:"raw_features"`
+	// ScaledFeatures is the vector after the model's scaler ([-1,1] space);
+	// nil when no model (or no scaler) was installed.
+	ScaledFeatures []float64 `json:"scaled_features,omitempty"`
+	// Classes / Scores are the model's known class labels and per-class
+	// decision values (confidences), aligned; nil without a model.
+	Classes []int     `json:"classes,omitempty"`
+	Scores  []float64 `json:"scores,omitempty"`
+	// PairDecisions holds the raw one-vs-one SVM decision values (pair order),
+	// when the classifier is an SVM.
+	PairDecisions []float64 `json:"pair_decisions,omitempty"`
+	// Ranked is the model's full preference order (best first) — the failure
+	// fallback chain dispatch would walk.
+	Ranked []int `json:"ranked,omitempty"`
+	// Predicted is the model's raw class prediction (-1 without a model).
+	Predicted int `json:"predicted"`
+	// ModelVersion is the installed model's stamped generation (0 unstamped
+	// or uninstalled).
+	ModelVersion int `json:"model_version"`
+	// Vetoed lists variants whose constraints rejected this input.
+	Vetoed []string `json:"vetoed,omitempty"`
+	// Quarantined lists variants excluded by an open circuit breaker at
+	// selection time.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// FellBack reports a selection-time fallback (constraint veto, quarantine
+	// or missing model); FallbackHops counts failure-driven fallback attempts
+	// after the primary pick failed (panic / Abort / timeout).
+	FellBack     bool `json:"fell_back"`
+	FallbackHops int  `json:"fallback_hops"`
+	// ChosenIdx / Chosen identify the variant that finally executed
+	// (-1 / "" when the dispatch errored).
+	ChosenIdx int    `json:"chosen_idx"`
+	Chosen    string `json:"chosen,omitempty"`
+	// Value is the executed variant's optimization value (by convention,
+	// seconds).
+	Value float64 `json:"value"`
+	// Err is the dispatch error, when it failed ("" on success).
+	Err string `json:"err,omitempty"`
+	// Start / WallNanos record when the dispatch started and how long the
+	// whole dispatch (selection + execution + fallbacks) took. Excluded from
+	// String so serial replays print byte-identical timelines.
+	Start     time.Time `json:"start"`
+	WallNanos int64     `json:"wall_nanos"`
+}
+
+// String renders one deterministic timeline line: every field that is a pure
+// function of the call (and the seeded replay) appears; wall-clock fields do
+// not, so two replays of the same stream print byte-identical traces.
+func (t DecisionTrace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[trace %06d] %s", t.Seq, t.Function)
+	if t.ModelVersion > 0 {
+		fmt.Fprintf(&b, " v%d", t.ModelVersion)
+	}
+	fmt.Fprintf(&b, " features=%s", floats(t.RawFeatures))
+	if t.Scores != nil {
+		fmt.Fprintf(&b, " scores=%s ranked=%v", floats(t.Scores), t.Ranked)
+	}
+	fmt.Fprintf(&b, " predicted=%d", t.Predicted)
+	if len(t.Vetoed) > 0 {
+		fmt.Fprintf(&b, " vetoed=%v", t.Vetoed)
+	}
+	if len(t.Quarantined) > 0 {
+		fmt.Fprintf(&b, " quarantined=%v", t.Quarantined)
+	}
+	if t.Err != "" {
+		fmt.Fprintf(&b, " error=%q", t.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, " chosen=%s(%d)", t.Chosen, t.ChosenIdx)
+	if t.FellBack {
+		b.WriteString(" fellback")
+	}
+	if t.FallbackHops > 0 {
+		fmt.Fprintf(&b, " hops=%d", t.FallbackHops)
+	}
+	fmt.Fprintf(&b, " value=%.6g", t.Value)
+	return b.String()
+}
+
+// floats renders a float slice compactly and deterministically.
+func floats(v []float64) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.4g", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// TraceSink receives every emitted DecisionTrace synchronously on the
+// dispatching goroutine; implementations must be safe for concurrent calls
+// and should return quickly.
+type TraceSink func(DecisionTrace)
+
+// Tracer is a sampled, lock-free decision-trace collector: an admission
+// policy plus a ring buffer of recent traces and an optional sink. One Tracer
+// serves one tunable function; all methods are safe for concurrent use.
+type Tracer struct {
+	pol TracePolicy
+	// admits counts admission attempts in Sampled mode (exact 1-in-N).
+	admits atomic.Int64
+	// seq numbers emitted traces (1-based).
+	seq atomic.Int64
+	// ring holds the last Capacity traces; slot = (Seq-1) % Capacity.
+	ring []atomic.Pointer[DecisionTrace]
+	sink atomic.Pointer[TraceSink]
+}
+
+// NewTracer builds a tracer with the (normalized) policy.
+func NewTracer(pol TracePolicy) *Tracer {
+	pol = pol.normalized()
+	return &Tracer{pol: pol, ring: make([]atomic.Pointer[DecisionTrace], pol.Capacity)}
+}
+
+// Mode returns the tracer's mode.
+func (t *Tracer) Mode() TraceMode { return t.pol.Mode }
+
+// Policy returns the tracer's normalized policy.
+func (t *Tracer) Policy() TracePolicy { return t.pol }
+
+// SetSink installs (or with nil removes) the synchronous trace sink.
+func (t *Tracer) SetSink(s TraceSink) {
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&s)
+}
+
+// Admit reports whether the next dispatch should be traced. Off admits
+// nothing; Always everything; Sampled exactly every SamplePeriod-th call
+// (counter-exact, so serial replays admit the same calls every run).
+func (t *Tracer) Admit() bool {
+	switch t.pol.Mode {
+	case TraceAlways:
+		return true
+	case TraceSampled:
+		return (t.admits.Add(1)-1)%int64(t.pol.SamplePeriod) == 0
+	default:
+		return false
+	}
+}
+
+// Emit records one trace: it assigns the sequence number, stores the record
+// in the ring (overwriting the oldest when full) and forwards it to the sink.
+func (t *Tracer) Emit(tr DecisionTrace) {
+	tr.Seq = t.seq.Add(1)
+	t.ring[(tr.Seq-1)%int64(len(t.ring))].Store(&tr)
+	if sp := t.sink.Load(); sp != nil {
+		(*sp)(tr)
+	}
+}
+
+// Count returns the number of traces emitted so far.
+func (t *Tracer) Count() int64 { return t.seq.Load() }
+
+// Recent returns up to n of the most recent traces in chronological order.
+// Taken under concurrent traffic the snapshot is consistent per slot but may
+// interleave with in-flight emits.
+func (t *Tracer) Recent(n int) []DecisionTrace {
+	total := t.seq.Load()
+	if int64(n) > total {
+		n = int(total)
+	}
+	if n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]DecisionTrace, 0, n)
+	for s := total - int64(n) + 1; s <= total; s++ {
+		if p := t.ring[(s-1)%int64(len(t.ring))].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Collector exports the tracer's own meta-metrics (trace volume and mode).
+func (t *Tracer) Collector(function string) Collector {
+	return func(emit func(Metric)) {
+		labels := []Label{{"function", function}}
+		emit(Metric{Name: "nitro_traces_recorded_total", Help: "Decision traces recorded.",
+			Kind: KindCounter, Labels: labels, Value: float64(t.Count())})
+		emit(Metric{Name: "nitro_trace_mode", Help: "Trace mode (0=off,1=sampled,2=always).",
+			Kind: KindGauge, Labels: labels, Value: float64(t.pol.Mode)})
+	}
+}
+
+// MarshalJSON gives Tracer a stable JSON form (its policy plus counters), so
+// debug dumps can include tracers directly.
+func (t *Tracer) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mode         string `json:"mode"`
+		SamplePeriod int    `json:"sample_period"`
+		Capacity     int    `json:"capacity"`
+		Recorded     int64  `json:"recorded"`
+	}{t.pol.Mode.String(), t.pol.SamplePeriod, t.pol.Capacity, t.Count()})
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseTraceMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TraceMode
+		err  bool
+	}{
+		{"", TraceOff, false},
+		{"off", TraceOff, false},
+		{"OFF", TraceOff, false},
+		{"sampled", TraceSampled, false},
+		{"sample", TraceSampled, false},
+		{"always", TraceAlways, false},
+		{"on", TraceAlways, false},
+		{"all", TraceAlways, false},
+		{" Always ", TraceAlways, false},
+		{"bogus", TraceOff, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTraceMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseTraceMode(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if got != c.want {
+			t.Errorf("ParseTraceMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTraceModeString(t *testing.T) {
+	if TraceOff.String() != "off" || TraceSampled.String() != "sampled" || TraceAlways.String() != "always" {
+		t.Fatalf("mode strings wrong: %v %v %v", TraceOff, TraceSampled, TraceAlways)
+	}
+	if got := TraceMode(42).String(); got != "mode(42)" {
+		t.Fatalf("unknown mode = %q", got)
+	}
+}
+
+func TestTracerAdmitOff(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceOff})
+	for i := 0; i < 10; i++ {
+		if tr.Admit() {
+			t.Fatal("TraceOff admitted a call")
+		}
+	}
+}
+
+func TestTracerAdmitAlways(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceAlways})
+	for i := 0; i < 10; i++ {
+		if !tr.Admit() {
+			t.Fatal("TraceAlways rejected a call")
+		}
+	}
+}
+
+func TestTracerAdmitSampledExact(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceSampled, SamplePeriod: 4})
+	var admitted []int
+	for i := 0; i < 12; i++ {
+		if tr.Admit() {
+			admitted = append(admitted, i)
+		}
+	}
+	want := []int{0, 4, 8}
+	if fmt.Sprint(admitted) != fmt.Sprint(want) {
+		t.Fatalf("sampled admissions = %v, want %v", admitted, want)
+	}
+}
+
+func TestTracerSampledDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		tr := NewTracer(TracePolicy{Mode: TraceSampled, SamplePeriod: 8})
+		var seqs []int64
+		for i := 0; i < 100; i++ {
+			if tr.Admit() {
+				tr.Emit(DecisionTrace{Function: "f", Predicted: i})
+				seqs = append(seqs, int64(i))
+			}
+		}
+		return seqs
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("two serial runs admitted different calls:\n%v\n%v", a, b)
+	}
+}
+
+func TestTracerEmitRingAndRecent(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceAlways, Capacity: 4})
+	for i := 1; i <= 10; i++ {
+		tr.Emit(DecisionTrace{Function: "f", Predicted: i})
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", tr.Count())
+	}
+	recent := tr.Recent(10) // capped at capacity
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d traces, want 4", len(recent))
+	}
+	for i, tc := range recent {
+		wantSeq := int64(7 + i)
+		if tc.Seq != wantSeq {
+			t.Errorf("recent[%d].Seq = %d, want %d (chronological order)", i, tc.Seq, wantSeq)
+		}
+	}
+	// Recent(n) with n smaller than stored.
+	two := tr.Recent(2)
+	if len(two) != 2 || two[0].Seq != 9 || two[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", two)
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceAlways})
+	var mu sync.Mutex
+	var got []int64
+	tr.SetSink(func(d DecisionTrace) {
+		mu.Lock()
+		got = append(got, d.Seq)
+		mu.Unlock()
+	})
+	tr.Emit(DecisionTrace{Function: "f"})
+	tr.Emit(DecisionTrace{Function: "f"})
+	tr.SetSink(nil)
+	tr.Emit(DecisionTrace{Function: "f"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("sink saw %v, want [1 2]", got)
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceAlways, Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if tr.Admit() {
+					tr.Emit(DecisionTrace{Function: "f"})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Count() != 1600 {
+		t.Fatalf("Count = %d, want 1600", tr.Count())
+	}
+	if n := len(tr.Recent(1000)); n != 64 {
+		t.Fatalf("Recent after overflow = %d, want 64", n)
+	}
+}
+
+func TestDecisionTraceStringDeterministic(t *testing.T) {
+	d := DecisionTrace{
+		Seq:          42,
+		Function:     "mult",
+		RawFeatures:  []float64{1024, 0.033333},
+		Scores:       []float64{0.81, 0.19},
+		Ranked:       []int{0, 1},
+		Predicted:    0,
+		ModelVersion: 3,
+		Vetoed:       []string{"csr"},
+		ChosenIdx:    0,
+		Chosen:       "dia",
+		FellBack:     true,
+		FallbackHops: 1,
+		Value:        0.0123,
+		Start:        time.Now(),
+		WallNanos:    999,
+	}
+	got := d.String()
+	want := `[trace 000042] mult v3 features=[1024 0.03333] scores=[0.81 0.19] ranked=[0 1] predicted=0 vetoed=[csr] chosen=dia(0) fellback hops=1 value=0.0123`
+	if got != want {
+		t.Fatalf("String() =\n%q\nwant\n%q", got, want)
+	}
+	// Wall-clock fields must not leak into the deterministic form.
+	d2 := d
+	d2.Start = time.Time{}
+	d2.WallNanos = 0
+	if d2.String() != got {
+		t.Fatal("String() depends on wall-clock fields")
+	}
+}
+
+func TestDecisionTraceStringError(t *testing.T) {
+	d := DecisionTrace{Seq: 7, Function: "f", RawFeatures: []float64{1}, Predicted: -1, Err: "boom"}
+	want := `[trace 000007] f features=[1] predicted=-1 error="boom"`
+	if got := d.String(); got != want {
+		t.Fatalf("error String() = %q, want %q", got, want)
+	}
+}
+
+func TestTracerMarshalJSON(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceSampled, SamplePeriod: 16, Capacity: 8})
+	tr.Emit(DecisionTrace{})
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["mode"] != "sampled" || m["sample_period"] != float64(16) || m["capacity"] != float64(8) || m["recorded"] != float64(1) {
+		t.Fatalf("MarshalJSON = %s", b)
+	}
+}
+
+func TestTracerCollector(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceAlways})
+	tr.Emit(DecisionTrace{})
+	tr.Emit(DecisionTrace{})
+	var metrics []Metric
+	tr.Collector("mult")(func(m Metric) { metrics = append(metrics, m) })
+	if len(metrics) != 2 {
+		t.Fatalf("collector emitted %d metrics, want 2", len(metrics))
+	}
+	if metrics[0].Name != "nitro_traces_recorded_total" || metrics[0].Value != 2 {
+		t.Fatalf("metric 0 = %+v", metrics[0])
+	}
+	if metrics[1].Name != "nitro_trace_mode" || metrics[1].Value != float64(TraceAlways) {
+		t.Fatalf("metric 1 = %+v", metrics[1])
+	}
+	if len(metrics[0].Labels) != 1 || metrics[0].Labels[0] != (Label{"function", "mult"}) {
+		t.Fatalf("labels = %+v", metrics[0].Labels)
+	}
+}
+
+func TestPolicyNormalization(t *testing.T) {
+	tr := NewTracer(TracePolicy{Mode: TraceSampled})
+	p := tr.Policy()
+	if p.SamplePeriod != 64 || p.Capacity != 256 {
+		t.Fatalf("normalized policy = %+v", p)
+	}
+	if tr.Mode() != TraceSampled {
+		t.Fatalf("Mode = %v", tr.Mode())
+	}
+}

@@ -1,0 +1,120 @@
+// Phase timing: coarse progress instrumentation for the offline tuning
+// pipeline (corpus generation, exhaustive-search labelling, grid search).
+// A PhaseTracker is optional everywhere it is accepted — the nil tracker is
+// a valid no-op — so library code can instrument unconditionally and leave
+// the decision to the caller.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase is one named timed span (accumulated over possibly many Start/stop
+// pairs).
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration"`
+	Count    int           `json:"count"`
+}
+
+// PhaseTracker accumulates named phase durations. Safe for concurrent use;
+// the nil *PhaseTracker is a valid no-op tracker.
+type PhaseTracker struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*Phase
+	clock  func() time.Time // test seam; nil = time.Now
+}
+
+// NewPhaseTracker returns an empty tracker.
+func NewPhaseTracker() *PhaseTracker {
+	return &PhaseTracker{phases: map[string]*Phase{}}
+}
+
+func (p *PhaseTracker) now() time.Time {
+	if p.clock != nil {
+		return p.clock()
+	}
+	return time.Now()
+}
+
+// Start begins timing the named phase and returns the stop function. The nil
+// tracker returns a no-op stop.
+func (p *PhaseTracker) Start(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	start := p.now()
+	return func() { p.Add(name, p.now().Sub(start)) }
+}
+
+// Add accumulates one span into the named phase. No-op on the nil tracker.
+func (p *PhaseTracker) Add(name string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ph, ok := p.phases[name]
+	if !ok {
+		ph = &Phase{Name: name}
+		p.phases[name] = ph
+		p.order = append(p.order, name)
+	}
+	ph.Duration += d
+	ph.Count++
+}
+
+// Phases returns the accumulated phases in first-seen order. Nil tracker
+// returns nil.
+func (p *PhaseTracker) Phases() []Phase {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Phase, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, *p.phases[name])
+	}
+	return out
+}
+
+// String renders "phase timings: a=1.2s b=340ms (total 1.54s)" in first-seen
+// order; "phase timings: none" when empty or nil.
+func (p *PhaseTracker) String() string {
+	phases := p.Phases()
+	if len(phases) == 0 {
+		return "phase timings: none"
+	}
+	var b strings.Builder
+	b.WriteString("phase timings:")
+	var total time.Duration
+	for _, ph := range phases {
+		fmt.Fprintf(&b, " %s=%s", ph.Name, ph.Duration.Round(time.Microsecond))
+		total += ph.Duration
+	}
+	fmt.Fprintf(&b, " (total %s)", total.Round(time.Microsecond))
+	return b.String()
+}
+
+// Collector exports each phase as a nitro_tuner_phase_seconds gauge.
+func (p *PhaseTracker) Collector() Collector {
+	return func(emit func(Metric)) {
+		phases := p.Phases()
+		sort.Slice(phases, func(i, j int) bool { return phases[i].Name < phases[j].Name })
+		for _, ph := range phases {
+			emit(Metric{
+				Name:   "nitro_tuner_phase_seconds",
+				Help:   "Accumulated wall time per offline-tuning phase.",
+				Kind:   KindGauge,
+				Labels: []Label{{"phase", ph.Name}},
+				Value:  ph.Duration.Seconds(),
+			})
+		}
+	}
+}

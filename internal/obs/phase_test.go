@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilPhaseTrackerIsNoop(t *testing.T) {
+	var p *PhaseTracker
+	stop := p.Start("x") // must not panic
+	stop()
+	p.Add("x", time.Second)
+	if got := p.Phases(); got != nil {
+		t.Fatalf("nil tracker Phases = %v", got)
+	}
+	if got := p.String(); got != "phase timings: none" {
+		t.Fatalf("nil tracker String = %q", got)
+	}
+}
+
+func TestPhaseTrackerAccumulates(t *testing.T) {
+	p := NewPhaseTracker()
+	now := time.Unix(0, 0)
+	p.clock = func() time.Time { return now }
+
+	stop := p.Start("corpus")
+	now = now.Add(2 * time.Second)
+	stop()
+	p.Add("label", 500*time.Millisecond)
+	p.Add("corpus", time.Second)
+
+	phases := p.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %+v", phases)
+	}
+	if phases[0].Name != "corpus" || phases[0].Duration != 3*time.Second || phases[0].Count != 2 {
+		t.Fatalf("corpus phase = %+v", phases[0])
+	}
+	if phases[1].Name != "label" || phases[1].Duration != 500*time.Millisecond || phases[1].Count != 1 {
+		t.Fatalf("label phase = %+v", phases[1])
+	}
+	want := "phase timings: corpus=3s label=500ms (total 3.5s)"
+	if got := p.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPhaseTrackerFirstSeenOrder(t *testing.T) {
+	p := NewPhaseTracker()
+	for _, name := range []string{"z", "a", "m", "a"} {
+		p.Add(name, time.Millisecond)
+	}
+	phases := p.Phases()
+	got := make([]string, len(phases))
+	for i, ph := range phases {
+		got[i] = ph.Name
+	}
+	if strings.Join(got, ",") != "z,a,m" {
+		t.Fatalf("order = %v, want first-seen [z a m]", got)
+	}
+}
+
+func TestPhaseTrackerConcurrent(t *testing.T) {
+	p := NewPhaseTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Add("shared", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	phases := p.Phases()
+	if len(phases) != 1 || phases[0].Count != 800 || phases[0].Duration != 800*time.Microsecond {
+		t.Fatalf("concurrent accumulation = %+v", phases)
+	}
+}
+
+func TestPhaseTrackerCollector(t *testing.T) {
+	p := NewPhaseTracker()
+	p.Add("label", 2*time.Second)
+	p.Add("corpus", time.Second)
+	var got []Metric
+	p.Collector()(func(m Metric) { got = append(got, m) })
+	if len(got) != 2 {
+		t.Fatalf("collector emitted %d metrics", len(got))
+	}
+	// Sorted by phase name for deterministic exposition.
+	if got[0].Labels[0].Value != "corpus" || got[0].Value != 1 {
+		t.Fatalf("metric 0 = %+v", got[0])
+	}
+	if got[1].Labels[0].Value != "label" || got[1].Value != 2 {
+		t.Fatalf("metric 1 = %+v", got[1])
+	}
+	for _, m := range got {
+		if m.Name != "nitro_tuner_phase_seconds" || m.Kind != KindGauge {
+			t.Fatalf("metric = %+v", m)
+		}
+	}
+}

@@ -71,11 +71,31 @@
 //	eng, err := nitro.EnableAdaptation(cv, nitro.DefaultAdaptPolicy(42))
 //	defer eng.Close()
 //	// ... serve traffic; eng.Stats() / eng.Events() report the timeline.
+//
+// Every layer is observable. Decision tracing captures, per sampled call, the
+// full selection derivation — raw and scaled features, per-class SVM scores
+// and pairwise decision values, the ranked preference order, constraint
+// vetoes, quarantine state, fallback hops and the executed variant — without
+// costing the untraced hot path more than one atomic load. Per-variant
+// latency histograms add p50/p95/p99 and relative-regret estimates to
+// Context.Stats, and a MetricsRegistry serves everything (Prometheus text
+// exposition plus a JSON debug view) over HTTP:
+//
+//	tracer := cv.EnableTracing(nitro.TracePolicy{Mode: nitro.TraceSampled})
+//	cx.EnableLatencyHistograms("mine")
+//
+//	reg := nitro.NewMetricsRegistry()
+//	reg.Register(cx.Collector())
+//	reg.Register(tracer.Collector("mine"))
+//	srv, _ := reg.Serve("127.0.0.1:9090") // /metrics, /vars, /healthz
+//	defer srv.Close()
 package nitro
 
 import (
 	"nitro/internal/autotuner"
 	"nitro/internal/core"
+	"nitro/internal/ml"
+	"nitro/internal/obs"
 	"nitro/internal/online"
 )
 
@@ -215,6 +235,81 @@ type AdaptStats = core.AdaptStats
 // RetrainOptions configures the online retrainer (classifier options,
 // optional BvSB incremental seeding, holdout fraction, acceptance margin).
 type RetrainOptions = autotuner.RetrainOptions
+
+// Model is a trained variant-selection model: classifier, feature scaler and
+// metadata, hot-swappable via Context.SetModel/LoadModel.
+type Model = ml.Model
+
+// Explanation is a full derivation of one model decision: raw and scaled
+// features, per-class scores, pairwise SVM decision values, and the ranked
+// class preference order dispatch walks on fallback. Produced by
+// Model.Explain, which reuses the exact scoring paths dispatch itself uses,
+// so an explanation can never disagree with the decision it explains.
+type Explanation = ml.Explanation
+
+// TraceMode selects a decision tracer's admission policy.
+type TraceMode = obs.TraceMode
+
+// Trace modes: Off mutes an installed tracer, Sampled admits one call in
+// TracePolicy.SamplePeriod (counter-exact, so serial replays are
+// deterministic), Always captures every call.
+const (
+	TraceOff     = obs.TraceOff
+	TraceSampled = obs.TraceSampled
+	TraceAlways  = obs.TraceAlways
+)
+
+// ParseTraceMode parses "off", "sampled" or "always".
+func ParseTraceMode(s string) (TraceMode, error) { return obs.ParseTraceMode(s) }
+
+// TracePolicy configures decision tracing: mode, sampling period and ring
+// capacity. The zero value normalizes to Off with the default period (64)
+// and capacity (256).
+type TracePolicy = obs.TracePolicy
+
+// DecisionTrace is one captured dispatch decision: the model explanation,
+// the selection-time veto and quarantine view, the executed variant, the
+// failure fallback hop count and the call's wall time. Its String form is
+// deterministic under serial replay (wall-clock fields are excluded).
+type DecisionTrace = obs.DecisionTrace
+
+// Tracer is a lock-free sampled decision-trace ring buffer; install one with
+// CodeVariant.EnableTracing and read it with Recent, or stream every
+// admitted trace through SetSink.
+type Tracer = obs.Tracer
+
+// TraceSink receives every admitted DecisionTrace synchronously on the
+// dispatching goroutine; keep it fast.
+type TraceSink = obs.TraceSink
+
+// LatencySummary digests one variant's latency histogram: count, mean,
+// min/max, p50/p95/p99 and the relative regret against the best variant.
+// Context.Stats fills CallStats.Latency with these once
+// Context.EnableLatencyHistograms is on.
+type LatencySummary = obs.LatencySummary
+
+// MetricsRegistry aggregates metric collectors and debug variables and
+// serves them as a Prometheus text exposition (/metrics), a JSON debug view
+// (/vars), and the process-wide "nitro" expvar.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry; register
+// Context.Collector, Tracer.Collector and AdaptEngine.Collector on it, then
+// call Serve (or mount Handler yourself).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsServer is a live telemetry endpoint started by
+// MetricsRegistry.Serve; Addr reports the bound address, Close shuts it
+// down.
+type MetricsServer = obs.Server
+
+// PhaseTracker accumulates named phase durations (the offline tuner reports
+// search/fit/install timings through one); nil-safe, so it can be threaded
+// through options unconditionally.
+type PhaseTracker = obs.PhaseTracker
+
+// NewPhaseTracker returns an empty phase tracker.
+func NewPhaseTracker() *PhaseTracker { return obs.NewPhaseTracker() }
 
 // EnableAdaptation attaches an online adaptation engine to cv: live calls
 // are sampled and explored per pol, sustained drift triggers a background
