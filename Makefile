@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace online-replay metrics-smoke lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke lint ci clean
 
 all: build
 
@@ -75,6 +75,23 @@ online-replay:
 			echo "FAIL: timeline missing \"$$ev\" event:"; cat "$$tmp/run1.txt"; exit 1; }; \
 	done && \
 	echo "online replay reproducible: $$(grep -c '\[call ' "$$tmp/run1.txt") timeline events, drift -> retrain -> swap -> recovered"
+
+# Dispatch-overhead study: distill all five benchmark models, time the
+# three dispatch tiers (memoized / compiled / exact) through a live replay
+# CodeVariant, and emit the machine-readable BENCH_dispatch.json artifact
+# alongside the per-tier Go benchmarks. Run on a quiet machine for stable
+# ns/op numbers.
+bench-dispatch:
+	$(GO) run ./cmd/nitro-experiments -run dispatch -scale 0.2 -train 24 -test 36 -nogrid -dispatch-json BENCH_dispatch.json
+	$(GO) test -run xxx -bench 'BenchmarkCallMemoHit|BenchmarkCallCompiled|BenchmarkCallExact|BenchmarkCallNoModel' -benchmem ./internal/core/
+
+# CI agreement gate: every benchmark's tuned model must distill into a
+# compiled artifact that agrees with the exact classifier on >= 99% of the
+# training corpus (and the serve-time tiers must pick identical variants —
+# the equivalence tests in internal/core and internal/ml).
+dispatch-agreement:
+	$(GO) test -run 'TestCompiledAgreementCorpora' -v ./internal/experiments/
+	$(GO) test -run 'TestServedChoiceMatchesExactOnCorpus|TestCompiledTierServesIdenticalChoices|TestCallConcurrentBatchedMatchesSerialTiers' ./internal/ml/ ./internal/core/
 
 # Observability benchmarks: the dispatch hot path with tracing disabled /
 # sampled / always-on and with latency histograms enabled, against the

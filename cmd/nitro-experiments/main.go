@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	nitro-experiments [-run setup|fig5|fig6|fig7|fig8|headline|extension|portability|all]
+//	nitro-experiments [-run setup|fig5|fig6|fig7|fig8|headline|dispatch|extension|portability|all]
 //	                  [-scale 1.0] [-seed 42] [-iters 50]
 //	                  [-classifier svm|knn|tree] [-nogrid]
 package main
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: setup, fig5, fig6, fig7, fig8, headline, extension, portability, all")
+	run := flag.String("run", "all", "which experiment to run: setup, fig5, fig6, fig7, fig8, headline, dispatch, extension, portability, all")
 	scale := flag.Float64("scale", 1.0, "instance-size scale in (0,1]")
 	seed := flag.Int64("seed", 42, "corpus generation seed")
 	iters := flag.Int("iters", 50, "incremental-tuning iteration budget (fig7)")
@@ -33,6 +33,8 @@ func main() {
 	trainN := flag.Int("train", 0, "override training corpus size (0 = paper)")
 	testN := flag.Int("test", 0, "override test corpus size (0 = paper)")
 	csvDir := flag.String("csvdir", "", "also write per-figure CSV files into this directory")
+	dispatchCalls := flag.Int("dispatch-calls", 200000, "per-tier Call timing iterations for -run dispatch (0 = quality only)")
+	dispatchJSON := flag.String("dispatch-json", "", "write the dispatch study as machine-readable JSON to this path (BENCH_dispatch.json)")
 	parallelism := flag.Int("parallelism", 0, "worker count for corpus labelling, grid search and per-suite figures (0 = all cores, 1 = serial); results are identical at every setting")
 	flag.Parse()
 
@@ -109,6 +111,30 @@ func main() {
 		}
 		fmt.Println(experiments.FormatFig8(rows))
 		csvOut("fig8", func(w *os.File) error { return experiments.WriteFig8CSV(w, rows) })
+	}
+	// The dispatch study is opt-in (not part of "all"): it is a wall-clock
+	// micro-benchmark of the selection engine, not a paper figure, and its
+	// timings are only meaningful on a quiet machine.
+	if strings.EqualFold(*run, "dispatch") {
+		rows, err := experiments.Dispatch(suites, opts, *dispatchCalls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatDispatch(rows))
+		if *dispatchJSON != "" {
+			f, err := os.Create(*dispatchJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteDispatchJSON(f, rows, *dispatchCalls); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *dispatchJSON)
+		}
 	}
 	if want("classifiers") {
 		rows, err := experiments.ClassifierComparison(suites, opts)

@@ -139,6 +139,14 @@ func inspect(data []byte, predict string, out io.Writer) error {
 		fmt.Fprintf(out, "svm: C=%g kernel=%s, %d support vectors\n",
 			svm.C, describeKernel(svm.Kernel()), svm.NumSupportVectors())
 	}
+	if c := model.Compiled; c != nil {
+		grid := "no grid"
+		if c.Grid != nil {
+			grid = fmt.Sprintf("grid res %d", c.Grid.Res)
+		}
+		fmt.Fprintf(out, "compiled dispatch: %d nodes depth %d, agreement %.2f%%, exact fallback %.1f%%, margin %g, %s (corpus %d)\n",
+			len(c.Nodes), c.Depth(), 100*c.Agreement, 100*c.FallbackRate, c.Margin, grid, c.CorpusSize)
+	}
 	if predict == "" {
 		return nil
 	}
@@ -166,13 +174,23 @@ func inspectJSON(data []byte, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("parse model: %w", err)
 	}
+	type compiledSummary struct {
+		Nodes        int     `json:"nodes"`
+		Depth        int     `json:"depth"`
+		Agreement    float64 `json:"agreement"`
+		FallbackRate float64 `json:"fallback_rate"`
+		Margin       float64 `json:"margin"`
+		CorpusSize   int     `json:"corpus_size"`
+		GridRes      int     `json:"grid_res,omitempty"`
+	}
 	summary := struct {
-		Classifier     string        `json:"classifier"`
-		Classes        []int         `json:"classes"`
-		Features       int           `json:"features"`
-		SupportVectors int           `json:"support_vectors,omitempty"`
-		Version        int           `json:"version"`
-		Meta           *ml.ModelMeta `json:"meta"`
+		Classifier     string           `json:"classifier"`
+		Classes        []int            `json:"classes"`
+		Features       int              `json:"features"`
+		SupportVectors int              `json:"support_vectors,omitempty"`
+		Version        int              `json:"version"`
+		Meta           *ml.ModelMeta    `json:"meta"`
+		Compiled       *compiledSummary `json:"compiled,omitempty"`
 	}{
 		Classifier: model.Classifier.Name(),
 		Classes:    model.Classifier.Classes(),
@@ -184,6 +202,19 @@ func inspectJSON(data []byte, out io.Writer) error {
 	}
 	if svm, ok := model.Classifier.(*ml.SVM); ok {
 		summary.SupportVectors = svm.NumSupportVectors()
+	}
+	if c := model.Compiled; c != nil {
+		summary.Compiled = &compiledSummary{
+			Nodes:        len(c.Nodes),
+			Depth:        c.Depth(),
+			Agreement:    c.Agreement,
+			FallbackRate: c.FallbackRate,
+			Margin:       c.Margin,
+			CorpusSize:   c.CorpusSize,
+		}
+		if c.Grid != nil {
+			summary.Compiled.GridRes = c.Grid.Res
+		}
 	}
 	enc, err := json.MarshalIndent(summary, "", "  ")
 	if err != nil {
@@ -228,6 +259,12 @@ func explain(data []byte, vector string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "  ranked fallback order: %s\n", rankedString(ex.Ranked))
 	fmt.Fprintf(out, "  predicted: variant label %d\n", ex.Predicted)
+	if ex.Tier != "" {
+		fmt.Fprintf(out, "  dispatch tier: %s\n", ex.Tier)
+		if ex.Tier == "compiled" {
+			fmt.Fprintf(out, "  compiled margin: %g (threshold %g)\n", ex.CompiledMargin, ex.CompiledThreshold)
+		}
+	}
 	return nil
 }
 

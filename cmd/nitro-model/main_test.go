@@ -388,3 +388,82 @@ func TestRunJSONMode(t *testing.T) {
 		t.Errorf("-json with -predict: err = %v, want errBadFlags", err)
 	}
 }
+
+// compiledFixtureModel is fixtureModel with a distilled compiled artifact
+// (plus decision grid) installed before serialization.
+func compiledFixtureModel(t *testing.T) []byte {
+	t.Helper()
+	model, err := ml.UnmarshalModel(fixtureModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := make([][]float64, 10)
+	for x := 0; x < 10; x++ {
+		corpus[x] = []float64{float64(x), 2 * float64(x)}
+	}
+	c, err := ml.Distill(model, corpus, ml.DistillOptions{Grid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Compiled = c
+	data, err := ml.MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestInspectCompiledModel checks that inspection surfaces the compiled
+// artifact (text and JSON) and that -explain reports the dispatch tier —
+// the operator's view of which rung of the ladder decided.
+func TestInspectCompiledModel(t *testing.T) {
+	data := compiledFixtureModel(t)
+	var buf bytes.Buffer
+	if err := inspect(data, "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"compiled dispatch:", "agreement", "margin"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compiled summary missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := inspectJSON(data, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Compiled *struct {
+			Nodes      int     `json:"nodes"`
+			Agreement  float64 `json:"agreement"`
+			CorpusSize int     `json:"corpus_size"`
+			GridRes    int     `json:"grid_res"`
+		} `json:"compiled"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("inspectJSON output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if summary.Compiled == nil {
+		t.Fatalf("JSON summary missing compiled block:\n%s", buf.String())
+	}
+	if summary.Compiled.Nodes == 0 || summary.Compiled.Agreement < 0.99 || summary.Compiled.CorpusSize != 10 {
+		t.Errorf("compiled block wrong: %+v", summary.Compiled)
+	}
+
+	buf.Reset()
+	if err := explain(data, "8,16", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dispatch tier: ") {
+		t.Errorf("explain missing dispatch tier line:\n%s", buf.String())
+	}
+	// A plain model reports the exact tier.
+	buf.Reset()
+	if err := explain(fixtureModel(t), "8,16", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dispatch tier: exact") {
+		t.Errorf("plain model should explain as exact tier:\n%s", buf.String())
+	}
+}

@@ -436,3 +436,55 @@ func TestRunSpecInjectFaultsUnknownVariant(t *testing.T) {
 		t.Fatalf("err = %v, want errBadSpec for unknown variant", err)
 	}
 }
+
+// TestRunSpecDistill checks that "distill": true produces a model file with a
+// compiled dispatch artifact installed (or, if the gates reject it, that the
+// rejection is reported instead of silently dropped).
+func TestRunSpecDistill(t *testing.T) {
+	spec := smallSpec()
+	spec.Distill = true
+	spec.ModelOut = filepath.Join(t.TempDir(), "sort.model.json")
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "compiled dispatch:") {
+		t.Fatalf("output missing compiled dispatch report:\n%s", out)
+	}
+	data, err := os.ReadFile(spec.ModelOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ml.UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "not installed") {
+		if model.Compiled != nil {
+			t.Error("report says not installed but artifact present")
+		}
+	} else if model.Compiled == nil {
+		t.Errorf("distilled artifact missing from written model:\n%s", out)
+	} else if model.Compiled.Agreement < 0.99 {
+		t.Errorf("installed artifact agreement %v below gate", model.Compiled.Agreement)
+	}
+}
+
+// TestRunSpecDistillIncremental: the distill hook also runs on the
+// incremental-tuning path.
+func TestRunSpecDistillIncremental(t *testing.T) {
+	spec := smallSpec()
+	spec.Distill = true
+	spec.Incremental = &struct {
+		Iterations     int     `json:"iterations"`
+		TargetAccuracy float64 `json:"target_accuracy"`
+	}{Iterations: 5}
+	var buf bytes.Buffer
+	if err := runSpec(spec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compiled dispatch:") {
+		t.Errorf("output missing compiled dispatch report:\n%s", buf.String())
+	}
+}

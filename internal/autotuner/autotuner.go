@@ -78,9 +78,20 @@ type TrainOptions struct {
 	// safe for concurrent invocation.
 	Parallelism int
 	// Phases, when non-nil, accumulates per-phase wall time for the pipeline
-	// ("label", "scale", "fit" / "grid-search", "install"); the nil tracker
-	// is a valid no-op, so instrumentation costs nothing when unset.
+	// ("label", "scale", "fit" / "grid-search", "distill", "install"); the
+	// nil tracker is a valid no-op, so instrumentation costs nothing when
+	// unset.
 	Phases *obs.PhaseTracker
+	// Distill, when set, distills the fitted model into a compiled dispatch
+	// artifact (ml.Distill) over the training corpus. Distillation is
+	// best-effort: an artifact that fails the agreement/fallback gates is
+	// simply not installed (Report.DistillNote records why) and the exact
+	// model ships alone. Off by default, so offline tuning artifacts stay
+	// byte-identical to previous releases unless opted in.
+	Distill bool
+	// DistillOpts configures the distiller; the zero value selects the
+	// defaults (depth-8 CART, 99% agreement gate).
+	DistillOpts ml.DistillOptions
 }
 
 // Report summarizes a training run.
@@ -90,6 +101,11 @@ type Report struct {
 	Skipped       int // instances where no variant was feasible
 	TrainAccuracy float64
 	Grid          ml.GridSearchResult
+	// Distilled reports whether a compiled dispatch artifact passed its
+	// gates and was installed on the model; DistillNote carries the
+	// agreement/fallback summary (or the rejection reason).
+	Distilled   bool
+	DistillNote string
 }
 
 // buildDataset converts labelled instances to an ml.Dataset, skipping
@@ -184,7 +200,26 @@ func Train(instances []Instance, opts TrainOptions) (*ml.Model, Report, error) {
 	model := &ml.Model{Classifier: clf, Scaler: scaler,
 		Meta: &ml.ModelMeta{Version: 1, TrainedOn: ds.Len()}}
 	rep.TrainAccuracy = ml.Accuracy(clf, scaled)
+	if opts.Distill {
+		stopDistill := opts.Phases.Start("distill")
+		rep.Distilled, rep.DistillNote = distillModel(model, ds.X, opts.DistillOpts)
+		stopDistill()
+	}
 	return model, rep, nil
+}
+
+// distillModel distills model over the raw training matrix and installs the
+// artifact when it passes its gates. Best-effort by design: a rejected or
+// failed distillation leaves the exact model untouched and reports why —
+// losing the fast path must never lose the model.
+func distillModel(model *ml.Model, rawX [][]float64, opts ml.DistillOptions) (bool, string) {
+	c, err := ml.Distill(model, rawX, opts)
+	if err != nil {
+		return false, err.Error()
+	}
+	model.Compiled = c
+	return true, fmt.Sprintf("compiled dispatch: %d nodes depth %d, agreement %.2f%%, exact fallback %.1f%% (margin %.3g)",
+		len(c.Nodes), c.Depth(), 100*c.Agreement, 100*c.FallbackRate, c.Margin)
 }
 
 // EvalReport aggregates deployment-time selection quality on a test corpus,

@@ -158,6 +158,17 @@ func (t *Tuner[In]) RetrainFromObservations(ctx context.Context, obs []Observati
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
+	// The batch path distills inside Train; the incremental path builds its
+	// model through the BvSB loop, so distill here. Either way a candidate
+	// that should carry a compiled artifact gets one before validation, and a
+	// rejected artifact just ships the exact model (best-effort).
+	if opts.Distill && candidate.Compiled == nil {
+		rawX := make([][]float64, len(train))
+		for i := range train {
+			rawX[i] = train[i].Features
+		}
+		distillModel(candidate, rawX, opts.DistillOpts)
+	}
 
 	candidate.Meta = &ml.ModelMeta{
 		Version:   incumbent.Version() + 1,

@@ -25,7 +25,9 @@ type CallObservation[In any] struct {
 	// Input is the call's input value.
 	Input In
 	// Features is the evaluated feature vector (not a copy — observers must
-	// not mutate it).
+	// not mutate it, and must not retain it past the callback: the Call fast
+	// path recycles the buffer through a pool after dispatch. Copy it if you
+	// need it later; internal/online's reservoir does).
 	Features []float64
 	// Predicted is the installed model's raw class prediction for Features,
 	// or -1 when no model was installed.
@@ -235,6 +237,9 @@ type callStatsJSON struct {
 	Fallbacks        int                           `json:"fallbacks"`
 	Quarantined      int                           `json:"quarantined"`
 	Recoveries       int                           `json:"recoveries"`
+	MemoHits         int                           `json:"memo_hits"`
+	CompiledHits     int                           `json:"compiled_hits"`
+	ExactFallbacks   int                           `json:"exact_fallbacks"`
 	Latency          map[string]obs.LatencySummary `json:"latency,omitempty"`
 }
 
@@ -261,6 +266,9 @@ func (s CallStats) String() string {
 	if s.Panics+s.Timeouts+s.Fallbacks+s.Quarantined+s.Recoveries > 0 {
 		fmt.Fprintf(&b, " panics=%d timeouts=%d failhops=%d trips=%d recoveries=%d",
 			s.Panics, s.Timeouts, s.Fallbacks, s.Quarantined, s.Recoveries)
+	}
+	if s.MemoHits+s.CompiledHits+s.ExactFallbacks > 0 {
+		fmt.Fprintf(&b, " memo=%d compiled=%d exact=%d", s.MemoHits, s.CompiledHits, s.ExactFallbacks)
 	}
 	b.WriteString(")")
 	return b.String()

@@ -35,11 +35,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"nitro/internal/ml"
 	"nitro/internal/obs"
@@ -67,6 +67,20 @@ var ErrModelMismatch = errors.New("core: model incompatible with registered func
 // the predict path: readers Load, writers Store, nobody locks.
 type modelSlot struct {
 	p atomic.Pointer[ml.Model]
+	// epoch counts installs. The memo tier stamps every cached prediction
+	// with the epoch observed BEFORE loading the model, so bumping it here
+	// atomically invalidates all memoized predictions from older models (see
+	// memoCache for the ordering argument).
+	epoch atomic.Uint64
+}
+
+// install publishes a model and bumps the epoch. The order matters: the new
+// model is visible before the epoch moves, so a predict that reads the old
+// epoch and then loads the new model merely under-stamps its memo entry
+// (conservatively stale) — it can never stamp an old-model prediction fresh.
+func (s *modelSlot) install(m *ml.Model) {
+	s.p.Store(m)
+	s.epoch.Add(1)
 }
 
 // statsShards is the number of counter shards per tunable function. Calls
@@ -106,6 +120,11 @@ type statsShard struct {
 	failFb     atomic.Int64 // failure-driven fallback hops (one per attempt)
 	trips      atomic.Int64 // quarantine trips (variant entered quarantine)
 	recoveries atomic.Int64 // successful half-open probes (variant recovered)
+	// Dispatch-tier accounting: which rung of the prediction ladder served
+	// each model prediction.
+	memoHits     atomic.Int64 // predictions served from the memo cache
+	compiledHits atomic.Int64 // predictions served by the compiled artifact
+	exactPreds   atomic.Int64 // predictions that evaluated the exact model
 	// perVariant maps variant name -> *atomic.Int64. After the first call to
 	// a given variant the sync.Map read path is lock-free.
 	perVariant sync.Map
@@ -127,6 +146,10 @@ type funcStats struct {
 	// (Context.EnableLatencyHistograms). Nil — the default — costs the record
 	// hot path exactly one atomic pointer load.
 	hists atomic.Pointer[histTable]
+	// qEpoch counts quarantine-state transitions (trips and recoveries).
+	// Like modelSlot.epoch it stamps memo entries, so any breaker state
+	// change atomically invalidates the memoization tier.
+	qEpoch atomic.Uint64
 }
 
 // breakerFor returns (creating if needed) the named variant's breaker.
@@ -139,7 +162,22 @@ func (fs *funcStats) breakerFor(variant string) *breaker {
 }
 
 // shard picks a random shard (lock-free per-thread generator).
-func (fs *funcStats) shard() *statsShard { return &fs.shards[rand.Uint64N(statsShards)] }
+func (fs *funcStats) shard() *statsShard { return &fs.shards[shardIdx()] }
+
+// shardIdx picks the calling goroutine's statistics shard from the address
+// of a stack byte: goroutine stacks are disjoint, so concurrent callers
+// spread across shards while a single goroutine keeps re-touching the same
+// cache lines — the distribution a PRNG draw bought before, at a fraction of
+// its hot-path cost. Only the address's value is used (pointer -> uintptr is
+// the safe conversion direction); stack growth merely reshuffles the hint.
+func shardIdx() uint64 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & (statsShards - 1)
+}
 
 // recordFailure counts one failed variant invocation.
 func (fs *funcStats) recordFailure(panicked, timedOut bool) {
@@ -155,14 +193,39 @@ func (fs *funcStats) recordFailure(panicked, timedOut bool) {
 // recordHop counts one failure-driven fallback attempt.
 func (fs *funcStats) recordHop() { fs.shard().failFb.Add(1) }
 
-// recordTrip counts one quarantine trip.
-func (fs *funcStats) recordTrip() { fs.shard().trips.Add(1) }
+// recordTrip counts one quarantine trip and invalidates the memo tier.
+func (fs *funcStats) recordTrip() {
+	fs.shard().trips.Add(1)
+	fs.qEpoch.Add(1)
+}
 
-// recordRecovery counts one successful half-open probe.
-func (fs *funcStats) recordRecovery() { fs.shard().recoveries.Add(1) }
+// recordRecovery counts one successful half-open probe and invalidates the
+// memo tier.
+func (fs *funcStats) recordRecovery() {
+	fs.shard().recoveries.Add(1)
+	fs.qEpoch.Add(1)
+}
 
-func (fs *funcStats) record(variant string, value, featSeconds float64, fallback bool) {
-	sh := fs.shard()
+// recordTier counts one model prediction against the tier that served it.
+func (fs *funcStats) recordTier(t ml.Tier) {
+	switch t {
+	case ml.TierMemo:
+		fs.shard().memoHits.Add(1)
+	case ml.TierCompiled:
+		fs.shard().compiledHits.Add(1)
+	case ml.TierExact:
+		fs.shard().exactPreds.Add(1)
+	}
+}
+
+// record counts one successful dispatch. cache is the dispatching variant's
+// per-shard counter cache (variantEntry.cnt): the string-keyed perVariant
+// lookup runs once per (variant, shard) and every later call is a single
+// pointer load plus an atomic add — the sync.Map hash was the largest single
+// cost on the dispatch fast path before this cache.
+func (fs *funcStats) record(variant string, cache *[statsShards]atomic.Pointer[atomic.Int64], value, featSeconds float64, fallback bool) {
+	i := shardIdx()
+	sh := &fs.shards[i]
 	sh.calls.Add(1)
 	sh.value.Add(value)
 	if featSeconds != 0 {
@@ -171,11 +234,18 @@ func (fs *funcStats) record(variant string, value, featSeconds float64, fallback
 	if fallback {
 		sh.fallbacks.Add(1)
 	}
-	c, ok := sh.perVariant.Load(variant)
-	if !ok {
-		c, _ = sh.perVariant.LoadOrStore(variant, new(atomic.Int64))
+	cp := cache[i].Load()
+	if cp == nil {
+		// LoadOrStore is idempotent, so racing resolutions cache the same
+		// counter and no count is ever split.
+		c, ok := sh.perVariant.Load(variant)
+		if !ok {
+			c, _ = sh.perVariant.LoadOrStore(variant, new(atomic.Int64))
+		}
+		cp = c.(*atomic.Int64)
+		cache[i].Store(cp)
 	}
-	c.(*atomic.Int64).Add(1)
+	cp.Add(1)
 	if ht := fs.hists.Load(); ht != nil {
 		ht.record(variant, value)
 	}
@@ -197,6 +267,9 @@ func (fs *funcStats) snapshot() CallStats {
 		out.Fallbacks += int(sh.failFb.Load())
 		out.Quarantined += int(sh.trips.Load())
 		out.Recoveries += int(sh.recoveries.Load())
+		out.MemoHits += int(sh.memoHits.Load())
+		out.CompiledHits += int(sh.compiledHits.Load())
+		out.ExactFallbacks += int(sh.exactPreds.Load())
 		sh.perVariant.Range(func(k, v any) bool {
 			out.PerVariant[k.(string)] += int(v.(*atomic.Int64).Load())
 			return true
@@ -315,7 +388,7 @@ func (cx *Context) SetModel(fn string, m *ml.Model) error {
 			return fmt.Errorf("core: install model for %q: %w", fn, err)
 		}
 	}
-	cx.slotFor(fn).p.Store(m)
+	cx.slotFor(fn).install(m)
 	return nil
 }
 
@@ -384,6 +457,17 @@ type CallStats struct {
 	// variant was readmitted to selection.
 	Recoveries int
 
+	// Dispatch-tier accounting: every model prediction lands in exactly one
+	// of the three buckets below (calls without an installed model land in
+	// none). MemoHits were served by the memoization cache, CompiledHits by
+	// the distilled compiled artifact with margin clearance, and
+	// ExactFallbacks evaluated the exact classifier — either because no
+	// artifact is installed or because the input landed within the
+	// calibrated margin of a distilled decision boundary.
+	MemoHits       int
+	CompiledHits   int
+	ExactFallbacks int
+
 	// Latency holds the per-variant latency digest (p50/p95/p99 plus the
 	// regret estimate relative to the best variant), populated only after
 	// Context.EnableLatencyHistograms(fn); nil otherwise.
@@ -431,6 +515,27 @@ type TuningPolicy struct {
 	// zero value disables it (no behaviour change relative to the
 	// pre-fault-tolerance runtime).
 	Quarantine QuarantinePolicy
+	// Dispatch tunes the fast-path prediction tiers (memoization and the
+	// compiled artifact); the zero value enables both with defaults.
+	Dispatch DispatchPolicy
+}
+
+// DispatchPolicy configures the prediction tier ladder. The zero value is
+// the recommended configuration: memoization on with the default cache size,
+// compiled artifacts honoured when the installed model carries one. Both
+// tiers are outcome-preserving by construction (the memo caches raw
+// predictions only, the compiled tier falls back to the exact model near
+// decision boundaries), so disabling them is a debugging aid, not a safety
+// lever.
+type DispatchPolicy struct {
+	// DisableMemo turns off the feature-vector memoization cache.
+	DisableMemo bool
+	// MemoSize is the memo slot count, rounded up to a power of two
+	// (default 1024).
+	MemoSize int
+	// DisableCompiled makes prediction always evaluate the exact classifier,
+	// ignoring any compiled artifact installed on the model.
+	DisableCompiled bool
 }
 
 // DefaultPolicy returns the paper's defaults: constraints on, serial
@@ -464,6 +569,10 @@ type variantEntry[In any] struct {
 	// to the same function name). Consulted only when the policy enables
 	// quarantining.
 	br *breaker
+	// cnt caches this variant's per-shard call counters from the shared
+	// funcStats, so the record fast path skips the string-keyed perVariant
+	// map after the first call on each shard.
+	cnt [statsShards]atomic.Pointer[atomic.Int64]
 }
 
 // CodeVariant is the Go rendering of the paper's nitro::code_variant: a
@@ -488,6 +597,16 @@ type CodeVariant[In any] struct {
 	model *modelSlot
 	stats *funcStats
 
+	// memo is the feature-vector → raw-prediction cache (nil when the policy
+	// disables it). Per CodeVariant, invalidated by epoch stamping on model
+	// hot-swap and quarantine transitions; see memoCache.
+	memo *memoCache
+
+	// anyCost records whether any registered feature carries a Cost model;
+	// when none does, the serial feature-eval path skips cost accounting
+	// entirely (no costs slice, no per-feature nil checks).
+	anyCost bool
+
 	// observer is the optional adaptation hook (SetCallObserver): consulted
 	// with one atomic load after every successful Call-path dispatch. Nil —
 	// the default — keeps the runtime byte-identical to the pre-adaptation
@@ -507,13 +626,17 @@ func New[In any](cx *Context, policy TuningPolicy) *CodeVariant[In] {
 		cx = NewContext()
 	}
 	policy.Quarantine = policy.Quarantine.normalized()
-	return &CodeVariant[In]{
+	cv := &CodeVariant[In]{
 		cx:     cx,
 		policy: policy,
 		defIdx: -1,
 		model:  cx.slotFor(policy.Name),
 		stats:  cx.statsFor(policy.Name),
 	}
+	if !policy.Dispatch.DisableMemo {
+		cv.memo = newMemoCache(policy.Dispatch.MemoSize)
+	}
+	return cv
 }
 
 // Context returns the bound tuning context.
@@ -535,8 +658,8 @@ func (cv *CodeVariant[In]) AddVariant(name string, fn VariantFn[In]) int {
 // SetDefault marks the named variant as the preferred fallback used when no
 // model is installed or a predicted variant is vetoed at deployment time.
 func (cv *CodeVariant[In]) SetDefault(name string) error {
-	for i, v := range cv.variants {
-		if v.name == name {
+	for i := range cv.variants {
+		if cv.variants[i].name == name {
 			cv.defIdx = i
 			return nil
 		}
@@ -547,6 +670,9 @@ func (cv *CodeVariant[In]) SetDefault(name string) error {
 // AddInputFeature registers a feature function.
 func (cv *CodeVariant[In]) AddInputFeature(f Feature[In]) {
 	cv.features = append(cv.features, f)
+	if f.Cost != nil {
+		cv.anyCost = true
+	}
 	cv.cx.noteShape(cv.policy.Name, len(cv.features), len(cv.variants))
 }
 
@@ -564,8 +690,8 @@ func (cv *CodeVariant[In]) AddConstraint(variant string, c ConstraintFn[In]) err
 // VariantNames returns the registered variant names in label order.
 func (cv *CodeVariant[In]) VariantNames() []string {
 	out := make([]string, len(cv.variants))
-	for i, v := range cv.variants {
-		out[i] = v.name
+	for i := range cv.variants {
+		out[i] = cv.variants[i].name
 	}
 	return out
 }
@@ -598,11 +724,20 @@ func (cv *CodeVariant[In]) Allowed(idx int, in In) bool {
 
 // evalFeatures computes the feature vector, honouring the parallel policy,
 // and returns it with the modelled evaluation cost in seconds (the maximum
-// over features when parallel, the sum when serial).
+// over features when parallel, the sum when serial). The returned vector is
+// freshly allocated; callers that may retain it (Fixed handles, observers)
+// use this form.
 func (cv *CodeVariant[In]) evalFeatures(in In) ([]float64, float64) {
 	vec := make([]float64, len(cv.features))
-	costs := make([]float64, len(cv.features))
+	return vec, cv.evalFeaturesInto(in, vec)
+}
+
+// evalFeaturesInto is evalFeatures writing into a caller-provided vector (len
+// == len(features)) — the allocation-free form the Call hot path uses with a
+// pooled buffer.
+func (cv *CodeVariant[In]) evalFeaturesInto(in In, vec []float64) float64 {
 	if cv.policy.ParallelFeatureEval {
+		costs := make([]float64, len(cv.features))
 		var wg sync.WaitGroup
 		for i := range cv.features {
 			wg.Add(1)
@@ -621,7 +756,13 @@ func (cv *CodeVariant[In]) evalFeatures(in In) ([]float64, float64) {
 				maxC = c
 			}
 		}
-		return vec, maxC
+		return maxC
+	}
+	if !cv.anyCost {
+		for i := range cv.features {
+			vec[i] = cv.features[i].Eval(in)
+		}
+		return 0
 	}
 	var sum float64
 	for i := range cv.features {
@@ -630,7 +771,7 @@ func (cv *CodeVariant[In]) evalFeatures(in In) ([]float64, float64) {
 			sum += cv.features[i].Cost(in)
 		}
 	}
-	return vec, sum
+	return sum
 }
 
 // FeatureVector computes the feature vector synchronously and returns it
@@ -733,42 +874,88 @@ func (cv *CodeVariant[In]) CallFixed(f *Fixed[In]) (float64, string, error) {
 // The second result reports whether a fallback happened. When constraints
 // veto every variant the index is -1 and the error is ErrAllVariantsVetoed.
 func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) {
-	idx, _, fellBack, err := cv.selectWithPred(in, vec)
+	idx, _, _, fellBack, err := cv.selectWithPred(in, vec, nil)
 	return idx, fellBack, err
 }
 
+// predictVec runs the model prediction ladder for one feature vector: memo
+// cache, then the model's own tiers (compiled artifact, exact classifier).
+// It returns (-1, TierNone) without a model. The tier counter is recorded
+// here — at prediction time — so memoized, compiled and exact predictions
+// are counted exactly once each.
+//
+// Ordering invariant: both epochs are loaded BEFORE the model pointer; see
+// memoCache for why the reverse order would be unsound under hot-swap.
+func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier) {
+	var mEpoch, qEpoch, h uint64
+	if cv.memo != nil {
+		mEpoch = cv.model.epoch.Load()
+		qEpoch = cv.stats.qEpoch.Load()
+	}
+	m := cv.model.p.Load()
+	if m == nil {
+		return -1, ml.TierNone
+	}
+	if cv.memo != nil {
+		h = memoHash(vec)
+		if pred, ok := cv.memo.lookup(h, vec, mEpoch, qEpoch); ok {
+			cv.stats.recordTier(ml.TierMemo)
+			return pred, ml.TierMemo
+		}
+	}
+	var pred int
+	tier := ml.TierExact
+	if cv.policy.Dispatch.DisableCompiled {
+		pred = m.PredictExact(vec)
+	} else {
+		pred, tier = m.PredictTier(vec)
+	}
+	if cv.memo != nil {
+		cv.memo.store(h, vec, pred, mEpoch, qEpoch)
+	}
+	cv.stats.recordTier(tier)
+	return pred, tier
+}
+
 // selectWithPred is SelectIndex plus the model's raw prediction (-1 when no
-// model is installed), which the adaptation observer needs to compare the
-// predicted variant against the observed best.
-func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64) (int, int, bool, error) {
+// model is installed) and the tier that produced it — what the adaptation
+// observer and the decision tracer need beyond the index. When pre is
+// non-nil it carries a prediction the batched path already computed (and
+// counted); selection consumes it instead of re-predicting.
+func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64, pre *prediction) (int, int, ml.Tier, bool, error) {
 	if len(cv.variants) == 0 {
-		return -1, -1, false, errNoVariants
+		return -1, -1, ml.TierNone, false, errNoVariants
 	}
 	var now int64
 	if cv.policy.Quarantine.Enabled() {
 		now = nowNanos()
 	}
-	rawPred := -1
-	if m := cv.model.p.Load(); m != nil {
-		pred := m.Predict(vec)
-		rawPred = pred
+	var pred int
+	var tier ml.Tier
+	if pre != nil {
+		pred, tier = pre.pred, pre.tier
+	} else {
+		pred, tier = cv.predictVec(vec)
+	}
+	rawPred := pred
+	if tier != ml.TierNone {
 		if pred >= 0 && pred < len(cv.variants) && cv.selectable(pred, in, now) {
-			return pred, rawPred, false, nil
+			return pred, rawPred, tier, false, nil
 		}
 	}
 	// Fallback chain: the default variant only if it passes its own
 	// constraints (a vetoed default must never execute), then the first
 	// allowed variant in registration order.
 	if idx := cv.firstFallback(func(i int) bool { return cv.selectable(i, in, now) }); idx >= 0 {
-		return idx, rawPred, true, nil
+		return idx, rawPred, tier, true, nil
 	}
 	if cv.policy.Quarantine.Enabled() {
 		// Everything allowed is quarantined: last resort, constraints only.
 		if idx := cv.firstFallback(func(i int) bool { return cv.Allowed(i, in) }); idx >= 0 {
-			return idx, rawPred, true, nil
+			return idx, rawPred, tier, true, nil
 		}
 	}
-	return -1, rawPred, true, ErrAllVariantsVetoed
+	return -1, rawPred, tier, true, ErrAllVariantsVetoed
 }
 
 // dispatchResult is the full outcome of one dispatch: what ran, whether
@@ -781,6 +968,7 @@ type dispatchResult struct {
 	name     string
 	fellBack bool
 	hops     int
+	tier     ml.Tier
 	err      error
 }
 
@@ -793,31 +981,37 @@ type dispatchResult struct {
 // When a tracer is installed and admits this call, the dispatch is wrapped in
 // a DecisionTrace capture; the untraced path pays one atomic load.
 func (cv *CodeVariant[In]) dispatch(ctx context.Context, in In, vec []float64, featSeconds float64) (float64, string, error) {
+	return cv.dispatchPre(ctx, in, vec, featSeconds, nil)
+}
+
+// dispatchPre is dispatch with an optional precomputed prediction (the
+// batched CallConcurrent path threads its per-input result through pre).
+func (cv *CodeVariant[In]) dispatchPre(ctx context.Context, in In, vec []float64, featSeconds float64, pre *prediction) (float64, string, error) {
 	if t := cv.tracer.Load(); t != nil && t.Admit() {
-		return cv.dispatchTraced(ctx, t, in, vec, featSeconds)
+		return cv.dispatchTraced(ctx, t, in, vec, featSeconds, pre)
 	}
-	r := cv.dispatchRun(ctx, in, vec, featSeconds)
+	r := cv.dispatchRun(ctx, in, vec, featSeconds, pre)
 	return r.value, r.name, r.err
 }
 
 // dispatchRun is the single dispatch implementation behind both the traced
 // and untraced paths.
-func (cv *CodeVariant[In]) dispatchRun(ctx context.Context, in In, vec []float64, featSeconds float64) dispatchResult {
-	idx, pred, fellBack, err := cv.selectWithPred(in, vec)
+func (cv *CodeVariant[In]) dispatchRun(ctx context.Context, in In, vec []float64, featSeconds float64, pre *prediction) dispatchResult {
+	idx, pred, tier, fellBack, err := cv.selectWithPred(in, vec, pre)
 	if err != nil {
-		return dispatchResult{idx: -1, fellBack: fellBack, err: err}
+		return dispatchResult{idx: -1, fellBack: fellBack, tier: tier, err: err}
 	}
 	value, verr := cv.exec(ctx, idx, in, featSeconds, fellBack)
 	if verr == nil {
 		cv.observe(in, vec, pred, idx, value, fellBack)
-		return dispatchResult{value: value, idx: idx, name: cv.variants[idx].name, fellBack: fellBack}
+		return dispatchResult{value: value, idx: idx, name: cv.variants[idx].name, fellBack: fellBack, tier: tier}
 	}
 	var ve *VariantError
 	if !errors.As(verr, &ve) {
-		return dispatchResult{idx: -1, fellBack: fellBack, err: verr} // context cancellation: do not fall back
+		return dispatchResult{idx: -1, fellBack: fellBack, tier: tier, err: verr} // context cancellation: do not fall back
 	}
 	value, cidx, hops, ferr := cv.dispatchFallback(ctx, in, vec, featSeconds, idx, pred, verr)
-	r := dispatchResult{value: value, idx: cidx, fellBack: true, hops: hops, err: ferr}
+	r := dispatchResult{value: value, idx: cidx, fellBack: true, hops: hops, tier: tier, err: ferr}
 	if cidx >= 0 && ferr == nil {
 		r.name = cv.variants[cidx].name
 	}
@@ -849,9 +1043,27 @@ func (cv *CodeVariant[In]) CallCtx(ctx context.Context, in In) (float64, string,
 	if len(cv.variants) == 0 {
 		return 0, "", errNoVariants
 	}
-	vec, featSeconds := cv.evalFeatures(in)
-	return cv.dispatch(ctx, in, vec, featSeconds)
+	// The feature vector comes from a pool and is recycled after dispatch:
+	// nothing downstream retains it (the memo tier and the tracer copy, and
+	// the observer contract forbids retention), so the steady-state Call fast
+	// path allocates nothing for features.
+	vp := featVecPool.Get().(*[]float64)
+	vec := *vp
+	if cap(vec) < len(cv.features) {
+		vec = make([]float64, len(cv.features))
+	} else {
+		vec = vec[:len(cv.features)]
+	}
+	featSeconds := cv.evalFeaturesInto(in, vec)
+	value, name, err := cv.dispatch(ctx, in, vec, featSeconds)
+	*vp = vec
+	featVecPool.Put(vp)
+	return value, name, err
 }
+
+// featVecPool recycles Call-path feature vectors. Fixed handles do NOT use
+// it: Fixed.Features hands the vector to the caller, who may retain it.
+var featVecPool = sync.Pool{New: func() any { return new([]float64) }}
 
 // CallResult is one outcome of a batched dispatch.
 type CallResult struct {
@@ -875,16 +1087,50 @@ func (cv *CodeVariant[In]) CallConcurrent(ins []In, parallelism int) []CallResul
 // that never ran carries ctx.Err() in its result slot. Inputs already in
 // flight finish (or are abandoned by their own CallCtx per the cancellation
 // rules). With a background context it is byte-identical to CallConcurrent.
+//
+// The batch is dispatched in three phases: feature evaluation fans out over
+// the workers, then ONE batched prediction pass classifies every evaluated
+// vector with shared scratch (memo lookups plus ml.Model.PredictAll — one
+// scaler/kernel scratch for N vectors instead of N independent Predicts),
+// then execution fans back out consuming the precomputed predictions.
+// Per-input results are identical to N independent CallCtx calls: PredictAll
+// is prediction-for-prediction equivalent to Predict, and constraints /
+// quarantine are still checked per input at dispatch time.
 func (cv *CodeVariant[In]) CallConcurrentCtx(ctx context.Context, ins []In, parallelism int) []CallResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make([]CallResult, len(ins))
-	ran := make([]bool, len(ins))
-	cerr := par.ForCtx(ctx, len(ins), par.Workers(parallelism), func(i int) {
-		ran[i] = true
-		out[i].Value, out[i].Variant, out[i].Err = cv.CallCtx(ctx, ins[i])
+	if len(ins) == 0 {
+		return out
+	}
+	if len(cv.variants) == 0 {
+		for i := range out {
+			out[i].Err = errNoVariants
+		}
+		return out
+	}
+	workers := par.Workers(parallelism)
+
+	// Phase 1: evaluate features for every input.
+	vecs := make([][]float64, len(ins))
+	secs := make([]float64, len(ins))
+	cerr := par.ForCtx(ctx, len(ins), workers, func(i int) {
+		vecs[i], secs[i] = cv.evalFeatures(ins[i])
 	})
+
+	// Phase 2: one batched prediction pass over the evaluated vectors
+	// (vecs[i] stays nil for inputs phase 1 never reached).
+	preds := cv.batchPredict(vecs)
+
+	// Phase 3: dispatch each input, consuming its precomputed prediction.
+	ran := make([]bool, len(ins))
+	if cerr == nil {
+		cerr = par.ForCtx(ctx, len(ins), workers, func(i int) {
+			ran[i] = true
+			out[i].Value, out[i].Variant, out[i].Err = cv.dispatchPre(ctx, ins[i], vecs[i], secs[i], preds[i])
+		})
+	}
 	if cerr != nil {
 		for i := range out {
 			if !ran[i] {
@@ -893,6 +1139,67 @@ func (cv *CodeVariant[In]) CallConcurrentCtx(ctx context.Context, ins []In, para
 		}
 	}
 	return out
+}
+
+// batchPredict runs the prediction ladder over a batch of feature vectors
+// (nil rows are skipped, yielding nil predictions that make dispatch predict
+// on demand). Epochs are loaded before the model pointer, exactly like
+// predictVec; the whole batch is stamped with one epoch pair, which mirrors
+// the serial path's prediction-then-execution window under a racing
+// hot-swap. Tier counters are recorded here, at prediction time.
+func (cv *CodeVariant[In]) batchPredict(vecs [][]float64) []*prediction {
+	preds := make([]*prediction, len(vecs))
+	var mEpoch, qEpoch uint64
+	if cv.memo != nil {
+		mEpoch = cv.model.epoch.Load()
+		qEpoch = cv.stats.qEpoch.Load()
+	}
+	m := cv.model.p.Load()
+	if m == nil {
+		return preds
+	}
+	store := make([]prediction, len(vecs))
+	var missVecs [][]float64
+	var missIdx []int
+	for i, vec := range vecs {
+		if vec == nil {
+			continue
+		}
+		if cv.memo != nil {
+			if pred, ok := cv.memo.lookup(memoHash(vec), vec, mEpoch, qEpoch); ok {
+				store[i] = prediction{pred: pred, tier: ml.TierMemo}
+				preds[i] = &store[i]
+				cv.stats.recordTier(ml.TierMemo)
+				continue
+			}
+		}
+		missVecs = append(missVecs, vec)
+		missIdx = append(missIdx, i)
+	}
+	if len(missVecs) == 0 {
+		return preds
+	}
+	var mp []int
+	var mt []ml.Tier
+	if cv.policy.Dispatch.DisableCompiled {
+		mp = make([]int, len(missVecs))
+		mt = make([]ml.Tier, len(missVecs))
+		for j, vec := range missVecs {
+			mp[j] = m.PredictExact(vec)
+			mt[j] = ml.TierExact
+		}
+	} else {
+		mp, mt = m.PredictAll(missVecs)
+	}
+	for j, i := range missIdx {
+		store[i] = prediction{pred: mp[j], tier: mt[j]}
+		preds[i] = &store[i]
+		if cv.memo != nil {
+			cv.memo.store(memoHash(vecs[i]), vecs[i], mp[j], mEpoch, qEpoch)
+		}
+		cv.stats.recordTier(mt[j])
+	}
+	return preds
 }
 
 // ExhaustiveSearch runs every variant on in (vetoed variants score +Inf, per

@@ -1,0 +1,62 @@
+package core
+
+// Per-tier dispatch benchmarks: one bench per rung of the dispatch ladder,
+// so regressions in a single tier are attributable. BenchmarkCallMemoHit is
+// the steady-state repeat-caller fast path the sub-100ns target applies to;
+// BenchmarkCallCompiled and BenchmarkCallExact isolate the compiled walk and
+// the full scaler+SVM pass by disabling the tiers above them.
+
+import (
+	"testing"
+)
+
+func benchCalls(b *testing.B, cv *CodeVariant[testInput], distinct int) {
+	ins := make([]testInput, 16)
+	for i := range ins {
+		ins[i] = testInput{X: float64(i % distinct)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		if _, _, err := cv.Call(ins[i&15]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+// BenchmarkCallMemoHit: repeat caller, memo tier serves every call after the
+// first (distinct=1 keeps one hot entry).
+func BenchmarkCallMemoHit(b *testing.B) {
+	cv, _ := distilledConcurrentCV(b, DefaultPolicy("bench-memo"))
+	benchCalls(b, cv, 1)
+}
+
+// BenchmarkCallCompiled: memo disabled, every call walks the compiled
+// program (inputs cycle so no tier above can help).
+func BenchmarkCallCompiled(b *testing.B) {
+	p := DefaultPolicy("bench-compiled")
+	p.Dispatch.DisableMemo = true
+	cv, _ := distilledConcurrentCV(b, p)
+	benchCalls(b, cv, 8)
+}
+
+// BenchmarkCallExact: both fast tiers disabled — the full scaler + SVM pass
+// every call paid before this subsystem landed.
+func BenchmarkCallExact(b *testing.B) {
+	p := DefaultPolicy("bench-exact")
+	p.Dispatch.DisableMemo = true
+	p.Dispatch.DisableCompiled = true
+	cv, _ := distilledConcurrentCV(b, p)
+	benchCalls(b, cv, 8)
+}
+
+// BenchmarkCallNoModel: the default-variant path (no model installed).
+func BenchmarkCallNoModel(b *testing.B) {
+	cv, _ := buildConcurrentCV(b, DefaultPolicy("bench-nomodel"))
+	if err := cv.Context().SetModel("bench-nomodel", nil); err != nil {
+		b.Fatal(err)
+	}
+	benchCalls(b, cv, 8)
+}

@@ -1,0 +1,346 @@
+package core
+
+// Tests for the tiered dispatch ladder (memo cache -> compiled artifact ->
+// exact classifier): counter accounting, policy switches, epoch invalidation
+// on model hot-swap and quarantine transitions, batched-vs-serial identity,
+// and the zero-allocation fast path. The swap stress test is the -race
+// gatekeeper for the memo cache's lock-free publication protocol.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nitro/internal/ml"
+)
+
+// singleClassModel fits an SVM on a one-label corpus: it predicts that label
+// for every input, which makes "which model served this call" observable from
+// the dispatched variant alone.
+func singleClassModel(tb testing.TB, label int) *ml.Model {
+	tb.Helper()
+	ds := &ml.Dataset{}
+	for x := 0.0; x < 4; x++ {
+		ds.Append([]float64{x}, label)
+	}
+	svm := ml.NewSVM(ml.LinearKernel{}, 1)
+	if err := svm.Fit(ds); err != nil {
+		tb.Fatal(err)
+	}
+	return &ml.Model{Classifier: svm}
+}
+
+// distilledConcurrentCV is buildConcurrentCV plus a distilled compiled
+// artifact installed on the model before it is published.
+func distilledConcurrentCV(tb testing.TB, policy TuningPolicy) (*CodeVariant[testInput], *ml.Model) {
+	tb.Helper()
+	cv, model := buildConcurrentCV(tb, policy)
+	corpus := make([][]float64, 10)
+	for x := 0; x < 10; x++ {
+		corpus[x] = []float64{float64(x)}
+	}
+	c, err := ml.Distill(model, corpus, ml.DistillOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	model.Compiled = c
+	// Re-install so the published model carries the artifact (and the memo
+	// epoch moves past anything cached against the bare model).
+	if err := cv.Context().SetModel(policy.Name, model); err != nil {
+		tb.Fatal(err)
+	}
+	return cv, model
+}
+
+func TestDispatchTierCounters(t *testing.T) {
+	cv, _ := buildConcurrentCV(t, DefaultPolicy("tiers"))
+	in := testInput{X: 7}
+	for i := 0; i < 5; i++ {
+		if _, name, err := cv.Call(in); err != nil || name != "large" {
+			t.Fatalf("call %d: (%q, %v), want large", i, name, err)
+		}
+	}
+	st := cv.Context().Stats("tiers")
+	if st.Calls != 5 || st.ExactFallbacks != 1 || st.MemoHits != 4 || st.CompiledHits != 0 {
+		t.Fatalf("after 5 identical calls: %+v, want 1 exact + 4 memo", st)
+	}
+	// A different input misses the memo and pays the exact path once more.
+	if _, name, err := cv.Call(testInput{X: 1}); err != nil || name != "small" {
+		t.Fatalf("distinct call: (%q, %v), want small", name, err)
+	}
+	st = cv.Context().Stats("tiers")
+	if st.ExactFallbacks != 2 || st.MemoHits != 4 {
+		t.Fatalf("after distinct input: %+v, want 2 exact + 4 memo", st)
+	}
+}
+
+func TestMemoDisabledByPolicy(t *testing.T) {
+	p := DefaultPolicy("nomemo")
+	p.Dispatch.DisableMemo = true
+	cv, _ := buildConcurrentCV(t, p)
+	in := testInput{X: 7}
+	for i := 0; i < 4; i++ {
+		if _, _, err := cv.Call(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cv.Context().Stats("nomemo")
+	if st.MemoHits != 0 || st.ExactFallbacks != 4 {
+		t.Fatalf("with memo disabled: %+v, want every call exact", st)
+	}
+}
+
+// With a compiled artifact installed, the served variant choice must be
+// identical to exact-only dispatch on every corpus input, and the compiled
+// tier must actually decide calls (memo disabled so tiers stay visible).
+func TestCompiledTierServesIdenticalChoices(t *testing.T) {
+	p := DefaultPolicy("compiled")
+	p.Dispatch.DisableMemo = true
+	cv, _ := distilledConcurrentCV(t, p)
+
+	pExact := DefaultPolicy("exactonly")
+	pExact.Dispatch.DisableMemo = true
+	pExact.Dispatch.DisableCompiled = true
+	cvExact, _ := distilledConcurrentCV(t, pExact)
+
+	for x := 0.0; x < 10; x++ {
+		in := testInput{X: x}
+		v1, n1, err1 := cv.Call(in)
+		v2, n2, err2 := cvExact.Call(in)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if v1 != v2 || n1 != n2 {
+			t.Fatalf("x=%v: compiled dispatch (%v,%q) != exact dispatch (%v,%q)", x, v1, n1, v2, n2)
+		}
+	}
+	st := cv.Context().Stats("compiled")
+	if st.CompiledHits+st.ExactFallbacks != 10 {
+		t.Fatalf("tier counters don't cover all calls: %+v", st)
+	}
+	if st.CompiledHits == 0 {
+		t.Fatalf("compiled tier never decided: %+v", st)
+	}
+	stE := cvExact.Context().Stats("exactonly")
+	if stE.CompiledHits != 0 || stE.ExactFallbacks != 10 {
+		t.Fatalf("DisableCompiled leaked compiled hits: %+v", stE)
+	}
+}
+
+// SetModel must atomically invalidate every memoized prediction: a cached
+// entry computed under the old model may never decide a call issued after the
+// swap returns.
+func TestMemoInvalidatedOnSetModel(t *testing.T) {
+	cx := NewContext()
+	cv := New[testInput](cx, DefaultPolicy("swap"))
+	cv.AddVariant("v0", func(testInput) float64 { return 0 })
+	cv.AddVariant("v1", func(testInput) float64 { return 1 })
+	if err := cv.SetDefault("v0"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(Feature[testInput]{Name: "x", Eval: func(in testInput) float64 { return in.X }})
+
+	if err := cx.SetModel("swap", singleClassModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	in := testInput{X: 5}
+	for i := 0; i < 2; i++ { // second call is a memo hit
+		if _, name, err := cv.Call(in); err != nil || name != "v0" {
+			t.Fatalf("pre-swap call %d: (%q, %v), want v0", i, name, err)
+		}
+	}
+	if st := cx.Stats("swap"); st.MemoHits != 1 {
+		t.Fatalf("memo never engaged: %+v", st)
+	}
+	if err := cx.SetModel("swap", singleClassModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, name, err := cv.Call(in); err != nil || name != "v1" {
+		t.Fatalf("post-swap call served (%q, %v), want v1 — stale memo entry dispatched", name, err)
+	}
+	if st := cx.Stats("swap"); st.ExactFallbacks != 2 {
+		t.Fatalf("post-swap call did not re-predict: %+v", st)
+	}
+}
+
+// A quarantine trip (or recovery) bumps the quarantine epoch, which must
+// invalidate memoized predictions even though the model never changed.
+func TestMemoInvalidatedOnQuarantineTransition(t *testing.T) {
+	p := DefaultPolicy("qepoch")
+	p.Quarantine = QuarantinePolicy{Threshold: 2, Window: time.Minute, Cooldown: time.Hour}
+	cv, _ := buildConcurrentCV(t, p)
+	boom := cv.AddVariant("boom", func(testInput) float64 { panic("down") })
+
+	in := testInput{X: 7}
+	for i := 0; i < 2; i++ {
+		if _, _, err := cv.Call(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cv.Context().Stats("qepoch")
+	if st.MemoHits != 1 || st.ExactFallbacks != 1 {
+		t.Fatalf("warmup: %+v, want 1 exact + 1 memo", st)
+	}
+	// Trip boom's breaker through the exploration path (not a served call).
+	for i := 0; i < 2; i++ {
+		if _, err := cv.ObserveVariant(boom, in); err == nil {
+			t.Fatal("boom should fail")
+		}
+	}
+	if st = cv.Context().Stats("qepoch"); st.Quarantined != 1 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+	if _, _, err := cv.Call(in); err != nil {
+		t.Fatal(err)
+	}
+	if st = cv.Context().Stats("qepoch"); st.ExactFallbacks != 2 {
+		t.Fatalf("post-trip call reused a stale memo entry: %+v", st)
+	}
+}
+
+// Swap stress: goroutines hammer one memoized input while another goroutine
+// hot-swaps between two single-class models. A seqlock-style phase counter
+// brackets each call; whenever the phase is stable (even and unchanged across
+// the call), the dispatched variant must be the one the installed model of
+// that phase predicts — i.e. no call after SetModel returns may be decided by
+// a stale cached prediction. Run under -race this also polices the memo
+// cache's publication protocol.
+func TestMemoSwapStressNoStaleDispatch(t *testing.T) {
+	cx := NewContext()
+	cv := New[testInput](cx, DefaultPolicy("stress"))
+	cv.AddVariant("v0", func(testInput) float64 { return 0 })
+	cv.AddVariant("v1", func(testInput) float64 { return 1 })
+	if err := cv.SetDefault("v0"); err != nil {
+		t.Fatal(err)
+	}
+	cv.AddInputFeature(Feature[testInput]{Name: "x", Eval: func(in testInput) float64 { return in.X }})
+
+	models := [2]*ml.Model{singleClassModel(t, 0), singleClassModel(t, 1)}
+	if err := cx.SetModel("stress", models[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// phase protocol: odd while a swap is in flight; after 2k total
+	// increments, models[k%2] is installed (k complete swaps, starting from
+	// models[0] at phase 0... swap j installs models[j%2]).
+	var phase atomic.Uint64
+	var stale atomic.Int64
+	done := make(chan struct{})
+
+	const swaps = 400
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for j := 1; j <= swaps; j++ {
+			phase.Add(1) // odd: swap in flight
+			if err := cx.SetModel("stress", models[j%2]); err != nil {
+				t.Error(err)
+				return
+			}
+			phase.Add(1) // even: swap j complete
+		}
+	}()
+
+	callers := 4
+	wg.Add(callers)
+	for g := 0; g < callers; g++ {
+		go func() {
+			defer wg.Done()
+			in := testInput{X: 5}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p1 := phase.Load()
+				if p1%2 != 0 {
+					continue // swap in flight; outcome is legitimately either
+				}
+				_, name, err := cv.Call(in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p2 := phase.Load(); p2 == p1 {
+					want := "v0"
+					if (p1/2)%2 == 1 {
+						want = "v1"
+					}
+					if name != want {
+						stale.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := stale.Load(); n != 0 {
+		t.Fatalf("%d calls in a stable phase dispatched the other model's pick — stale memo served after swap", n)
+	}
+	st := cx.Stats("stress")
+	if st.MemoHits == 0 {
+		t.Fatalf("stress loop never hit the memo tier: %+v", st)
+	}
+}
+
+// Batched CallConcurrent must produce per-input results identical to N
+// independent serial calls, with the memo and compiled tiers engaged.
+func TestCallConcurrentBatchedMatchesSerialTiers(t *testing.T) {
+	cv, _ := distilledConcurrentCV(t, DefaultPolicy("batch"))
+	cvSerial, _ := distilledConcurrentCV(t, DefaultPolicy("batch-serial"))
+
+	ins := make([]testInput, 64)
+	for i := range ins {
+		ins[i] = testInput{X: float64(i % 8)}
+	}
+	// Two rounds: the first populates the memo (intra-batch duplicates all
+	// miss — lookups run before any store), the second is served from it.
+	for round := 0; round < 2; round++ {
+		res := cv.CallConcurrent(ins, 4)
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("round %d result %d: %v", round, i, r.Err)
+			}
+			v, name, err := cvSerial.Call(ins[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Value != v || r.Variant != name {
+				t.Fatalf("round %d input %d: batch (%v,%q) != serial (%v,%q)", round, i, r.Value, r.Variant, v, name)
+			}
+		}
+	}
+	st := cv.Context().Stats("batch")
+	if st.Calls != 2*len(ins) {
+		t.Fatalf("batch recorded %d calls, want %d", st.Calls, 2*len(ins))
+	}
+	if st.MemoHits+st.CompiledHits+st.ExactFallbacks != 2*len(ins) {
+		t.Fatalf("tier counters don't cover the batches: %+v", st)
+	}
+	if st.MemoHits < len(ins) {
+		t.Fatalf("second batch should be memo-served: %+v", st)
+	}
+}
+
+// The steady-state Call fast path (memo hit) must not allocate.
+func TestCallFastPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	cv, _ := distilledConcurrentCV(t, DefaultPolicy("zeroalloc"))
+	in := testInput{X: 7}
+	if _, _, err := cv.Call(in); err != nil { // warm memo + pools
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if _, _, err := cv.Call(in); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("memoized Call allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"nitro/internal/ml"
+)
+
+// This file is the memoization tier of the dispatch ladder: a bounded,
+// direct-mapped, lock-free cache from feature-vector fingerprint to the
+// model's raw prediction. Repeat callers — the common case the "A Few Fit
+// Most" observation predicts — skip the scaler and kernel entirely and pay
+// one hash plus one atomic pointer load.
+//
+// Correctness model:
+//
+//   - The cache memoizes ONLY the model's raw prediction, never the dispatch
+//     outcome. Constraints and quarantine (selectable) are re-checked on
+//     every call, so a memo hit can never dispatch a variant a full predict
+//     path would have rejected.
+//   - Entries are keyed by the exact feature vector (fingerprint plus full
+//     equality check, so hash collisions can never alias two inputs) AND by
+//     two epochs: the model slot's install epoch and the function's
+//     quarantine epoch. SetModel and every breaker trip/recovery bump their
+//     epoch, which instantly invalidates every cached entry without touching
+//     the cache itself.
+//   - Epochs are read BEFORE the model pointer on the predict path. A store
+//     racing a hot-swap can therefore only under-stamp its entry (epoch read
+//     before the swap, prediction computed from the new model) — such an
+//     entry is conservatively treated as stale and recomputed. Reading the
+//     epoch after the model load could over-stamp a stale prediction as
+//     fresh, which would serve old-model picks after a swap; the ordering
+//     makes that impossible. Go's atomics are sequentially consistent, so a
+//     call that starts after SetModel returns must observe the bumped epoch.
+type memoCache struct {
+	mask  uint64
+	slots []atomic.Pointer[memoEntry]
+}
+
+// memoEntry is one immutable cache cell: published with an atomic pointer
+// store, never mutated afterwards, so readers need no locks.
+type memoEntry struct {
+	hash   uint64
+	mEpoch uint64 // model-install epoch the prediction was computed under
+	qEpoch uint64 // quarantine epoch ditto
+	vec    []float64
+	pred   int32
+}
+
+// defaultMemoSize is the default slot count (power of two).
+const defaultMemoSize = 1024
+
+// newMemoCache builds a cache with at least size slots (rounded up to a
+// power of two; size <= 0 selects the default).
+func newMemoCache(size int) *memoCache {
+	if size <= 0 {
+		size = defaultMemoSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &memoCache{mask: uint64(n - 1), slots: make([]atomic.Pointer[memoEntry], n)}
+}
+
+// memoHash fingerprints a feature vector: FNV-1a folded over the float64
+// bit patterns, word at a time, then avalanched. The finalizer is load-
+// bearing for the direct-mapped cache: multiplication only propagates bits
+// upward, so without it vectors differing only in exponent/high-mantissa
+// bits (0.0, 1.0, 2.0, ...) share their low bits and collapse onto one
+// slot, evicting each other. Residual collisions are tolerable — lookup
+// verifies full vector equality.
+func memoHash(vec []float64) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, v := range vec {
+		h = (h ^ math.Float64bits(v)) * prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// lookup returns the memoized prediction for vec computed under exactly the
+// given epochs, when present. NaN features never match themselves, so such
+// vectors simply always miss.
+func (c *memoCache) lookup(h uint64, vec []float64, mEpoch, qEpoch uint64) (int, bool) {
+	e := c.slots[h&c.mask].Load()
+	if e == nil || e.hash != h || e.mEpoch != mEpoch || e.qEpoch != qEpoch || len(e.vec) != len(vec) {
+		return 0, false
+	}
+	for i, v := range vec {
+		if e.vec[i] != v {
+			return 0, false
+		}
+	}
+	return int(e.pred), true
+}
+
+// store publishes a prediction computed under the given epochs. The vector is
+// copied: callers recycle their feature buffers.
+func (c *memoCache) store(h uint64, vec []float64, pred int, mEpoch, qEpoch uint64) {
+	c.slots[h&c.mask].Store(&memoEntry{
+		hash:   h,
+		mEpoch: mEpoch,
+		qEpoch: qEpoch,
+		vec:    append([]float64(nil), vec...),
+		pred:   int32(pred),
+	})
+}
+
+// prediction is a model prediction precomputed by the batched CallConcurrent
+// path and threaded into dispatch, so phase 3 consumes it instead of
+// re-predicting per input.
+type prediction struct {
+	pred int
+	tier ml.Tier
+}

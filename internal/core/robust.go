@@ -302,7 +302,7 @@ func (cv *CodeVariant[In]) exec(ctx context.Context, idx int, in In, featSeconds
 		if qOn && v.br.onSuccess(acq) {
 			cv.stats.recordRecovery()
 		}
-		cv.stats.record(v.name, value, featSeconds, fellBack)
+		cv.stats.record(v.name, &v.cnt, value, featSeconds, fellBack)
 		return value, nil
 	}
 	var ve *VariantError

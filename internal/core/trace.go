@@ -46,7 +46,7 @@ func (cv *CodeVariant[In]) Tracer() *obs.Tracer { return cv.tracer.Load() }
 // the model explanation (raw + scaled features, per-class scores, pairwise
 // SVM decision values, ranked preference order), the selection-time veto and
 // quarantine view, the executed variant and the failure fallback hop count.
-func (cv *CodeVariant[In]) dispatchTraced(ctx context.Context, t *obs.Tracer, in In, vec []float64, featSeconds float64) (float64, string, error) {
+func (cv *CodeVariant[In]) dispatchTraced(ctx context.Context, t *obs.Tracer, in In, vec []float64, featSeconds float64, pre *prediction) (float64, string, error) {
 	start := time.Now()
 	rec := obs.DecisionTrace{
 		Function:    cv.policy.Name,
@@ -80,12 +80,13 @@ func (cv *CodeVariant[In]) dispatchTraced(ctx context.Context, t *obs.Tracer, in
 			}
 		}
 	}
-	r := cv.dispatchRun(ctx, in, vec, featSeconds)
+	r := cv.dispatchRun(ctx, in, vec, featSeconds, pre)
 	rec.FellBack = r.fellBack
 	rec.FallbackHops = r.hops
 	rec.ChosenIdx = r.idx
 	rec.Chosen = r.name
 	rec.Value = r.value
+	rec.Tier = r.tier.String()
 	if r.err != nil {
 		rec.Err = r.err.Error()
 	}
@@ -191,6 +192,9 @@ func (cx *Context) Collector() obs.Collector {
 			counter("nitro_quarantine_recoveries_total", "Successful half-open quarantine probes.", fl, float64(s.Recoveries))
 			counter("nitro_value_seconds_total", "Accumulated optimization value (by convention, seconds).", fl, s.TotalValue)
 			counter("nitro_feature_seconds_total", "Accumulated modelled feature-evaluation cost.", fl, s.FeatureSeconds)
+			counter("nitro_dispatch_memo_hits_total", "Model predictions served from the memoization cache.", fl, float64(s.MemoHits))
+			counter("nitro_dispatch_compiled_hits_total", "Model predictions served by the compiled artifact.", fl, float64(s.CompiledHits))
+			counter("nitro_dispatch_exact_total", "Model predictions that evaluated the exact classifier.", fl, float64(s.ExactFallbacks))
 			if v, ok := versions[fn]; ok {
 				emit(obs.Metric{Name: "nitro_model_version", Help: "Installed model generation (0 unstamped).",
 					Kind: obs.KindGauge, Labels: fl, Value: float64(v)})

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/datasets"
+	"nitro/internal/gpusim"
+)
+
+// dispatchOpts is the agreement-gate corpus configuration: the same five
+// benchmarks CI distills, at the reduced scale the gate is enforced on.
+func dispatchOpts() Options {
+	return Options{
+		Cfg:   datasets.Config{Seed: 42, Scale: 0.2, TrainCount: 24, TestCount: 36},
+		Train: autotuner.TrainOptions{Classifier: "svm"},
+	}
+}
+
+// TestCompiledAgreementCorpora is the CI agreement gate: every benchmark's
+// tuned model must distill into a compiled artifact whose served choices
+// agree with the exact classifier on >= 99% of the training corpus. Distill
+// itself enforces the gate (rejection is an error), so a single failing
+// benchmark fails this test with the distiller's reason.
+func TestCompiledAgreementCorpora(t *testing.T) {
+	opts := dispatchOpts()
+	suites, err := BuildSuites(opts, gpusim.Fermi())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Dispatch(suites, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Agreement < 0.99 {
+			t.Errorf("%s: agreement %.4f below the 0.99 gate", r.Benchmark, r.Agreement)
+		}
+		if r.FallbackRate > 0.5 {
+			t.Errorf("%s: fallback rate %.2f above the 0.5 cap", r.Benchmark, r.FallbackRate)
+		}
+		// A single-leaf program is valid when one variant dominates the whole
+		// corpus (the exact model is constant there too) — only an empty
+		// program is malformed.
+		if r.Nodes == 0 {
+			t.Errorf("%s: empty compiled program", r.Benchmark)
+		}
+		if r.MemoNs != 0 || r.CompiledNs != 0 || r.ExactNs != 0 {
+			t.Errorf("%s: timings should be zero with calls=0", r.Benchmark)
+		}
+	}
+	text := FormatDispatch(rows)
+	for _, want := range []string{"SpMV", "Sort", "agreement", "compiled"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDispatchTiming runs the timing harness at a tiny iteration count on one
+// suite and checks the JSON artifact shape — the wall-clock numbers
+// themselves are machine-dependent and not asserted.
+func TestDispatchTiming(t *testing.T) {
+	suites, opts, _ := buildSmall(t)
+	rows, err := Dispatch(suites[:1], opts, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.MemoNs <= 0 || r.CompiledNs <= 0 || r.ExactNs <= 0 {
+		t.Fatalf("expected positive per-tier timings, got %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := WriteDispatchJSON(&buf, rows, 200); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		MinAgreement float64       `json:"min_agreement"`
+		Calls        int           `json:"calls_per_tier"`
+		Rows         []DispatchRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rep.MinAgreement != 0.99 || rep.Calls != 200 || len(rep.Rows) != 1 {
+		t.Errorf("artifact metadata wrong: %+v", rep)
+	}
+	if rep.Rows[0] != r {
+		t.Errorf("row did not round-trip: %+v != %+v", rep.Rows[0], r)
+	}
+}

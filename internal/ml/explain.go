@@ -1,5 +1,7 @@
 package ml
 
+import "math"
+
 // Explanation is the full story of one model decision: everything the
 // selection engine computed between "here is a feature vector" and "dispatch
 // variant k". It is the payload behind `nitro-model -explain` and the
@@ -23,13 +25,25 @@ type Explanation struct {
 	// PairClasses lists the class-label pair behind each decision value;
 	// a positive decision votes for the first label of the pair.
 	PairClasses [][2]int `json:"pair_classes,omitempty"`
-	// Ranked is the full preference order, best first — the failure fallback
-	// chain fault-tolerant dispatch walks. Ranked[0] == Predicted always.
+	// Ranked is the exact model's full preference order, best first — the
+	// failure fallback chain fault-tolerant dispatch walks. Ranked[0] ==
+	// Predicted whenever the exact tier decided; with a compiled artifact
+	// installed the two may (rarely, off-corpus) differ, since Predicted then
+	// follows the distilled program while Ranked stays the exact ranking the
+	// fallback walk uses.
 	Ranked []int `json:"ranked"`
 	// Predicted is the model's class prediction (identical to Predict(x)).
 	Predicted int `json:"predicted"`
 	// Version is the stamped model generation (0 when unstamped).
 	Version int `json:"version"`
+	// Tier names the dispatch tier that produced Predicted ("compiled" when
+	// the distilled artifact answered with margin clearance, else "exact").
+	Tier string `json:"tier,omitempty"`
+	// CompiledMargin is the compiled walk's minimum boundary distance in
+	// scaled space, and CompiledThreshold the calibrated fallback cutoff it
+	// is compared against; both zero when no artifact is installed.
+	CompiledMargin    float64 `json:"compiled_margin,omitempty"`
+	CompiledThreshold float64 `json:"compiled_threshold,omitempty"`
 }
 
 // PairClasses returns the class-label pair of every trained one-vs-one
@@ -68,10 +82,15 @@ func (m *Model) Explain(x []float64) Explanation {
 		ex.PairClasses = svm.PairClasses()
 	}
 	ex.Ranked = m.RankedClasses(x)
-	if len(ex.Ranked) > 0 {
-		ex.Predicted = ex.Ranked[0]
-	} else {
-		ex.Predicted = m.Predict(x)
+	pred, tier := m.PredictTier(x)
+	ex.Predicted = pred
+	ex.Tier = tier.String()
+	if c := m.Compiled; c != nil && len(scaled) == c.Dim {
+		_, margin := c.walk(scaled)
+		if !math.IsInf(margin, 0) {
+			ex.CompiledMargin = margin
+		}
+		ex.CompiledThreshold = c.Margin
 	}
 	return ex
 }

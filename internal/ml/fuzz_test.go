@@ -39,7 +39,23 @@ func fuzzSeedModels(tb testing.TB) [][]byte {
 		}
 		out = append(out, data)
 	}
-	return out
+	// One model carrying a distilled compiled artifact (with decision grid),
+	// so the fuzzer exercises the compiled round-trip and validation paths.
+	svm := NewSVM(RBFKernel{Gamma: 0.5}, 4)
+	if err := svm.Fit(scaled); err != nil {
+		tb.Fatal(err)
+	}
+	withCompiled := &Model{Classifier: svm, Scaler: scaler}
+	c, err := Distill(withCompiled, ds.X, DistillOptions{Grid: true, GridRes: 8})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	withCompiled.Compiled = c
+	data, err := MarshalModel(withCompiled)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(out, data)
 }
 
 // FuzzUnmarshalModel asserts the model deserializer is total: arbitrary bytes
@@ -57,6 +73,11 @@ func FuzzUnmarshalModel(f *testing.F) {
 	f.Add([]byte(`{"kind":"knn","knn":{"k":-1}}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"kind":"tree","tree":{"root":{"leaf":true}}}`))
+	// Compiled-artifact seeds: a minimal valid program, a looping program
+	// (must be rejected), and a grid with a bad cell table.
+	f.Add([]byte(`{"kind":"knn","knn":{"k":1,"x":[[0],[1]],"y":[0,1]},"compiled":{"nodes":[{"f":0,"l":1,"r":2,"c":-1,"t":0.5},{"f":0,"l":-1,"r":-1,"c":0,"t":0},{"f":0,"l":-1,"r":-1,"c":1,"t":0}],"classes":[0,1],"dim":1,"margin":0.01,"agreement":1,"fallback_rate":0,"corpus_size":2}}`))
+	f.Add([]byte(`{"kind":"knn","knn":{"k":1,"x":[[0],[1]],"y":[0,1]},"compiled":{"nodes":[{"f":0,"l":0,"r":0,"c":-1,"t":0.5}],"classes":[0],"dim":1,"margin":0.01}}`))
+	f.Add([]byte(`{"kind":"knn","knn":{"k":1,"x":[[0],[1]],"y":[0,1]},"compiled":{"nodes":[{"f":0,"l":-1,"r":-1,"c":0,"t":0}],"classes":[0],"dim":1,"margin":0,"grid":{"res":2,"lo":[0],"hi":[1],"cells":[0,0,0]}}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := UnmarshalModel(data) // must never panic
 		if err != nil {

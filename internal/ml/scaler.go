@@ -64,14 +64,33 @@ func (s *Scaler) Transform(x []float64) []float64 {
 	s.checkDim("Transform", x)
 	out := make([]float64, len(x))
 	for j, v := range x {
-		span := s.Max[j] - s.Min[j]
-		if span == 0 {
-			out[j] = 0
-			continue
-		}
-		out[j] = 2*(v-s.Min[j])/span - 1
+		out[j] = s.scaleOne(j, v)
 	}
 	return out
+}
+
+// scaleOne maps one feature value into [-1, 1] — the single-element core
+// shared by Transform/TransformInto and the lazy compiled-dispatch walk, so
+// element-at-a-time scaling is bit-identical to a full transform.
+func (s *Scaler) scaleOne(j int, v float64) float64 {
+	span := s.Max[j] - s.Min[j]
+	if span == 0 {
+		return 0
+	}
+	return 2*(v-s.Min[j])/span - 1
+}
+
+// TransformInto is Transform writing into a caller-provided buffer — the
+// allocation-free variant the dispatch hot path uses. dst must have the same
+// length as x; it may alias x.
+func (s *Scaler) TransformInto(dst, x []float64) {
+	s.checkDim("TransformInto", x)
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("ml: Scaler.TransformInto dst has %d features, want %d", len(dst), len(x)))
+	}
+	for j, v := range x {
+		dst[j] = s.scaleOne(j, v)
+	}
 }
 
 // TransformAll maps a whole design matrix.

@@ -32,6 +32,12 @@ type Model struct {
 	// Meta optionally stamps the model's provenance (version, creation time,
 	// training-set size); nil for artifacts written before stamping existed.
 	Meta *ModelMeta
+	// Compiled is the optional distilled fast-dispatch artifact (see Distill).
+	// When present, Predict routes confident calls through it and falls back
+	// to the exact classifier near decision boundaries. Like the classifier,
+	// it is written only at distill/deserialization time and read-only
+	// afterwards, so a fitted Model stays safe for concurrent prediction.
+	Compiled *Compiled
 }
 
 // Version returns the stamped model generation, or 0 when unstamped.
@@ -42,12 +48,12 @@ func (m *Model) Version() int {
 	return m.Meta.Version
 }
 
-// Predict scales x (if a scaler is present) and classifies it.
+// Predict scales x (if a scaler is present) and classifies it, routing
+// through the compiled artifact when one is installed and confident; see
+// PredictTier for the tier-reporting variant.
 func (m *Model) Predict(x []float64) int {
-	if m.Scaler != nil && m.Scaler.Fitted() {
-		x = m.Scaler.Transform(x)
-	}
-	return m.Classifier.Predict(x)
+	pred, _ := m.PredictTier(x)
+	return pred
 }
 
 // Scores scales x and returns the per-class confidences.
@@ -104,6 +110,7 @@ type modelJSON struct {
 	KNN      *knnJSON        `json:"knn,omitempty"`
 	Tree     *treeJSON       `json:"tree,omitempty"`
 	Logistic *logisticJSON   `json:"logistic,omitempty"`
+	Compiled *Compiled       `json:"compiled,omitempty"`
 	Extra    json.RawMessage `json:"extra,omitempty"`
 }
 
@@ -113,7 +120,7 @@ func MarshalModel(m *Model) ([]byte, error) {
 	if m == nil || m.Classifier == nil {
 		return nil, fmt.Errorf("ml: nil model")
 	}
-	env := modelJSON{Scaler: m.Scaler, Meta: m.Meta}
+	env := modelJSON{Scaler: m.Scaler, Meta: m.Meta, Compiled: m.Compiled}
 	switch c := m.Classifier.(type) {
 	case *SVM:
 		env.Kind = "svm"
@@ -150,6 +157,15 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		return nil, fmt.Errorf("ml: bad model JSON: %w", err)
 	}
 	m := &Model{Scaler: env.Scaler, Meta: env.Meta}
+	if env.Compiled != nil {
+		// A compiled artifact is a little interpreted program; validate the
+		// structure (forward edges, index bounds) so a corrupted or hostile
+		// file cannot make the dispatch hot loop read out of bounds or spin.
+		if err := env.Compiled.Validate(); err != nil {
+			return nil, fmt.Errorf("ml: bad compiled artifact: %w", err)
+		}
+		m.Compiled = env.Compiled
+	}
 	switch env.Kind {
 	case "svm":
 		if env.SVM == nil {

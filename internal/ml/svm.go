@@ -186,10 +186,16 @@ func (m *SVM) svKernels(x []float64) []float64 {
 		return nil
 	}
 	kv := make([]float64, len(m.svRows))
+	m.svKernelsInto(x, kv)
+	return kv
+}
+
+// svKernelsInto fills kv (len == len(svRows)) with K(sv, x) per distinct
+// support vector — the allocation-free core of svKernels.
+func (m *SVM) svKernelsInto(x, kv []float64) {
 	for i, sv := range m.svRows {
 		kv[i] = m.kernel.Eval(sv, x)
 	}
-	return kv
 }
 
 // pairDecision evaluates one pair's decision value, reading kernel values
@@ -213,9 +219,20 @@ func (m *SVM) pairDecision(p *svmPair, x []float64, kv []float64) float64 {
 // rather than once per pair.
 func (m *SVM) Scores(x []float64) []float64 {
 	out := make([]float64, len(m.classes))
+	m.scoresInto(x, m.svKernels(x), out)
+	return out
+}
+
+// scoresInto is the allocation-free core of Scores: it fills out (len ==
+// len(classes)) with the per-class soft votes, reading kernel values from kv
+// when non-nil. The dispatch hot path calls it with pooled kv/out buffers.
+func (m *SVM) scoresInto(x, kv, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	if len(m.classes) == 1 {
 		out[0] = 1
-		return out
+		return
 	}
 	idx := m.classIdx
 	if idx == nil { // e.g. a hand-assembled SVM in tests
@@ -224,7 +241,6 @@ func (m *SVM) Scores(x []float64) []float64 {
 			idx[c] = i
 		}
 	}
-	kv := m.svKernels(x)
 	for i := range m.pairs {
 		p := &m.pairs[i]
 		d := m.pairDecision(p, x, kv)
@@ -232,7 +248,6 @@ func (m *SVM) Scores(x []float64) []float64 {
 		out[idx[p.a]] += s
 		out[idx[p.b]] += 1 - s
 	}
-	return out
 }
 
 // DecisionValues returns the raw pairwise decision values (one per trained

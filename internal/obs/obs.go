@@ -120,6 +120,10 @@ type DecisionTrace struct {
 	Ranked []int `json:"ranked,omitempty"`
 	// Predicted is the model's raw class prediction (-1 without a model).
 	Predicted int `json:"predicted"`
+	// Tier names the dispatch tier that produced Predicted — "memo",
+	// "compiled" or "exact" — empty when no model participated (or the trace
+	// predates tiered dispatch).
+	Tier string `json:"tier,omitempty"`
 	// ModelVersion is the installed model's stamped generation (0 unstamped
 	// or uninstalled).
 	ModelVersion int `json:"model_version"`
@@ -163,6 +167,9 @@ func (t DecisionTrace) String() string {
 		fmt.Fprintf(&b, " scores=%s ranked=%v", floats(t.Scores), t.Ranked)
 	}
 	fmt.Fprintf(&b, " predicted=%d", t.Predicted)
+	if t.Tier != "" {
+		fmt.Fprintf(&b, " tier=%s", t.Tier)
+	}
 	if len(t.Vetoed) > 0 {
 		fmt.Fprintf(&b, " vetoed=%v", t.Vetoed)
 	}

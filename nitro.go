@@ -240,6 +240,39 @@ type RetrainOptions = autotuner.RetrainOptions
 // metadata, hot-swappable via Context.SetModel/LoadModel.
 type Model = ml.Model
 
+// DispatchPolicy tunes the fast-path prediction tiers (memoization cache and
+// compiled artifact) via TuningPolicy.Dispatch; the zero value enables both.
+type DispatchPolicy = core.DispatchPolicy
+
+// Compiled is the distilled fast-dispatch artifact an ml.Distill run attaches
+// to a Model: a flattened threshold program over the scaled feature space
+// with a calibrated exact-model fallback margin.
+type Compiled = ml.Compiled
+
+// DistillOptions configures Distill (CART depth, agreement gate, fallback
+// cap, optional decision grid); the zero value selects the defaults.
+type DistillOptions = ml.DistillOptions
+
+// Distill compiles a model's decision function into a fast dispatch artifact
+// trained on the model's own labels over corpus, installed only when it
+// agrees with the exact model on at least the configured share of the corpus
+// (99% by default). Attach the result to Model.Compiled.
+func Distill(m *Model, corpus [][]float64, opts DistillOptions) (*Compiled, error) {
+	return ml.Distill(m, corpus, opts)
+}
+
+// Tier identifies which dispatch tier served a prediction (see CallStats'
+// MemoHits/CompiledHits/ExactFallbacks and DecisionTrace.Tier).
+type Tier = ml.Tier
+
+// Dispatch tiers, from cheapest to most expensive.
+const (
+	TierNone     = ml.TierNone
+	TierExact    = ml.TierExact
+	TierCompiled = ml.TierCompiled
+	TierMemo     = ml.TierMemo
+)
+
 // Explanation is a full derivation of one model decision: raw and scaled
 // features, per-class scores, pairwise SVM decision values, and the ranked
 // class preference order dispatch walks on fallback. Produced by
