@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke lint ci clean
 
 all: build
 
@@ -118,6 +118,18 @@ metrics-smoke:
 	done && \
 	echo "metrics smoke ok: $$(grep -F 'metrics exposition valid: ' "$$tmp/run.txt")" && \
 	$(GO) test -run 'TestServeScrape|TestPublicAPIMetricsEndpoint|TestRunSpecMetricsEndpointLiveScrape' ./internal/obs/ ./cmd/nitro-tune/ .
+
+# Registry-daemon smoke: nitro-server's built-in self-test drives an
+# ephemeral daemon end to end over real HTTP — register a function, push
+# an observation corpus, queue a tuning job, pull the versioned artifact
+# (verifying the content-addressed ETag and the 304 revalidation path),
+# validate the /metrics exposition, and shut down gracefully; the binary
+# exits non-zero on any failure. The Go tests then cover the full API
+# surface (auth/tenant isolation, preconditions, quotas, -race publish
+# stress) and the two-client canary-rollout e2e.
+server-smoke:
+	$(GO) run ./cmd/nitro-server -smoke
+	$(GO) test -race ./internal/server/...
 
 # Static analysis beyond vet. Uses staticcheck when it is installed
 # (CI installs it); locally it is skipped with a note rather than failing

@@ -1,0 +1,236 @@
+// nitro-server runs the Nitro model registry daemon: a multi-tenant HTTP
+// service that owns tuned models for many functions, ingests observation
+// samples from deployed clients, retrains on pooled fleet evidence, and
+// distributes versioned model artifacts behind a fraction-gated canary.
+//
+// Tenants are declared either inline (-tenant name=token, comma-separated
+// for several) or in a JSON file (-tenants) that can also carry per-tenant
+// quotas. The telemetry surface (/metrics, /vars, /healthz) shares the
+// listener with the API.
+//
+// -smoke runs a self-contained end-to-end check instead of serving: an
+// ephemeral daemon is driven through register -> push observations ->
+// tune -> pull artifact -> scrape metrics -> graceful shutdown, and the
+// process exits non-zero if any step misbehaves. CI uses it as the
+// server equivalent of the telemetry smoke.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nitro/internal/ml"
+	"nitro/internal/obs"
+	"nitro/internal/online"
+	"nitro/internal/server"
+	"nitro/internal/server/client"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:9090", "listen address (host:port; :0 picks a free port)")
+		dataDir     = flag.String("data-dir", "", "directory for persisted specs and model artifacts (empty: in-memory only)")
+		tenantsFile = flag.String("tenants", "", "JSON file declaring tenants: [{\"name\":...,\"token\":...,\"quotas\":{...}}]")
+		tenantFlag  = flag.String("tenant", "", "inline tenants, comma-separated name=token pairs")
+		workers     = flag.Int("workers", 2, "tuning worker goroutines")
+		canaryFrac  = flag.Float64("canary-fraction", 0.2, "traffic fraction a challenger model serves during the canary gate")
+		canaryMin   = flag.Int64("canary-min-samples", 50, "fleet-wide challenger calls required before a canary verdict")
+		canaryFail  = flag.Float64("canary-max-failure-rate", 0.1, "challenger failure rate above which a canary rolls back")
+		smoke       = flag.Bool("smoke", false, "run the self-contained end-to-end smoke check and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "nitro-server smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tenants, err := loadTenants(*tenantsFile, *tenantFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nitro-server: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		Addr: *addr,
+		Registry: server.RegistryConfig{
+			Tenants: tenants,
+			DataDir: *dataDir,
+			Workers: *workers,
+			Canary: server.CanaryPolicy{
+				Fraction:       *canaryFrac,
+				MinSamples:     *canaryMin,
+				MaxFailureRate: *canaryFail,
+			},
+		},
+	}
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nitro-server: %v\n", err)
+		os.Exit(2)
+	}
+	if err := d.Start(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nitro-server: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("nitro-server listening on http://%s (%d tenants)\n", d.Addr(), len(tenants))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	fmt.Println("nitro-server: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "nitro-server: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadTenants merges -tenants (JSON file) and -tenant (inline pairs).
+func loadTenants(file, inline string) ([]server.TenantConfig, error) {
+	var out []server.TenantConfig
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+	}
+	if inline != "" {
+		for _, pair := range strings.Split(inline, ",") {
+			name, token, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || token == "" {
+				return nil, fmt.Errorf("bad -tenant entry %q, want name=token", pair)
+			}
+			out = append(out, server.TenantConfig{Name: name, Token: token})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants configured: pass -tenant name=token or -tenants file.json")
+	}
+	return out, nil
+}
+
+// runSmoke drives an ephemeral daemon end to end through the client.
+func runSmoke() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cfg := server.Config{
+		Addr: "127.0.0.1:0",
+		Registry: server.RegistryConfig{
+			Tenants: []server.TenantConfig{{Name: "smoke", Token: "smoke-token"}},
+			Workers: 1,
+		},
+	}
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.Start(cfg); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: daemon up on http://%s\n", d.Addr())
+
+	c, err := client.New(client.Config{BaseURL: "http://" + d.Addr(), Token: "smoke-token"})
+	if err != nil {
+		return err
+	}
+	fn := "smoke-sort"
+	spec := server.FunctionSpec{Name: fn, Features: []string{"n"}, Variants: []string{"small", "large"}, Default: 0}
+	if err := c.RegisterFunction(ctx, spec); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	fmt.Println("smoke: function registered")
+
+	samples := make([]online.RemoteSample, 40)
+	for i := range samples {
+		x := float64(i % 10)
+		times := []float64{1, 2}
+		if x > 4.5 {
+			times = []float64{2, 1}
+		}
+		samples[i] = online.RemoteSample{Features: []float64{x}, Times: times, Predicted: -1}
+	}
+	if _, err := c.PushObservations(ctx, fn, samples); err != nil {
+		return fmt.Errorf("push observations: %w", err)
+	}
+	fmt.Printf("smoke: pushed %d observations\n", len(samples))
+
+	job, err := c.Tune(ctx, fn)
+	if err != nil {
+		return fmt.Errorf("tune: %w", err)
+	}
+	for {
+		st, err := c.Job(ctx, job)
+		if err != nil {
+			return fmt.Errorf("job status: %w", err)
+		}
+		if st.State.Terminal() {
+			if st.Error != "" {
+				return fmt.Errorf("tune job failed: %s", st.Error)
+			}
+			fmt.Printf("smoke: tune job %s done (model v%d, train accuracy %.2f)\n", job, st.Version, st.TrainAccuracy)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("tune job %s timed out", job)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	pull, err := c.PullModel(ctx, fn, 0, "")
+	if err != nil {
+		return fmt.Errorf("pull: %w", err)
+	}
+	if pull.Version != 1 || ml.ETagOf(pull.Data) != pull.ETag {
+		return fmt.Errorf("pull returned v%d with inconsistent etag", pull.Version)
+	}
+	if again, err := c.PullModel(ctx, fn, 0, pull.ETag); err != nil || !again.NotModified {
+		return fmt.Errorf("cached re-pull did not 304 (%+v, %v)", again, err)
+	}
+	fmt.Printf("smoke: pulled model v%d (%d bytes, etag %s), revalidation 304 ok\n", pull.Version, len(pull.Data), pull.ETag)
+
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrape: %w", err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidatePrometheusText(string(text)); err != nil {
+		return fmt.Errorf("metrics exposition invalid: %w", err)
+	}
+	for _, want := range []string{"nitro_server_observations_total", "nitro_server_tune_jobs_done_total", "nitro_server_artifact_pulls_total"} {
+		if !strings.Contains(string(text), want) {
+			return fmt.Errorf("metrics missing %s", want)
+		}
+	}
+	fmt.Println("smoke: metrics exposition valid")
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := d.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("smoke: graceful shutdown ok")
+	fmt.Println("nitro-server smoke: PASS")
+	return nil
+}

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -406,7 +407,14 @@ func runSpec(spec Spec, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
-		defer srv.Close()
+		// Drain gracefully on teardown so an in-flight scrape finishes its
+		// body instead of being cut mid-exposition; the deadline bounds how
+		// long a stuck scraper can delay process exit.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort drain at exit
+		}()
 		fmt.Fprintf(out, "metrics endpoint: http://%s/metrics\n", srv.Addr())
 	}
 	dev := gpusim.Fermi()

@@ -1,0 +1,222 @@
+package autotuner
+
+// Job-queue entry point for the tuning daemon: a bounded worker pool that
+// trains models from labelled instance corpora in the background. The
+// registry server submits one TuneJob per tune request; the queue bounds
+// both concurrency (workers) and backlog (capacity), so a tenant cannot
+// wedge the daemon by flooding it with tune requests — Submit fails fast
+// with ErrQueueFull and the HTTP layer turns that into 429.
+//
+// Jobs train with the same offline pipeline as nitro-tune (Train over
+// labelled Instances), so a server-side retrain is byte-identical to what
+// the CLI would have produced from the same corpus: the model Meta carries
+// BaseVersion+1 and a zero CreatedAt, keeping artifacts content-addressable.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nitro/internal/ml"
+)
+
+// JobState is the lifecycle of a queued tuning job.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// TuneJob describes one training request.
+type TuneJob struct {
+	// Function names the tuned function (carried through to the status for
+	// observability; the queue itself is function-agnostic).
+	Function string
+	// Instances is the labelled corpus (features + per-variant times).
+	Instances []Instance
+	// Options configures the classifier pipeline, exactly as offline tuning.
+	Options TrainOptions
+	// BaseVersion is the incumbent model generation; the candidate is
+	// stamped BaseVersion+1.
+	BaseVersion int
+	// Done, when non-nil, is invoked from the worker goroutine after the
+	// job reaches a terminal state (with the final status).
+	Done func(JobStatus)
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Function string   `json:"function"`
+	State    JobState `json:"state"`
+	// Error holds the failure message when State == JobFailed.
+	Error string `json:"error,omitempty"`
+	// Version is the candidate's stamped generation when State == JobDone.
+	Version int `json:"version,omitempty"`
+	// TrainAccuracy is the training-set accuracy of the finished candidate.
+	TrainAccuracy float64 `json:"train_accuracy,omitempty"`
+	// Model is the trained candidate (nil until JobDone). Not serialized;
+	// the server distributes it as a versioned artifact instead.
+	Model *ml.Model `json:"-"`
+}
+
+var (
+	// ErrQueueFull is returned by Submit when the backlog is at capacity.
+	ErrQueueFull = errors.New("autotuner: tune job queue is full")
+	// ErrQueueClosed is returned by Submit after Close.
+	ErrQueueClosed = errors.New("autotuner: tune job queue is closed")
+)
+
+// JobQueue runs tuning jobs on a fixed worker pool with a bounded backlog.
+type JobQueue struct {
+	mu     sync.Mutex
+	jobs   map[string]*JobStatus
+	order  []string
+	ch     chan string
+	closed bool
+	next   int64
+	wg     sync.WaitGroup
+
+	pending map[string]TuneJob
+}
+
+// NewJobQueue starts a queue with the given worker count (min 1) and
+// backlog capacity (min 1).
+func NewJobQueue(workers, capacity int) *JobQueue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &JobQueue{
+		jobs:    make(map[string]*JobStatus),
+		pending: make(map[string]TuneJob),
+		ch:      make(chan string, capacity),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues a job and returns its id, or ErrQueueFull / ErrQueueClosed.
+func (q *JobQueue) Submit(job TuneJob) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", ErrQueueClosed
+	}
+	q.next++
+	id := fmt.Sprintf("job-%d", q.next)
+	select {
+	case q.ch <- id:
+	default:
+		q.next--
+		q.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	q.jobs[id] = &JobStatus{ID: id, Function: job.Function, State: JobQueued}
+	q.order = append(q.order, id)
+	q.pending[id] = job
+	q.mu.Unlock()
+	return id, nil
+}
+
+// Status returns a snapshot of the job, or false for an unknown id.
+func (q *JobQueue) Status(id string) (JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st, ok := q.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *st, true
+}
+
+// Pending counts jobs that have not reached a terminal state.
+func (q *JobQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, st := range q.jobs {
+		if !st.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// Statuses snapshots every job in submission order.
+func (q *JobQueue) Statuses() []JobStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobStatus, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting submissions, drains queued jobs, and waits for the
+// workers to finish.
+func (q *JobQueue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+func (q *JobQueue) worker() {
+	defer q.wg.Done()
+	for id := range q.ch {
+		q.mu.Lock()
+		job, ok := q.pending[id]
+		if !ok {
+			q.mu.Unlock()
+			continue
+		}
+		delete(q.pending, id)
+		q.jobs[id].State = JobRunning
+		q.mu.Unlock()
+
+		st := q.run(id, job)
+
+		q.mu.Lock()
+		*q.jobs[id] = st
+		q.mu.Unlock()
+		if job.Done != nil {
+			job.Done(st)
+		}
+	}
+}
+
+func (q *JobQueue) run(id string, job TuneJob) JobStatus {
+	st := JobStatus{ID: id, Function: job.Function}
+	model, report, err := Train(job.Instances, job.Options)
+	if err != nil {
+		st.State = JobFailed
+		st.Error = err.Error()
+		return st
+	}
+	// Re-stamp the generation over the incumbent's; CreatedAt stays zero so
+	// identical corpora yield byte-identical artifacts.
+	model.Meta = &ml.ModelMeta{Version: job.BaseVersion + 1, TrainedOn: len(job.Instances) - report.Skipped}
+	st.State = JobDone
+	st.Version = model.Version()
+	st.TrainAccuracy = report.TrainAccuracy
+	st.Model = model
+	return st
+}

@@ -1,0 +1,138 @@
+package autotuner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// jobInstances builds a linearly separable 1-D corpus: variant 0 wins below
+// the boundary, variant 1 above.
+func jobInstances(n int) []Instance {
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		t0, t1 := 1.0, 2.0
+		if x > float64(n)/2 {
+			t0, t1 = 2.0, 1.0
+		}
+		out = append(out, Instance{Features: []float64{x}, Times: []float64{t0, t1}})
+	}
+	return out
+}
+
+// TestJobQueueRunsJob: a submitted job trains a model stamped BaseVersion+1
+// with zero CreatedAt and reports done.
+func TestJobQueueRunsJob(t *testing.T) {
+	q := NewJobQueue(2, 4)
+	defer q.Close()
+
+	done := make(chan JobStatus, 1)
+	id, err := q.Submit(TuneJob{
+		Function:    "f",
+		Instances:   jobInstances(12),
+		BaseVersion: 4,
+		Done:        func(st JobStatus) { done <- st },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	select {
+	case st = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	if st.State != JobDone || st.Model == nil || st.Version != 5 {
+		t.Fatalf("status = %+v, want done at version 5", st)
+	}
+	if !st.Model.Meta.CreatedAt.IsZero() {
+		t.Fatal("server-trained model has a wall-clock timestamp; artifacts must stay deterministic")
+	}
+	if got, ok := q.Status(id); !ok || got.State != JobDone {
+		t.Fatalf("Status(%s) = %+v, %v", id, got, ok)
+	}
+	if _, ok := q.Status("job-999"); ok {
+		t.Fatal("unknown job id resolved")
+	}
+}
+
+// TestJobQueueFailure: an untrainable corpus yields JobFailed with an error
+// message, not a panic or a silent success.
+func TestJobQueueFailure(t *testing.T) {
+	q := NewJobQueue(1, 1)
+	defer q.Close()
+	done := make(chan JobStatus, 1)
+	if _, err := q.Submit(TuneJob{Function: "f", Done: func(st JobStatus) { done <- st }}); err != nil {
+		t.Fatal(err)
+	}
+	st := <-done
+	if st.State != JobFailed || st.Error == "" || st.Model != nil {
+		t.Fatalf("status = %+v, want a failure with a message", st)
+	}
+}
+
+// TestJobQueueBacklogBound: submissions beyond capacity fail fast with
+// ErrQueueFull while a worker is wedged.
+func TestJobQueueBacklogBound(t *testing.T) {
+	q := NewJobQueue(1, 1)
+	defer q.Close()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(gate) })
+	blocked := make(chan struct{}, 8)
+	// Wedge the single worker on the Done callback.
+	first := TuneJob{Function: "slow", Instances: jobInstances(8), Done: func(JobStatus) {
+		blocked <- struct{}{}
+		<-gate
+	}}
+	if _, err := q.Submit(first); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	// One more fits the backlog; the next must be rejected.
+	if _, err := q.Submit(TuneJob{Function: "q1", Instances: jobInstances(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(TuneJob{Function: "q2", Instances: jobInstances(8)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: %v, want ErrQueueFull", err)
+	}
+	// The wedged job already reached a terminal state; the backlogged one is
+	// still pending.
+	if p := q.Pending(); p != 1 {
+		t.Fatalf("pending = %d, want 1", p)
+	}
+	once.Do(func() { close(gate) })
+}
+
+// TestJobQueueCloseDrains: Close waits for queued work and rejects later
+// submissions.
+func TestJobQueueCloseDrains(t *testing.T) {
+	q := NewJobQueue(2, 8)
+	var mu sync.Mutex
+	finished := 0
+	for i := 0; i < 5; i++ {
+		_, err := q.Submit(TuneJob{Function: "f", Instances: jobInstances(10), Done: func(JobStatus) {
+			mu.Lock()
+			finished++
+			mu.Unlock()
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if finished != 5 {
+		t.Fatalf("finished = %d, want 5 after Close", finished)
+	}
+	if _, err := q.Submit(TuneJob{}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close: %v, want ErrQueueClosed", err)
+	}
+	if got := q.Statuses(); len(got) != 5 {
+		t.Fatalf("statuses = %d entries, want 5", len(got))
+	}
+}

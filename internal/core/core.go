@@ -72,6 +72,11 @@ type modelSlot struct {
 	// atomically invalidates all memoized predictions from older models (see
 	// memoCache for the ordering argument).
 	epoch atomic.Uint64
+	// canary optionally holds a challenger model served to a fraction of
+	// calls (see canary.go). Installing or clearing it does not bump the
+	// epoch: canary-served predictions bypass the memo cache entirely, so
+	// stable-model entries stay valid across the whole rollout.
+	canary atomic.Pointer[canaryCell]
 }
 
 // install publishes a model and bumps the epoch. The order matters: the new
@@ -874,7 +879,7 @@ func (cv *CodeVariant[In]) CallFixed(f *Fixed[In]) (float64, string, error) {
 // The second result reports whether a fallback happened. When constraints
 // veto every variant the index is -1 and the error is ErrAllVariantsVetoed.
 func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) {
-	idx, _, _, fellBack, err := cv.selectWithPred(in, vec, nil)
+	idx, _, _, fellBack, _, err := cv.selectWithPred(in, vec, nil)
 	return idx, fellBack, err
 }
 
@@ -886,7 +891,17 @@ func (cv *CodeVariant[In]) SelectIndex(in In, vec []float64) (int, bool, error) 
 //
 // Ordering invariant: both epochs are loaded BEFORE the model pointer; see
 // memoCache for why the reverse order would be unsound under hot-swap.
-func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier) {
+//
+// When a canary is installed, each call first draws whether the challenger
+// serves it; canary-served predictions skip the memo cache in both
+// directions (no stable-entry reads, no challenger stores) and return the
+// cell so dispatch can account the outcome.
+func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier, *canaryCell) {
+	if cs := cv.model.canary.Load(); cs != nil && cs.admit() {
+		pred, tier := cs.model.PredictTier(vec)
+		cv.stats.recordTier(tier)
+		return pred, tier, cs
+	}
 	var mEpoch, qEpoch, h uint64
 	if cv.memo != nil {
 		mEpoch = cv.model.epoch.Load()
@@ -894,13 +909,13 @@ func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier) {
 	}
 	m := cv.model.p.Load()
 	if m == nil {
-		return -1, ml.TierNone
+		return -1, ml.TierNone, nil
 	}
 	if cv.memo != nil {
 		h = memoHash(vec)
 		if pred, ok := cv.memo.lookup(h, vec, mEpoch, qEpoch); ok {
 			cv.stats.recordTier(ml.TierMemo)
-			return pred, ml.TierMemo
+			return pred, ml.TierMemo, nil
 		}
 	}
 	var pred int
@@ -914,7 +929,7 @@ func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier) {
 		cv.memo.store(h, vec, pred, mEpoch, qEpoch)
 	}
 	cv.stats.recordTier(tier)
-	return pred, tier
+	return pred, tier, nil
 }
 
 // selectWithPred is SelectIndex plus the model's raw prediction (-1 when no
@@ -922,9 +937,9 @@ func (cv *CodeVariant[In]) predictVec(vec []float64) (int, ml.Tier) {
 // observer and the decision tracer need beyond the index. When pre is
 // non-nil it carries a prediction the batched path already computed (and
 // counted); selection consumes it instead of re-predicting.
-func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64, pre *prediction) (int, int, ml.Tier, bool, error) {
+func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64, pre *prediction) (int, int, ml.Tier, bool, *canaryCell, error) {
 	if len(cv.variants) == 0 {
-		return -1, -1, ml.TierNone, false, errNoVariants
+		return -1, -1, ml.TierNone, false, nil, errNoVariants
 	}
 	var now int64
 	if cv.policy.Quarantine.Enabled() {
@@ -932,30 +947,31 @@ func (cv *CodeVariant[In]) selectWithPred(in In, vec []float64, pre *prediction)
 	}
 	var pred int
 	var tier ml.Tier
+	var cs *canaryCell
 	if pre != nil {
-		pred, tier = pre.pred, pre.tier
+		pred, tier, cs = pre.pred, pre.tier, pre.cs
 	} else {
-		pred, tier = cv.predictVec(vec)
+		pred, tier, cs = cv.predictVec(vec)
 	}
 	rawPred := pred
 	if tier != ml.TierNone {
 		if pred >= 0 && pred < len(cv.variants) && cv.selectable(pred, in, now) {
-			return pred, rawPred, tier, false, nil
+			return pred, rawPred, tier, false, cs, nil
 		}
 	}
 	// Fallback chain: the default variant only if it passes its own
 	// constraints (a vetoed default must never execute), then the first
 	// allowed variant in registration order.
 	if idx := cv.firstFallback(func(i int) bool { return cv.selectable(i, in, now) }); idx >= 0 {
-		return idx, rawPred, tier, true, nil
+		return idx, rawPred, tier, true, cs, nil
 	}
 	if cv.policy.Quarantine.Enabled() {
 		// Everything allowed is quarantined: last resort, constraints only.
 		if idx := cv.firstFallback(func(i int) bool { return cv.Allowed(i, in) }); idx >= 0 {
-			return idx, rawPred, tier, true, nil
+			return idx, rawPred, tier, true, cs, nil
 		}
 	}
-	return -1, rawPred, tier, true, ErrAllVariantsVetoed
+	return -1, rawPred, tier, true, cs, ErrAllVariantsVetoed
 }
 
 // dispatchResult is the full outcome of one dispatch: what ran, whether
@@ -997,18 +1013,32 @@ func (cv *CodeVariant[In]) dispatchPre(ctx context.Context, in In, vec []float64
 // dispatchRun is the single dispatch implementation behind both the traced
 // and untraced paths.
 func (cv *CodeVariant[In]) dispatchRun(ctx context.Context, in In, vec []float64, featSeconds float64, pre *prediction) dispatchResult {
-	idx, pred, tier, fellBack, err := cv.selectWithPred(in, vec, pre)
+	idx, pred, tier, fellBack, cs, err := cv.selectWithPred(in, vec, pre)
 	if err != nil {
+		if cs != nil {
+			cs.record(true)
+		}
 		return dispatchResult{idx: -1, fellBack: fellBack, tier: tier, err: err}
 	}
 	value, verr := cv.exec(ctx, idx, in, featSeconds, fellBack)
 	if verr == nil {
+		// A canary-served call that needed a selection fallback means the
+		// challenger's pick was vetoed or quarantined: count it against the
+		// challenger even though the fallback variant succeeded.
+		if cs != nil {
+			cs.record(fellBack)
+		}
 		cv.observe(in, vec, pred, idx, value, fellBack)
 		return dispatchResult{value: value, idx: idx, name: cv.variants[idx].name, fellBack: fellBack, tier: tier}
 	}
 	var ve *VariantError
 	if !errors.As(verr, &ve) {
+		// Caller cancellation says nothing about the challenger: no canary
+		// accounting either way.
 		return dispatchResult{idx: -1, fellBack: fellBack, tier: tier, err: verr} // context cancellation: do not fall back
+	}
+	if cs != nil {
+		cs.record(true)
 	}
 	value, cidx, hops, ferr := cv.dispatchFallback(ctx, in, vec, featSeconds, idx, pred, verr)
 	r := dispatchResult{value: value, idx: cidx, fellBack: true, hops: hops, tier: tier, err: ferr}
@@ -1155,6 +1185,7 @@ func (cv *CodeVariant[In]) batchPredict(vecs [][]float64) []*prediction {
 		qEpoch = cv.stats.qEpoch.Load()
 	}
 	m := cv.model.p.Load()
+	canary := cv.model.canary.Load()
 	if m == nil {
 		return preds
 	}
@@ -1163,6 +1194,15 @@ func (cv *CodeVariant[In]) batchPredict(vecs [][]float64) []*prediction {
 	var missIdx []int
 	for i, vec := range vecs {
 		if vec == nil {
+			continue
+		}
+		// Per-input canary draw, exactly like the serial path; canary-served
+		// inputs bypass the memo cache in both directions.
+		if canary != nil && canary.admit() {
+			pred, tier := canary.model.PredictTier(vec)
+			store[i] = prediction{pred: pred, tier: tier, cs: canary}
+			preds[i] = &store[i]
+			cv.stats.recordTier(tier)
 			continue
 		}
 		if cv.memo != nil {

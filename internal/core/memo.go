@@ -118,4 +118,7 @@ func (c *memoCache) store(h uint64, vec []float64, pred int, mEpoch, qEpoch uint
 type prediction struct {
 	pred int
 	tier ml.Tier
+	// cs is non-nil when the prediction was served by an installed canary
+	// challenger; dispatch accounts the call's outcome on it.
+	cs *canaryCell
 }

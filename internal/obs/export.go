@@ -11,6 +11,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // MetricKind is the Prometheus metric type.
@@ -329,6 +331,58 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// ServerConfig hardens an HTTP listener against slow or stuck clients. The
+// zero value of any field selects the documented default; a negative value
+// disables that timeout explicitly. Without these limits a single client
+// that dribbles its request header (Slowloris) holds a connection — and its
+// goroutine — forever, which matters as soon as the listener faces a
+// network instead of localhost.
+type ServerConfig struct {
+	// ReadHeaderTimeout bounds how long a client may take to send the full
+	// request header (default 5s).
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the entire request including the body
+	// (default 15s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response (default 30s — a scrape of a
+	// large exposition to a slow collector still fits comfortably).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit idle
+	// between requests (default 2m).
+	IdleTimeout time.Duration
+}
+
+// DefaultServerConfig returns the hardened defaults.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// withDefaults resolves the zero/negative convention: zero fields take the
+// defaults, negative fields disable the timeout (http.Server treats 0 as
+// "no timeout").
+func (c ServerConfig) withDefaults() ServerConfig {
+	d := DefaultServerConfig()
+	resolve := func(v, def time.Duration) time.Duration {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	c.ReadHeaderTimeout = resolve(c.ReadHeaderTimeout, d.ReadHeaderTimeout)
+	c.ReadTimeout = resolve(c.ReadTimeout, d.ReadTimeout)
+	c.WriteTimeout = resolve(c.WriteTimeout, d.WriteTimeout)
+	c.IdleTimeout = resolve(c.IdleTimeout, d.IdleTimeout)
+	return c
+}
+
 // Server is a running telemetry endpoint.
 type Server struct {
 	listener net.Listener
@@ -338,19 +392,55 @@ type Server struct {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down abruptly: in-flight requests are aborted
+// mid-body. Prefer Shutdown for anything a scraper might be reading.
 func (s *Server) Close() error { return s.srv.Close() }
 
-// Serve starts the telemetry endpoint on addr (":0" picks a free port) and
-// serves it on a background goroutine until Close.
-func (r *Registry) Serve(addr string) (*Server, error) {
+// Shutdown drains the endpoint gracefully: the listener closes immediately
+// (no new connections), in-flight requests run to completion, and idle
+// keep-alive connections are closed. When ctx expires first the remaining
+// connections are aborted (Close) and ctx's error is returned — a stuck
+// client cannot wedge a teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort abort of stragglers
+	}
+	return err
+}
+
+// ServeHandler starts a hardened HTTP server for h on addr (":0" picks a
+// free port) and serves it on a background goroutine until Close/Shutdown.
+// It is the one listener-construction path in the repo: the telemetry
+// endpoint and the tuning daemon both front their handlers with it, so the
+// slow-client limits apply everywhere by construction.
+func ServeHandler(addr string, h http.Handler, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r.Handler()}
-	go srv.Serve(ln) //nolint:errcheck // Close surfaces as ErrServerClosed
+	cfg = cfg.withDefaults()
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: cfg.ReadHeaderTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
+	}
+	go srv.Serve(ln) //nolint:errcheck // Close/Shutdown surface as ErrServerClosed
 	return &Server{listener: ln, srv: srv}, nil
+}
+
+// Serve starts the telemetry endpoint on addr (":0" picks a free port) with
+// the default hardening limits and serves it on a background goroutine until
+// Close/Shutdown.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	return r.ServeConfig(addr, ServerConfig{})
+}
+
+// ServeConfig is Serve with explicit listener limits.
+func (r *Registry) ServeConfig(addr string, cfg ServerConfig) (*Server, error) {
+	return ServeHandler(addr, r.Handler(), cfg)
 }
 
 // ValidatePrometheusText lints a scraped exposition: every sample line must
@@ -387,11 +477,8 @@ func ValidatePrometheusText(text string) error {
 		if !strings.HasPrefix(name, "nitro_") {
 			return fmt.Errorf("obs: line %d: metric %q violates the nitro_ prefix convention", ln+1, name)
 		}
-		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
-		if _, ok := typed[name]; !ok {
-			if _, ok := typed[base]; !ok {
-				return fmt.Errorf("obs: line %d: sample %q has no TYPE header", ln+1, name)
-			}
+		if !sampleTyped(name, typed) {
+			return fmt.Errorf("obs: line %d: sample %q has no TYPE header", ln+1, name)
 		}
 		rest := line[len(name):]
 		if i := strings.LastIndexByte(rest, ' '); i < 0 || strings.TrimSpace(rest[i:]) == "" {
@@ -402,4 +489,25 @@ func ValidatePrometheusText(text string) error {
 		return fmt.Errorf("obs: exposition contains no samples")
 	}
 	return nil
+}
+
+// sampleTyped reports whether a sample name is covered by a TYPE header: the
+// name itself carries one, or the name is a histogram series — exactly one of
+// the _bucket/_sum/_count suffixes stripped resolves to a base declared as a
+// histogram. Each suffix alternative is resolved independently: stripping
+// them sequentially would peel two suffixes off a metric literally named
+// e.g. nitro_foo_sum_bucket (base nitro_foo instead of nitro_foo_sum),
+// letting an untyped sample pass — or a validly typed one fail — the lint.
+func sampleTyped(name string, typed map[string]string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typed[base] == string(KindHistogram) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,11 +1,17 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func staticCollector(ms ...Metric) Collector {
@@ -196,5 +202,156 @@ func TestValidatePrometheusText(t *testing.T) {
 		`nitro_h_bucket{le="+Inf"} 3` + "\nnitro_h_sum 0.5\nnitro_h_count 3\n"
 	if err := ValidatePrometheusText(hist); err != nil {
 		t.Errorf("histogram suffix samples rejected: %v", err)
+	}
+}
+
+// TestValidatePrometheusTextSuffixResolution: each of the histogram-series
+// suffixes must be resolved independently against the TYPE table. The old
+// sequential TrimSuffix chain peeled multiple suffixes off one name — a
+// sample literally named nitro_x_sum_bucket resolved to base nitro_x — so an
+// untyped sample could pass the lint (and a validly typed one fail it).
+func TestValidatePrometheusTextSuffixResolution(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		ok   bool
+	}{
+		{
+			// Belongs to histogram "nitro_x_sum", which has no TYPE header;
+			// double-stripping used to resolve it to the typed "nitro_x" and
+			// wave it through.
+			name: "untyped double-suffix sample must fail",
+			text: "# TYPE nitro_x histogram\nnitro_x_sum_bucket{le=\"+Inf\"} 1\n",
+			ok:   false,
+		},
+		{
+			// A histogram family legitimately named with a trailing _count:
+			// its _sum series used to double-strip to "nitro_x" (untyped) and
+			// fail, though the TYPE header for nitro_x_count is right there.
+			name: "histogram family named *_count must pass",
+			text: "# TYPE nitro_x_count histogram\nnitro_x_count_sum 0.5\nnitro_x_count_count 2\n" +
+				"nitro_x_count_bucket{le=\"+Inf\"} 2\n",
+			ok: true,
+		},
+		{
+			// Suffix resolution only applies to histogram bases: a _count
+			// sample hanging off a gauge is not a histogram series and must
+			// not inherit the gauge's TYPE header.
+			name: "suffix on non-histogram base must fail",
+			text: "# TYPE nitro_g gauge\nnitro_g 1\nnitro_g_count 2\n",
+			ok:   false,
+		},
+		{
+			// A sample with its own exact TYPE header passes regardless of a
+			// suffix-looking name.
+			name: "exact TYPE header on suffixed name must pass",
+			text: "# TYPE nitro_requests_count counter\nnitro_requests_count 7\n",
+			ok:   true,
+		},
+		{
+			// Exactly one suffix strips: _bucket on a typed histogram.
+			name: "single-suffix histogram series must pass",
+			text: "# TYPE nitro_h histogram\nnitro_h_bucket{le=\"1\"} 1\nnitro_h_sum 1\nnitro_h_count 1\n",
+			ok:   true,
+		},
+	}
+	for _, tc := range cases {
+		err := ValidatePrometheusText(tc.text)
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, tc.text)
+		}
+	}
+}
+
+// TestServeSlowHeaderClientTimesOut: a client that opens a connection and
+// never finishes its request header must be disconnected by
+// ReadHeaderTimeout instead of holding the connection forever (Slowloris).
+func TestServeSlowHeaderClientTimesOut(t *testing.T) {
+	r := NewRegistry()
+	r.Register(staticCollector(Metric{Name: "nitro_up", Help: "Up.", Kind: KindGauge, Value: 1}))
+	srv, err := r.ServeConfig("127.0.0.1:0", ServerConfig{ReadHeaderTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Dribble a partial request line and stop — never send the final CRLF.
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\nX-Slow: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("slow-header connection was not closed by the server (read err=%v)", err)
+	}
+}
+
+// TestShutdownDrainsInflightScrape: Shutdown must let an in-flight scrape
+// finish its body (Close aborts it mid-response), then return.
+func TestShutdownDrainsInflightScrape(t *testing.T) {
+	r := NewRegistry()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	r.Register(func(emit func(Metric)) {
+		once.Do(func() { close(started); <-gate }) // first scrape blocks until released
+		emit(Metric{Name: "nitro_up", Help: "Up.", Kind: KindGauge, Value: 1})
+	})
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		code int
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			err = rerr
+		}
+		got <- scrape{body: string(body), code: resp.StatusCode, err: err}
+	}()
+
+	<-started // the scrape is in flight, blocked inside the collector
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to close the listener, then release the scrape.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape aborted by graceful shutdown: %v", s.err)
+	}
+	if s.code != http.StatusOK || !strings.Contains(s.body, "nitro_up 1") {
+		t.Fatalf("in-flight scrape incomplete: code=%d body=%q", s.code, s.body)
+	}
+	// The listener is closed: new connections must be refused.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
 	}
 }

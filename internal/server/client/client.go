@@ -1,0 +1,346 @@
+// Package client talks to a nitro-server model registry: registering
+// function specs, pulling versioned model artifacts (ETag-cached), pushing
+// observation samples, and driving the canary handshake. The Poller turns
+// the registry's deployment state into local hot-swaps on a core.Context.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/ml"
+	"nitro/internal/online"
+	"nitro/internal/server"
+)
+
+// Config configures a registry client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Token is the tenant bearer token.
+	Token string
+	// HTTPClient overrides the transport (default: http.Client with a 10s
+	// timeout).
+	HTTPClient *http.Client
+	// Retries is how many times a failed request is retried (default 2;
+	// negative disables). Transport errors, 5xx and 429 retry; other
+	// statuses are returned immediately.
+	Retries int
+	// Backoff is the first retry delay, doubled per attempt (default 100ms).
+	Backoff time.Duration
+	// sleep is injectable for tests.
+	sleep func(time.Duration)
+}
+
+// Client is a registry API client. Safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New validates the config and returns a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.Token == "" {
+		return nil, fmt.Errorf("client: empty token")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// apiResponse is one completed exchange.
+type apiResponse struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// do runs one request with retry/backoff. Bodies are replayed from the
+// byte slice, so every attempt sends the full payload.
+func (c *Client) do(ctx context.Context, method, path string, headers map[string]string, body []byte) (apiResponse, error) {
+	var lastErr error
+	delay := c.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return apiResponse{}, err
+		}
+		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && !retryableStatus(resp.StatusCode) {
+				return apiResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+			}
+			if rerr != nil {
+				lastErr = rerr
+			} else {
+				lastErr = fmt.Errorf("client: %s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+				if attempt >= c.cfg.Retries {
+					return apiResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
+				}
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt >= c.cfg.Retries || ctx.Err() != nil {
+			return apiResponse{}, lastErr
+		}
+		c.cfg.sleep(delay)
+		delay *= 2
+	}
+}
+
+// decodeOrErr maps non-2xx responses to errors carrying the server's
+// message, and decodes 2xx bodies into out (when non-nil).
+func decodeOrErr(resp apiResponse, path string, out any) error {
+	if resp.status < 200 || resp.status >= 300 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(resp.body))
+		if json.Unmarshal(resp.body, &ae) == nil && ae.Error != "" {
+			msg = ae.Error
+		}
+		return &APIError{Status: resp.status, Path: path, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(resp.body, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx registry response.
+type APIError struct {
+	Status  int
+	Path    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: status %d: %s", e.Path, e.Status, e.Message)
+}
+
+// IsStatus reports whether err is an APIError with the given status.
+func IsStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == status
+}
+
+// RegisterFunction registers (idempotently) a function spec.
+func (c *Client) RegisterFunction(ctx context.Context, spec server.FunctionSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/api/v1/functions", jsonHeaders, body)
+	if err != nil {
+		return err
+	}
+	return decodeOrErr(resp, "/api/v1/functions", nil)
+}
+
+var jsonHeaders = map[string]string{"Content-Type": "application/json"}
+
+// Status fetches a function's full observable state (spec, deployment,
+// drift, corpus size).
+func (c *Client) Status(ctx context.Context, fn string) (server.FunctionStatus, error) {
+	path := "/api/v1/functions/" + fn
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return server.FunctionStatus{}, err
+	}
+	var st server.FunctionStatus
+	if err := decodeOrErr(resp, path, &st); err != nil {
+		return server.FunctionStatus{}, err
+	}
+	return st, nil
+}
+
+// Deployment fetches the stable/canary deployment state of a function.
+func (c *Client) Deployment(ctx context.Context, fn string) (server.Deployment, error) {
+	path := "/api/v1/functions/" + fn + "/deployment"
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return server.Deployment{}, err
+	}
+	var dep server.Deployment
+	if err := decodeOrErr(resp, path, &dep); err != nil {
+		return server.Deployment{}, err
+	}
+	return dep, nil
+}
+
+// Pull is one model-pull result.
+type Pull struct {
+	// NotModified reports a 304: the caller's cached artifact is current.
+	NotModified bool
+	Version     int
+	ETag        string
+	Data        []byte
+	Model       *ml.Model
+}
+
+// PullModel fetches a model artifact. version 0 selects the server's stable
+// version; cachedETag, when non-empty, is sent as If-None-Match so an
+// unchanged artifact costs a 304 instead of a body. The artifact bytes are
+// verified against the response ETag before decoding.
+func (c *Client) PullModel(ctx context.Context, fn string, version int, cachedETag string) (Pull, error) {
+	path := "/api/v1/functions/" + fn + "/model"
+	if version > 0 {
+		path += "?version=" + strconv.Itoa(version)
+	}
+	headers := map[string]string{}
+	if cachedETag != "" {
+		headers["If-None-Match"] = cachedETag
+	}
+	resp, err := c.do(ctx, http.MethodGet, path, headers, nil)
+	if err != nil {
+		return Pull{}, err
+	}
+	if resp.status == http.StatusNotModified {
+		return Pull{NotModified: true, ETag: cachedETag, Version: atoi(resp.header.Get("X-Nitro-Model-Version"))}, nil
+	}
+	if err := decodeOrErr(resp, path, nil); err != nil {
+		return Pull{}, err
+	}
+	etag := resp.header.Get("ETag")
+	m, err := ml.DecodeArtifact(resp.body, etag)
+	if err != nil {
+		return Pull{}, fmt.Errorf("client: pulled artifact for %q is corrupt: %w", fn, err)
+	}
+	return Pull{Version: atoi(resp.header.Get("X-Nitro-Model-Version")), ETag: etag, Data: resp.body, Model: m}, nil
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}
+
+// PushModel uploads an externally trained artifact. ifMatch carries the
+// If-Match precondition ("" = unconditional).
+func (c *Client) PushModel(ctx context.Context, fn string, data []byte, ifMatch string) (server.Deployment, error) {
+	path := "/api/v1/functions/" + fn + "/model"
+	headers := map[string]string{"Content-Type": "application/octet-stream"}
+	if ifMatch != "" {
+		headers["If-Match"] = ifMatch
+	}
+	resp, err := c.do(ctx, http.MethodPut, path, headers, data)
+	if err != nil {
+		return server.Deployment{}, err
+	}
+	var dep server.Deployment
+	if err := decodeOrErr(resp, path, &dep); err != nil {
+		return server.Deployment{}, err
+	}
+	return dep, nil
+}
+
+// PushObservations ships a batch of labelled samples to the fleet detector
+// and returns the server's drift stats.
+func (c *Client) PushObservations(ctx context.Context, fn string, samples []online.RemoteSample) (online.FleetStats, error) {
+	path := "/api/v1/functions/" + fn + "/observations"
+	body, err := json.Marshal(map[string]any{"samples": samples})
+	if err != nil {
+		return online.FleetStats{}, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, jsonHeaders, body)
+	if err != nil {
+		return online.FleetStats{}, err
+	}
+	var out struct {
+		Drift online.FleetStats `json:"drift"`
+	}
+	if err := decodeOrErr(resp, path, &out); err != nil {
+		return online.FleetStats{}, err
+	}
+	return out.Drift, nil
+}
+
+// Tune requests a tuning job over the server's observation corpus.
+func (c *Client) Tune(ctx context.Context, fn string) (string, error) {
+	path := "/api/v1/functions/" + fn + "/tune"
+	resp, err := c.do(ctx, http.MethodPost, path, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		Job string `json:"job"`
+	}
+	if err := decodeOrErr(resp, path, &out); err != nil {
+		return "", err
+	}
+	return out.Job, nil
+}
+
+// Job fetches a tune job's status.
+func (c *Client) Job(ctx context.Context, id string) (autotuner.JobStatus, error) {
+	path := "/api/v1/jobs/" + id
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil)
+	if err != nil {
+		return autotuner.JobStatus{}, err
+	}
+	var st autotuner.JobStatus
+	if err := decodeOrErr(resp, path, &st); err != nil {
+		return autotuner.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// ReportCanary folds local challenger outcome deltas into the fleet
+// aggregate and returns the server's decision plus the (possibly updated)
+// deployment.
+func (c *Client) ReportCanary(ctx context.Context, fn string, version int, calls, failures int64) (string, server.Deployment, error) {
+	path := "/api/v1/functions/" + fn + "/canary/report"
+	body, err := json.Marshal(map[string]any{"version": version, "calls": calls, "failures": failures})
+	if err != nil {
+		return "", server.Deployment{}, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, jsonHeaders, body)
+	if err != nil {
+		return "", server.Deployment{}, err
+	}
+	var out struct {
+		Decision   string            `json:"decision"`
+		Deployment server.Deployment `json:"deployment"`
+	}
+	if err := decodeOrErr(resp, path, &out); err != nil {
+		return "", server.Deployment{}, err
+	}
+	return out.Decision, out.Deployment, nil
+}

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testClient(t *testing.T, url string, sleeps *[]time.Duration) *Client {
+	t.Helper()
+	c, err := New(Config{
+		BaseURL: url,
+		Token:   "tok",
+		Retries: 2,
+		Backoff: 10 * time.Millisecond,
+		sleep: func(d time.Duration) {
+			if sleeps != nil {
+				*sleeps = append(*sleeps, d)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRetryBackoff: transient 5xx responses retry with doubling backoff and
+// eventually succeed; the request body is replayed on every attempt.
+func TestRetryBackoff(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer tok" {
+			t.Errorf("missing bearer token on attempt %d", attempts.Load())
+		}
+		if attempts.Add(1) <= 2 {
+			http.Error(w, "temporarily down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"function":"f","stable":1,"latest":1,"last_decision":"promoted"}`))
+	}))
+	defer hs.Close()
+
+	var sleeps []time.Duration
+	c := testClient(t, hs.URL, &sleeps)
+	dep, err := c.Deployment(context.Background(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != 1 || attempts.Load() != 3 {
+		t.Fatalf("deployment %+v after %d attempts, want success on the 3rd", dep, attempts.Load())
+	}
+	if len(sleeps) != 2 || sleeps[0] != 10*time.Millisecond || sleeps[1] != 20*time.Millisecond {
+		t.Fatalf("backoff sleeps = %v, want doubling from 10ms", sleeps)
+	}
+}
+
+// TestNoRetryOnClientError: 4xx responses are terminal — no retries, and the
+// server's error message surfaces in the typed APIError.
+func TestNoRetryOnClientError(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"server: not found: function \"f\""}`))
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, nil)
+	_, err := c.Deployment(context.Background(), "f")
+	if err == nil || attempts.Load() != 1 {
+		t.Fatalf("err = %v after %d attempts, want immediate failure", err, attempts.Load())
+	}
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("err %v is not a 404 APIError", err)
+	}
+}
+
+// TestRetriesExhausted: persistent 5xx returns the terminal status response
+// after the retry budget is spent.
+func TestRetriesExhausted(t *testing.T) {
+	var attempts atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "still down", http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, nil)
+	_, err := c.Deployment(context.Background(), "f")
+	if err == nil || attempts.Load() != 3 {
+		t.Fatalf("err = %v after %d attempts, want failure after 1 try + 2 retries", err, attempts.Load())
+	}
+	if !IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("err %v is not a 500 APIError", err)
+	}
+}
+
+// TestPullRejectsCorruptArtifact: a body that does not hash to the
+// advertised ETag is refused before it can be installed.
+func TestPullRejectsCorruptArtifact(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("ETag", `"sha256-deadbeef"`)
+		w.Header().Set("X-Nitro-Model-Version", "1")
+		w.Write([]byte("truncated garbage"))
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, nil)
+	if _, err := c.PullModel(context.Background(), "f", 0, ""); err == nil {
+		t.Fatal("corrupt artifact pull succeeded")
+	}
+}
+
+// TestConfigValidation covers constructor errors.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Token: "tok"}); err == nil {
+		t.Fatal("empty base URL accepted")
+	}
+	if _, err := New(Config{BaseURL: "http://x"}); err == nil {
+		t.Fatal("empty token accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package client
+
+// Poller: the deployment-following side of the registry protocol. Each
+// PollOnce reconciles a local core.Context against the server's deployment
+// state for one function:
+//
+//   - a new stable version is pulled (ETag-cached) and installed through the
+//     context's atomic hot-swap; a pull or validation failure leaves the
+//     incumbent serving — rollback is "don't install", never "uninstall";
+//   - a live canary installs the challenger at the server's fraction via
+//     SetCanary, so the challenger serves real traffic through the dispatch
+//     ladder while the stable model keeps the rest;
+//   - local challenger outcomes (calls/failures deltas since the last
+//     report) feed the server's fleet aggregate; the server's verdict —
+//     promoted or rolled back — clears the local canary, and a promotion
+//     installs the challenger as the new stable without re-pulling bytes.
+
+import (
+	"context"
+	"fmt"
+
+	"nitro/internal/core"
+	"nitro/internal/ml"
+	"nitro/internal/server"
+)
+
+// Poller reconciles one function on one core.Context with the registry.
+// Not safe for concurrent PollOnce calls; the context it manages is fully
+// concurrent-safe (hot-swap + canary are atomic).
+type Poller struct {
+	c  *Client
+	cx *core.Context
+	fn string
+
+	stableVersion int
+	stableETag    string
+
+	canaryVersion int
+	canaryModel   *ml.Model
+	reportedCalls int64
+	reportedFails int64
+}
+
+// NewPoller builds a poller that installs models for fn into cx.
+func NewPoller(c *Client, cx *core.Context, fn string) *Poller {
+	return &Poller{c: c, cx: cx, fn: fn}
+}
+
+// PollResult reports what one reconciliation did.
+type PollResult struct {
+	// StableVersion is the locally installed stable generation (0 = none).
+	StableVersion int
+	// InstalledStable reports that this poll hot-swapped a new stable.
+	InstalledStable bool
+	// CanaryVersion is the locally serving challenger (0 = none).
+	CanaryVersion int
+	// StartedCanary / Decision report canary lifecycle edges: Decision is
+	// "" while nothing settled, otherwise the server's verdict.
+	StartedCanary bool
+	Decision      string
+}
+
+// StableVersion reports the currently installed stable generation.
+func (p *Poller) StableVersion() int { return p.stableVersion }
+
+// PollOnce runs one reconciliation pass.
+func (p *Poller) PollOnce(ctx context.Context) (PollResult, error) {
+	res := PollResult{StableVersion: p.stableVersion, CanaryVersion: p.canaryVersion}
+	dep, err := p.c.Deployment(ctx, p.fn)
+	if err != nil {
+		return res, err
+	}
+
+	// Reconcile the stable model first: canary verdicts below may assume
+	// the current stable is installed.
+	if dep.Stable != 0 && dep.Stable != p.stableVersion {
+		if err := p.installStable(ctx, dep.Stable); err != nil {
+			return res, err
+		}
+		res.InstalledStable = true
+	}
+	res.StableVersion = p.stableVersion
+
+	switch {
+	case dep.Canary == nil && p.canaryVersion != 0:
+		// The episode settled while we weren't looking (another client's
+		// report crossed the threshold). Stop serving the challenger; the
+		// stable reconciliation above already follows a promotion.
+		p.clearCanary()
+	case dep.Canary != nil && dep.Canary.Version != p.canaryVersion:
+		if err := p.startCanary(ctx, dep); err != nil {
+			return res, err
+		}
+		res.StartedCanary = true
+	case dep.Canary != nil:
+		dec, err := p.reportCanary(ctx)
+		if err != nil {
+			return res, err
+		}
+		res.Decision = dec
+	}
+	res.CanaryVersion = p.canaryVersion
+	return res, nil
+}
+
+func (p *Poller) installStable(ctx context.Context, version int) error {
+	// A promoted challenger is already in hand — install the bytes we have
+	// been serving as canary instead of re-pulling them.
+	if p.canaryModel != nil && p.canaryVersion == version {
+		if err := p.cx.SetModel(p.fn, p.canaryModel); err != nil {
+			return fmt.Errorf("client: installing promoted canary v%d: %w", version, err)
+		}
+		p.stableVersion = version
+		p.stableETag = ""
+		return nil
+	}
+	pull, err := p.c.PullModel(ctx, p.fn, version, p.stableETag)
+	if err != nil {
+		return err
+	}
+	if pull.NotModified {
+		p.stableVersion = version
+		return nil
+	}
+	// SetModel validates before swapping; a bad artifact leaves the
+	// incumbent model serving.
+	if err := p.cx.SetModel(p.fn, pull.Model); err != nil {
+		return fmt.Errorf("client: installing v%d: %w", version, err)
+	}
+	p.stableVersion = version
+	p.stableETag = pull.ETag
+	return nil
+}
+
+func (p *Poller) startCanary(ctx context.Context, dep server.Deployment) error {
+	pull, err := p.c.PullModel(ctx, p.fn, dep.Canary.Version, "")
+	if err != nil {
+		return err
+	}
+	if err := p.cx.SetCanary(p.fn, pull.Model, dep.Canary.Fraction); err != nil {
+		return fmt.Errorf("client: installing canary v%d: %w", dep.Canary.Version, err)
+	}
+	p.canaryVersion = dep.Canary.Version
+	p.canaryModel = pull.Model
+	p.reportedCalls, p.reportedFails = 0, 0
+	return nil
+}
+
+func (p *Poller) reportCanary(ctx context.Context) (string, error) {
+	st := p.cx.CanaryStats(p.fn)
+	dCalls, dFails := st.Calls-p.reportedCalls, st.Failures-p.reportedFails
+	if dCalls < 0 { // canary slot was replaced underneath us; resync
+		p.reportedCalls, p.reportedFails = 0, 0
+		dCalls, dFails = st.Calls, st.Failures
+	}
+	dec, _, err := p.c.ReportCanary(ctx, p.fn, p.canaryVersion, dCalls, dFails)
+	if err != nil {
+		return "", err
+	}
+	p.reportedCalls += dCalls
+	p.reportedFails += dFails
+	switch dec {
+	case "promoted":
+		promoted := p.canaryVersion
+		if err := p.cx.SetModel(p.fn, p.canaryModel); err != nil {
+			return dec, fmt.Errorf("client: promoting canary v%d: %w", promoted, err)
+		}
+		p.stableVersion = promoted
+		p.stableETag = ""
+		p.clearCanary()
+	case "rolledback":
+		p.clearCanary()
+	}
+	return dec, nil
+}
+
+func (p *Poller) clearCanary() {
+	p.cx.ClearCanary(p.fn)
+	p.canaryVersion = 0
+	p.canaryModel = nil
+	p.reportedCalls, p.reportedFails = 0, 0
+}

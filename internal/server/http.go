@@ -1,0 +1,252 @@
+package server
+
+// HTTP/JSON API of the registry daemon, mounted under /api/v1. Every route
+// requires a tenant bearer token; tenants only ever see their own
+// namespace, so two tenants can register functions with the same name
+// without interference. Model artifacts travel as opaque bytes with strong
+// ETags: pulls honour If-None-Match (cache revalidation costs a 304, not a
+// body), pushes honour If-Match (lost-update protection between racing
+// publishers).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"nitro/internal/online"
+)
+
+// maxBodyBytes bounds request bodies (model artifacts and observation
+// batches are small; anything larger is abuse).
+const maxBodyBytes = 8 << 20
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnauthorized):
+		code = http.StatusUnauthorized
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		code = http.StatusConflict
+	case errors.Is(err, ErrQuota):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrInvalid):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrPrecondition):
+		code = http.StatusPreconditionFailed
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+// APIHandler builds the authenticated API router. The handler carries no
+// state of its own; everything lives in the registry.
+func (r *Registry) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/functions", r.withTenant(r.handleRegister))
+	mux.HandleFunc("GET /api/v1/functions", r.withTenant(r.handleList))
+	mux.HandleFunc("GET /api/v1/functions/{fn}", r.withTenant(r.handleStatus))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/deployment", r.withTenant(r.handleDeployment))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/model", r.withTenant(r.handlePull))
+	mux.HandleFunc("PUT /api/v1/functions/{fn}/model", r.withTenant(r.handlePush))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/observations", r.withTenant(r.handleObservations))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/tune", r.withTenant(r.handleTune))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/canary/report", r.withTenant(r.handleCanaryReport))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", r.withTenant(r.handleJob))
+	return mux
+}
+
+// withTenant authenticates the bearer token and passes the tenant name on.
+func (r *Registry) withTenant(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		r.metrics.requests.Add(1)
+		auth := req.Header.Get("Authorization")
+		token, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok || token == "" {
+			r.metrics.authFailures.Add(1)
+			writeErr(w, fmt.Errorf("%w: missing bearer token", ErrUnauthorized))
+			return
+		}
+		tenant, err := r.Authenticate(token)
+		if err != nil {
+			r.metrics.authFailures.Add(1)
+			writeErr(w, err)
+			return
+		}
+		h(w, req, tenant)
+	}
+}
+
+func (r *Registry) handleRegister(w http.ResponseWriter, req *http.Request, tenant string) {
+	var spec FunctionSpec
+	if err := decodeBody(req, &spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := r.RegisterFunction(tenant, spec); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, spec)
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request, tenant string) {
+	names, err := r.Functions(tenant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"functions": names})
+}
+
+func (r *Registry) handleStatus(w http.ResponseWriter, req *http.Request, tenant string) {
+	st, err := r.Status(tenant, req.PathValue("fn"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (r *Registry) handleDeployment(w http.ResponseWriter, req *http.Request, tenant string) {
+	dep, err := r.Deployment(tenant, req.PathValue("fn"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, dep)
+}
+
+// handlePull serves a model artifact. ?version=N pins a version (the poller
+// pulls canary challengers this way); the default is the stable version.
+// If-None-Match with the current ETag short-circuits to 304.
+func (r *Registry) handlePull(w http.ResponseWriter, req *http.Request, tenant string) {
+	version := 0
+	if q := req.URL.Query().Get("version"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, fmt.Errorf("%w: bad version %q", ErrInvalid, q))
+			return
+		}
+		version = v
+	}
+	data, etag, v, err := r.Artifact(tenant, req.PathValue("fn"), version)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Nitro-Model-Version", strconv.Itoa(v))
+	for _, cand := range strings.Split(req.Header.Get("If-None-Match"), ",") {
+		if strings.TrimSpace(cand) == etag {
+			r.metrics.pullsNotModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (r *Registry) handlePush(w http.ResponseWriter, req *http.Request, tenant string) {
+	data, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+		return
+	}
+	dep, err := r.PushModel(tenant, req.PathValue("fn"), data, req.Header.Get("If-Match"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, dep)
+}
+
+// observationsBody is the push payload: a batch of remote samples.
+type observationsBody struct {
+	Samples []online.RemoteSample `json:"samples"`
+}
+
+func (r *Registry) handleObservations(w http.ResponseWriter, req *http.Request, tenant string) {
+	var body observationsBody
+	if err := decodeBody(req, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(body.Samples) == 0 {
+		writeErr(w, fmt.Errorf("%w: empty sample batch", ErrInvalid))
+		return
+	}
+	stats, err := r.PushObservations(tenant, req.PathValue("fn"), body.Samples)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"drift": stats})
+}
+
+func (r *Registry) handleTune(w http.ResponseWriter, req *http.Request, tenant string) {
+	id, err := r.Tune(tenant, req.PathValue("fn"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"job": id})
+}
+
+func (r *Registry) handleJob(w http.ResponseWriter, req *http.Request, tenant string) {
+	st, err := r.Job(tenant, req.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// canaryReportBody carries one client's challenger outcome deltas.
+type canaryReportBody struct {
+	Version  int   `json:"version"`
+	Calls    int64 `json:"calls"`
+	Failures int64 `json:"failures"`
+}
+
+func (r *Registry) handleCanaryReport(w http.ResponseWriter, req *http.Request, tenant string) {
+	var body canaryReportBody
+	if err := decodeBody(req, &body); err != nil {
+		writeErr(w, err)
+		return
+	}
+	decision, dep, err := r.ReportCanary(tenant, req.PathValue("fn"), body.Version, body.Calls, body.Failures)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"decision": decision, "deployment": dep})
+}

@@ -1,0 +1,919 @@
+// Package server implements the Nitro model registry daemon: a multi-tenant
+// service that owns tuned models for many functions, trains new generations
+// from observations pushed by deployed clients, and distributes versioned
+// model artifacts with canary-gated promotion.
+//
+// The paper's workflow is offline: tune once, ship the model with the
+// binary. In a fleet, that inverts — many processes run the same tuned
+// function, each sees a slice of the input distribution, and the training
+// corpus that matters is the union of what the fleet observes. The registry
+// centralizes that loop: clients push observations (features + per-variant
+// timings), a fleet-wide drift detector decides when the pooled evidence
+// says the deployed model is stale, a bounded job queue retrains with the
+// same pipeline as offline tuning, and the resulting artifact is promoted
+// through a fraction-gated canary before the whole fleet adopts it.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/ml"
+	"nitro/internal/online"
+)
+
+// Sentinel errors; the HTTP layer maps them onto status codes.
+var (
+	ErrUnauthorized = errors.New("server: unauthorized")
+	ErrNotFound     = errors.New("server: not found")
+	ErrConflict     = errors.New("server: conflict")
+	ErrQuota        = errors.New("server: quota exceeded")
+	ErrInvalid      = errors.New("server: invalid request")
+	ErrPrecondition = errors.New("server: precondition failed")
+)
+
+// nameRe restricts tenant and function names: they become path segments in
+// both the HTTP API and the artifact store.
+var nameRe = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+// Quotas bounds one tenant's footprint on the daemon. Zero values mean
+// unlimited.
+type Quotas struct {
+	// MaxFunctions caps registered functions.
+	MaxFunctions int `json:"max_functions,omitempty"`
+	// MaxPendingJobs caps tune jobs that have not reached a terminal state.
+	MaxPendingJobs int `json:"max_pending_jobs,omitempty"`
+	// SamplesPerSec rate-limits pushed observation samples with a token
+	// bucket; SampleBurst is the bucket depth (default 4x the rate).
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	SampleBurst   float64 `json:"sample_burst,omitempty"`
+}
+
+// TenantConfig declares one tenant: its namespace, its bearer token, and
+// its quotas.
+type TenantConfig struct {
+	Name   string `json:"name"`
+	Token  string `json:"token"`
+	Quotas Quotas `json:"quotas"`
+}
+
+// FunctionSpec registers one tuned function: the feature and variant names
+// fix the wire shape of observations and the class range of models.
+type FunctionSpec struct {
+	Name     string   `json:"name"`
+	Features []string `json:"features"`
+	Variants []string `json:"variants"`
+	// Default is the fallback variant index (constraint-reject fallback on
+	// the client side).
+	Default int `json:"default"`
+}
+
+func (s FunctionSpec) validate() error {
+	if !nameRe.MatchString(s.Name) {
+		return fmt.Errorf("%w: bad function name %q", ErrInvalid, s.Name)
+	}
+	if len(s.Variants) < 2 {
+		return fmt.Errorf("%w: need at least 2 variants", ErrInvalid)
+	}
+	if len(s.Features) < 1 {
+		return fmt.Errorf("%w: need at least 1 feature", ErrInvalid)
+	}
+	if s.Default < 0 || s.Default >= len(s.Variants) {
+		return fmt.Errorf("%w: default variant %d out of range", ErrInvalid, s.Default)
+	}
+	return nil
+}
+
+// CanaryPolicy gates fleet-wide promotion of a retrained model.
+type CanaryPolicy struct {
+	// Fraction of client traffic the challenger serves during the gate.
+	Fraction float64 `json:"fraction"`
+	// MinSamples is the fleet-wide challenger call count required before a
+	// verdict.
+	MinSamples int64 `json:"min_samples"`
+	// MaxFailureRate is the highest tolerated challenger failure share.
+	MaxFailureRate float64 `json:"max_failure_rate"`
+}
+
+func (p CanaryPolicy) normalized() CanaryPolicy {
+	if p.Fraction <= 0 || p.Fraction > 1 {
+		p.Fraction = 0.2
+	}
+	if p.MinSamples <= 0 {
+		p.MinSamples = 50
+	}
+	if p.MaxFailureRate <= 0 {
+		p.MaxFailureRate = 0.1
+	}
+	return p
+}
+
+// Canary decision strings, reported to clients.
+const (
+	DecisionNone       = "none"
+	DecisionPending    = "pending"
+	DecisionPromoted   = "promoted"
+	DecisionRolledBack = "rolledback"
+)
+
+// CanaryState is the server-side canary: which version is challenging, the
+// serving fraction clients must apply, and the fleet-aggregated outcome
+// counters.
+type CanaryState struct {
+	Version        int     `json:"version"`
+	ETag           string  `json:"etag"`
+	Fraction       float64 `json:"fraction"`
+	MinSamples     int64   `json:"min_samples"`
+	MaxFailureRate float64 `json:"max_failure_rate"`
+	Calls          int64   `json:"calls"`
+	Failures       int64   `json:"failures"`
+}
+
+// Deployment is what a polling client acts on: the stable version everyone
+// should run, plus the optional canary challenger.
+type Deployment struct {
+	Function string `json:"function"`
+	// Stable is 0 while no model has ever been promoted.
+	Stable     int          `json:"stable"`
+	StableETag string       `json:"stable_etag,omitempty"`
+	Latest     int          `json:"latest"`
+	Canary     *CanaryState `json:"canary,omitempty"`
+	// LastDecision reports how the most recent canary episode ended.
+	LastDecision string `json:"last_decision"`
+}
+
+// FunctionStatus is the observable state of one registered function.
+type FunctionStatus struct {
+	Spec         FunctionSpec      `json:"spec"`
+	Deployment   Deployment        `json:"deployment"`
+	Observations int64             `json:"observations"`
+	Reservoir    int               `json:"reservoir"`
+	Drift        online.FleetStats `json:"drift"`
+	PendingJobs  int               `json:"pending_jobs"`
+}
+
+type artifact struct {
+	version int
+	data    []byte
+	etag    string
+}
+
+type funcState struct {
+	spec      FunctionSpec
+	artifacts map[int]artifact
+	latest    int
+	stable    int
+	canary    *CanaryState
+	lastDec   string
+
+	detector  *online.FleetDetector
+	reservoir []autotuner.Observation
+	obsCount  int64
+	obsSeq    int64
+
+	pendingTunes int
+	autoTuned    bool // an auto-triggered retrain is pending or canarying
+}
+
+type tenantState struct {
+	cfg    TenantConfig
+	funcs  map[string]*funcState
+	bucket tokenBucket
+}
+
+// tokenBucket is a classic token bucket with an injectable clock.
+type tokenBucket struct {
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(q Quotas) tokenBucket {
+	b := tokenBucket{rate: q.SamplesPerSec, burst: q.SampleBurst}
+	if b.rate > 0 && b.burst <= 0 {
+		b.burst = 4 * b.rate
+	}
+	b.tokens = b.burst
+	return b
+}
+
+func (b *tokenBucket) allow(now time.Time, n float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// RegistryConfig configures the model registry.
+type RegistryConfig struct {
+	// Tenants declares the accepted namespaces and bearer tokens.
+	Tenants []TenantConfig
+	// DataDir, when set, persists specs and artifacts; the registry reloads
+	// them on construction.
+	DataDir string
+	// Workers / QueueCapacity size the tuning job queue (defaults 2 / 16).
+	Workers       int
+	QueueCapacity int
+	// Train configures the retraining pipeline (zero value: SVM defaults).
+	Train autotuner.TrainOptions
+	// Drift configures the fleet detector windows/thresholds (zero value:
+	// online.Policy defaults).
+	Drift online.Policy
+	// Canary gates promotion of retrained models.
+	Canary CanaryPolicy
+	// ReservoirSize caps the per-function observation corpus (default 512).
+	ReservoirSize int
+	// MinRetrainSamples gates drift-triggered auto-tunes (default 32).
+	MinRetrainSamples int
+	// Clock is injectable for rate-limit tests (default time.Now).
+	Clock func() time.Time
+}
+
+// Registry is the daemon's state: tenants, their functions, the artifact
+// store and the tuning queue. Safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	byToken map[string]*tenantState
+	jobs    *autotuner.JobQueue
+	jobMeta map[string]jobMeta // job id -> owner
+	cfg     RegistryConfig
+
+	metrics serverMetrics
+}
+
+type jobMeta struct{ tenant, fn string }
+
+// NewRegistry validates the tenant set, reloads persisted state when
+// DataDir is set, and starts the tuning workers.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("%w: no tenants configured", ErrInvalid)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCapacity <= 0 {
+		cfg.QueueCapacity = 16
+	}
+	if cfg.ReservoirSize <= 0 {
+		cfg.ReservoirSize = 512
+	}
+	if cfg.MinRetrainSamples <= 0 {
+		cfg.MinRetrainSamples = 32
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	cfg.Canary = cfg.Canary.normalized()
+	r := &Registry{
+		tenants: make(map[string]*tenantState),
+		byToken: make(map[string]*tenantState),
+		jobMeta: make(map[string]jobMeta),
+		cfg:     cfg,
+	}
+	for _, tc := range cfg.Tenants {
+		if !nameRe.MatchString(tc.Name) {
+			return nil, fmt.Errorf("%w: bad tenant name %q", ErrInvalid, tc.Name)
+		}
+		if tc.Token == "" {
+			return nil, fmt.Errorf("%w: tenant %q has an empty token", ErrInvalid, tc.Name)
+		}
+		if _, dup := r.tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate tenant %q", ErrInvalid, tc.Name)
+		}
+		if _, dup := r.byToken[tc.Token]; dup {
+			return nil, fmt.Errorf("%w: tenants share a token", ErrInvalid)
+		}
+		ts := &tenantState{cfg: tc, funcs: make(map[string]*funcState), bucket: newBucket(tc.Quotas)}
+		r.tenants[tc.Name] = ts
+		r.byToken[tc.Token] = ts
+	}
+	if cfg.DataDir != "" {
+		if err := r.load(); err != nil {
+			return nil, err
+		}
+	}
+	r.jobs = autotuner.NewJobQueue(cfg.Workers, cfg.QueueCapacity)
+	return r, nil
+}
+
+// Close drains the tuning queue.
+func (r *Registry) Close() { r.jobs.Close() }
+
+// Authenticate resolves a bearer token to a tenant name.
+func (r *Registry) Authenticate(token string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ts, ok := r.byToken[token]; ok && token != "" {
+		return ts.cfg.Name, nil
+	}
+	return "", ErrUnauthorized
+}
+
+func (r *Registry) tenant(name string) (*tenantState, error) {
+	ts, ok := r.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: tenant %q", ErrNotFound, name)
+	}
+	return ts, nil
+}
+
+func (ts *tenantState) fn(name string) (*funcState, error) {
+	fs, ok := ts.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: function %q", ErrNotFound, name)
+	}
+	return fs, nil
+}
+
+// RegisterFunction creates (or idempotently re-registers) a function spec.
+// Changing the spec of an existing function is a conflict: models trained
+// against the old shape would silently misdispatch.
+func (r *Registry) RegisterFunction(tenant string, spec FunctionSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return err
+	}
+	if old, ok := ts.funcs[spec.Name]; ok {
+		if specEqual(old.spec, spec) {
+			return nil
+		}
+		return fmt.Errorf("%w: function %q already registered with a different spec", ErrConflict, spec.Name)
+	}
+	if q := ts.cfg.Quotas.MaxFunctions; q > 0 && len(ts.funcs) >= q {
+		return fmt.Errorf("%w: tenant %q at max functions (%d)", ErrQuota, tenant, q)
+	}
+	ts.funcs[spec.Name] = r.newFuncState(spec)
+	r.metrics.functions.Add(1)
+	return r.persistSpec(tenant, spec)
+}
+
+func (r *Registry) newFuncState(spec FunctionSpec) *funcState {
+	return &funcState{
+		spec:      spec,
+		artifacts: make(map[int]artifact),
+		lastDec:   DecisionNone,
+		detector:  online.NewFleetDetector(r.cfg.Drift),
+	}
+}
+
+func specEqual(a, b FunctionSpec) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
+}
+
+// Functions lists a tenant's registered function names, sorted.
+func (r *Registry) Functions(tenant string) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ts.funcs))
+	for name := range ts.funcs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Status reports one function's observable state.
+func (r *Registry) Status(tenant, fn string) (FunctionStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return FunctionStatus{}, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return FunctionStatus{}, err
+	}
+	return FunctionStatus{
+		Spec:         fs.spec,
+		Deployment:   r.deploymentLocked(fs),
+		Observations: fs.obsCount,
+		Reservoir:    len(fs.reservoir),
+		Drift:        fs.detector.Stats(),
+		PendingJobs:  fs.pendingTunes,
+	}, nil
+}
+
+// Deployment reports the stable/canary versions a client must serve.
+func (r *Registry) Deployment(tenant, fn string) (Deployment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return Deployment{}, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return Deployment{}, err
+	}
+	return r.deploymentLocked(fs), nil
+}
+
+func (r *Registry) deploymentLocked(fs *funcState) Deployment {
+	d := Deployment{Function: fs.spec.Name, Stable: fs.stable, Latest: fs.latest, LastDecision: fs.lastDec}
+	if a, ok := fs.artifacts[fs.stable]; ok {
+		d.StableETag = a.etag
+	}
+	if fs.canary != nil {
+		c := *fs.canary
+		d.Canary = &c
+	}
+	return d
+}
+
+// Artifact returns the stored bytes and etag of a model version; version 0
+// selects the stable version.
+func (r *Registry) Artifact(tenant, fn string, version int) (artifactOut []byte, etag string, v int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	if version == 0 {
+		version = fs.stable
+	}
+	a, ok := fs.artifacts[version]
+	if !ok {
+		return nil, "", 0, fmt.Errorf("%w: function %q has no model version %d", ErrNotFound, fn, version)
+	}
+	r.metrics.artifactPulls.Add(1)
+	return a.data, a.etag, a.version, nil
+}
+
+// PushModel installs an externally trained artifact (e.g. from offline
+// nitro-tune). ifMatch carries the HTTP If-Match precondition: "" means
+// unconditional, "*" requires some artifact to exist, otherwise it must
+// equal the current latest artifact's etag — two racing pushers cannot both
+// win. The model is re-stamped latest+1 (zero CreatedAt preserved) so the
+// registry owns the version sequence; the canonical bytes/etag are
+// returned. The new version deploys through the same canary gate as a
+// retrained model.
+func (r *Registry) PushModel(tenant, fn string, data []byte, ifMatch string) (Deployment, error) {
+	m, err := ml.DecodeArtifact(data, "")
+	if err != nil {
+		return Deployment{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return Deployment{}, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return Deployment{}, err
+	}
+	cur, hasCur := fs.artifacts[fs.latest]
+	switch {
+	case ifMatch == "":
+	case ifMatch == "*":
+		if !hasCur {
+			return Deployment{}, fmt.Errorf("%w: no current artifact", ErrPrecondition)
+		}
+	case !hasCur || ifMatch != cur.etag:
+		return Deployment{}, fmt.Errorf("%w: etag %s is not current", ErrPrecondition, ifMatch)
+	}
+	if err := r.installLocked(tenant, fs, m, false); err != nil {
+		return Deployment{}, err
+	}
+	return r.deploymentLocked(fs), nil
+}
+
+// installLocked stores a candidate model as version latest+1 and stages it
+// for deployment: the first-ever version promotes directly to stable (there
+// is no incumbent to protect), later versions start a canary episode. A
+// candidate arriving while another canary is live replaces it (the older
+// challenger was never promoted).
+func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto bool) error {
+	if err := validateAgainstSpec(m, fs.spec); err != nil {
+		return err
+	}
+	version := fs.latest + 1
+	meta := ml.ModelMeta{Version: version}
+	if m.Meta != nil {
+		meta.TrainedOn = m.Meta.TrainedOn
+	}
+	m.Meta = &meta
+	data, etag, err := ml.EncodeArtifact(m)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	fs.artifacts[version] = artifact{version: version, data: data, etag: etag}
+	fs.latest = version
+	r.metrics.artifactsStored.Add(1)
+	if fs.stable == 0 {
+		fs.stable = version
+		fs.lastDec = DecisionPromoted
+		fs.detector.OnSwap()
+	} else {
+		pol := r.cfg.Canary
+		fs.canary = &CanaryState{
+			Version:        version,
+			ETag:           etag,
+			Fraction:       pol.Fraction,
+			MinSamples:     pol.MinSamples,
+			MaxFailureRate: pol.MaxFailureRate,
+		}
+		fs.lastDec = DecisionPending
+		fs.autoTuned = auto
+		r.metrics.canariesStarted.Add(1)
+	}
+	return r.persistArtifact(tenant, fs)
+}
+
+// validateAgainstSpec rejects models whose class labels exceed the
+// registered variant count (they would misdispatch on every client).
+func validateAgainstSpec(m *ml.Model, spec FunctionSpec) error {
+	if m == nil || m.Classifier == nil {
+		return fmt.Errorf("%w: artifact has no classifier", ErrInvalid)
+	}
+	for _, c := range m.Classifier.Classes() {
+		if c < 0 || c >= len(spec.Variants) {
+			return fmt.Errorf("%w: model class %d out of range for %d variants", ErrInvalid, c, len(spec.Variants))
+		}
+	}
+	return nil
+}
+
+// ReportCanary folds one client's challenger outcome deltas into the fleet
+// aggregate and returns the resulting decision. Reports for a version that
+// is not the live canary return the settled decision for that version
+// (promoted if it became stable, rolled back otherwise) so laggard clients
+// converge.
+func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures int64) (string, Deployment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return "", Deployment{}, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return "", Deployment{}, err
+	}
+	if fs.canary == nil || fs.canary.Version != version {
+		dec := DecisionRolledBack
+		if version == fs.stable {
+			dec = DecisionPromoted
+		} else if fs.canary != nil {
+			dec = DecisionNone // a different canary episode is live
+		}
+		return dec, r.deploymentLocked(fs), nil
+	}
+	if calls < 0 || failures < 0 || failures > calls {
+		return "", Deployment{}, fmt.Errorf("%w: bad canary report (%d calls, %d failures)", ErrInvalid, calls, failures)
+	}
+	c := fs.canary
+	c.Calls += calls
+	c.Failures += failures
+	if c.Calls < c.MinSamples {
+		return DecisionPending, r.deploymentLocked(fs), nil
+	}
+	rate := float64(c.Failures) / float64(c.Calls)
+	if rate <= c.MaxFailureRate {
+		fs.stable = c.Version
+		fs.canary = nil
+		fs.lastDec = DecisionPromoted
+		fs.detector.OnSwap()
+		r.metrics.canariesPromoted.Add(1)
+	} else {
+		fs.canary = nil
+		fs.lastDec = DecisionRolledBack
+		fs.detector.OnRollback()
+		r.metrics.canariesRolledBack.Add(1)
+	}
+	fs.autoTuned = false
+	if err := r.persistArtifact(tenant, fs); err != nil {
+		return "", Deployment{}, err
+	}
+	return fs.lastDec, r.deploymentLocked(fs), nil
+}
+
+// PushObservations ingests samples pushed by a client: rate-limited by the
+// tenant's token bucket, folded into the bounded reservoir (labelled
+// retraining corpus) and into the fleet drift detector. A detector verdict
+// that asks for a retrain auto-submits a tune job when enough corpus is
+// available. Returns the fleet drift state after ingestion.
+func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSample) (online.FleetStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return online.FleetStats{}, err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return online.FleetStats{}, err
+	}
+	// Validate shapes before charging the rate limit: a malformed batch is
+	// rejected whole and must not burn quota.
+	for _, s := range samples {
+		if len(s.Features) != len(fs.spec.Features) || len(s.Times) != len(fs.spec.Variants) {
+			return online.FleetStats{}, fmt.Errorf("%w: sample shape %dx%d, want %dx%d",
+				ErrInvalid, len(s.Features), len(s.Times), len(fs.spec.Features), len(fs.spec.Variants))
+		}
+	}
+	if !ts.bucket.allow(r.cfg.Clock(), float64(len(samples))) {
+		r.metrics.samplesRejected.Add(int64(len(samples)))
+		return online.FleetStats{}, fmt.Errorf("%w: observation rate limit", ErrQuota)
+	}
+	wantRetrain := false
+	for _, s := range samples {
+		fs.obsCount++
+		fs.obsSeq++
+		fs.reservoir = append(fs.reservoir, autotuner.Observation{Seq: fs.obsSeq, Features: s.Features, Times: s.Times})
+		if over := len(fs.reservoir) - r.cfg.ReservoirSize; over > 0 {
+			fs.reservoir = fs.reservoir[over:]
+		}
+		v := fs.detector.Ingest(s)
+		if v.WantRetrain || v.DriftDetected {
+			wantRetrain = true
+		}
+	}
+	r.metrics.samplesIngested.Add(int64(len(samples)))
+	if wantRetrain && !fs.autoTuned && fs.pendingTunes == 0 && len(fs.reservoir) >= r.cfg.MinRetrainSamples {
+		if _, err := r.submitTuneLocked(ts, fs, true); err == nil {
+			r.metrics.autoTunes.Add(1)
+		}
+	}
+	return fs.detector.Stats(), nil
+}
+
+// Tune submits an explicit tuning job over the function's observation
+// corpus and returns the job id.
+func (r *Registry) Tune(tenant, fn string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return "", err
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return "", err
+	}
+	return r.submitTuneLocked(ts, fs, false)
+}
+
+func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (string, error) {
+	if len(fs.reservoir) < 2 {
+		return "", fmt.Errorf("%w: %d observations, need >= 2", ErrInvalid, len(fs.reservoir))
+	}
+	if q := ts.cfg.Quotas.MaxPendingJobs; q > 0 {
+		pending := 0
+		for _, f := range ts.funcs {
+			pending += f.pendingTunes
+		}
+		if pending >= q {
+			return "", fmt.Errorf("%w: tenant %q at max pending tune jobs (%d)", ErrQuota, ts.cfg.Name, q)
+		}
+	}
+	instances := make([]autotuner.Instance, len(fs.reservoir))
+	for i, o := range fs.reservoir {
+		instances[i] = autotuner.Instance{
+			ID:       fmt.Sprintf("obs-%d", o.Seq),
+			Features: append([]float64(nil), o.Features...),
+			Times:    append([]float64(nil), o.Times...),
+		}
+	}
+	tenant, fn := ts.cfg.Name, fs.spec.Name
+	id, err := r.jobs.Submit(autotuner.TuneJob{
+		Function:    tenant + "/" + fn,
+		Instances:   instances,
+		Options:     r.cfg.Train,
+		BaseVersion: fs.latest,
+		Done:        func(st autotuner.JobStatus) { r.onTuneDone(tenant, fn, st) },
+	})
+	if err != nil {
+		if errors.Is(err, autotuner.ErrQueueFull) {
+			return "", fmt.Errorf("%w: tune queue full", ErrQuota)
+		}
+		return "", err
+	}
+	fs.pendingTunes++
+	if auto {
+		fs.autoTuned = true
+	}
+	fs.detector.OnRetrainStart()
+	r.jobMeta[id] = jobMeta{tenant: tenant, fn: fn}
+	r.metrics.tunesSubmitted.Add(1)
+	return id, nil
+}
+
+// onTuneDone runs on a job-queue worker when a tune finishes: install the
+// candidate (canary-staged) or record the failure.
+func (r *Registry) onTuneDone(tenant, fn string, st autotuner.JobStatus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts, err := r.tenant(tenant)
+	if err != nil {
+		return
+	}
+	fs, err := ts.fn(fn)
+	if err != nil {
+		return
+	}
+	fs.pendingTunes--
+	if st.State != autotuner.JobDone {
+		fs.autoTuned = false
+		fs.detector.OnRetrainFailed()
+		r.metrics.tunesFailed.Add(1)
+		return
+	}
+	if err := r.installLocked(tenant, fs, st.Model, fs.autoTuned); err != nil {
+		fs.autoTuned = false
+		fs.detector.OnRetrainFailed()
+		r.metrics.tunesFailed.Add(1)
+		return
+	}
+	r.metrics.tunesDone.Add(1)
+}
+
+// Job reports a tune job's status; jobs are tenant-scoped.
+func (r *Registry) Job(tenant, id string) (autotuner.JobStatus, error) {
+	r.mu.Lock()
+	meta, ok := r.jobMeta[id]
+	r.mu.Unlock()
+	if !ok || meta.tenant != tenant {
+		return autotuner.JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	st, ok := r.jobs.Status(id)
+	if !ok {
+		return autotuner.JobStatus{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	st.Model = nil // distributed as an artifact, not via job status
+	return st, nil
+}
+
+// --- persistence ---------------------------------------------------------
+
+type persistedDeployment struct {
+	Stable  int    `json:"stable"`
+	Latest  int    `json:"latest"`
+	LastDec string `json:"last_decision"`
+}
+
+func (r *Registry) funcDir(tenant, fn string) string {
+	return filepath.Join(r.cfg.DataDir, tenant, fn)
+}
+
+func (r *Registry) persistSpec(tenant string, spec FunctionSpec) error {
+	if r.cfg.DataDir == "" {
+		return nil
+	}
+	dir := r.funcDir(tenant, spec.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "spec.json"), data, 0o644)
+}
+
+// persistArtifact writes the newest artifact and the deployment pointer.
+// The canary episode itself is deliberately not persisted: a daemon restart
+// aborts in-flight canaries back to the stable version, which is the safe
+// default.
+func (r *Registry) persistArtifact(tenant string, fs *funcState) error {
+	if r.cfg.DataDir == "" {
+		return nil
+	}
+	dir := r.funcDir(tenant, fs.spec.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if a, ok := fs.artifacts[fs.latest]; ok {
+		name := filepath.Join(dir, fmt.Sprintf("v%06d.model", a.version))
+		if _, err := os.Stat(name); errors.Is(err, os.ErrNotExist) {
+			if err := os.WriteFile(name, a.data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	dep, err := json.Marshal(persistedDeployment{Stable: fs.stable, Latest: fs.latest, LastDec: fs.lastDec})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "deployment.json"), dep, 0o644)
+}
+
+// load restores specs, artifacts and deployment pointers from DataDir.
+func (r *Registry) load() error {
+	for name, ts := range r.tenants {
+		tdir := filepath.Join(r.cfg.DataDir, name)
+		entries, err := os.ReadDir(tdir)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		} else if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			fs, err := r.loadFunc(filepath.Join(tdir, e.Name()))
+			if err != nil {
+				return fmt.Errorf("server: loading %s/%s: %w", name, e.Name(), err)
+			}
+			if fs != nil {
+				ts.funcs[fs.spec.Name] = fs
+				r.metrics.functions.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Registry) loadFunc(dir string) (*funcState, error) {
+	specData, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	} else if err != nil {
+		return nil, err
+	}
+	var spec FunctionSpec
+	if err := json.Unmarshal(specData, &spec); err != nil {
+		return nil, err
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	fs := r.newFuncState(spec)
+	matches, err := filepath.Glob(filepath.Join(dir, "v*.model"))
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range matches {
+		var v int
+		if _, err := fmt.Sscanf(filepath.Base(m), "v%d.model", &v); err != nil || v <= 0 {
+			continue
+		}
+		data, err := os.ReadFile(m)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ml.DecodeArtifact(data, ""); err != nil {
+			return nil, fmt.Errorf("artifact %s: %w", filepath.Base(m), err)
+		}
+		fs.artifacts[v] = artifact{version: v, data: data, etag: ml.ETagOf(data)}
+		if v > fs.latest {
+			fs.latest = v
+		}
+	}
+	depData, err := os.ReadFile(filepath.Join(dir, "deployment.json"))
+	if err == nil {
+		var dep persistedDeployment
+		if err := json.Unmarshal(depData, &dep); err != nil {
+			return nil, err
+		}
+		if _, ok := fs.artifacts[dep.Stable]; ok {
+			fs.stable = dep.Stable
+			fs.lastDec = dep.LastDec
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	// A canary that was live at shutdown is not restored: clients fall back
+	// to stable, and the next drift episode re-stages the candidate.
+	return fs, nil
+}

@@ -1,0 +1,134 @@
+package server
+
+// Daemon assembly: the registry's API plus the repo's telemetry surface
+// (Prometheus /metrics, /vars, /healthz) on one hardened listener. The
+// listener construction is obs.ServeHandler, so the daemon inherits the
+// same Slowloris timeouts and graceful-shutdown behaviour as the metrics
+// endpoint — one hardening path, not two.
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+
+	"nitro/internal/obs"
+)
+
+// serverMetrics counts registry activity; exported through an obs.Collector
+// as nitro_server_* series.
+type serverMetrics struct {
+	requests           atomic.Int64
+	authFailures       atomic.Int64
+	functions          atomic.Int64
+	samplesIngested    atomic.Int64
+	samplesRejected    atomic.Int64
+	artifactPulls      atomic.Int64
+	pullsNotModified   atomic.Int64
+	artifactsStored    atomic.Int64
+	tunesSubmitted     atomic.Int64
+	tunesDone          atomic.Int64
+	tunesFailed        atomic.Int64
+	autoTunes          atomic.Int64
+	canariesStarted    atomic.Int64
+	canariesPromoted   atomic.Int64
+	canariesRolledBack atomic.Int64
+}
+
+// Collector exports the registry's counters.
+func (r *Registry) Collector() obs.Collector {
+	counter := func(name, help string, v *atomic.Int64) obs.Metric {
+		return obs.Metric{Name: name, Help: help, Kind: obs.KindCounter, Value: float64(v.Load())}
+	}
+	return func(emit func(obs.Metric)) {
+		m := &r.metrics
+		emit(counter("nitro_server_requests_total", "API requests received.", &m.requests))
+		emit(counter("nitro_server_auth_failures_total", "Requests rejected for bad or missing tokens.", &m.authFailures))
+		emit(obs.Metric{Name: "nitro_server_functions", Help: "Registered functions across all tenants.",
+			Kind: obs.KindGauge, Value: float64(m.functions.Load())})
+		emit(counter("nitro_server_observations_total", "Observation samples ingested.", &m.samplesIngested))
+		emit(counter("nitro_server_observations_rejected_total", "Observation samples rejected by rate limits.", &m.samplesRejected))
+		emit(counter("nitro_server_artifact_pulls_total", "Model artifact pulls served (including 304s).", &m.artifactPulls))
+		emit(counter("nitro_server_artifact_pulls_not_modified_total", "Model pulls answered 304 via If-None-Match.", &m.pullsNotModified))
+		emit(counter("nitro_server_artifacts_stored_total", "Model artifact versions stored.", &m.artifactsStored))
+		emit(counter("nitro_server_tune_jobs_submitted_total", "Tune jobs submitted.", &m.tunesSubmitted))
+		emit(counter("nitro_server_tune_jobs_done_total", "Tune jobs finished successfully.", &m.tunesDone))
+		emit(counter("nitro_server_tune_jobs_failed_total", "Tune jobs that failed or produced an uninstallable model.", &m.tunesFailed))
+		emit(counter("nitro_server_auto_tunes_total", "Tune jobs auto-triggered by fleet drift detection.", &m.autoTunes))
+		emit(counter("nitro_server_canaries_started_total", "Canary episodes started.", &m.canariesStarted))
+		emit(counter("nitro_server_canaries_promoted_total", "Canary episodes that promoted the challenger.", &m.canariesPromoted))
+		emit(counter("nitro_server_canaries_rolled_back_total", "Canary episodes rolled back.", &m.canariesRolledBack))
+	}
+}
+
+// Config assembles a daemon.
+type Config struct {
+	// Addr is the listen address (e.g. ":9090"; ":0" picks a free port).
+	Addr string
+	// Registry configures tenants, quotas, tuning and canary gating.
+	Registry RegistryConfig
+	// HTTP hardens the listener; the zero value selects obs defaults.
+	HTTP obs.ServerConfig
+}
+
+// Daemon is a running nitro-server: registry + telemetry on one listener.
+type Daemon struct {
+	reg *Registry
+	obs *obs.Registry
+	srv *obs.Server
+}
+
+// NewDaemon builds the registry and its telemetry registry without
+// listening yet.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	reg, err := NewRegistry(cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	oreg := obs.NewRegistry()
+	oreg.Register(reg.Collector())
+	return &Daemon{reg: reg, obs: oreg}, nil
+}
+
+// Registry exposes the daemon's registry (tests and the smoke harness).
+func (d *Daemon) Registry() *Registry { return d.reg }
+
+// Obs exposes the daemon's telemetry registry for extra collectors.
+func (d *Daemon) Obs() *obs.Registry { return d.obs }
+
+// Handler returns the daemon's full HTTP surface: the authenticated API
+// under /api/v1 plus the telemetry routes at the root.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", d.reg.APIHandler())
+	mux.Handle("/", d.obs.Handler())
+	return mux
+}
+
+// Start listens on cfg.Addr with the hardened obs listener path.
+func (d *Daemon) Start(cfg Config) error {
+	srv, err := obs.ServeHandler(cfg.Addr, d.Handler(), cfg.HTTP)
+	if err != nil {
+		return err
+	}
+	d.srv = srv
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (d *Daemon) Addr() string {
+	if d.srv == nil {
+		return ""
+	}
+	return d.srv.Addr()
+}
+
+// Shutdown gracefully drains in-flight requests, then stops the tuning
+// workers.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	var err error
+	if d.srv != nil {
+		err = d.srv.Shutdown(ctx)
+	}
+	d.reg.Close()
+	return err
+}

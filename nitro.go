@@ -97,6 +97,8 @@ import (
 	"nitro/internal/ml"
 	"nitro/internal/obs"
 	"nitro/internal/online"
+	"nitro/internal/server"
+	"nitro/internal/server/client"
 )
 
 // Context maintains global tuning state (models, statistics) shared by the
@@ -354,3 +356,81 @@ func NewPhaseTracker() *PhaseTracker { return obs.NewPhaseTracker() }
 func EnableAdaptation[In any](cv *CodeVariant[In], pol AdaptPolicy) (*AdaptEngine[In], error) {
 	return online.Attach(cv, pol)
 }
+
+// ---------------------------------------------------------------------------
+// Nitro-as-a-service: the model registry daemon and its client.
+
+// TuningServer is a multi-tenant model registry daemon: it owns tuned models
+// for many functions, queues tuning jobs over pushed observation corpora,
+// versions and persists model artifacts, detects fleet-wide drift, and gates
+// new versions behind a fraction-limited canary before promotion. Start one
+// with NewTuningServer, stop it with Shutdown.
+type TuningServer = server.Daemon
+
+// TuningServerConfig configures a TuningServer: listen address, tenants with
+// quotas, persistence directory, tuning workers and canary policy.
+type TuningServerConfig = server.Config
+
+// NewTuningServer builds and starts a registry daemon.
+func NewTuningServer(cfg TuningServerConfig) (*TuningServer, error) {
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(cfg); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// TenantConfig declares one registry tenant: name, bearer token and quotas.
+type TenantConfig = server.TenantConfig
+
+// TenantQuotas caps a tenant's registered functions, pending tune jobs and
+// observation-push rate; zero fields are unlimited.
+type TenantQuotas = server.Quotas
+
+// FunctionSpec describes a tunable function to the registry: feature and
+// variant names plus the fallback default variant.
+type FunctionSpec = server.FunctionSpec
+
+// ServerCanaryPolicy is the server-side canary gate: traffic fraction,
+// fleet-wide sample floor and the failure rate that triggers rollback.
+type ServerCanaryPolicy = server.CanaryPolicy
+
+// Deployment is a function's registry deployment state: stable and latest
+// versions, the in-flight canary (if any) and the last canary decision.
+type Deployment = server.Deployment
+
+// RegistryClient talks to a TuningServer: registering specs, pulling
+// ETag-cached model artifacts, pushing observations and reporting canary
+// outcomes, with retry/backoff on transient failures.
+type RegistryClient = client.Client
+
+// RegistryClientConfig configures a RegistryClient (base URL, tenant token,
+// retry budget).
+type RegistryClientConfig = client.Config
+
+// NewRegistryClient validates cfg and returns a registry client.
+func NewRegistryClient(cfg RegistryClientConfig) (*RegistryClient, error) {
+	return client.New(cfg)
+}
+
+// ModelPoller reconciles a local Context against a function's registry
+// deployment: it installs new stable versions by atomic hot-swap, serves
+// challenger models to the canary traffic fraction, reports outcomes, and
+// promotes or rolls back on the server's verdict. Call PollOnce on a timer.
+type ModelPoller = client.Poller
+
+// NewModelPoller binds a poller to a client, context and function name.
+func NewModelPoller(c *RegistryClient, cx *Context, fn string) *ModelPoller {
+	return client.NewPoller(c, cx, fn)
+}
+
+// RemoteSample is one labelled observation pushed to the registry's
+// fleet-wide drift detector: a feature vector, per-variant times and the
+// variant the local model predicted.
+type RemoteSample = online.RemoteSample
+
+// FleetStats snapshots the server-side drift detector for one function.
+type FleetStats = online.FleetStats
