@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke chaos-smoke bench-serving lint ci clean
 
 all: build
 
@@ -130,6 +130,25 @@ metrics-smoke:
 server-smoke:
 	$(GO) run ./cmd/nitro-server -smoke
 	$(GO) test -race ./internal/server/...
+
+# Crash-and-chaos smoke: nitro-server's seeded kill-restart-resume
+# lifecycle — stage a canary, crash with no drain, restart over the same
+# data dir, assert the journal resumed the canary at its recorded counts,
+# then promote it through a fault-injecting transport (drops, 5xx bursts,
+# mid-body resets) with zero dropped client calls. The binary runs the
+# whole lifecycle TWICE and diffs the transcripts byte for byte, so any
+# nondeterminism in the recovery path fails the target. The Go test then
+# re-runs the richer kill-restart e2e (partition/heal, breaker reopen)
+# under -race.
+chaos-smoke:
+	$(GO) run ./cmd/nitro-server -smoke-chaos
+	$(GO) test -race -run 'TestChaosKillRestartResumePromote|TestJournal' ./internal/server/...
+
+# Serving-latency bench: drive a live daemon over HTTP and record
+# pull/push/observation latency percentiles plus shed behaviour under
+# overload into BENCH_serving.json.
+bench-serving:
+	$(GO) run ./cmd/nitro-experiments -run serving -serving-json BENCH_serving.json
 
 # Static analysis beyond vet. Uses staticcheck when it is installed
 # (CI installs it); locally it is skipped with a note rather than failing

@@ -36,7 +36,36 @@ func main() {
 	dispatchCalls := flag.Int("dispatch-calls", 200000, "per-tier Call timing iterations for -run dispatch (0 = quality only)")
 	dispatchJSON := flag.String("dispatch-json", "", "write the dispatch study as machine-readable JSON to this path (BENCH_dispatch.json)")
 	parallelism := flag.Int("parallelism", 0, "worker count for corpus labelling, grid search and per-suite figures (0 = all cores, 1 = serial); results are identical at every setting")
+	servingCalls := flag.Int("serving-calls", 200, "per-route samples for -run serving")
+	servingJSON := flag.String("serving-json", "", "write the serving study as machine-readable JSON to this path (BENCH_serving.json)")
 	flag.Parse()
+
+	// The serving study drives a live registry daemon over HTTP; it needs no
+	// corpora, so it branches before the (expensive) suite build. Like the
+	// dispatch study it is opt-in: wall-clock latencies are only meaningful
+	// on a quiet machine.
+	if strings.EqualFold(*run, "serving") {
+		rep, err := experiments.Serving(*servingCalls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatServing(rep))
+		if *servingJSON != "" {
+			f, err := os.Create(*servingJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteServingJSON(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *servingJSON)
+		}
+		return
+	}
 
 	opts := experiments.Options{
 		Cfg: datasets.Config{Seed: *seed, Scale: *scale, TrainCount: *trainN, TestCount: *testN,

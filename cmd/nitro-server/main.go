@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"nitro/internal/faultnet"
 	"nitro/internal/ml"
 	"nitro/internal/obs"
 	"nitro/internal/online"
@@ -46,12 +47,21 @@ func main() {
 		canaryMin   = flag.Int64("canary-min-samples", 50, "fleet-wide challenger calls required before a canary verdict")
 		canaryFail  = flag.Float64("canary-max-failure-rate", 0.1, "challenger failure rate above which a canary rolls back")
 		smoke       = flag.Bool("smoke", false, "run the self-contained end-to-end smoke check and exit")
+		smokeChaos  = flag.Bool("smoke-chaos", false, "run the seeded kill-restart-resume chaos smoke twice, diff the transcripts, and exit")
+		chaosSeed   = flag.Int64("chaos-seed", 42, "seed for the chaos smoke's fault schedule")
 	)
 	flag.Parse()
 
 	if *smoke {
 		if err := runSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "nitro-server smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *smokeChaos {
+		if err := runChaosSmoke(*chaosSeed); err != nil {
+			fmt.Fprintf(os.Stderr, "nitro-server chaos smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -233,4 +243,216 @@ func runSmoke() error {
 	fmt.Println("smoke: graceful shutdown ok")
 	fmt.Println("nitro-server smoke: PASS")
 	return nil
+}
+
+// chaosSpec is the function used by the chaos smoke.
+var chaosSpec = server.FunctionSpec{Name: "chaos-sort", Features: []string{"x"}, Variants: []string{"a", "b"}, Default: 0}
+
+// chaosArtifact trains a deterministic 1-feature/2-class model; distinct
+// boundaries yield distinct artifact bytes, so two pushes stage a canary.
+func chaosArtifact(boundary float64) ([]byte, error) {
+	ds := &ml.Dataset{}
+	for x := 0.0; x < 10; x++ {
+		label := 0
+		if x > boundary {
+			label = 1
+		}
+		ds.Append([]float64{x}, label)
+	}
+	svm := ml.NewSVM(ml.LinearKernel{}, 1)
+	if err := svm.Fit(ds); err != nil {
+		return nil, err
+	}
+	data, _, err := ml.EncodeArtifact(&ml.Model{Classifier: svm})
+	return data, err
+}
+
+// runChaosSmoke runs the seeded kill-restart-resume lifecycle twice and
+// diffs the transcripts byte for byte: all fault decisions come from one
+// serial, seeded driver, so any divergence means nondeterminism crept into
+// the crash-recovery path.
+func runChaosSmoke(seed int64) error {
+	first, err := chaosLifecycle(seed)
+	if err != nil {
+		return err
+	}
+	second, err := chaosLifecycle(seed)
+	if err != nil {
+		return err
+	}
+	if first != second {
+		return fmt.Errorf("transcripts diverge between identically seeded runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
+	}
+	fmt.Print(first)
+	fmt.Printf("chaos smoke: transcripts identical across 2 runs (seed %d)\n", seed)
+	fmt.Println("nitro-server chaos smoke: PASS")
+	return nil
+}
+
+// chaosLifecycle drives one seeded kill-restart-resume-promote pass and
+// returns its transcript. The transcript carries only deterministic facts
+// (versions, counters, decisions, fault tallies) — no addresses, no
+// wall-clock — so identically seeded runs must produce identical bytes.
+func chaosLifecycle(seed int64) (transcript string, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var b strings.Builder
+	logf := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	dir, err := os.MkdirTemp("", "nitro-chaos-smoke-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+
+	startDaemon := func() (*server.Daemon, error) {
+		cfg := server.Config{
+			Addr: "127.0.0.1:0",
+			Registry: server.RegistryConfig{
+				Tenants: []server.TenantConfig{{Name: "smoke", Token: "smoke-token"}},
+				Workers: 1,
+				DataDir: dir,
+				Canary:  server.CanaryPolicy{Fraction: 0.5, MinSamples: 40, MaxFailureRate: 0.2},
+			},
+		}
+		d, err := server.NewDaemon(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Start(cfg); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+
+	// Stage a canary on a fault-free wire, then crash without any drain.
+	d, err := startDaemon()
+	if err != nil {
+		return "", err
+	}
+	c, err := client.New(client.Config{BaseURL: "http://" + d.Addr(), Token: "smoke-token"})
+	if err != nil {
+		return "", err
+	}
+	if err := c.RegisterFunction(ctx, chaosSpec); err != nil {
+		return "", fmt.Errorf("register: %w", err)
+	}
+	for i, boundary := range []float64{4.5, 6.5} {
+		art, err := chaosArtifact(boundary)
+		if err != nil {
+			return "", err
+		}
+		if _, err := c.PushModel(ctx, chaosSpec.Name, art, ""); err != nil {
+			return "", fmt.Errorf("push v%d: %w", i+1, err)
+		}
+	}
+	dec, dep, err := c.ReportCanary(ctx, chaosSpec.Name, 2, 20, 1)
+	if err != nil {
+		return "", fmt.Errorf("mid-canary report: %w", err)
+	}
+	logf("staged: stable=v%d canary=v%d decision=%s", dep.Stable, dep.Canary.Version, dec)
+	d.Kill()
+	logf("killed: daemon crashed mid-canary (no drain, no marker)")
+
+	// Restart over the same data dir; the journal resumes the canary.
+	d, err = startDaemon()
+	if err != nil {
+		return "", fmt.Errorf("restart: %w", err)
+	}
+	defer func() {
+		if d != nil {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			if serr := d.Shutdown(sctx); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	}()
+	rec := d.Registry().Recovery()
+	logf("recovery: journal=%v clean_shutdown=%v replayed=%d resumed=%d dropped=%d corrupt=%q",
+		rec.Journal, rec.CleanShutdown, rec.RecordsReplayed, rec.ResumedCanaries, rec.DroppedRecords, rec.CorruptTail)
+	if rec.ResumedCanaries != 1 || rec.CleanShutdown {
+		return "", fmt.Errorf("restart did not resume the canary: %+v", rec)
+	}
+
+	// All remaining traffic crosses the seeded fault injector.
+	ft := faultnet.New(nil, faultnet.Policy{
+		Seed:      seed,
+		DropRate:  0.20,
+		Rate5xx:   0.15,
+		BurstLen:  2,
+		ResetRate: 0.15,
+		DelayRate: 0.05,
+		Delay:     time.Millisecond,
+	})
+	cc, err := client.New(client.Config{
+		BaseURL:    "http://" + d.Addr(),
+		Token:      "smoke-token",
+		HTTPClient: &http.Client{Transport: ft},
+		Retries:    8,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return "", err
+	}
+	dep, err = cc.Deployment(ctx, chaosSpec.Name)
+	if err != nil {
+		return "", fmt.Errorf("deployment through chaos: %w", err)
+	}
+	if dep.Canary == nil {
+		return "", fmt.Errorf("canary lost across restart: %+v", dep)
+	}
+	logf("resumed: canary=v%d calls=%d failures=%d", dep.Canary.Version, dep.Canary.Calls, dep.Canary.Failures)
+
+	reports := 0
+	decision := server.DecisionPending
+	for decision == server.DecisionPending {
+		if reports++; reports > 20 {
+			return "", fmt.Errorf("canary did not settle after %d reports", reports)
+		}
+		decision, _, err = cc.ReportCanary(ctx, chaosSpec.Name, 2, 10, 0)
+		if err != nil {
+			return "", fmt.Errorf("canary report %d dropped under chaos: %w", reports, err)
+		}
+		logf("report %d: decision=%s", reports, decision)
+	}
+	if decision != server.DecisionPromoted {
+		return "", fmt.Errorf("canary decision %q, want promoted", decision)
+	}
+	dep, err = cc.Deployment(ctx, chaosSpec.Name)
+	if err != nil {
+		return "", err
+	}
+	logf("promoted: stable=v%d canary=%v", dep.Stable, dep.Canary != nil)
+	st := ft.Stats()
+	if st.Drops+st.Faults5xx+st.Resets == 0 {
+		return "", fmt.Errorf("no faults injected (%v); the smoke proved nothing", st)
+	}
+	logf("faultnet: %v", st)
+
+	// Graceful shutdown writes the clean marker; the next start has nothing
+	// to resume.
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := d.Shutdown(sctx); err != nil {
+		return "", fmt.Errorf("shutdown: %w", err)
+	}
+	d = nil
+	d2, err := startDaemon()
+	if err != nil {
+		return "", err
+	}
+	rec = d2.Registry().Recovery()
+	logf("clean restart: clean_shutdown=%v resumed=%d", rec.CleanShutdown, rec.ResumedCanaries)
+	sctx2, scancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel2()
+	if err := d2.Shutdown(sctx2); err != nil {
+		return "", err
+	}
+	if !rec.CleanShutdown || rec.ResumedCanaries != 0 {
+		return "", fmt.Errorf("clean restart misread the journal: %+v", rec)
+	}
+	return b.String(), nil
 }

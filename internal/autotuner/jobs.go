@@ -24,20 +24,27 @@ import (
 type JobState string
 
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
 )
 
 // Terminal reports whether the state is final.
-func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed || s == JobCanceled }
 
 // TuneJob describes one training request.
 type TuneJob struct {
 	// Function names the tuned function (carried through to the status for
 	// observability; the queue itself is function-agnostic).
 	Function string
+	// Owner names the submitting principal (a tenant, for the registry) for
+	// fair-share admission: an owner may hold at most
+	// max(1, capacity/activeOwners) non-terminal jobs, so one noisy tenant
+	// cannot monopolize the backlog even when the queue has room. Empty
+	// opts out of fair-share accounting.
+	Owner string
 	// Instances is the labelled corpus (features + per-variant times).
 	Instances []Instance
 	// Options configures the classifier pipeline, exactly as offline tuning.
@@ -54,6 +61,7 @@ type TuneJob struct {
 type JobStatus struct {
 	ID       string   `json:"id"`
 	Function string   `json:"function"`
+	Owner    string   `json:"owner,omitempty"`
 	State    JobState `json:"state"`
 	// Error holds the failure message when State == JobFailed.
 	Error string `json:"error,omitempty"`
@@ -71,17 +79,24 @@ var (
 	ErrQueueFull = errors.New("autotuner: tune job queue is full")
 	// ErrQueueClosed is returned by Submit after Close.
 	ErrQueueClosed = errors.New("autotuner: tune job queue is closed")
+	// ErrOwnerThrottled is returned by Submit when the owner already holds
+	// its fair share of the queue.
+	ErrOwnerThrottled = errors.New("autotuner: owner at fair-share job limit")
+	// ErrNotCancelable is returned by Cancel for a job that already started
+	// running (or finished) — only queued jobs can be withdrawn.
+	ErrNotCancelable = errors.New("autotuner: job is not cancelable")
 )
 
 // JobQueue runs tuning jobs on a fixed worker pool with a bounded backlog.
 type JobQueue struct {
-	mu     sync.Mutex
-	jobs   map[string]*JobStatus
-	order  []string
-	ch     chan string
-	closed bool
-	next   int64
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	jobs     map[string]*JobStatus
+	order    []string
+	ch       chan string
+	closed   bool
+	next     int64
+	capacity int
+	wg       sync.WaitGroup
 
 	pending map[string]TuneJob
 }
@@ -96,9 +111,10 @@ func NewJobQueue(workers, capacity int) *JobQueue {
 		capacity = 1
 	}
 	q := &JobQueue{
-		jobs:    make(map[string]*JobStatus),
-		pending: make(map[string]TuneJob),
-		ch:      make(chan string, capacity),
+		jobs:     make(map[string]*JobStatus),
+		pending:  make(map[string]TuneJob),
+		ch:       make(chan string, capacity),
+		capacity: capacity,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -107,12 +123,47 @@ func NewJobQueue(workers, capacity int) *JobQueue {
 	return q
 }
 
-// Submit enqueues a job and returns its id, or ErrQueueFull / ErrQueueClosed.
+// fairShareLocked computes the submitting owner's admission verdict: with
+// k owners currently holding non-terminal jobs (the submitter included),
+// each may hold max(1, capacity/k). The share shrinks as contention grows,
+// so a tenant that filled an idle queue gets throttled as soon as a second
+// tenant shows up and the first's backlog drains.
+func (q *JobQueue) fairShareLocked(owner string) error {
+	if owner == "" {
+		return nil
+	}
+	owners := map[string]bool{owner: true}
+	held := 0
+	for _, st := range q.jobs {
+		if st.State.Terminal() || st.Owner == "" {
+			continue
+		}
+		owners[st.Owner] = true
+		if st.Owner == owner {
+			held++
+		}
+	}
+	share := q.capacity / len(owners)
+	if share < 1 {
+		share = 1
+	}
+	if held >= share {
+		return fmt.Errorf("%w: %q holds %d of %d", ErrOwnerThrottled, owner, held, share)
+	}
+	return nil
+}
+
+// Submit enqueues a job and returns its id, or ErrQueueFull /
+// ErrQueueClosed / ErrOwnerThrottled.
 func (q *JobQueue) Submit(job TuneJob) (string, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return "", ErrQueueClosed
+	}
+	if err := q.fairShareLocked(job.Owner); err != nil {
+		q.mu.Unlock()
+		return "", err
 	}
 	q.next++
 	id := fmt.Sprintf("job-%d", q.next)
@@ -123,11 +174,39 @@ func (q *JobQueue) Submit(job TuneJob) (string, error) {
 		q.mu.Unlock()
 		return "", ErrQueueFull
 	}
-	q.jobs[id] = &JobStatus{ID: id, Function: job.Function, State: JobQueued}
+	q.jobs[id] = &JobStatus{ID: id, Function: job.Function, Owner: job.Owner, State: JobQueued}
 	q.order = append(q.order, id)
 	q.pending[id] = job
 	q.mu.Unlock()
 	return id, nil
+}
+
+// Cancel withdraws a queued job: its state becomes JobCanceled and its
+// Done callback (when set) fires with the terminal status, exactly as a
+// worker would have. A job that a worker already picked up (or that
+// finished) returns ErrNotCancelable; an unknown id returns an error.
+func (q *JobQueue) Cancel(id string) error {
+	q.mu.Lock()
+	st, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return fmt.Errorf("autotuner: unknown job %q", id)
+	}
+	job, queued := q.pending[id]
+	if !queued {
+		q.mu.Unlock()
+		return fmt.Errorf("%w: %q is %s", ErrNotCancelable, id, st.State)
+	}
+	delete(q.pending, id)
+	st.State = JobCanceled
+	final := *st
+	q.mu.Unlock()
+	// Same ordering contract as the worker: the terminal state is visible
+	// through Status before Done observes it.
+	if job.Done != nil {
+		job.Done(final)
+	}
+	return nil
 }
 
 // Status returns a snapshot of the job, or false for an unknown id.
@@ -204,7 +283,7 @@ func (q *JobQueue) worker() {
 }
 
 func (q *JobQueue) run(id string, job TuneJob) JobStatus {
-	st := JobStatus{ID: id, Function: job.Function}
+	st := JobStatus{ID: id, Function: job.Function, Owner: job.Owner}
 	model, report, err := Train(job.Instances, job.Options)
 	if err != nil {
 		st.State = JobFailed

@@ -625,3 +625,70 @@ func TestSetModelAcceptsUnknownShape(t *testing.T) {
 		t.Fatalf("unknown shape must be accepted, got %v", err)
 	}
 }
+
+// TestQuarantineHalfOpenSingleProbe: when a quarantined variant's cooldown
+// elapses, exactly one of many concurrent callers is handed the half-open
+// probe; everyone else keeps seeing the breaker open until the probe
+// reports. A failed probe re-opens the quarantine and a later round hands
+// out a fresh (single) probe that closes it.
+func TestQuarantineHalfOpenSingleProbe(t *testing.T) {
+	pol := QuarantinePolicy{Threshold: 1, Window: time.Second, Cooldown: time.Millisecond}.normalized()
+	var b breaker
+
+	if b.onFailure(brClosed, 0, pol); !b.open(time.Millisecond.Nanoseconds()-1) {
+		t.Fatal("breaker did not trip on threshold failure")
+	}
+
+	probeRound := func(now int64) brAcquire {
+		t.Helper()
+		const callers = 32
+		var probes, opens atomic.Int64
+		var probeAcq atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				switch acq := b.acquire(now); acq {
+				case brProbe:
+					probes.Add(1)
+					probeAcq.Store(int64(acq))
+				case brOpen:
+					opens.Add(1)
+				default:
+					t.Errorf("half-open acquire returned %v", acq)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := probes.Load(); got != 1 {
+			t.Fatalf("%d callers hold the half-open probe, want exactly 1", got)
+		}
+		if got := opens.Load(); got != int64(callers-1) {
+			t.Fatalf("%d callers saw the breaker open, want %d", got, callers-1)
+		}
+		return brAcquire(probeAcq.Load())
+	}
+
+	// Round 1: cooldown elapsed, one probe wins — and its failure re-opens
+	// the quarantine for a fresh cooldown.
+	afterCooldown := pol.Cooldown.Nanoseconds() + 1
+	acq := probeRound(afterCooldown)
+	if !b.onFailure(acq, afterCooldown, pol) {
+		t.Fatal("failed probe did not re-trip the quarantine")
+	}
+	if !b.open(afterCooldown + 1) {
+		t.Fatal("breaker closed after a failed probe")
+	}
+
+	// Round 2: after the renewed cooldown a new single probe succeeds and
+	// closes the breaker for everyone.
+	later := afterCooldown + pol.Cooldown.Nanoseconds() + 1
+	acq = probeRound(later)
+	if !b.onSuccess(acq) {
+		t.Fatal("successful probe did not report recovery")
+	}
+	if got := b.acquire(later + 1); got != brClosed {
+		t.Fatalf("post-recovery acquire = %v, want brClosed", got)
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+// Serving-latency study: drives a live registry daemon over real HTTP and
+// records per-route latency percentiles (artifact pulls, cached 304
+// revalidations, observation pushes, deployment reads), then deliberately
+// overloads a second daemon with a tiny in-flight cap to measure the
+// prioritized load-shedding path. The JSON form (WriteServingJSON) is the
+// machine-readable BENCH_serving.json artifact `make bench-serving` emits —
+// the starting point of the serving-performance trajectory, the serving
+// counterpart of BENCH_dispatch.json.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"nitro/internal/ml"
+	"nitro/internal/online"
+	"nitro/internal/server"
+	"nitro/internal/server/client"
+)
+
+// ServingRoute is one measured API route.
+type ServingRoute struct {
+	Route  string  `json:"route"`
+	Calls  int     `json:"calls"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// ServingOverload summarizes the forced-overload phase.
+type ServingOverload struct {
+	MaxInflight int   `json:"max_inflight"`
+	Requests    int   `json:"requests"`
+	Shed        int   `json:"shed"`
+	Succeeded   int   `json:"succeeded"`
+	Recoveries  int64 `json:"recoveries"`
+}
+
+// ServingReport is the on-disk shape of BENCH_serving.json.
+type ServingReport struct {
+	Study    string          `json:"study"`
+	Routes   []ServingRoute  `json:"routes"`
+	Overload ServingOverload `json:"overload"`
+}
+
+// servingSpec is the function the study registers.
+var servingSpec = server.FunctionSpec{Name: "bench", Features: []string{"x"}, Variants: []string{"a", "b"}, Default: 0}
+
+// servingArtifact trains a small deterministic model to serve as the
+// pulled artifact.
+func servingArtifact() ([]byte, error) {
+	ds := &ml.Dataset{}
+	for x := 0.0; x < 10; x++ {
+		label := 0
+		if x > 4.5 {
+			label = 1
+		}
+		ds.Append([]float64{x}, label)
+	}
+	svm := ml.NewSVM(ml.LinearKernel{}, 1)
+	if err := svm.Fit(ds); err != nil {
+		return nil, err
+	}
+	data, _, err := ml.EncodeArtifact(&ml.Model{Classifier: svm})
+	return data, err
+}
+
+// measure times fn over calls serial invocations and reduces to
+// percentiles. The first invocation is a discarded warm-up.
+func measure(route string, calls int, fn func() error) (ServingRoute, error) {
+	if err := fn(); err != nil {
+		return ServingRoute{}, fmt.Errorf("%s warm-up: %w", route, err)
+	}
+	lat := make([]float64, 0, calls)
+	sum := 0.0
+	for i := 0; i < calls; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return ServingRoute{}, fmt.Errorf("%s call %d: %w", route, i, err)
+		}
+		us := float64(time.Since(t0).Microseconds())
+		lat = append(lat, us)
+		sum += us
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return lat[idx]
+	}
+	return ServingRoute{
+		Route: route, Calls: calls,
+		P50Us: pct(0.50), P95Us: pct(0.95), P99Us: pct(0.99),
+		MeanUs: sum / float64(len(lat)),
+	}, nil
+}
+
+// Serving runs the full study: per-route latency against an uncontended
+// daemon, then the overload phase against a deliberately tiny in-flight
+// cap. calls is the per-route sample count (minimum 10).
+func Serving(calls int) (ServingReport, error) {
+	if calls < 10 {
+		calls = 10
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// --- Latency phase --------------------------------------------------
+	cfg := server.Config{
+		Addr: "127.0.0.1:0",
+		Registry: server.RegistryConfig{
+			Tenants: []server.TenantConfig{{Name: "bench", Token: "bench-token"}},
+			Workers: 1,
+		},
+	}
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		return ServingReport{}, err
+	}
+	if err := d.Start(cfg); err != nil {
+		return ServingReport{}, err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		d.Shutdown(sctx)
+	}()
+
+	c, err := client.New(client.Config{BaseURL: "http://" + d.Addr(), Token: "bench-token"})
+	if err != nil {
+		return ServingReport{}, err
+	}
+	if err := c.RegisterFunction(ctx, servingSpec); err != nil {
+		return ServingReport{}, err
+	}
+	art, err := servingArtifact()
+	if err != nil {
+		return ServingReport{}, err
+	}
+	if _, err := c.PushModel(ctx, servingSpec.Name, art, ""); err != nil {
+		return ServingReport{}, err
+	}
+	pull, err := c.PullModel(ctx, servingSpec.Name, 0, "")
+	if err != nil {
+		return ServingReport{}, err
+	}
+
+	samples := make([]online.RemoteSample, 16)
+	for i := range samples {
+		samples[i] = online.RemoteSample{Features: []float64{float64(i % 10)}, Times: []float64{1, 2}, Predicted: -1}
+	}
+
+	report := ServingReport{Study: "serving"}
+	routes := []struct {
+		name string
+		fn   func() error
+	}{
+		{"pull_model", func() error { _, err := c.PullModel(ctx, servingSpec.Name, 0, ""); return err }},
+		{"pull_model_304", func() error { _, err := c.PullModel(ctx, servingSpec.Name, 0, pull.ETag); return err }},
+		{"push_observations_16", func() error { _, err := c.PushObservations(ctx, servingSpec.Name, samples); return err }},
+		{"get_deployment", func() error { _, err := c.Deployment(ctx, servingSpec.Name); return err }},
+	}
+	for _, r := range routes {
+		row, err := measure(r.name, calls, r.fn)
+		if err != nil {
+			return ServingReport{}, err
+		}
+		report.Routes = append(report.Routes, row)
+	}
+
+	// --- Overload phase -------------------------------------------------
+	// A tiny in-flight cap, with the observation class held at its
+	// admission threshold by requests whose bodies never finish, forces
+	// the admission controller to shed deterministically: every burst
+	// push is answered 503 while the class is saturated, and releasing
+	// the held slots counts a recovery transition. No retries, so every
+	// 503 is counted, not absorbed.
+	oCfg := server.Config{
+		Addr: "127.0.0.1:0",
+		Registry: server.RegistryConfig{
+			Tenants:     []server.TenantConfig{{Name: "bench", Token: "bench-token"}},
+			Workers:     1,
+			MaxInflight: 4,
+		},
+	}
+	od, err := server.NewDaemon(oCfg)
+	if err != nil {
+		return ServingReport{}, err
+	}
+	if err := od.Start(oCfg); err != nil {
+		return ServingReport{}, err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		od.Shutdown(sctx)
+	}()
+	oc, err := client.New(client.Config{BaseURL: "http://" + od.Addr(), Token: "bench-token"})
+	if err != nil {
+		return ServingReport{}, err
+	}
+	if err := oc.RegisterFunction(ctx, servingSpec); err != nil {
+		return ServingReport{}, err
+	}
+
+	const burst = 64
+	body, err := json.Marshal(map[string]any{"samples": samples})
+	if err != nil {
+		return ServingReport{}, err
+	}
+	url := "http://" + od.Addr() + "/api/v1/functions/" + servingSpec.Name + "/observations"
+	push := func(rd io.Reader) (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Authorization", "Bearer bench-token")
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Park MaxInflight/2 observation requests inside the body decoder so
+	// the class sits exactly at its admission threshold.
+	var held []*io.PipeWriter
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		pr, pw := io.Pipe()
+		held = append(held, pw)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			push(pr)
+		}()
+	}
+	// The class is saturated once a probe push sheds.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		code, err := push(bytes.NewReader(body))
+		if err != nil {
+			return ServingReport{}, err
+		}
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ServingReport{}, fmt.Errorf("overload never saturated the observation class")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shed, accepted := 0, 0
+	for i := 0; i < burst; i++ {
+		code, err := push(bytes.NewReader(body))
+		if err != nil {
+			return ServingReport{}, err
+		}
+		switch code {
+		case http.StatusServiceUnavailable:
+			shed++
+		case http.StatusAccepted:
+			accepted++
+		}
+	}
+	for _, pw := range held {
+		pw.Close()
+	}
+	wg.Wait()
+	// Post-recovery pushes are admitted again.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		code, err := push(bytes.NewReader(body))
+		if err != nil {
+			return ServingReport{}, err
+		}
+		if code == http.StatusAccepted {
+			accepted++
+			break
+		}
+		if time.Now().After(deadline) {
+			return ServingReport{}, fmt.Errorf("overload never recovered after releasing held slots")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	report.Overload = ServingOverload{
+		MaxInflight: 4,
+		Requests:    burst,
+		Shed:        shed,
+		Succeeded:   accepted,
+		Recoveries:  od.ShedRecoveries(),
+	}
+	return report, nil
+}
+
+// FormatServing renders the study as an aligned table.
+func FormatServing(r ServingReport) string {
+	out := "Serving-latency study (live daemon over HTTP)\n"
+	out += fmt.Sprintf("%-24s %8s %10s %10s %10s %10s\n", "route", "calls", "p50(us)", "p95(us)", "p99(us)", "mean(us)")
+	for _, row := range r.Routes {
+		out += fmt.Sprintf("%-24s %8d %10.0f %10.0f %10.0f %10.1f\n",
+			row.Route, row.Calls, row.P50Us, row.P95Us, row.P99Us, row.MeanUs)
+	}
+	out += fmt.Sprintf("overload: %d concurrent pushes vs max_inflight=%d -> %d shed (503), %d accepted, %d recoveries\n",
+		r.Overload.Requests, r.Overload.MaxInflight, r.Overload.Shed, r.Overload.Succeeded, r.Overload.Recoveries)
+	return out
+}
+
+// WriteServingJSON writes the machine-readable BENCH_serving.json artifact.
+func WriteServingJSON(w io.Writer, r ServingReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -59,6 +59,16 @@ type Metric struct {
 	Sum     float64
 }
 
+// Counter builds a counter Metric (labels optional).
+func Counter(name, help string, value float64, labels ...Label) Metric {
+	return Metric{Name: name, Help: help, Kind: KindCounter, Value: value, Labels: labels}
+}
+
+// Gauge builds a gauge Metric (labels optional).
+func Gauge(name, help string, value float64, labels ...Label) Metric {
+	return Metric{Name: name, Help: help, Kind: KindGauge, Value: value, Labels: labels}
+}
+
 // Collector emits metrics at scrape time.
 type Collector func(emit func(Metric))
 

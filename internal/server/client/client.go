@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"nitro/internal/autotuner"
@@ -35,15 +37,43 @@ type Config struct {
 	// negative disables). Transport errors, 5xx and 429 retry; other
 	// statuses are returned immediately.
 	Retries int
-	// Backoff is the first retry delay, doubled per attempt (default 100ms).
+	// Backoff scales the retry delay: attempt k sleeps a full-jittered
+	// uniform draw from [0, min(MaxBackoff, Backoff<<k)] (default 100ms).
+	// A Retry-After header on a 429/503 overrides the schedule — the
+	// server's hint is honored (plus up to 25% jitter so a restarted server
+	// is not re-synchronized into a thundering herd).
 	Backoff time.Duration
-	// sleep is injectable for tests.
+	// MaxBackoff caps a single retry delay (default 2s).
+	MaxBackoff time.Duration
+	// AttemptBudget bounds the total wall-clock spent on one logical call,
+	// attempts plus sleeps; a retry whose delay would overrun the budget is
+	// abandoned and the last failure returned (0: no budget).
+	AttemptBudget time.Duration
+	// BreakerThreshold is the number of consecutive failed exchanges
+	// (transport errors, 5xx, 429) that open the client's circuit breaker;
+	// while open, calls fail fast with ErrCircuitOpen instead of hammering
+	// a struggling server. After BreakerCooldown one half-open probe
+	// request is admitted; its outcome closes or re-opens the circuit.
+	// Default 8; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects without trying
+	// the network (default 1s).
+	BreakerCooldown time.Duration
+	// Seed seeds the jitter RNG; 0 derives a stream from the token so
+	// distinct clients jitter independently. Fix it for replayable tests.
+	Seed int64
+	// sleep / now are injectable for tests (fake clock).
 	sleep func(time.Duration)
+	now   func() time.Time
 }
 
 // Client is a registry API client. Safe for concurrent use.
 type Client struct {
-	cfg Config
+	cfg     Config
+	breaker *circuit
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // New validates the config and returns a client.
@@ -66,10 +96,135 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Millisecond
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 8
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 	if cfg.sleep == nil {
 		cfg.sleep = time.Sleep
 	}
-	return &Client{cfg: cfg}, nil
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	seed := uint64(cfg.Seed)
+	if seed == 0 {
+		// Derive a per-client stream (FNV-1a over the token) so a fleet of
+		// zero-config clients never shares one jitter sequence.
+		seed = 0xcbf29ce484222325
+		for i := 0; i < len(cfg.Token); i++ {
+			seed = (seed ^ uint64(cfg.Token[i])) * 0x100000001b3
+		}
+	}
+	return &Client{
+		cfg:     cfg,
+		breaker: &circuit{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown, now: cfg.now},
+		rng:     rand.New(rand.NewPCG(seed, 0x6a697474)), // "jitt"
+	}, nil
+}
+
+// randFloat draws one uniform jitter value from the client's seeded stream.
+func (c *Client) randFloat() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// ErrCircuitOpen fails calls fast while the client's circuit breaker is
+// open: the recent exchanges all failed and the cooldown has not elapsed.
+// Callers serving live traffic (the Poller) treat it like any transient
+// error — keep the installed incumbent and try again next cycle.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// circuit is a consecutive-failure circuit breaker with a single half-open
+// probe, mirroring the per-variant quarantine breaker in internal/core at
+// the protocol layer.
+type circuit struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+// disabled reports whether breaking is turned off by configuration.
+func (b *circuit) disabled() bool { return b.threshold < 0 }
+
+// allow admits or rejects one exchange. probe is true when this caller
+// holds the single half-open probe and must report its outcome.
+func (b *circuit) allow() (probe bool, err error) {
+	if b.disabled() {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return false, nil
+	}
+	if now := b.now(); now.Before(b.openUntil) {
+		return false, fmt.Errorf("%w (retry after %s)", ErrCircuitOpen, b.openUntil.Sub(now).Round(time.Millisecond))
+	}
+	// Cooldown elapsed: half-open. Admit exactly one probe; concurrent
+	// callers keep failing fast until the probe reports.
+	if b.probing {
+		return false, fmt.Errorf("%w (half-open probe in flight)", ErrCircuitOpen)
+	}
+	b.probing = true
+	return true, nil
+}
+
+// success reports a completed exchange (any HTTP response, including 4xx —
+// the server is reachable and responsive).
+func (b *circuit) success() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure reports a failed exchange; at threshold the circuit opens. A
+// failed half-open probe re-opens immediately.
+func (b *circuit) failure(probe bool) {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	b.failures++
+	if probe || b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// State reports the breaker's current admission state for observability:
+// "closed", "open", or "half-open".
+func (c *Client) BreakerState() string {
+	b := c.breaker
+	if b.disabled() {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.now().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
 }
 
 // apiResponse is one completed exchange.
@@ -83,12 +238,23 @@ func retryableStatus(code int) bool {
 	return code >= 500 || code == http.StatusTooManyRequests
 }
 
-// do runs one request with retry/backoff. Bodies are replayed from the
-// byte slice, so every attempt sends the full payload.
+// do runs one request with retry/backoff through the circuit breaker.
+// Bodies are replayed from the byte slice, so every attempt sends the full
+// payload. Retry delays are fully jittered; a Retry-After hint on a
+// 429/503 overrides the exponential schedule; the attempt budget (when
+// configured) bounds total time spent including sleeps.
 func (c *Client) do(ctx context.Context, method, path string, headers map[string]string, body []byte) (apiResponse, error) {
+	start := c.cfg.now()
 	var lastErr error
-	delay := c.cfg.Backoff
 	for attempt := 0; ; attempt++ {
+		probe, err := c.breaker.allow()
+		if err != nil {
+			if lastErr != nil {
+				return apiResponse{}, fmt.Errorf("%w; last failure: %v", err, lastErr)
+			}
+			return apiResponse{}, err
+		}
+		var retryAfter time.Duration
 		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			return apiResponse{}, err
@@ -102,25 +268,71 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 			data, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if rerr == nil && !retryableStatus(resp.StatusCode) {
+				c.breaker.success()
 				return apiResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
 			}
+			c.breaker.failure(probe)
 			if rerr != nil {
-				lastErr = rerr
+				lastErr = fmt.Errorf("client: %s %s: reading response: %w", method, path, rerr)
 			} else {
 				lastErr = fmt.Errorf("client: %s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+				retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), c.cfg.now())
 				if attempt >= c.cfg.Retries {
 					return apiResponse{status: resp.StatusCode, header: resp.Header, body: data}, nil
 				}
 			}
 		} else {
+			c.breaker.failure(probe)
 			lastErr = err
 		}
 		if attempt >= c.cfg.Retries || ctx.Err() != nil {
 			return apiResponse{}, lastErr
 		}
+		delay := c.backoffDelay(attempt, retryAfter)
+		if budget := c.cfg.AttemptBudget; budget > 0 && c.cfg.now().Sub(start)+delay > budget {
+			return apiResponse{}, fmt.Errorf("client: attempt budget %v exhausted after %d attempts: %w",
+				budget, attempt+1, lastErr)
+		}
 		c.cfg.sleep(delay)
-		delay *= 2
 	}
+}
+
+// backoffDelay computes the sleep before retry number attempt+1. With a
+// Retry-After hint the server's figure is honored plus up to 25% jitter;
+// otherwise full jitter over an exponentially growing, capped ceiling —
+// uniform in [0, min(MaxBackoff, Backoff<<attempt)] — so a fleet of
+// clients re-syncing after a server restart spreads out instead of
+// thundering back in lockstep.
+func (c *Client) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter + time.Duration(c.randFloat()*0.25*float64(retryAfter))
+	}
+	ceil := c.cfg.MaxBackoff
+	if shifted := c.cfg.Backoff << attempt; shifted > 0 && shifted < ceil {
+		ceil = shifted
+	}
+	return time.Duration(c.randFloat() * float64(ceil))
+}
+
+// parseRetryAfter reads a Retry-After header: either delta-seconds or an
+// HTTP-date. Unparseable or non-positive values mean "no hint".
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // decodeOrErr maps non-2xx responses to errors carrying the server's

@@ -14,6 +14,15 @@ package client
 //     report) feed the server's fleet aggregate; the server's verdict —
 //     promoted or rolled back — clears the local canary, and a promotion
 //     installs the challenger as the new stable without re-pulling bytes.
+//
+// Under a network partition the poller degrades, never breaks: PollOnce
+// returns the transport error (or ErrCircuitOpen once the client's breaker
+// trips), the installed incumbent — and any in-hand canary — keeps serving
+// local traffic untouched, and the failure streak is tracked in Stats().
+// The first successful poll after a streak reconciles against whatever the
+// server decided while the poller was dark: a canary that settled during
+// the partition is adopted (promoted) or dropped (rolled back) exactly as
+// if the poller had seen the verdict live.
 
 import (
 	"context"
@@ -39,6 +48,22 @@ type Poller struct {
 	canaryModel   *ml.Model
 	reportedCalls int64
 	reportedFails int64
+
+	stats PollerStats
+}
+
+// PollerStats tracks the poller's health across reconciliation cycles.
+type PollerStats struct {
+	// Polls counts PollOnce invocations; Failures counts the ones that
+	// returned an error (the incumbent kept serving through every one).
+	Polls    int64
+	Failures int64
+	// ConsecutiveFailures is the current unbroken failure streak — nonzero
+	// means the poller is presently degraded (partitioned from or rejected
+	// by the registry) and serving its installed incumbent.
+	ConsecutiveFailures int64
+	// Heals counts streak endings: a successful poll after >= 1 failures.
+	Heals int64
 }
 
 // NewPoller builds a poller that installs models for fn into cx.
@@ -58,13 +83,39 @@ type PollResult struct {
 	// "" while nothing settled, otherwise the server's verdict.
 	StartedCanary bool
 	Decision      string
+	// Healed reports that this poll ended a failure streak: the registry
+	// is reachable again and the local state was reconciled.
+	Healed bool
 }
 
 // StableVersion reports the currently installed stable generation.
 func (p *Poller) StableVersion() int { return p.stableVersion }
 
+// Stats reports the poller's cumulative health counters.
+func (p *Poller) Stats() PollerStats { return p.stats }
+
+// Degraded reports whether the poller is mid failure streak: the registry
+// is unreachable and the installed incumbent is serving solo.
+func (p *Poller) Degraded() bool { return p.stats.ConsecutiveFailures > 0 }
+
 // PollOnce runs one reconciliation pass.
 func (p *Poller) PollOnce(ctx context.Context) (PollResult, error) {
+	res, err := p.pollOnce(ctx)
+	p.stats.Polls++
+	if err != nil {
+		p.stats.Failures++
+		p.stats.ConsecutiveFailures++
+		return res, err
+	}
+	if p.stats.ConsecutiveFailures > 0 {
+		p.stats.ConsecutiveFailures = 0
+		p.stats.Heals++
+		res.Healed = true
+	}
+	return res, nil
+}
+
+func (p *Poller) pollOnce(ctx context.Context) (PollResult, error) {
 	res := PollResult{StableVersion: p.stableVersion, CanaryVersion: p.canaryVersion}
 	dep, err := p.c.Deployment(ctx, p.fn)
 	if err != nil {

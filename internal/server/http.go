@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"nitro/internal/online"
 )
@@ -66,20 +67,98 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// shedClass ranks routes by how droppable they are under overload:
+// observation pushes are pure telemetry (clients re-batch and resend),
+// artifact/deployment pulls can wait a poll cycle, control-plane calls
+// (registration, pushes, canary reports) are shed only at the hard cap —
+// the canary lifecycle keeps converging while the fleet backs off.
+type shedClass int
+
+const (
+	classObservation shedClass = iota
+	classPull
+	classControl
+)
+
+// shedder is a prioritized concurrent-request limiter: class thresholds
+// are fractions of one shared in-flight cap, so pressure from cheap
+// traffic sheds cheap traffic first.
+type shedder struct {
+	max      int64
+	inflight atomic.Int64
+	shedding atomic.Bool
+	m        *serverMetrics
+}
+
+// threshold returns the class's admission ceiling.
+func (s *shedder) threshold(class shedClass) int64 {
+	switch class {
+	case classObservation:
+		return s.max / 2
+	case classPull:
+		return s.max * 3 / 4
+	default:
+		return s.max
+	}
+}
+
+// acquire admits or sheds one request; on true the caller must release.
+func (s *shedder) acquire(class shedClass) bool {
+	n := s.inflight.Add(1)
+	if n <= s.threshold(class) {
+		return true
+	}
+	s.inflight.Add(-1)
+	s.shedding.Store(true)
+	switch class {
+	case classObservation:
+		s.m.shedObservations.Add(1)
+	case classPull:
+		s.m.shedPulls.Add(1)
+	default:
+		s.m.shedControl.Add(1)
+	}
+	return false
+}
+
+// release ends one admitted request; dropping back below half the lowest
+// threshold after a shed episode counts as a recovery transition.
+func (s *shedder) release() {
+	n := s.inflight.Add(-1)
+	if n < s.threshold(classObservation)/2+1 && s.shedding.CompareAndSwap(true, false) {
+		s.m.shedRecoveries.Add(1)
+	}
+}
+
+// shedded wraps a handler with prioritized admission control. Shed
+// responses are 503 with a Retry-After hint, which the client's backoff
+// honors — a fleet pushed away comes back spread out, not in a herd.
+func (r *Registry) shedded(class shedClass, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if !r.shed.acquire(class) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "server: overloaded, request shed"})
+			return
+		}
+		defer r.shed.release()
+		h(w, req)
+	}
+}
+
 // APIHandler builds the authenticated API router. The handler carries no
 // state of its own; everything lives in the registry.
 func (r *Registry) APIHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/functions", r.withTenant(r.handleRegister))
-	mux.HandleFunc("GET /api/v1/functions", r.withTenant(r.handleList))
-	mux.HandleFunc("GET /api/v1/functions/{fn}", r.withTenant(r.handleStatus))
-	mux.HandleFunc("GET /api/v1/functions/{fn}/deployment", r.withTenant(r.handleDeployment))
-	mux.HandleFunc("GET /api/v1/functions/{fn}/model", r.withTenant(r.handlePull))
-	mux.HandleFunc("PUT /api/v1/functions/{fn}/model", r.withTenant(r.handlePush))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/observations", r.withTenant(r.handleObservations))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/tune", r.withTenant(r.handleTune))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/canary/report", r.withTenant(r.handleCanaryReport))
-	mux.HandleFunc("GET /api/v1/jobs/{id}", r.withTenant(r.handleJob))
+	mux.HandleFunc("POST /api/v1/functions", r.shedded(classControl, r.withTenant(r.handleRegister)))
+	mux.HandleFunc("GET /api/v1/functions", r.shedded(classPull, r.withTenant(r.handleList)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}", r.shedded(classPull, r.withTenant(r.handleStatus)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/deployment", r.shedded(classPull, r.withTenant(r.handleDeployment)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/model", r.shedded(classPull, r.withTenant(r.handlePull)))
+	mux.HandleFunc("PUT /api/v1/functions/{fn}/model", r.shedded(classControl, r.withTenant(r.handlePush)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/observations", r.shedded(classObservation, r.withTenant(r.handleObservations)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/tune", r.shedded(classControl, r.withTenant(r.handleTune)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/canary/report", r.shedded(classControl, r.withTenant(r.handleCanaryReport)))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", r.shedded(classControl, r.withTenant(r.handleJob)))
 	return mux
 }
 

@@ -444,35 +444,57 @@ func TestMetricsSurface(t *testing.T) {
 }
 
 // TestPersistenceReload: artifacts and deployment pointers survive a daemon
-// restart from DataDir; an in-flight canary does not (it aborts to stable).
+// restart from DataDir. With the journal on (the default) an in-flight
+// canary is resumed at its recorded gate; with DisableJournal it aborts
+// back to stable (the pre-journal behavior).
 func TestPersistenceReload(t *testing.T) {
-	dir := t.TempDir()
-	mutate := func(cfg *Config) { cfg.Registry.DataDir = dir }
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{
+		{"journal resumes canary", false},
+		{"disabled journal aborts canary", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			mutate := func(cfg *Config) {
+				cfg.Registry.DataDir = dir
+				cfg.Registry.DisableJournal = tc.disable
+			}
 
-	_, hs := newTestDaemon(t, mutate)
-	mustStatus(t, req(t, hs, "POST", "/api/v1/functions", "tok-acme", specBody(t, testSpec()), nil), http.StatusCreated)
-	mustStatus(t, req(t, hs, "PUT", "/api/v1/functions/sort/model", "tok-acme", boundaryArtifact(t, 4.5), nil), http.StatusCreated)
-	resp := req(t, hs, "GET", "/api/v1/functions/sort/model", "tok-acme", nil, nil)
-	first := mustStatus(t, resp, http.StatusOK)
-	etag := resp.Header.Get("ETag")
-	// Stage (but never settle) a canary v2.
-	mustStatus(t, req(t, hs, "PUT", "/api/v1/functions/sort/model", "tok-acme", boundaryArtifact(t, 6.5), nil), http.StatusCreated)
-	hs.Close()
+			_, hs := newTestDaemon(t, mutate)
+			mustStatus(t, req(t, hs, "POST", "/api/v1/functions", "tok-acme", specBody(t, testSpec()), nil), http.StatusCreated)
+			mustStatus(t, req(t, hs, "PUT", "/api/v1/functions/sort/model", "tok-acme", boundaryArtifact(t, 4.5), nil), http.StatusCreated)
+			resp := req(t, hs, "GET", "/api/v1/functions/sort/model", "tok-acme", nil, nil)
+			first := mustStatus(t, resp, http.StatusOK)
+			etag := resp.Header.Get("ETag")
+			// Stage (but never settle) a canary v2.
+			mustStatus(t, req(t, hs, "PUT", "/api/v1/functions/sort/model", "tok-acme", boundaryArtifact(t, 6.5), nil), http.StatusCreated)
+			hs.Close()
 
-	_, hs2 := newTestDaemon(t, mutate)
-	resp = req(t, hs2, "GET", "/api/v1/functions/sort/model", "tok-acme", nil, nil)
-	reloaded := mustStatus(t, resp, http.StatusOK)
-	if !bytes.Equal(first, reloaded) || resp.Header.Get("ETag") != etag {
-		t.Fatal("reloaded stable artifact differs from the original")
+			_, hs2 := newTestDaemon(t, mutate)
+			resp = req(t, hs2, "GET", "/api/v1/functions/sort/model", "tok-acme", nil, nil)
+			reloaded := mustStatus(t, resp, http.StatusOK)
+			if !bytes.Equal(first, reloaded) || resp.Header.Get("ETag") != etag {
+				t.Fatal("reloaded stable artifact differs from the original")
+			}
+			data := mustStatus(t, req(t, hs2, "GET", "/api/v1/functions/sort/deployment", "tok-acme", nil, nil), http.StatusOK)
+			var dep Deployment
+			if err := json.Unmarshal(data, &dep); err != nil {
+				t.Fatal(err)
+			}
+			if dep.Stable != 1 || dep.Latest != 2 {
+				t.Fatalf("reloaded deployment = %+v, want stable v1, latest v2", dep)
+			}
+			if tc.disable {
+				if dep.Canary != nil {
+					t.Fatalf("journal disabled but canary restored: %+v", dep.Canary)
+				}
+			} else if dep.Canary == nil || dep.Canary.Version != 2 {
+				t.Fatalf("journaled canary not resumed: %+v", dep.Canary)
+			}
+			// The v2 artifact is still pullable by version.
+			mustStatus(t, req(t, hs2, "GET", "/api/v1/functions/sort/model?version=2", "tok-acme", nil, nil), http.StatusOK)
+		})
 	}
-	data := mustStatus(t, req(t, hs2, "GET", "/api/v1/functions/sort/deployment", "tok-acme", nil, nil), http.StatusOK)
-	var dep Deployment
-	if err := json.Unmarshal(data, &dep); err != nil {
-		t.Fatal(err)
-	}
-	if dep.Stable != 1 || dep.Latest != 2 || dep.Canary != nil {
-		t.Fatalf("reloaded deployment = %+v, want stable v1, latest v2, canary aborted", dep)
-	}
-	// The v2 artifact is still pullable by version.
-	mustStatus(t, req(t, hs2, "GET", "/api/v1/functions/sort/model?version=2", "tok-acme", nil, nil), http.StatusOK)
 }

@@ -245,8 +245,48 @@ type RegistryConfig struct {
 	ReservoirSize int
 	// MinRetrainSamples gates drift-triggered auto-tunes (default 32).
 	MinRetrainSamples int
+	// MaxInflight caps concurrent API requests (default 256). Under
+	// overload the API sheds lower-priority classes first — observation
+	// pushes beyond 50% of the cap, artifact/deployment pulls beyond 75%,
+	// control traffic only at the full cap — with 503 + Retry-After, so
+	// the canary lifecycle keeps making progress while telemetry degrades.
+	MaxInflight int
+	// DisableJournal turns off the write-ahead journal even when DataDir is
+	// set, restoring the pre-journal behavior: a restart aborts in-flight
+	// canaries back to stable.
+	DisableJournal bool
+	// JournalCompactBytes triggers journal compaction (rewrite from live
+	// state) once the log grows past this size (default 1 MiB).
+	JournalCompactBytes int64
 	// Clock is injectable for rate-limit tests (default time.Now).
 	Clock func() time.Time
+}
+
+// RecoveryReport describes what journal recovery did at startup.
+type RecoveryReport struct {
+	// Journal reports whether journaling is active (DataDir set, not
+	// disabled).
+	Journal bool `json:"journal"`
+	// CleanShutdown reports that the previous run closed in order (the
+	// journal ended with a clean-shutdown marker); false after a crash.
+	CleanShutdown bool `json:"clean_shutdown"`
+	// RecordsReplayed counts intact journal records applied at startup.
+	RecordsReplayed int `json:"records_replayed"`
+	// ResumedCanaries counts canary episodes that were live when the
+	// previous run died and are live again now, at their recorded fraction
+	// and fleet sample counts.
+	ResumedCanaries int `json:"resumed_canaries"`
+	// DroppedRecords counts records that referenced state the on-disk
+	// artifact store no longer corroborates (missing artifact, etag
+	// mismatch, settled episode); they are skipped, not fatal.
+	DroppedRecords int `json:"dropped_records"`
+	// CorruptTail / QuarantinePath describe a torn or corrupt journal tail:
+	// the reason it failed validation and where its bytes were preserved.
+	CorruptTail    string `json:"corrupt_tail,omitempty"`
+	QuarantinePath string `json:"quarantine_path,omitempty"`
+	// TailError is the typed corruption error (nil when the tail was
+	// intact).
+	TailError *CorruptTailError `json:"-"`
 }
 
 // Registry is the daemon's state: tenants, their functions, the artifact
@@ -258,6 +298,10 @@ type Registry struct {
 	jobs    *autotuner.JobQueue
 	jobMeta map[string]jobMeta // job id -> owner
 	cfg     RegistryConfig
+
+	journal  *journal
+	recovery RecoveryReport
+	shed     *shedder
 
 	metrics serverMetrics
 }
@@ -282,6 +326,12 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.MinRetrainSamples <= 0 {
 		cfg.MinRetrainSamples = 32
 	}
+	if cfg.JournalCompactBytes <= 0 {
+		cfg.JournalCompactBytes = 1 << 20
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
@@ -292,6 +342,7 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		jobMeta: make(map[string]jobMeta),
 		cfg:     cfg,
 	}
+	r.shed = &shedder{max: int64(cfg.MaxInflight), m: &r.metrics}
 	for _, tc := range cfg.Tenants {
 		if !nameRe.MatchString(tc.Name) {
 			return nil, fmt.Errorf("%w: bad tenant name %q", ErrInvalid, tc.Name)
@@ -313,13 +364,255 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		if err := r.load(); err != nil {
 			return nil, err
 		}
+		if !cfg.DisableJournal {
+			if err := r.openAndReplayJournal(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	r.jobs = autotuner.NewJobQueue(cfg.Workers, cfg.QueueCapacity)
 	return r, nil
 }
 
-// Close drains the tuning queue.
-func (r *Registry) Close() { r.jobs.Close() }
+// openAndReplayJournal opens DataDir/journal.wal, replays its records over
+// the artifact-store state load() restored, and compacts the log to the
+// resulting live state. A corrupt tail is quarantined and reported in the
+// recovery report, never fatal.
+func (r *Registry) openAndReplayJournal() error {
+	if err := os.MkdirAll(r.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	j, records, corrupt, err := openJournal(filepath.Join(r.cfg.DataDir, "journal.wal"))
+	if err != nil {
+		return err
+	}
+	r.journal = j
+	r.recovery.Journal = true
+	if corrupt != nil {
+		r.recovery.TailError = corrupt
+		r.recovery.CorruptTail = corrupt.Reason
+		r.recovery.QuarantinePath = corrupt.QuarantinePath
+		r.metrics.journalQuarantined.Add(1)
+	}
+	r.replayJournal(records)
+	return r.compactJournalLocked()
+}
+
+// replayJournal applies intact journal records to the loaded state. Every
+// record is validated against the on-disk artifact store before it takes
+// effect; records the store no longer corroborates are counted and
+// skipped, so a stale or partially compacted journal degrades to the
+// pre-journal behavior instead of resurrecting phantom state.
+func (r *Registry) replayJournal(records []journalRecord) {
+	for i, rec := range records {
+		if rec.Op == opCleanShutdown {
+			// Only a marker in tail position — with nothing corrupt after
+			// it — proves an orderly close.
+			r.recovery.CleanShutdown = i == len(records)-1 && r.recovery.TailError == nil
+			continue
+		}
+		fs := r.findFunc(rec.Tenant, rec.Function)
+		if fs == nil {
+			r.recovery.DroppedRecords++
+			continue
+		}
+		switch rec.Op {
+		case opCanaryStart:
+			a, ok := fs.artifacts[rec.Version]
+			if !ok || a.etag != rec.ETag || rec.Version == fs.stable {
+				// Artifact gone, bytes changed, or the episode already
+				// settled into deployment.json: nothing to resume.
+				r.recovery.DroppedRecords++
+				continue
+			}
+			fs.canary = &CanaryState{
+				Version:        rec.Version,
+				ETag:           rec.ETag,
+				Fraction:       rec.Fraction,
+				MinSamples:     rec.MinSamples,
+				MaxFailureRate: rec.MaxFailureRate,
+			}
+			fs.lastDec = DecisionPending
+			fs.autoTuned = rec.Auto
+		case opCanaryProgress:
+			if fs.canary == nil || fs.canary.Version != rec.Version {
+				r.recovery.DroppedRecords++
+				continue
+			}
+			// Progress records carry cumulative fleet counters, so only the
+			// last one matters and replaying twice cannot double-count.
+			fs.canary.Calls = rec.Calls
+			fs.canary.Failures = rec.Failures
+		case opCanaryEnd:
+			// The verdict is journaled before deployment.json is rewritten;
+			// replay closes the gap if the crash landed between the two.
+			if fs.canary != nil && fs.canary.Version == rec.Version {
+				fs.canary = nil
+				fs.autoTuned = false
+			}
+			switch rec.Decision {
+			case DecisionPromoted:
+				if _, ok := fs.artifacts[rec.Version]; ok {
+					fs.stable = rec.Version
+					fs.lastDec = DecisionPromoted
+				} else {
+					r.recovery.DroppedRecords++
+					continue
+				}
+			case DecisionRolledBack:
+				fs.lastDec = DecisionRolledBack
+			}
+		case opDrift:
+			if rec.Drift == nil {
+				r.recovery.DroppedRecords++
+				continue
+			}
+			fs.detector.Restore(*rec.Drift)
+		default:
+			r.recovery.DroppedRecords++
+			continue
+		}
+		r.recovery.RecordsReplayed++
+	}
+	for _, ts := range r.tenants {
+		for _, fs := range ts.funcs {
+			if fs.canary != nil {
+				r.recovery.ResumedCanaries++
+				r.metrics.canariesResumed.Add(1)
+			}
+		}
+	}
+	r.metrics.journalReplayed.Add(int64(r.recovery.RecordsReplayed))
+	r.metrics.journalDropped.Add(int64(r.recovery.DroppedRecords))
+}
+
+func (r *Registry) findFunc(tenant, fn string) *funcState {
+	ts, ok := r.tenants[tenant]
+	if !ok {
+		return nil
+	}
+	return ts.funcs[fn]
+}
+
+// Recovery reports what journal recovery did when this registry started.
+func (r *Registry) Recovery() RecoveryReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovery
+}
+
+// journalAppend appends one durable record (no-op when journaling is off).
+func (r *Registry) journalAppend(rec journalRecord) error {
+	if r.journal == nil {
+		return nil
+	}
+	if err := r.journal.append(rec); err != nil {
+		return err
+	}
+	r.metrics.journalAppends.Add(1)
+	return nil
+}
+
+// journalDriftLocked journals fs's current drift detector snapshot; called
+// at detector state transitions so a restart restores the state machine,
+// not just the counters.
+func (r *Registry) journalDriftLocked(tenant string, fs *funcState) error {
+	if r.journal == nil {
+		return nil
+	}
+	snap := fs.detector.Snapshot()
+	return r.journalAppend(journalRecord{Op: opDrift, Tenant: tenant, Function: fs.spec.Name, Drift: &snap})
+}
+
+// liveRecordsLocked renders the registry's current durable state as a
+// minimal record list (compaction target): one drift snapshot per active
+// detector, one start (+ cumulative progress) per live canary. Iteration
+// is sorted so compaction output is deterministic.
+func (r *Registry) liveRecordsLocked() []journalRecord {
+	var tnames []string
+	for n := range r.tenants {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	var recs []journalRecord
+	for _, tn := range tnames {
+		ts := r.tenants[tn]
+		var fnames []string
+		for n := range ts.funcs {
+			fnames = append(fnames, n)
+		}
+		sort.Strings(fnames)
+		for _, fn := range fnames {
+			fs := ts.funcs[fn]
+			if snap := fs.detector.Snapshot(); snap.Samples > 0 || snap.Windows > 0 || snap.State != online.StateHealthy {
+				s := snap
+				recs = append(recs, journalRecord{Op: opDrift, Tenant: tn, Function: fn, Drift: &s})
+			}
+			if c := fs.canary; c != nil {
+				recs = append(recs, journalRecord{Op: opCanaryStart, Tenant: tn, Function: fn,
+					Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
+					MinSamples: c.MinSamples, MaxFailureRate: c.MaxFailureRate, Auto: fs.autoTuned})
+				if c.Calls > 0 {
+					recs = append(recs, journalRecord{Op: opCanaryProgress, Tenant: tn, Function: fn,
+						Version: c.Version, Calls: c.Calls, Failures: c.Failures})
+				}
+			}
+		}
+	}
+	return recs
+}
+
+// compactJournalLocked rewrites the journal to the live state (snapshot +
+// truncate).
+func (r *Registry) compactJournalLocked() error {
+	if r.journal == nil {
+		return nil
+	}
+	if err := r.journal.rewrite(r.liveRecordsLocked()); err != nil {
+		return err
+	}
+	r.metrics.journalCompactions.Add(1)
+	return nil
+}
+
+// Close drains the tuning queue (workers may still append journal records
+// through their completion callbacks), flushes a final drift snapshot per
+// active detector, writes the clean-shutdown marker and closes the
+// journal. A restart after Close sees CleanShutdown=true and resumes any
+// canary that was live — orderly shutdown persists strictly more state
+// than a crash, never less.
+func (r *Registry) Close() {
+	r.jobs.Close()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.journal == nil {
+		return
+	}
+	for _, rec := range r.liveRecordsLocked() {
+		if rec.Op == opDrift {
+			// Drift counters accumulate outside transition points; the drain
+			// flush makes the pooled sample counts durable too.
+			r.journalAppend(rec) //nolint:errcheck // best-effort drain
+		}
+	}
+	r.journalAppend(journalRecord{Op: opCleanShutdown}) //nolint:errcheck // best-effort marker
+	r.journal.close()
+	r.journal = nil
+}
+
+// kill simulates a crash for tests: the journal handle drops with no
+// drain, marker or compaction — on-disk state is exactly what fsync'd
+// appends left behind — then the job workers are stopped so the process
+// can be torn down.
+func (r *Registry) kill() {
+	r.mu.Lock()
+	if r.journal != nil {
+		r.journal.close()
+		r.journal = nil
+	}
+	r.mu.Unlock()
+	r.jobs.Close()
+}
 
 // Authenticate resolves a bearer token to a tenant name.
 func (r *Registry) Authenticate(token string) (string, error) {
@@ -556,7 +849,19 @@ func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto
 		fs.autoTuned = auto
 		r.metrics.canariesStarted.Add(1)
 	}
-	return r.persistArtifact(tenant, fs)
+	// Artifact-first: the model bytes and deployment pointer reach disk
+	// before the canary_start record, so a replayed start always finds the
+	// artifact it references.
+	if err := r.persistArtifact(tenant, fs); err != nil {
+		return err
+	}
+	if c := fs.canary; c != nil && c.Version == version {
+		return r.journalAppend(journalRecord{Op: opCanaryStart, Tenant: tenant, Function: fs.spec.Name,
+			Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
+			MinSamples: c.MinSamples, MaxFailureRate: c.MaxFailureRate, Auto: auto})
+	}
+	// First-ever version: the direct promotion flipped the detector.
+	return r.journalDriftLocked(tenant, fs)
 }
 
 // validateAgainstSpec rejects models whose class labels exceed the
@@ -605,6 +910,12 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures 
 	c.Calls += calls
 	c.Failures += failures
 	if c.Calls < c.MinSamples {
+		// Journal the cumulative fleet counters so a crashed daemon resumes
+		// the gate mid-count instead of restarting it from zero.
+		if err := r.journalAppend(journalRecord{Op: opCanaryProgress, Tenant: tenant,
+			Function: fn, Version: c.Version, Calls: c.Calls, Failures: c.Failures}); err != nil {
+			return "", Deployment{}, err
+		}
 		return DecisionPending, r.deploymentLocked(fs), nil
 	}
 	rate := float64(c.Failures) / float64(c.Calls)
@@ -621,8 +932,22 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures 
 		r.metrics.canariesRolledBack.Add(1)
 	}
 	fs.autoTuned = false
+	// WAL-first: the verdict is durable before deployment.json changes; a
+	// crash between the two replays the canary_end record and converges.
+	if err := r.journalAppend(journalRecord{Op: opCanaryEnd, Tenant: tenant,
+		Function: fn, Version: version, Decision: fs.lastDec}); err != nil {
+		return "", Deployment{}, err
+	}
+	if err := r.journalDriftLocked(tenant, fs); err != nil {
+		return "", Deployment{}, err
+	}
 	if err := r.persistArtifact(tenant, fs); err != nil {
 		return "", Deployment{}, err
+	}
+	if r.journal != nil && r.journal.sizeBytes() > r.cfg.JournalCompactBytes {
+		if err := r.compactJournalLocked(); err != nil {
+			return "", Deployment{}, err
+		}
 	}
 	return fs.lastDec, r.deploymentLocked(fs), nil
 }
@@ -656,6 +981,7 @@ func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSa
 		return online.FleetStats{}, fmt.Errorf("%w: observation rate limit", ErrQuota)
 	}
 	wantRetrain := false
+	stateBefore := fs.detector.State()
 	for _, s := range samples {
 		fs.obsCount++
 		fs.obsSeq++
@@ -674,6 +1000,14 @@ func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSa
 			r.metrics.autoTunes.Add(1)
 		}
 	}
+	if fs.detector.State() != stateBefore {
+		// A drift-state transition is the durable event; raw counter churn
+		// between transitions is flushed at shutdown drain instead of per
+		// push, keeping the fsync rate off the observation hot path.
+		if err := r.journalDriftLocked(tenant, fs); err != nil {
+			return online.FleetStats{}, err
+		}
+	}
 	return fs.detector.Stats(), nil
 }
 
@@ -690,7 +1024,16 @@ func (r *Registry) Tune(tenant, fn string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return r.submitTuneLocked(ts, fs, false)
+	id, err := r.submitTuneLocked(ts, fs, false)
+	if err != nil {
+		return "", err
+	}
+	// The submit moved the detector to retraining; make that durable (the
+	// job itself is not journaled — a crashed retrain simply re-triggers).
+	if jerr := r.journalDriftLocked(tenant, fs); jerr != nil {
+		return id, jerr
+	}
+	return id, nil
 }
 
 func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (string, error) {
@@ -717,6 +1060,7 @@ func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (
 	tenant, fn := ts.cfg.Name, fs.spec.Name
 	id, err := r.jobs.Submit(autotuner.TuneJob{
 		Function:    tenant + "/" + fn,
+		Owner:       tenant,
 		Instances:   instances,
 		Options:     r.cfg.Train,
 		BaseVersion: fs.latest,
@@ -725,6 +1069,9 @@ func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (
 	if err != nil {
 		if errors.Is(err, autotuner.ErrQueueFull) {
 			return "", fmt.Errorf("%w: tune queue full", ErrQuota)
+		}
+		if errors.Is(err, autotuner.ErrOwnerThrottled) {
+			return "", fmt.Errorf("%w: tenant %q at fair-share tune limit", ErrQuota, tenant)
 		}
 		return "", err
 	}
@@ -755,12 +1102,14 @@ func (r *Registry) onTuneDone(tenant, fn string, st autotuner.JobStatus) {
 	if st.State != autotuner.JobDone {
 		fs.autoTuned = false
 		fs.detector.OnRetrainFailed()
+		r.journalDriftLocked(tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
 		r.metrics.tunesFailed.Add(1)
 		return
 	}
 	if err := r.installLocked(tenant, fs, st.Model, fs.autoTuned); err != nil {
 		fs.autoTuned = false
 		fs.detector.OnRetrainFailed()
+		r.journalDriftLocked(tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
 		r.metrics.tunesFailed.Add(1)
 		return
 	}
@@ -811,9 +1160,9 @@ func (r *Registry) persistSpec(tenant string, spec FunctionSpec) error {
 }
 
 // persistArtifact writes the newest artifact and the deployment pointer.
-// The canary episode itself is deliberately not persisted: a daemon restart
-// aborts in-flight canaries back to the stable version, which is the safe
-// default.
+// The canary episode is persisted separately, through the write-ahead
+// journal; with journaling disabled, a daemon restart aborts in-flight
+// canaries back to the stable version, which is the safe default.
 func (r *Registry) persistArtifact(tenant string, fs *funcState) error {
 	if r.cfg.DataDir == "" {
 		return nil
@@ -913,7 +1262,9 @@ func (r *Registry) loadFunc(dir string) (*funcState, error) {
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
-	// A canary that was live at shutdown is not restored: clients fall back
-	// to stable, and the next drift episode re-stages the candidate.
+	// A canary that was live at shutdown is not restored here: journal
+	// replay (openAndReplayJournal) resumes it. With journaling disabled,
+	// clients fall back to stable and the next drift episode re-stages the
+	// candidate.
 	return fs, nil
 }

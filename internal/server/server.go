@@ -32,6 +32,18 @@ type serverMetrics struct {
 	canariesStarted    atomic.Int64
 	canariesPromoted   atomic.Int64
 	canariesRolledBack atomic.Int64
+	canariesResumed    atomic.Int64
+
+	journalAppends     atomic.Int64
+	journalReplayed    atomic.Int64
+	journalDropped     atomic.Int64
+	journalQuarantined atomic.Int64
+	journalCompactions atomic.Int64
+
+	shedObservations atomic.Int64
+	shedPulls        atomic.Int64
+	shedControl      atomic.Int64
+	shedRecoveries   atomic.Int64
 }
 
 // Collector exports the registry's counters.
@@ -57,6 +69,20 @@ func (r *Registry) Collector() obs.Collector {
 		emit(counter("nitro_server_canaries_started_total", "Canary episodes started.", &m.canariesStarted))
 		emit(counter("nitro_server_canaries_promoted_total", "Canary episodes that promoted the challenger.", &m.canariesPromoted))
 		emit(counter("nitro_server_canaries_rolled_back_total", "Canary episodes rolled back.", &m.canariesRolledBack))
+		emit(counter("nitro_server_canaries_resumed_total", "Canary episodes resumed from the journal after a restart.", &m.canariesResumed))
+		emit(counter("nitro_server_journal_appends_total", "Durable journal records appended.", &m.journalAppends))
+		emit(counter("nitro_server_journal_records_replayed_total", "Journal records replayed at startup.", &m.journalReplayed))
+		emit(counter("nitro_server_journal_records_dropped_total", "Journal records dropped at replay (uncorroborated by the artifact store).", &m.journalDropped))
+		emit(counter("nitro_server_journal_tail_quarantined_total", "Corrupt journal tails quarantined at startup.", &m.journalQuarantined))
+		emit(counter("nitro_server_journal_compactions_total", "Journal compactions (snapshot + truncate).", &m.journalCompactions))
+		shed := func(class string, v *atomic.Int64) obs.Metric {
+			return obs.Counter("nitro_server_shed_total", "Requests shed by overload admission control.",
+				float64(v.Load()), obs.Label{Key: "class", Value: class})
+		}
+		emit(shed("observations", &m.shedObservations))
+		emit(shed("pulls", &m.shedPulls))
+		emit(shed("control", &m.shedControl))
+		emit(counter("nitro_server_shed_recoveries_total", "Transitions from shedding back to full admission.", &m.shedRecoveries))
 	}
 }
 
@@ -122,8 +148,10 @@ func (d *Daemon) Addr() string {
 	return d.srv.Addr()
 }
 
-// Shutdown gracefully drains in-flight requests, then stops the tuning
-// workers.
+// Shutdown gracefully drains in-flight requests, stops the tuning workers,
+// flushes pending fleet-drift state to the journal and writes the
+// clean-shutdown marker, so the next start skips torn-tail forensics and
+// resumes any live canary from a fully drained journal.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	var err error
 	if d.srv != nil {
@@ -132,3 +160,19 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.reg.Close()
 	return err
 }
+
+// Kill simulates a crash for chaos tests: the listener closes abruptly
+// (in-flight requests are severed) and the registry's journal handle drops
+// with no drain, marker or compaction — on-disk state is exactly what the
+// fsync'd appends left behind, as after SIGKILL.
+func (d *Daemon) Kill() {
+	if d.srv != nil {
+		d.srv.Close() //nolint:errcheck // crash semantics: nothing to report
+	}
+	d.reg.kill()
+}
+
+// ShedRecoveries reports how many times the admission controller
+// transitioned from shedding back to full admission (benchmarks and the
+// serving study read this without scraping /metrics).
+func (d *Daemon) ShedRecoveries() int64 { return d.reg.metrics.shedRecoveries.Load() }

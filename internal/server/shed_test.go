@@ -1,0 +1,140 @@
+package server
+
+// Overload-shedding tests: requests are held in-flight by handing the
+// server a request body it can never finish reading (an open pipe), which
+// parks the handler inside decodeBody with its shedder slot held. That
+// lets the tests walk the in-flight count across the per-class thresholds
+// deterministically, without goroutine races on real work.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// holdRequest issues a request whose body never completes, parking the
+// handler (and its shedder slot) until the returned writer is closed.
+func holdRequest(t *testing.T, hs *httptest.Server, wg *sync.WaitGroup, method, path string) *io.PipeWriter {
+	t.Helper()
+	pr, pw := io.Pipe()
+	r, err := http.NewRequest(method, hs.URL+path, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set("Authorization", "Bearer tok-acme")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := hs.Client().Do(r)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	return pw
+}
+
+func waitInflight(t *testing.T, reg *Registry, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.shed.inflight.Load() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("in-flight count stuck at %d, want %d", reg.shed.inflight.Load(), want)
+}
+
+func TestLoadSheddingPriorities(t *testing.T) {
+	d, hs := newTestDaemon(t, func(cfg *Config) {
+		cfg.Registry.MaxInflight = 4 // thresholds: observations 2, pulls 3, control 4
+	})
+	reg := d.Registry()
+	mustStatus(t, req(t, hs, "POST", "/api/v1/functions", "tok-acme", specBody(t, testSpec()), nil), http.StatusCreated)
+
+	var wg sync.WaitGroup
+	var pipes []*io.PipeWriter
+	defer func() {
+		for _, pw := range pipes {
+			pw.Close()
+		}
+		wg.Wait()
+	}()
+
+	// Fill the observation class to its threshold (2 of 4).
+	obsPath := "/api/v1/functions/sort/observations"
+	pipes = append(pipes, holdRequest(t, hs, &wg, "POST", obsPath))
+	pipes = append(pipes, holdRequest(t, hs, &wg, "POST", obsPath))
+	waitInflight(t, reg, 2)
+
+	// Third observation push is shed with a Retry-After hint; pulls and
+	// control still get through.
+	resp := req(t, hs, "POST", obsPath, "tok-acme", []byte(`{"samples":[]}`), nil)
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	mustStatus(t, resp, http.StatusServiceUnavailable)
+	mustStatus(t, req(t, hs, "GET", "/api/v1/functions/sort", "tok-acme", nil, nil), http.StatusOK)
+
+	// One more held slot (a control-class registration) pushes in-flight to
+	// 3: pulls now shed, control is still admitted.
+	pipes = append(pipes, holdRequest(t, hs, &wg, "POST", "/api/v1/functions"))
+	waitInflight(t, reg, 3)
+	mustStatus(t, req(t, hs, "GET", "/api/v1/functions/sort", "tok-acme", nil, nil), http.StatusServiceUnavailable)
+	mustStatus(t, req(t, hs, "GET", "/api/v1/jobs/nope", "tok-acme", nil, nil), http.StatusNotFound)
+
+	// At the hard cap even control-plane calls shed.
+	pipes = append(pipes, holdRequest(t, hs, &wg, "POST", "/api/v1/functions"))
+	waitInflight(t, reg, 4)
+	mustStatus(t, req(t, hs, "GET", "/api/v1/jobs/nope", "tok-acme", nil, nil), http.StatusServiceUnavailable)
+
+	if got := reg.metrics.shedObservations.Load(); got != 1 {
+		t.Errorf("shed observations = %d, want 1", got)
+	}
+	if got := reg.metrics.shedPulls.Load(); got != 1 {
+		t.Errorf("shed pulls = %d, want 1", got)
+	}
+	if got := reg.metrics.shedControl.Load(); got != 1 {
+		t.Errorf("shed control = %d, want 1", got)
+	}
+
+	// Releasing the held requests drains the server back below half the
+	// observation threshold, which counts exactly one recovery transition.
+	for _, pw := range pipes {
+		pw.Close()
+	}
+	pipes = nil
+	wg.Wait()
+	waitInflight(t, reg, 0)
+	if got := reg.metrics.shedRecoveries.Load(); got != 1 {
+		t.Errorf("shed recoveries = %d, want 1", got)
+	}
+}
+
+// TestShedBeforeAuth proves shedding is the outermost layer: a shed
+// request costs no auth work and no registry lock.
+func TestShedBeforeAuth(t *testing.T) {
+	d, hs := newTestDaemon(t, func(cfg *Config) {
+		cfg.Registry.MaxInflight = 2 // observation threshold 1
+	})
+	reg := d.Registry()
+
+	var wg sync.WaitGroup
+	pw := holdRequest(t, hs, &wg, "POST", "/api/v1/functions/sort/observations")
+	defer func() {
+		pw.Close()
+		wg.Wait()
+	}()
+	waitInflight(t, reg, 1)
+
+	before := reg.metrics.authFailures.Load()
+	// No token at all: a shed response must win over the 401.
+	mustStatus(t, req(t, hs, "POST", "/api/v1/functions/sort/observations", "", nil, nil), http.StatusServiceUnavailable)
+	if got := reg.metrics.authFailures.Load(); got != before {
+		t.Errorf("auth ran on a shed request (failures %d -> %d)", before, got)
+	}
+}
