@@ -7,6 +7,7 @@ package client
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -134,6 +135,23 @@ func (c *Client) randFloat() float64 {
 	return c.rng.Float64()
 }
 
+// newReporterID mints a reporter identity for a Poller. With an explicit
+// Seed the ID comes from the client's seeded stream (replayable tests);
+// zero-config clients draw from crypto/rand, because fleet members share
+// a token and the token-derived stream would hand every process the same
+// IDs — colliding reporters would clobber each other's dedup baselines.
+func (c *Client) newReporterID() string {
+	if c.cfg.Seed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err == nil {
+			return fmt.Sprintf("r-%x", b)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("r-%016x", c.rng.Uint64())
+}
+
 // ErrCircuitOpen fails calls fast while the client's circuit breaker is
 // open: the recent exchanges all failed and the cooldown has not elapsed.
 // Callers serving live traffic (the Poller) treat it like any transient
@@ -189,6 +207,20 @@ func (b *circuit) success() {
 	b.mu.Lock()
 	b.failures = 0
 	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// abort releases the half-open probe slot for an exchange that never
+// reached the wire (request construction failed). The breaker learned
+// nothing about the server, so its state is otherwise unchanged — without
+// this the probe slot would stay occupied forever and every future call
+// would fail fast with "probe in flight".
+func (b *circuit) abort(probe bool) {
+	if !probe || b.disabled() {
+		return
+	}
+	b.mu.Lock()
 	b.probing = false
 	b.mu.Unlock()
 }
@@ -257,6 +289,7 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 		var retryAfter time.Duration
 		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
+			c.breaker.abort(probe)
 			return apiResponse{}, err
 		}
 		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
@@ -536,10 +569,30 @@ func (c *Client) Job(ctx context.Context, id string) (autotuner.JobStatus, error
 
 // ReportCanary folds local challenger outcome deltas into the fleet
 // aggregate and returns the server's decision plus the (possibly updated)
-// deployment.
+// deployment. The deltas are applied verbatim on every delivery, so a
+// report retried after a lost response can double-count; long-lived
+// pollers use ReportCanaryAs, whose cumulative totals are idempotent.
 func (c *Client) ReportCanary(ctx context.Context, fn string, version int, calls, failures int64) (string, server.Deployment, error) {
+	return c.reportCanary(ctx, fn, version, "", calls, failures)
+}
+
+// ReportCanaryAs reports this poller's *cumulative* challenger totals for
+// the episode under a stable reporter identity. The server folds in only
+// the movement past the reporter's last accepted totals, so a report
+// replayed by the retry layer (applied once, response lost, body re-sent)
+// is a no-op instead of a double count.
+func (c *Client) ReportCanaryAs(ctx context.Context, fn string, version int, reporter string, calls, failures int64) (string, server.Deployment, error) {
+	return c.reportCanary(ctx, fn, version, reporter, calls, failures)
+}
+
+func (c *Client) reportCanary(ctx context.Context, fn string, version int, reporter string, calls, failures int64) (string, server.Deployment, error) {
 	path := "/api/v1/functions/" + fn + "/canary/report"
-	body, err := json.Marshal(map[string]any{"version": version, "calls": calls, "failures": failures})
+	body, err := json.Marshal(struct {
+		Version  int    `json:"version"`
+		Reporter string `json:"reporter,omitempty"`
+		Calls    int64  `json:"calls"`
+		Failures int64  `json:"failures"`
+	}{version, reporter, calls, failures})
 	if err != nil {
 		return "", server.Deployment{}, err
 	}

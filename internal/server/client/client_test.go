@@ -283,6 +283,33 @@ func TestCircuitHalfOpenSingleProbe(t *testing.T) {
 	}
 }
 
+// TestProbeAbortOnRequestBuildError: an exchange that dies before reaching
+// the wire (request construction fails after allow() granted the half-open
+// probe) must release the probe slot — otherwise the breaker reports
+// "probe in flight" forever and can never close.
+func TestProbeAbortOnRequestBuildError(t *testing.T) {
+	clock := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	c, err := New(Config{BaseURL: "http://127.0.0.1:0", Token: "tok",
+		Retries: -1, BreakerThreshold: 1, BreakerCooldown: time.Second, Seed: 1,
+		now:   func() time.Time { return clock },
+		sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.breaker.failure(false) // trip the breaker
+	clock = clock.Add(2 * time.Second)
+	// A method with a space fails http.NewRequestWithContext — after the
+	// breaker already granted this call the half-open probe.
+	if _, err := c.do(context.Background(), "bad method", "/x", nil, nil); err == nil {
+		t.Fatal("request with a broken method succeeded")
+	}
+	// The probe slot must be free again for the next caller.
+	probe, err := c.breaker.allow()
+	if err != nil || !probe {
+		t.Fatalf("after aborted probe: probe=%v err=%v, want the slot re-admitted", probe, err)
+	}
+}
+
 // TestNoRetryOnClientError: 4xx responses are terminal — no retries, and the
 // server's error message surfaces in the typed APIError.
 func TestNoRetryOnClientError(t *testing.T) {

@@ -10,10 +10,12 @@ package client
 //   - a live canary installs the challenger at the server's fraction via
 //     SetCanary, so the challenger serves real traffic through the dispatch
 //     ladder while the stable model keeps the rest;
-//   - local challenger outcomes (calls/failures deltas since the last
-//     report) feed the server's fleet aggregate; the server's verdict —
-//     promoted or rolled back — clears the local canary, and a promotion
-//     installs the challenger as the new stable without re-pulling bytes.
+//   - local challenger outcomes feed the server's fleet aggregate as
+//     cumulative totals under a per-poller reporter ID, so a report the
+//     retry layer replays (applied once, response lost) cannot be counted
+//     twice; the server's verdict — promoted or rolled back — clears the
+//     local canary, and a promotion installs the challenger as the new
+//     stable without re-pulling bytes.
 //
 // Under a network partition the poller degrades, never breaks: PollOnce
 // returns the transport error (or ErrCircuitOpen once the client's breaker
@@ -40,14 +42,15 @@ type Poller struct {
 	c  *Client
 	cx *core.Context
 	fn string
+	// reporter identifies this poller in canary reports; the server keys
+	// its retry-dedup baselines on it.
+	reporter string
 
 	stableVersion int
 	stableETag    string
 
 	canaryVersion int
 	canaryModel   *ml.Model
-	reportedCalls int64
-	reportedFails int64
 
 	stats PollerStats
 }
@@ -68,7 +71,7 @@ type PollerStats struct {
 
 // NewPoller builds a poller that installs models for fn into cx.
 func NewPoller(c *Client, cx *core.Context, fn string) *Poller {
-	return &Poller{c: c, cx: cx, fn: fn}
+	return &Poller{c: c, cx: cx, fn: fn, reporter: c.newReporterID()}
 }
 
 // PollResult reports what one reconciliation did.
@@ -193,23 +196,19 @@ func (p *Poller) startCanary(ctx context.Context, dep server.Deployment) error {
 	}
 	p.canaryVersion = dep.Canary.Version
 	p.canaryModel = pull.Model
-	p.reportedCalls, p.reportedFails = 0, 0
 	return nil
 }
 
 func (p *Poller) reportCanary(ctx context.Context) (string, error) {
+	// The context's counters are already cumulative for the installed
+	// challenger; reporting them as-is under the poller's reporter ID lets
+	// the server compute the delta itself and drop retry replays — no
+	// local delta bookkeeping, no double counts when a response is lost.
 	st := p.cx.CanaryStats(p.fn)
-	dCalls, dFails := st.Calls-p.reportedCalls, st.Failures-p.reportedFails
-	if dCalls < 0 { // canary slot was replaced underneath us; resync
-		p.reportedCalls, p.reportedFails = 0, 0
-		dCalls, dFails = st.Calls, st.Failures
-	}
-	dec, _, err := p.c.ReportCanary(ctx, p.fn, p.canaryVersion, dCalls, dFails)
+	dec, _, err := p.c.ReportCanaryAs(ctx, p.fn, p.canaryVersion, p.reporter, st.Calls, st.Failures)
 	if err != nil {
 		return "", err
 	}
-	p.reportedCalls += dCalls
-	p.reportedFails += dFails
 	switch dec {
 	case "promoted":
 		promoted := p.canaryVersion
@@ -229,5 +228,4 @@ func (p *Poller) clearCanary() {
 	p.cx.ClearCanary(p.fn)
 	p.canaryVersion = 0
 	p.canaryModel = nil
-	p.reportedCalls, p.reportedFails = 0, 0
 }

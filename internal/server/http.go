@@ -309,11 +309,15 @@ func (r *Registry) handleJob(w http.ResponseWriter, req *http.Request, tenant st
 	writeJSON(w, http.StatusOK, st)
 }
 
-// canaryReportBody carries one client's challenger outcome deltas.
+// canaryReportBody carries one client's challenger outcomes. With a
+// reporter ID the counters are that reporter's cumulative totals for the
+// episode (idempotent under retries); without one they are verbatim
+// deltas.
 type canaryReportBody struct {
-	Version  int   `json:"version"`
-	Calls    int64 `json:"calls"`
-	Failures int64 `json:"failures"`
+	Version  int    `json:"version"`
+	Reporter string `json:"reporter,omitempty"`
+	Calls    int64  `json:"calls"`
+	Failures int64  `json:"failures"`
 }
 
 func (r *Registry) handleCanaryReport(w http.ResponseWriter, req *http.Request, tenant string) {
@@ -322,7 +326,7 @@ func (r *Registry) handleCanaryReport(w http.ResponseWriter, req *http.Request, 
 		writeErr(w, err)
 		return
 	}
-	decision, dep, err := r.ReportCanary(tenant, req.PathValue("fn"), body.Version, body.Calls, body.Failures)
+	decision, dep, err := r.ReportCanary(tenant, req.PathValue("fn"), body.Version, body.Reporter, body.Calls, body.Failures)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -28,6 +28,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"nitro/internal/online"
@@ -39,7 +40,10 @@ const (
 	opCanaryStart = "canary_start"
 	// opCanaryProgress carries the cumulative fleet-aggregated outcome
 	// counters for the live canary (cumulative, not deltas, so replay needs
-	// only the last progress record and double-replay cannot double-count).
+	// only the last progress record and double-replay cannot double-count),
+	// plus the per-reporter baselines that dedupe retried client reports —
+	// restoring them on replay keeps a report retried across a daemon crash
+	// idempotent too.
 	opCanaryProgress = "canary_progress"
 	// opCanaryEnd settles an episode with a decision.
 	opCanaryEnd = "canary_end"
@@ -50,6 +54,14 @@ const (
 	// known intact without tail forensics.
 	opCleanShutdown = "clean_shutdown"
 )
+
+// reporterCounts is one poller's cumulative contribution to the live
+// canary episode, keyed by reporter ID both in the server's dedup map and
+// in canary_progress records.
+type reporterCounts struct {
+	Calls    int64 `json:"calls"`
+	Failures int64 `json:"failures"`
+}
 
 // journalRecord is one journal entry. A single struct covers every op;
 // unused fields stay zero and are omitted from the JSON.
@@ -68,6 +80,9 @@ type journalRecord struct {
 	Calls          int64   `json:"calls,omitempty"`
 	Failures       int64   `json:"failures,omitempty"`
 	Decision       string  `json:"decision,omitempty"`
+	// Reporters are the per-reporter cumulative totals backing the fleet
+	// counters above (canary_progress only).
+	Reporters map[string]reporterCounts `json:"reporters,omitempty"`
 
 	// Drift detector snapshot.
 	Drift *online.FleetSnapshot `json:"drift,omitempty"`
@@ -291,7 +306,26 @@ func (j *journal) rewrite(recs []journalRecord) error {
 	j.f = nf
 	j.size = size
 	old.Close()
+	// Make the rename itself durable, matching the fsync-on-append
+	// discipline: without the directory fsync a power loss right after
+	// compaction can resurrect the pre-compaction journal.
+	if err := syncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("server: journal compact: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, committing renames inside it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // close closes the append handle. Records already appended stay durable.

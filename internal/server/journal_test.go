@@ -44,7 +44,7 @@ func stageCanary(t *testing.T, r *Registry, calls, failures int64) {
 		t.Fatal(err)
 	}
 	if calls > 0 {
-		dec, _, err := r.ReportCanary("acme", "sort", 2, calls, failures)
+		dec, _, err := r.ReportCanary("acme", "sort", 2, "", calls, failures)
 		if err != nil || dec != DecisionPending {
 			t.Fatalf("staging report: decision %q err %v, want pending", dec, err)
 		}
@@ -77,7 +77,7 @@ func TestJournalResumeAfterKill(t *testing.T) {
 		t.Fatalf("resumed canary = %+v, want v2 with 20 calls / 1 failure", c)
 	}
 	// The resumed episode settles normally: enough healthy reports promote.
-	dec, _, err := r2.ReportCanary("acme", "sort", 2, c.MinSamples-c.Calls, 0)
+	dec, _, err := r2.ReportCanary("acme", "sort", 2, "", c.MinSamples-c.Calls, 0)
 	if err != nil || dec != DecisionPromoted {
 		t.Fatalf("post-resume verdict %q err %v, want promoted", dec, err)
 	}
@@ -263,6 +263,63 @@ func TestJournalWALFirstPromotion(t *testing.T) {
 	if dep.Stable != 2 || dep.Canary != nil || dep.LastDecision != DecisionPromoted {
 		t.Fatalf("deployment %+v, want v2 promoted by WAL replay", dep)
 	}
+
+	// The replayed verdict must also be durable: recovery rewrote
+	// deployment.json before compacting away the canary_end record, so a
+	// second restart — with no further traffic to re-trigger a persist —
+	// still sees the promotion instead of silently reverting to v1.
+	r2.kill()
+	r3 := newJournalRegistry(t, dir, nil)
+	defer r3.Close()
+	dep, err = r3.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != 2 || dep.LastDecision != DecisionPromoted {
+		t.Fatalf("second-restart deployment %+v, want the replayed promotion persisted", dep)
+	}
+}
+
+// TestCanaryReportIdempotentPerReporter: reporter-keyed reports carry
+// cumulative totals, so a report replayed by an at-least-once retry layer
+// advances nothing; the per-reporter baselines ride canary_progress
+// records, keeping the dedup intact across a daemon crash.
+func TestCanaryReportIdempotentPerReporter(t *testing.T) {
+	dir := t.TempDir()
+	r := newJournalRegistry(t, dir, nil)
+	stageCanary(t, r, 0, 0)
+
+	report := func(reg *Registry, reporter string, calls, failures, wantCalls, wantFails int64) {
+		t.Helper()
+		dec, dep, err := reg.ReportCanary("acme", "sort", 2, reporter, calls, failures)
+		if err != nil || dec != DecisionPending {
+			t.Fatalf("report(%q,%d,%d): (%q, %v), want pending", reporter, calls, failures, dec, err)
+		}
+		if dep.Canary.Calls != wantCalls || dep.Canary.Failures != wantFails {
+			t.Fatalf("fleet counters %d/%d after report(%q,%d,%d), want %d/%d",
+				dep.Canary.Calls, dep.Canary.Failures, reporter, calls, failures, wantCalls, wantFails)
+		}
+	}
+
+	report(r, "p1", 20, 1, 20, 1)
+	// The response was lost and the client retried the identical body: the
+	// fleet aggregate must not move.
+	report(r, "p1", 20, 1, 20, 1)
+	// Progress folds in only the movement past the baseline; a second
+	// reporter contributes independently; anonymous deltas apply verbatim.
+	report(r, "p1", 25, 1, 25, 1)
+	report(r, "p2", 10, 0, 35, 1)
+	report(r, "", 4, 0, 39, 1)
+
+	// Crash mid-episode: the baselines replay from the journal, so even a
+	// report retried *across the restart* is still a no-op.
+	r.kill()
+	r2 := newJournalRegistry(t, dir, nil)
+	defer r2.Close()
+	report(r2, "p2", 10, 0, 39, 1)
+	// A reporter whose counters went backwards restarted its local canary
+	// slot; its fresh totals contribute from a zero baseline.
+	report(r2, "p1", 5, 0, 44, 1)
 }
 
 // appendRawRecord frames and appends one JSON payload to a journal file.
@@ -292,7 +349,7 @@ func TestJournalCompaction(t *testing.T) {
 	stageCanary(t, r, 0, 0)
 	// Roll the canary back (failure rate 100%) — the verdict triggers the
 	// size check and compacts.
-	if dec, _, err := r.ReportCanary("acme", "sort", 2, 60, 60); err != nil || dec != DecisionRolledBack {
+	if dec, _, err := r.ReportCanary("acme", "sort", 2, "", 60, 60); err != nil || dec != DecisionRolledBack {
 		t.Fatalf("decision %v err %v, want rolledback", dec, err)
 	}
 	size := r.journal.sizeBytes()

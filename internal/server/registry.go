@@ -173,6 +173,11 @@ type funcState struct {
 	stable    int
 	canary    *CanaryState
 	lastDec   string
+	// canaryReporters holds each reporter's last accepted cumulative totals
+	// for the live canary episode; reporter-keyed reports fold in only the
+	// movement past this baseline, so at-least-once retries cannot
+	// double-count fleet samples. Reset at every episode boundary.
+	canaryReporters map[string]reporterCounts
 
 	detector  *online.FleetDetector
 	reservoir []autotuner.Observation
@@ -394,7 +399,16 @@ func (r *Registry) openAndReplayJournal() error {
 		r.recovery.QuarantinePath = corrupt.QuarantinePath
 		r.metrics.journalQuarantined.Add(1)
 	}
-	r.replayJournal(records)
+	dirty := r.replayJournal(records)
+	// A replayed verdict exists only in the journal until deployment.json
+	// is rewritten; persist it before compaction drops the canary_end
+	// record, or the next restart would silently revert the acknowledged
+	// decision back to whatever deployment.json last said.
+	for fs, tenant := range dirty {
+		if err := r.persistArtifact(tenant, fs); err != nil {
+			return err
+		}
+	}
 	return r.compactJournalLocked()
 }
 
@@ -402,8 +416,11 @@ func (r *Registry) openAndReplayJournal() error {
 // record is validated against the on-disk artifact store before it takes
 // effect; records the store no longer corroborates are counted and
 // skipped, so a stale or partially compacted journal degrades to the
-// pre-journal behavior instead of resurrecting phantom state.
-func (r *Registry) replayJournal(records []journalRecord) {
+// pre-journal behavior instead of resurrecting phantom state. The returned
+// map lists functions whose durable deployment pointer a replayed verdict
+// changed — the caller must persist them before compacting the journal.
+func (r *Registry) replayJournal(records []journalRecord) map[*funcState]string {
+	dirty := make(map[*funcState]string)
 	for i, rec := range records {
 		if rec.Op == opCleanShutdown {
 			// Only a marker in tail position — with nothing corrupt after
@@ -432,6 +449,7 @@ func (r *Registry) replayJournal(records []journalRecord) {
 				MinSamples:     rec.MinSamples,
 				MaxFailureRate: rec.MaxFailureRate,
 			}
+			fs.canaryReporters = nil
 			fs.lastDec = DecisionPending
 			fs.autoTuned = rec.Auto
 		case opCanaryProgress:
@@ -443,13 +461,16 @@ func (r *Registry) replayJournal(records []journalRecord) {
 			// last one matters and replaying twice cannot double-count.
 			fs.canary.Calls = rec.Calls
 			fs.canary.Failures = rec.Failures
+			fs.canaryReporters = rec.Reporters
 		case opCanaryEnd:
 			// The verdict is journaled before deployment.json is rewritten;
 			// replay closes the gap if the crash landed between the two.
 			if fs.canary != nil && fs.canary.Version == rec.Version {
 				fs.canary = nil
+				fs.canaryReporters = nil
 				fs.autoTuned = false
 			}
+			prevStable, prevDec := fs.stable, fs.lastDec
 			switch rec.Decision {
 			case DecisionPromoted:
 				if _, ok := fs.artifacts[rec.Version]; ok {
@@ -461,6 +482,9 @@ func (r *Registry) replayJournal(records []journalRecord) {
 				}
 			case DecisionRolledBack:
 				fs.lastDec = DecisionRolledBack
+			}
+			if fs.stable != prevStable || fs.lastDec != prevDec {
+				dirty[fs] = rec.Tenant
 			}
 		case opDrift:
 			if rec.Drift == nil {
@@ -484,6 +508,7 @@ func (r *Registry) replayJournal(records []journalRecord) {
 	}
 	r.metrics.journalReplayed.Add(int64(r.recovery.RecordsReplayed))
 	r.metrics.journalDropped.Add(int64(r.recovery.DroppedRecords))
+	return dirty
 }
 
 func (r *Registry) findFunc(tenant, fn string) *funcState {
@@ -552,9 +577,10 @@ func (r *Registry) liveRecordsLocked() []journalRecord {
 				recs = append(recs, journalRecord{Op: opCanaryStart, Tenant: tn, Function: fn,
 					Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
 					MinSamples: c.MinSamples, MaxFailureRate: c.MaxFailureRate, Auto: fs.autoTuned})
-				if c.Calls > 0 {
+				if c.Calls > 0 || len(fs.canaryReporters) > 0 {
 					recs = append(recs, journalRecord{Op: opCanaryProgress, Tenant: tn, Function: fn,
-						Version: c.Version, Calls: c.Calls, Failures: c.Failures})
+						Version: c.Version, Calls: c.Calls, Failures: c.Failures,
+						Reporters: fs.canaryReporters})
 				}
 			}
 		}
@@ -845,6 +871,7 @@ func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto
 			MinSamples:     pol.MinSamples,
 			MaxFailureRate: pol.MaxFailureRate,
 		}
+		fs.canaryReporters = nil
 		fs.lastDec = DecisionPending
 		fs.autoTuned = auto
 		r.metrics.canariesStarted.Add(1)
@@ -878,12 +905,17 @@ func validateAgainstSpec(m *ml.Model, spec FunctionSpec) error {
 	return nil
 }
 
-// ReportCanary folds one client's challenger outcome deltas into the fleet
-// aggregate and returns the resulting decision. Reports for a version that
-// is not the live canary return the settled decision for that version
-// (promoted if it became stable, rolled back otherwise) so laggard clients
-// converge.
-func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures int64) (string, Deployment, error) {
+// ReportCanary folds one client's challenger outcomes into the fleet
+// aggregate and returns the resulting decision. With a non-empty reporter,
+// calls/failures are that reporter's *cumulative* totals for the episode
+// and only the movement past the reporter's last accepted totals is
+// applied — a report replayed by an at-least-once retry layer (applied
+// once, response lost, body re-sent) is a no-op instead of a double count.
+// An empty reporter applies calls/failures as verbatim deltas (one-shot
+// tools; not retry-safe). Reports for a version that is not the live
+// canary return the settled decision for that version (promoted if it
+// became stable, rolled back otherwise) so laggard clients converge.
+func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string, calls, failures int64) (string, Deployment, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ts, err := r.tenant(tenant)
@@ -907,13 +939,33 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures 
 		return "", Deployment{}, fmt.Errorf("%w: bad canary report (%d calls, %d failures)", ErrInvalid, calls, failures)
 	}
 	c := fs.canary
-	c.Calls += calls
-	c.Failures += failures
+	addCalls, addFails := calls, failures
+	if reporter != "" {
+		prev := fs.canaryReporters[reporter]
+		if calls < prev.Calls || failures < prev.Failures {
+			// The reporter's counters went backwards: its local canary slot
+			// restarted, so its new totals contribute from a fresh baseline.
+			prev = reporterCounts{}
+		}
+		addCalls, addFails = calls-prev.Calls, failures-prev.Failures
+		if fs.canaryReporters == nil {
+			fs.canaryReporters = make(map[string]reporterCounts)
+		}
+		fs.canaryReporters[reporter] = reporterCounts{Calls: calls, Failures: failures}
+	}
+	c.Calls += addCalls
+	c.Failures += addFails
 	if c.Calls < c.MinSamples {
-		// Journal the cumulative fleet counters so a crashed daemon resumes
-		// the gate mid-count instead of restarting it from zero.
+		if reporter != "" && addCalls == 0 && addFails == 0 {
+			// Replayed duplicate: nothing moved, skip the fsync.
+			return DecisionPending, r.deploymentLocked(fs), nil
+		}
+		// Journal the cumulative fleet counters (and reporter baselines) so
+		// a crashed daemon resumes the gate mid-count instead of restarting
+		// it from zero — and still dedupes reports retried across the crash.
 		if err := r.journalAppend(journalRecord{Op: opCanaryProgress, Tenant: tenant,
-			Function: fn, Version: c.Version, Calls: c.Calls, Failures: c.Failures}); err != nil {
+			Function: fn, Version: c.Version, Calls: c.Calls, Failures: c.Failures,
+			Reporters: fs.canaryReporters}); err != nil {
 			return "", Deployment{}, err
 		}
 		return DecisionPending, r.deploymentLocked(fs), nil
@@ -931,6 +983,7 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, calls, failures 
 		fs.detector.OnRollback()
 		r.metrics.canariesRolledBack.Add(1)
 	}
+	fs.canaryReporters = nil
 	fs.autoTuned = false
 	// WAL-first: the verdict is durable before deployment.json changes; a
 	// crash between the two replays the canary_end record and converges.
