@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke chaos-smoke bench-serving lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke chaos-smoke bench-serving bench-ensemble bakeoff-smoke lint ci clean
 
 all: build
 
@@ -149,6 +149,38 @@ chaos-smoke:
 # overload into BENCH_serving.json.
 bench-serving:
 	$(GO) run ./cmd/nitro-experiments -run serving -serving-json BENCH_serving.json
+
+# Ensemble study: single-SVM vs four-member-committee selection quality,
+# training cost and per-prediction overhead across the benchmark corpora,
+# plus the epsilon-greedy vs LinUCB drift-response comparison, into
+# BENCH_ensemble.json. Run on a quiet machine for stable ns/op numbers.
+bench-ensemble:
+	$(GO) run ./cmd/nitro-experiments -run ensemble -scale 0.2 -train 24 -test 36 -nogrid -ensemble-json BENCH_ensemble.json
+
+# Sequential-bakeoff smoke: replay the drifting stream through the online
+# engine with the ensemble classifier, LinUCB bandit routing and bakeoff
+# promotion all enabled, TWICE, and diff the transcripts byte for byte —
+# any nondeterminism in the committee vote, the bandit's arm selection or
+# the paired-t stopper fails the target. Then assert the bakeoff actually
+# ran: the timeline must show drift -> retrain -> bakeoff-start ->
+# bakeoff-promote (v2 in) rather than the legacy validate-then-swap path.
+bakeoff-smoke:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	printf '%s\n' '{"function":"sort","benchmark":"Sort","classifier":"ensemble","scale":0.1,"seed":3,"train_count":12,"test_count":12,"online_replay":600,"bandit":true,"bandit_min_confidence":1.1,"bakeoff":true}' > "$$tmp/bakeoff.json" && \
+	$(GO) run ./cmd/nitro-tune -spec "$$tmp/bakeoff.json" > "$$tmp/run1.txt" && \
+	$(GO) run ./cmd/nitro-tune -spec "$$tmp/bakeoff.json" > "$$tmp/run2.txt" && \
+	if ! cmp -s "$$tmp/run1.txt" "$$tmp/run2.txt"; then \
+		echo "FAIL: bakeoff replay timeline is not reproducible:"; \
+		diff "$$tmp/run1.txt" "$$tmp/run2.txt"; exit 1; \
+	fi && \
+	for ev in '] drift:' '] retrain (' '] bakeoff-start (' '] bakeoff-promote (v1 -> v2'; do \
+		grep -F "$$ev" "$$tmp/run1.txt" >/dev/null || { \
+			echo "FAIL: timeline missing \"$$ev\" event:"; cat "$$tmp/run1.txt"; exit 1; }; \
+	done && \
+	if grep -F '] swap (' "$$tmp/run1.txt" >/dev/null; then \
+		echo "FAIL: legacy swap event fired despite bakeoff promotion:"; cat "$$tmp/run1.txt"; exit 1; \
+	fi && \
+	echo "bakeoff replay reproducible: drift -> retrain -> bakeoff-start -> bakeoff-promote"
 
 # Static analysis beyond vet. Uses staticcheck when it is installed
 # (CI installs it); locally it is skipped with a note rather than failing

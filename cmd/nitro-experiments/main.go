@@ -38,6 +38,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker count for corpus labelling, grid search and per-suite figures (0 = all cores, 1 = serial); results are identical at every setting")
 	servingCalls := flag.Int("serving-calls", 200, "per-route samples for -run serving")
 	servingJSON := flag.String("serving-json", "", "write the serving study as machine-readable JSON to this path (BENCH_serving.json)")
+	ensembleCalls := flag.Int("ensemble-calls", 20000, "per-model prediction-timing iterations for -run ensemble (0 = quality only)")
+	ensembleJSON := flag.String("ensemble-json", "", "write the ensemble study as machine-readable JSON to this path (BENCH_ensemble.json)")
 	flag.Parse()
 
 	// The serving study drives a live registry daemon over HTTP; it needs no
@@ -163,6 +165,29 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *dispatchJSON)
+		}
+	}
+	// The ensemble study is opt-in like dispatch: its prediction timings are
+	// wall-clock micro-benchmarks, only meaningful on a quiet machine.
+	if strings.EqualFold(*run, "ensemble") {
+		rep, err := experiments.EnsembleStudy(suites, opts, *ensembleCalls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.FormatEnsemble(rep))
+		if *ensembleJSON != "" {
+			f, err := os.Create(*ensembleJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteEnsembleJSON(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *ensembleJSON)
 		}
 	}
 	if want("classifiers") {

@@ -139,6 +139,19 @@ func inspect(data []byte, predict string, out io.Writer) error {
 		fmt.Fprintf(out, "svm: C=%g kernel=%s, %d support vectors\n",
 			svm.C, describeKernel(svm.Kernel()), svm.NumSupportVectors())
 	}
+	if e, ok := model.Classifier.(*ml.Ensemble); ok {
+		members := e.Members()
+		weights := e.Weights()
+		fmt.Fprintf(out, "ensemble: %d members (agreement-weighted committee)\n", len(members))
+		for i, m := range members {
+			fmt.Fprintf(out, "  member %s weight %.3f\n", m.Name(), weights[i])
+		}
+		for _, b := range e.Calibration() {
+			if b.N > 0 {
+				fmt.Fprintf(out, "  calibration bin [%.1f, %.1f): %d/%d correct\n", b.Lo, b.Hi, b.Correct, b.N)
+			}
+		}
+	}
 	if c := model.Compiled; c != nil {
 		grid := "no grid"
 		if c.Grid != nil {
@@ -183,6 +196,14 @@ func inspectJSON(data []byte, out io.Writer) error {
 		CorpusSize   int     `json:"corpus_size"`
 		GridRes      int     `json:"grid_res,omitempty"`
 	}
+	type ensembleMember struct {
+		Name   string  `json:"name"`
+		Weight float64 `json:"weight"`
+	}
+	type ensembleSummary struct {
+		Members     []ensembleMember `json:"members"`
+		Calibration []ml.CalibBin    `json:"calibration,omitempty"`
+	}
 	summary := struct {
 		Classifier     string           `json:"classifier"`
 		Classes        []int            `json:"classes"`
@@ -190,6 +211,7 @@ func inspectJSON(data []byte, out io.Writer) error {
 		SupportVectors int              `json:"support_vectors,omitempty"`
 		Version        int              `json:"version"`
 		Meta           *ml.ModelMeta    `json:"meta"`
+		Ensemble       *ensembleSummary `json:"ensemble,omitempty"`
 		Compiled       *compiledSummary `json:"compiled,omitempty"`
 	}{
 		Classifier: model.Classifier.Name(),
@@ -202,6 +224,13 @@ func inspectJSON(data []byte, out io.Writer) error {
 	}
 	if svm, ok := model.Classifier.(*ml.SVM); ok {
 		summary.SupportVectors = svm.NumSupportVectors()
+	}
+	if e, ok := model.Classifier.(*ml.Ensemble); ok {
+		es := &ensembleSummary{Calibration: e.Calibration()}
+		for i, m := range e.Members() {
+			es.Members = append(es.Members, ensembleMember{Name: m.Name(), Weight: e.Weights()[i]})
+		}
+		summary.Ensemble = es
 	}
 	if c := model.Compiled; c != nil {
 		summary.Compiled = &compiledSummary{
@@ -256,6 +285,12 @@ func explain(data []byte, vector string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "  svm pair %d vs %d: decision %+.4f -> %d\n",
 			pair[0], pair[1], ex.PairDecisions[i], winner)
+	}
+	if ee := ex.Ensemble; ee != nil {
+		for _, mv := range ee.Members {
+			fmt.Fprintf(out, "  ensemble member %s (weight %.3f) voted %d\n", mv.Name, mv.Weight, mv.Predicted)
+		}
+		fmt.Fprintf(out, "  ensemble agreement: %.3f (calibrated confidence %.3f)\n", ee.Agreement, ex.Confidence)
 	}
 	fmt.Fprintf(out, "  ranked fallback order: %s\n", rankedString(ex.Ranked))
 	fmt.Fprintf(out, "  predicted: variant label %d\n", ex.Predicted)

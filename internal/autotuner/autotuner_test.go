@@ -106,7 +106,7 @@ func TestTrainGridSearch(t *testing.T) {
 
 func TestTrainAlternateClassifiers(t *testing.T) {
 	s := syntheticSuite(80, 60, 3)
-	for _, c := range []string{"knn", "tree"} {
+	for _, c := range []string{"knn", "tree", "ensemble"} {
 		model, _, err := Train(s.Train, TrainOptions{Classifier: c})
 		if err != nil {
 			t.Fatalf("%s: %v", c, err)

@@ -1,0 +1,191 @@
+package ensemble
+
+import (
+	"errors"
+	"math"
+)
+
+// BakeoffConfig tunes the sequential stopper. The zero value selects the
+// defaults shown on each field.
+type BakeoffConfig struct {
+	// MinSamples is the floor before any verdict (default 8) — below it the
+	// t statistic is too noisy to act on.
+	MinSamples int `json:"min_samples,omitempty"`
+	// MaxSamples caps the experiment (default 200); reaching it without a
+	// verdict times out and the incumbent stays.
+	MaxSamples int `json:"max_samples,omitempty"`
+	// Z is the paired-t stopping bound (default 2.0, ≈95% two-sided): promote
+	// when t ≥ Z, reject when t ≤ -Z.
+	Z float64 `json:"z,omitempty"`
+	// MinEffect is the minimum mean relative improvement that counts as a
+	// win (default 0.005, i.e. 0.5%) — guards against promoting a
+	// statistically significant but practically irrelevant speedup.
+	MinEffect float64 `json:"min_effect,omitempty"`
+}
+
+func (c BakeoffConfig) normalized() BakeoffConfig {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 200
+	}
+	if c.MaxSamples < c.MinSamples {
+		c.MaxSamples = c.MinSamples
+	}
+	if c.Z <= 0 {
+		c.Z = 2.0
+	}
+	if c.MinEffect <= 0 {
+		c.MinEffect = 0.005
+	}
+	return c
+}
+
+// Verdict is a bakeoff outcome.
+type Verdict int
+
+const (
+	// Undecided means the stopper wants more paired samples.
+	Undecided Verdict = iota
+	// Promote means the challenger is statistically faster: hot-swap it.
+	Promote
+	// Reject means the challenger is statistically slower (or not better by
+	// MinEffect): keep the incumbent.
+	Reject
+	// Timeout means MaxSamples elapsed without significance: keep the
+	// incumbent — absence of evidence is not a promotion.
+	Timeout
+)
+
+// String names the verdict for events and logs.
+func (v Verdict) String() string {
+	switch v {
+	case Promote:
+		return "promote"
+	case Reject:
+		return "reject"
+	case Timeout:
+		return "timeout"
+	default:
+		return "undecided"
+	}
+}
+
+// Bakeoff is a sequential paired-timing experiment: challenger vs incumbent
+// on the same live inputs. Each Observe feeds one paired relative delta
+// d = (t_incumbent − t_challenger) / t_incumbent (positive → challenger
+// faster); the stopper runs a paired-t test after every sample and stops the
+// moment the evidence clears the bound, instead of burning a fixed holdout
+// budget. State is three floats — Snapshot/Restore make it journalable so a
+// daemon crash mid-bakeoff resumes the experiment, like a canary.
+//
+// Not goroutine-safe; callers serialize access.
+type Bakeoff struct {
+	cfg   BakeoffConfig
+	n     int
+	sum   float64
+	sumsq float64
+}
+
+// NewBakeoff returns an empty experiment with the normalized config.
+func NewBakeoff(cfg BakeoffConfig) *Bakeoff {
+	return &Bakeoff{cfg: cfg.normalized()}
+}
+
+// Config returns the normalized configuration in force.
+func (b *Bakeoff) Config() BakeoffConfig { return b.cfg }
+
+// N returns the paired samples observed so far.
+func (b *Bakeoff) N() int { return b.n }
+
+// Mean returns the running mean relative improvement of the challenger.
+func (b *Bakeoff) Mean() float64 {
+	if b.n == 0 {
+		return 0
+	}
+	return b.sum / float64(b.n)
+}
+
+// TStat returns the paired-t statistic of the mean against zero; 0 until two
+// samples exist, ±Inf when the deltas have zero variance.
+func (b *Bakeoff) TStat() float64 {
+	if b.n < 2 {
+		return 0
+	}
+	mean := b.Mean()
+	variance := (b.sumsq - b.sum*mean) / float64(b.n-1)
+	if variance <= 0 {
+		if mean > 0 {
+			return math.Inf(1)
+		}
+		if mean < 0 {
+			return math.Inf(-1)
+		}
+		return 0
+	}
+	return mean / math.Sqrt(variance/float64(b.n))
+}
+
+// Observe folds one paired delta in and returns the verdict so far. Non-
+// finite deltas are clamped into [-1, 1] like real ones, so a single wild
+// timing cannot force a verdict by itself.
+func (b *Bakeoff) Observe(delta float64) Verdict {
+	if math.IsNaN(delta) {
+		return b.Verdict()
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	if delta < -1 {
+		delta = -1
+	}
+	b.n++
+	b.sum += delta
+	b.sumsq += delta * delta
+	return b.Verdict()
+}
+
+// Verdict evaluates the stopping rule on the current state without adding a
+// sample.
+func (b *Bakeoff) Verdict() Verdict {
+	if b.n < b.cfg.MinSamples {
+		return Undecided
+	}
+	t, mean := b.TStat(), b.Mean()
+	switch {
+	case t >= b.cfg.Z && mean >= b.cfg.MinEffect:
+		return Promote
+	case t <= -b.cfg.Z:
+		return Reject
+	case b.n >= b.cfg.MaxSamples:
+		return Timeout
+	default:
+		return Undecided
+	}
+}
+
+// BakeoffState is the journalable snapshot of a running experiment.
+type BakeoffState struct {
+	Config BakeoffConfig `json:"config"`
+	N      int           `json:"n"`
+	Sum    float64       `json:"sum"`
+	SumSq  float64       `json:"sumsq"`
+}
+
+// Snapshot captures the experiment for the write-ahead journal.
+func (b *Bakeoff) Snapshot() BakeoffState {
+	return BakeoffState{Config: b.cfg, N: b.n, Sum: b.sum, SumSq: b.sumsq}
+}
+
+// RestoreBakeoff rebuilds an experiment from a journaled snapshot; a resumed
+// bakeoff continues exactly where the crashed run stopped and converges to
+// the same verdict on the same sample stream.
+func RestoreBakeoff(st BakeoffState) (*Bakeoff, error) {
+	if st.N < 0 || math.IsNaN(st.Sum) || math.IsNaN(st.SumSq) || st.SumSq < 0 {
+		return nil, errors.New("ensemble: corrupt bakeoff snapshot")
+	}
+	b := NewBakeoff(st.Config)
+	b.n, b.sum, b.sumsq = st.N, st.Sum, st.SumSq
+	return b, nil
+}

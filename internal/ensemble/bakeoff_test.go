@@ -1,0 +1,126 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+)
+
+// deltas yields a deterministic stream of paired deltas with the given mean
+// and a small sawtooth wobble, so t grows with evidence like real timings.
+func deltas(mean float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = mean + 0.01*math.Sin(float64(i))
+	}
+	return out
+}
+
+func runBakeoff(b *Bakeoff, ds []float64) (Verdict, int) {
+	for _, d := range ds {
+		if v := b.Observe(d); v != Undecided {
+			return v, b.N()
+		}
+	}
+	return b.Verdict(), b.N()
+}
+
+// TestBakeoffPromotesFasterChallenger: a genuinely faster challenger promotes
+// well before the max-samples budget — the sample-efficiency claim vs a fixed
+// temporal holdout.
+func TestBakeoffPromotesFasterChallenger(t *testing.T) {
+	b := NewBakeoff(BakeoffConfig{MinSamples: 8, MaxSamples: 200, Z: 2})
+	v, n := runBakeoff(b, deltas(0.15, 200))
+	if v != Promote {
+		t.Fatalf("verdict = %v, want promote", v)
+	}
+	if n >= 200/2 {
+		t.Fatalf("promotion took %d samples; expected early stop well under the 200 budget", n)
+	}
+}
+
+// TestBakeoffRejectsSlowerChallenger: a slower challenger is rejected, also
+// early.
+func TestBakeoffRejectsSlowerChallenger(t *testing.T) {
+	b := NewBakeoff(BakeoffConfig{MinSamples: 8, MaxSamples: 200, Z: 2})
+	v, n := runBakeoff(b, deltas(-0.2, 200))
+	if v != Reject {
+		t.Fatalf("verdict = %v, want reject", v)
+	}
+	if n >= 100 {
+		t.Fatalf("rejection took %d samples; expected early stop", n)
+	}
+}
+
+// TestBakeoffTimesOutOnNoise: pure noise neither promotes nor rejects; the
+// budget cap returns timeout (incumbent stays).
+func TestBakeoffTimesOutOnNoise(t *testing.T) {
+	b := NewBakeoff(BakeoffConfig{MinSamples: 8, MaxSamples: 60, Z: 3})
+	ds := make([]float64, 60)
+	for i := range ds {
+		if i%2 == 0 {
+			ds[i] = 0.05
+		} else {
+			ds[i] = -0.05
+		}
+	}
+	v, n := runBakeoff(b, ds)
+	if v != Timeout {
+		t.Fatalf("verdict = %v after %d, want timeout", v, n)
+	}
+}
+
+// TestBakeoffMinEffectBlocksTinyWins: a significant but sub-MinEffect
+// improvement must not promote.
+func TestBakeoffMinEffectBlocksTinyWins(t *testing.T) {
+	b := NewBakeoff(BakeoffConfig{MinSamples: 8, MaxSamples: 50, Z: 2, MinEffect: 0.05})
+	v, _ := runBakeoff(b, deltas(0.01, 50))
+	if v == Promote {
+		t.Fatal("sub-MinEffect challenger must not promote")
+	}
+}
+
+// TestBakeoffResumeConvergesSameVerdict: snapshotting mid-experiment and
+// restoring (the crash path) yields the same verdict at the same sample index
+// as the uninterrupted run.
+func TestBakeoffResumeConvergesSameVerdict(t *testing.T) {
+	cfg := BakeoffConfig{MinSamples: 10, MaxSamples: 100, Z: 2}
+	stream := deltas(0.12, 100)
+
+	full := NewBakeoff(cfg)
+	wantV, wantN := runBakeoff(full, stream)
+
+	crashed := NewBakeoff(cfg)
+	for _, d := range stream[:7] { // crash before any verdict is possible
+		crashed.Observe(d)
+	}
+	resumed, err := RestoreBakeoff(crashed.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, gotN := runBakeoff(resumed, stream[7:])
+	if gotV != wantV || gotN != wantN {
+		t.Fatalf("resumed run: verdict %v at n=%d, uninterrupted: %v at n=%d", gotV, gotN, wantV, wantN)
+	}
+
+	if _, err := RestoreBakeoff(BakeoffState{N: -1}); err == nil {
+		t.Fatal("negative sample count must be rejected")
+	}
+	if _, err := RestoreBakeoff(BakeoffState{Sum: math.NaN()}); err == nil {
+		t.Fatal("NaN sum must be rejected")
+	}
+}
+
+// TestBakeoffClampsWildDeltas: a single absurd timing cannot flip the
+// verdict because deltas clamp to [-1, 1] and NaNs are dropped.
+func TestBakeoffClampsWildDeltas(t *testing.T) {
+	b := NewBakeoff(BakeoffConfig{MinSamples: 4, MaxSamples: 50, Z: 2})
+	b.Observe(math.Inf(1))
+	if b.Mean() > 1 {
+		t.Fatalf("mean %v escaped the clamp", b.Mean())
+	}
+	n := b.N()
+	b.Observe(math.NaN())
+	if b.N() != n {
+		t.Fatal("NaN delta must not count as a sample")
+	}
+}

@@ -1,0 +1,268 @@
+package ensemble
+
+import (
+	"errors"
+	"math"
+)
+
+// Bandit is a LinUCB contextual bandit over scaled feature vectors: one
+// linear reward model per arm (variant index), selected by upper confidence
+// bound. It replaces epsilon-greedy uniform re-timing in the online explore
+// path — instead of re-timing a uniformly random alternate, the bandit
+// re-times the alternate whose payoff is most uncertain-or-promising for
+// *this* input, so exploration samples concentrate where the decision
+// boundary actually moved.
+//
+// Everything is deterministic: selection is a pure argmax with a lowest-index
+// tie break and unpulled arms are optimistically infinite (each eligible arm
+// is tried once before any UCB math matters), so a seeded replay produces a
+// byte-identical timeline. The struct is not goroutine-safe; the online
+// engine serializes access under its own mutex.
+type Bandit struct {
+	// Alpha scales the confidence width (default 1.0): larger explores more.
+	Alpha float64
+	// Ridge is the l2 prior λ on each arm's design matrix (default 1.0).
+	Ridge float64
+
+	d    int // augmented dimension (features + bias)
+	arms map[int]*banditArm
+}
+
+type banditArm struct {
+	// a is the d×d design matrix λI + Σ x·xᵀ, stored row-major; b is Σ r·x.
+	a []float64
+	b []float64
+	n int
+}
+
+// NewBandit returns an empty bandit; non-positive parameters select the
+// defaults.
+func NewBandit(alpha, ridge float64) *Bandit {
+	if alpha <= 0 {
+		alpha = 1
+	}
+	if ridge <= 0 {
+		ridge = 1
+	}
+	return &Bandit{Alpha: alpha, Ridge: ridge, arms: make(map[int]*banditArm)}
+}
+
+// augment appends the bias term so arms can learn input-independent offsets.
+func (bd *Bandit) augment(x []float64) []float64 {
+	ax := make([]float64, len(x)+1)
+	copy(ax, x)
+	ax[len(x)] = 1
+	return ax
+}
+
+func (bd *Bandit) arm(id, d int) *banditArm {
+	if arm, ok := bd.arms[id]; ok {
+		return arm
+	}
+	arm := &banditArm{a: make([]float64, d*d), b: make([]float64, d)}
+	for i := 0; i < d; i++ {
+		arm.a[i*d+i] = bd.Ridge
+	}
+	bd.arms[id] = arm
+	return arm
+}
+
+// Select returns the eligible arm with the highest upper confidence bound
+// θᵀx + α·√(xᵀA⁻¹x) for context x. Unpulled arms rank +Inf (optimistic
+// initialization); ties break toward the lowest arm index. Returns -1 when
+// eligible is empty.
+func (bd *Bandit) Select(x []float64, eligible []int) int {
+	if len(eligible) == 0 {
+		return -1
+	}
+	ax := bd.augment(x)
+	if bd.d == 0 {
+		bd.d = len(ax)
+	}
+	best, bestUCB := -1, math.Inf(-1)
+	for _, id := range eligible {
+		arm, ok := bd.arms[id]
+		ucb := math.Inf(1)
+		if ok && arm.n > 0 && len(ax) == bd.d {
+			theta, ainvX := solveArm(arm, bd.d, ax)
+			var mean, width float64
+			for i := range ax {
+				mean += theta[i] * ax[i]
+				width += ainvX[i] * ax[i]
+			}
+			if width < 0 {
+				width = 0
+			}
+			ucb = mean + bd.Alpha*math.Sqrt(width)
+		}
+		if ucb > bestUCB {
+			best, bestUCB = id, ucb
+		}
+	}
+	return best
+}
+
+// Update folds one observed (context, arm, reward) triple into the arm's
+// linear model.
+func (bd *Bandit) Update(id int, x []float64, reward float64) {
+	ax := bd.augment(x)
+	if bd.d == 0 {
+		bd.d = len(ax)
+	}
+	if len(ax) != bd.d {
+		return // dimension changed mid-flight; drop rather than corrupt
+	}
+	arm := bd.arm(id, bd.d)
+	for i := range ax {
+		for j := range ax {
+			arm.a[i*bd.d+j] += ax[i] * ax[j]
+		}
+		arm.b[i] += reward * ax[i]
+	}
+	arm.n++
+}
+
+// Pulls returns the total number of rewarded pulls across all arms.
+func (bd *Bandit) Pulls() int {
+	total := 0
+	for _, arm := range bd.arms {
+		total += arm.n
+	}
+	return total
+}
+
+// ArmPulls returns the rewarded pull count of one arm.
+func (bd *Bandit) ArmPulls(id int) int {
+	if arm, ok := bd.arms[id]; ok {
+		return arm.n
+	}
+	return 0
+}
+
+// solveArm returns θ = A⁻¹b and A⁻¹x for an arm, via one Gaussian
+// elimination with partial pivoting on the two stacked right-hand sides.
+// Feature vectors are tiny (≤ ~8 dims), so an O(d³) dense solve per explore
+// decision is noise next to the re-timing it gates.
+func solveArm(arm *banditArm, d int, x []float64) (theta, ainvX []float64) {
+	m := make([]float64, d*(d+2))
+	for i := 0; i < d; i++ {
+		copy(m[i*(d+2):i*(d+2)+d], arm.a[i*d:(i+1)*d])
+		m[i*(d+2)+d] = arm.b[i]
+		m[i*(d+2)+d+1] = x[i]
+	}
+	w := d + 2
+	for col := 0; col < d; col++ {
+		// Partial pivot: largest |value| in the column, lowest row on ties.
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(m[r*w+col]) > math.Abs(m[piv*w+col]) {
+				piv = r
+			}
+		}
+		if piv != col {
+			for c := 0; c < w; c++ {
+				m[col*w+c], m[piv*w+c] = m[piv*w+c], m[col*w+c]
+			}
+		}
+		p := m[col*w+col]
+		if p == 0 {
+			continue // singular column; the ridge prior makes this unreachable
+		}
+		for r := 0; r < d; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r*w+col] / p
+			if f == 0 {
+				continue
+			}
+			for c := col; c < w; c++ {
+				m[r*w+c] -= f * m[col*w+c]
+			}
+		}
+	}
+	theta = make([]float64, d)
+	ainvX = make([]float64, d)
+	for i := 0; i < d; i++ {
+		p := m[i*w+i]
+		if p == 0 {
+			continue
+		}
+		theta[i] = m[i*w+d] / p
+		ainvX[i] = m[i*w+d+1] / p
+	}
+	return theta, ainvX
+}
+
+// BanditState is the serializable snapshot of a bandit (journal/metrics
+// plane). Arms are listed in ascending id order so snapshots are
+// deterministic.
+type BanditState struct {
+	Alpha float64        `json:"alpha"`
+	Ridge float64        `json:"ridge"`
+	D     int            `json:"d"`
+	Arms  []BanditArmDup `json:"arms,omitempty"`
+}
+
+// BanditArmDup is one arm's state in a BanditState.
+type BanditArmDup struct {
+	ID int       `json:"id"`
+	A  []float64 `json:"a"`
+	B  []float64 `json:"b"`
+	N  int       `json:"n"`
+}
+
+// State snapshots the bandit for journaling.
+func (bd *Bandit) State() BanditState {
+	st := BanditState{Alpha: bd.Alpha, Ridge: bd.Ridge, D: bd.d}
+	ids := make([]int, 0, len(bd.arms))
+	for id := range bd.arms {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; arm counts are tiny
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		arm := bd.arms[id]
+		st.Arms = append(st.Arms, BanditArmDup{
+			ID: id,
+			A:  append([]float64(nil), arm.a...),
+			B:  append([]float64(nil), arm.b...),
+			N:  arm.n,
+		})
+	}
+	return st
+}
+
+// RestoreState rebuilds a bandit from a snapshot, validating shapes so a
+// corrupted journal cannot install an inconsistent design matrix.
+func (bd *Bandit) RestoreState(st BanditState) error {
+	if st.D < 0 {
+		return errors.New("ensemble: bandit snapshot has negative dimension")
+	}
+	arms := make(map[int]*banditArm, len(st.Arms))
+	for _, a := range st.Arms {
+		if len(a.A) != st.D*st.D || len(a.B) != st.D || a.N < 0 {
+			return errors.New("ensemble: bandit snapshot arm has inconsistent shape")
+		}
+		if _, dup := arms[a.ID]; dup {
+			return errors.New("ensemble: bandit snapshot has duplicate arm")
+		}
+		arms[a.ID] = &banditArm{
+			a: append([]float64(nil), a.A...),
+			b: append([]float64(nil), a.B...),
+			n: a.N,
+		}
+	}
+	if st.Alpha > 0 {
+		bd.Alpha = st.Alpha
+	}
+	if st.Ridge > 0 {
+		bd.Ridge = st.Ridge
+	}
+	bd.d = st.D
+	bd.arms = arms
+	return nil
+}

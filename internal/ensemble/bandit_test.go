@@ -1,0 +1,117 @@
+package ensemble
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestBanditOptimisticInit asserts each eligible arm is tried once, lowest
+// index first, before any UCB ordering kicks in.
+func TestBanditOptimisticInit(t *testing.T) {
+	bd := NewBandit(0, 0)
+	x := []float64{0.5, -0.5}
+	eligible := []int{2, 0, 3}
+	got := bd.Select(x, eligible)
+	if got != 2 {
+		t.Fatalf("first select = %d, want first eligible 2", got)
+	}
+	bd.Update(2, x, 0.1)
+	if got := bd.Select(x, eligible); got != 0 {
+		t.Fatalf("second select = %d, want next unpulled arm 0", got)
+	}
+	bd.Update(0, x, 0.1)
+	if got := bd.Select(x, eligible); got != 3 {
+		t.Fatalf("third select = %d, want last unpulled arm 3", got)
+	}
+	if bd.Select(x, nil) != -1 {
+		t.Fatal("empty eligible set must return -1")
+	}
+}
+
+// TestBanditLearnsContextualArm feeds a reward structure where the best arm
+// flips with the sign of the first feature, and asserts LinUCB routes each
+// context to its own winner — the property epsilon-greedy uniform cannot
+// express.
+func TestBanditLearnsContextualArm(t *testing.T) {
+	bd := NewBandit(0.3, 1)
+	reward := func(arm int, x []float64) float64 {
+		if (x[0] > 0) == (arm == 1) {
+			return 1
+		}
+		return -1
+	}
+	ctxs := [][]float64{{1, 0.2}, {-1, 0.4}}
+	eligible := []int{0, 1}
+	for i := 0; i < 200; i++ {
+		x := ctxs[i%2]
+		arm := bd.Select(x, eligible)
+		bd.Update(arm, x, reward(arm, x))
+	}
+	if got := bd.Select([]float64{1, 0.3}, eligible); got != 1 {
+		t.Fatalf("positive context routed to arm %d, want 1", got)
+	}
+	if got := bd.Select([]float64{-1, 0.3}, eligible); got != 0 {
+		t.Fatalf("negative context routed to arm %d, want 0", got)
+	}
+	if bd.Pulls() != 200 {
+		t.Fatalf("pulls = %d, want 200", bd.Pulls())
+	}
+}
+
+// TestBanditDeterministicReplay runs the same decision stream twice and
+// asserts identical selections — the replay-determinism contract the online
+// engine depends on.
+func TestBanditDeterministicReplay(t *testing.T) {
+	run := func() []int {
+		bd := NewBandit(1, 1)
+		var picks []int
+		for i := 0; i < 50; i++ {
+			x := []float64{math.Sin(float64(i)), math.Cos(float64(i) * 0.7)}
+			arm := bd.Select(x, []int{0, 1, 2})
+			picks = append(picks, arm)
+			bd.Update(arm, x, math.Sin(float64(i)*1.3))
+		}
+		return picks
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("bandit replay diverged:\n%v\n%v", a, b)
+	}
+}
+
+// TestBanditStateRoundTrip asserts a snapshot restores to a bandit that makes
+// identical decisions, and that corrupt snapshots are rejected.
+func TestBanditStateRoundTrip(t *testing.T) {
+	bd := NewBandit(0.8, 2)
+	for i := 0; i < 30; i++ {
+		x := []float64{float64(i%5) / 5, 1 - float64(i%3)/3}
+		arm := bd.Select(x, []int{0, 1})
+		bd.Update(arm, x, float64(i%7)/7-0.5)
+	}
+	st := bd.State()
+	restored := NewBandit(0, 0)
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := []float64{float64(i) / 20, float64(20-i) / 20}
+		if a, b := bd.Select(x, []int{0, 1}), restored.Select(x, []int{0, 1}); a != b {
+			t.Fatalf("restored bandit diverged at %d: %d vs %d", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(bd.State(), restored.State()) {
+		t.Fatal("restored state does not round-trip")
+	}
+
+	bad := st
+	bad.Arms = append([]BanditArmDup(nil), st.Arms...)
+	bad.Arms[0].A = bad.Arms[0].A[:1]
+	if err := NewBandit(0, 0).RestoreState(bad); err == nil {
+		t.Fatal("corrupt arm shape must be rejected")
+	}
+	dup := st
+	dup.Arms = append(append([]BanditArmDup(nil), st.Arms...), st.Arms[0])
+	if err := NewBandit(0, 0).RestoreState(dup); err == nil {
+		t.Fatal("duplicate arm must be rejected")
+	}
+}

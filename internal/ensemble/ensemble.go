@@ -1,0 +1,46 @@
+// Package ensemble is the adaptive-selection subsystem layered over
+// internal/ml's committee classifier: a parallel ensemble trainer, a LinUCB
+// contextual bandit that spends exploration where the committee is unsure,
+// and a sequential paired-timing bakeoff that promotes challenger models on
+// statistical evidence instead of a fixed temporal holdout.
+//
+// The pieces compose into one loop: the ensemble's calibrated confidence
+// flags the calls worth exploring, the bandit picks which alternate variant
+// to re-time on those calls, the labelled timings feed retraining, and the
+// bakeoff decides — promote, reject, or time out — from live paired deltas.
+// internal/online wires the loop to dispatch; internal/server journals
+// bakeoff state so a daemon crash resumes the experiment like a canary.
+package ensemble
+
+import (
+	"nitro/internal/ml"
+)
+
+// Options configures Train.
+type Options struct {
+	// Members are the committee members to fit; nil uses
+	// ml.DefaultEnsembleMembers (SVM + 3-NN + CART + logistic).
+	Members []ml.Classifier
+	// Folds is the cross-validation fold count for member weighting and
+	// confidence calibration (default 3).
+	Folds int
+	// Seed fixes fold assignment; Train is deterministic for a given seed.
+	Seed int64
+	// Parallelism caps concurrent member×fold fits: 0 = all cores, 1 =
+	// serial. Bit-identical results at any setting.
+	Parallelism int
+}
+
+// Train fits an agreement-weighted voting ensemble on the (already scaled)
+// dataset, fanning member×fold jobs over internal/par. The returned
+// classifier plugs into the ml.Model envelope exactly like a single SVM.
+func Train(ds *ml.Dataset, opts Options) (*ml.Ensemble, error) {
+	e := ml.NewEnsemble(opts.Members...)
+	e.Folds = opts.Folds
+	e.Seed = opts.Seed
+	e.Parallelism = opts.Parallelism
+	if err := e.Fit(ds); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

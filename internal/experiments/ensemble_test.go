@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEnsembleStudy(t *testing.T) {
+	suites, opts, _ := buildSmall(t)
+	rep, err := EnsembleStudy(suites[:2], opts, 0) // two suites, no timing: fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.SVMPerf <= 0 || r.EnsemblePerf <= 0 {
+			t.Errorf("%s: non-positive mean perf (svm %v, ensemble %v)", r.Benchmark, r.SVMPerf, r.EnsemblePerf)
+		}
+		if r.MeanConfidence <= 0 || r.MeanConfidence > 1 {
+			t.Errorf("%s: ensemble mean confidence %v out of (0, 1]", r.Benchmark, r.MeanConfidence)
+		}
+		if r.SVMPredictNs != 0 || r.EnsemblePredictNs != 0 {
+			t.Errorf("%s: timing reported with predictCalls=0", r.Benchmark)
+		}
+	}
+	if len(rep.Exploration) != 2 {
+		t.Fatalf("want 2 exploration rows, got %d", len(rep.Exploration))
+	}
+	for _, e := range rep.Exploration {
+		if e.Explored <= 0 {
+			t.Errorf("%s: no exploration happened", e.Strategy)
+		}
+	}
+	if rep.Exploration[0].Strategy != "epsilon-greedy" || rep.Exploration[1].Strategy != "linucb" {
+		t.Fatalf("exploration strategies = %v, %v", rep.Exploration[0].Strategy, rep.Exploration[1].Strategy)
+	}
+	if rep.Exploration[1].BanditPulls <= 0 {
+		t.Error("linucb run recorded no bandit pulls")
+	}
+
+	text := FormatEnsemble(rep)
+	for _, want := range []string{"Ensemble committee", "epsilon-greedy", "linucb"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("format missing %q:\n%s", want, text)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteEnsembleJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round EnsembleReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("BENCH_ensemble.json does not round-trip: %v", err)
+	}
+	if len(round.Rows) != len(rep.Rows) || len(round.Exploration) != len(rep.Exploration) {
+		t.Error("JSON round-trip lost rows")
+	}
+}

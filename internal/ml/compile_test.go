@@ -173,25 +173,29 @@ func TestCompiledValidateRejectsMalformed(t *testing.T) {
 		t.Fatalf("good artifact rejected: %v", err)
 	}
 	cases := map[string]func(*Compiled){
-		"no nodes":            func(c *Compiled) { c.Nodes = nil },
-		"no classes":          func(c *Compiled) { c.Classes = nil },
-		"dim zero":            func(c *Compiled) { c.Dim = 0 },
-		"negative margin":     func(c *Compiled) { c.Margin = -1 },
-		"NaN margin":          func(c *Compiled) { c.Margin = math.NaN() },
-		"Inf margin":          func(c *Compiled) { c.Margin = math.Inf(1) },
-		"agreement > 1":       func(c *Compiled) { c.Agreement = 1.5 },
-		"fallback rate < 0":   func(c *Compiled) { c.FallbackRate = -0.1 },
-		"self loop":           func(c *Compiled) { c.Nodes[0].Left = 0 },
-		"backward edge":       func(c *Compiled) { c.Nodes[0].Right = 0 },
-		"left out of range":   func(c *Compiled) { c.Nodes[0].Left = 9 },
-		"feature out of dim":  func(c *Compiled) { c.Nodes[0].Feature = 2 },
-		"leaf class range":    func(c *Compiled) { c.Nodes[1].Class = 7 },
-		"NaN threshold":       func(c *Compiled) { c.Nodes[0].Threshold = math.NaN() },
-		"grid res zero":       func(c *Compiled) { c.Grid = &DecisionGrid{Res: 0} },
-		"grid res too large":  func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2048} },
-		"grid corner dims":    func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0}, Hi: []float64{1}} },
-		"grid lo >= hi":       func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0, 1}, Hi: []float64{1, 1}, Cells: make([]int8, 4)} },
-		"grid cell count":     func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0, 0}, Hi: []float64{1, 1}, Cells: make([]int8, 3)} },
+		"no nodes":           func(c *Compiled) { c.Nodes = nil },
+		"no classes":         func(c *Compiled) { c.Classes = nil },
+		"dim zero":           func(c *Compiled) { c.Dim = 0 },
+		"negative margin":    func(c *Compiled) { c.Margin = -1 },
+		"NaN margin":         func(c *Compiled) { c.Margin = math.NaN() },
+		"Inf margin":         func(c *Compiled) { c.Margin = math.Inf(1) },
+		"agreement > 1":      func(c *Compiled) { c.Agreement = 1.5 },
+		"fallback rate < 0":  func(c *Compiled) { c.FallbackRate = -0.1 },
+		"self loop":          func(c *Compiled) { c.Nodes[0].Left = 0 },
+		"backward edge":      func(c *Compiled) { c.Nodes[0].Right = 0 },
+		"left out of range":  func(c *Compiled) { c.Nodes[0].Left = 9 },
+		"feature out of dim": func(c *Compiled) { c.Nodes[0].Feature = 2 },
+		"leaf class range":   func(c *Compiled) { c.Nodes[1].Class = 7 },
+		"NaN threshold":      func(c *Compiled) { c.Nodes[0].Threshold = math.NaN() },
+		"grid res zero":      func(c *Compiled) { c.Grid = &DecisionGrid{Res: 0} },
+		"grid res too large": func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2048} },
+		"grid corner dims":   func(c *Compiled) { c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0}, Hi: []float64{1}} },
+		"grid lo >= hi": func(c *Compiled) {
+			c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0, 1}, Hi: []float64{1, 1}, Cells: make([]int8, 4)}
+		},
+		"grid cell count": func(c *Compiled) {
+			c.Grid = &DecisionGrid{Res: 2, Lo: []float64{0, 0}, Hi: []float64{1, 1}, Cells: make([]int8, 3)}
+		},
 		"grid cell class oob": func(c *Compiled) {
 			g := &DecisionGrid{Res: 2, Lo: []float64{0, 0}, Hi: []float64{1, 1}, Cells: make([]int8, 4)}
 			g.Cells[2] = 5

@@ -23,12 +23,15 @@ func fuzzSeedModels(tb testing.TB) [][]byte {
 		tb.Fatal(err)
 	}
 	scaled := &Dataset{X: scaledX, Y: ds.Y}
+	ens := NewEnsemble(NewSVM(RBFKernel{Gamma: 0.5}, 4), NewKNN(3), NewDecisionTree(4, 1), NewLogistic(0, 0, 50))
+	ens.Folds = 2
 	var out [][]byte
 	for _, clf := range []Classifier{
 		NewSVM(RBFKernel{Gamma: 0.5}, 4),
 		NewKNN(3),
 		NewDecisionTree(4, 1),
 		NewLogistic(0, 0, 50),
+		ens,
 	} {
 		if err := clf.Fit(scaled); err != nil {
 			tb.Fatal(err)
@@ -73,6 +76,15 @@ func FuzzUnmarshalModel(f *testing.F) {
 	f.Add([]byte(`{"kind":"knn","knn":{"k":-1}}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"kind":"tree","tree":{"root":{"leaf":true}}}`))
+	// Ensemble seeds: a missing body, corrupt and unknown members, a nested
+	// ensemble (rejected), and a member/weight arity mismatch — the total-
+	// deserializer contract must hold for member-model corruption too.
+	f.Add([]byte(`{"kind":"ensemble"}`))
+	f.Add([]byte(`{"kind":"ensemble","ensemble":{"classes":[0,1],"members":[{"kind":"svm"}]}}`))
+	f.Add([]byte(`{"kind":"ensemble","ensemble":{"classes":[0,1],"members":[{"kind":"wat"}]}}`))
+	f.Add([]byte(`{"kind":"ensemble","ensemble":{"classes":[0],"members":[{"kind":"ensemble","ensemble":{"members":[{"kind":"knn","knn":{"k":1}}]}}]}}`))
+	f.Add([]byte(`{"kind":"ensemble","ensemble":{"classes":[0,1],"weights":[1],"members":[{"kind":"knn","knn":{"k":1}},{"kind":"tree","tree":{"root":null}}]}}`))
+	f.Add([]byte(`{"kind":"ensemble","ensemble":{"classes":[0,1],"weights":[0.5,0.5],"calib":[{"lo":0,"hi":0.5,"n":3,"correct":1}],"members":[{"kind":"knn","knn":{"k":1,"x":[[0],[1]],"y":[0,1]}},{"kind":"logistic","logistic":{"lr":0.5,"l2":0.001,"iters":10,"w":[[0,0],[0,0]],"classes":[0,1]}}]}}`))
 	// Compiled-artifact seeds: a minimal valid program, a looping program
 	// (must be rejected), and a grid with a bad cell table.
 	f.Add([]byte(`{"kind":"knn","knn":{"k":1,"x":[[0],[1]],"y":[0,1]},"compiled":{"nodes":[{"f":0,"l":1,"r":2,"c":-1,"t":0.5},{"f":0,"l":-1,"r":-1,"c":0,"t":0},{"f":0,"l":-1,"r":-1,"c":1,"t":0}],"classes":[0,1],"dim":1,"margin":0.01,"agreement":1,"fallback_rate":0,"corpus_size":2}}`))

@@ -102,6 +102,15 @@ type logisticJSON struct {
 	Classes []int       `json:"classes"`
 }
 
+type ensembleJSON struct {
+	Folds   int         `json:"folds,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	Classes []int       `json:"classes"`
+	Weights []float64   `json:"weights,omitempty"`
+	Calib   []CalibBin  `json:"calib,omitempty"`
+	Members []modelJSON `json:"members"`
+}
+
 type modelJSON struct {
 	Kind     string          `json:"kind"`
 	Meta     *ModelMeta      `json:"meta,omitempty"`
@@ -110,18 +119,16 @@ type modelJSON struct {
 	KNN      *knnJSON        `json:"knn,omitempty"`
 	Tree     *treeJSON       `json:"tree,omitempty"`
 	Logistic *logisticJSON   `json:"logistic,omitempty"`
+	Ensemble *ensembleJSON   `json:"ensemble,omitempty"`
 	Compiled *Compiled       `json:"compiled,omitempty"`
 	Extra    json.RawMessage `json:"extra,omitempty"`
 }
 
-// MarshalModel serializes a fitted model (SVM, KNN or DecisionTree) with its
-// scaler to JSON.
-func MarshalModel(m *Model) ([]byte, error) {
-	if m == nil || m.Classifier == nil {
-		return nil, fmt.Errorf("ml: nil model")
-	}
-	env := modelJSON{Scaler: m.Scaler, Meta: m.Meta, Compiled: m.Compiled}
-	switch c := m.Classifier.(type) {
+// envelopeClassifier fills env's Kind and classifier body from c. Ensemble
+// members recurse through the same envelope shape (one level only), so a
+// serialized ensemble is a list of ordinary member envelopes.
+func envelopeClassifier(c Classifier, env *modelJSON, nested bool) error {
+	switch c := c.(type) {
 	case *SVM:
 		env.Kind = "svm"
 		sj := &svmJSON{C: c.C, Kernel: specOf(c.kernel), Classes: c.classes}
@@ -144,8 +151,38 @@ func MarshalModel(m *Model) ([]byte, error) {
 	case *Logistic:
 		env.Kind = "logistic"
 		env.Logistic = &logisticJSON{LR: c.LR, L2: c.L2, Iters: c.Iters, W: c.W, Classes: c.classes}
+	case *Ensemble:
+		if nested {
+			return ErrNestedEnsemble
+		}
+		env.Kind = "ensemble"
+		ej := &ensembleJSON{
+			Folds: c.Folds, Seed: c.Seed,
+			Classes: c.classes, Weights: c.weights, Calib: c.calib,
+		}
+		for _, m := range c.members {
+			var me modelJSON
+			if err := envelopeClassifier(m, &me, true); err != nil {
+				return err
+			}
+			ej.Members = append(ej.Members, me)
+		}
+		env.Ensemble = ej
 	default:
-		return nil, fmt.Errorf("ml: cannot serialize classifier kind %q", m.Classifier.Name())
+		return fmt.Errorf("ml: cannot serialize classifier kind %q", c.Name())
+	}
+	return nil
+}
+
+// MarshalModel serializes a fitted model (SVM, KNN, DecisionTree, Logistic or
+// Ensemble) with its scaler to JSON.
+func MarshalModel(m *Model) ([]byte, error) {
+	if m == nil || m.Classifier == nil {
+		return nil, fmt.Errorf("ml: nil model")
+	}
+	env := modelJSON{Scaler: m.Scaler, Meta: m.Meta, Compiled: m.Compiled}
+	if err := envelopeClassifier(m.Classifier, &env, false); err != nil {
+		return nil, err
 	}
 	return json.MarshalIndent(env, "", "  ")
 }
@@ -166,6 +203,18 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		}
 		m.Compiled = env.Compiled
 	}
+	clf, err := classifierFromEnvelope(&env, false)
+	if err != nil {
+		return nil, err
+	}
+	m.Classifier = clf
+	return m, nil
+}
+
+// classifierFromEnvelope reconstructs the classifier named by env.Kind.
+// Corrupt ensemble members surface as errors, never panics — the deserializer
+// stays total even when a hostile blob nests garbage inside "members".
+func classifierFromEnvelope(env *modelJSON, nested bool) (Classifier, error) {
 	switch env.Kind {
 	case "svm":
 		if env.SVM == nil {
@@ -184,7 +233,7 @@ func UnmarshalModel(data []byte) (*Model, error) {
 			})
 		}
 		svm.buildSVCache()
-		m.Classifier = svm
+		return svm, nil
 	case "knn":
 		if env.KNN == nil {
 			return nil, fmt.Errorf("ml: knn model missing body")
@@ -193,7 +242,7 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		knn.classes = env.KNN.Classes
 		train := env.KNN.Train
 		knn.train = &train
-		m.Classifier = knn
+		return knn, nil
 	case "tree":
 		if env.Tree == nil {
 			return nil, fmt.Errorf("ml: tree model missing body")
@@ -201,7 +250,7 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		t := NewDecisionTree(env.Tree.MaxDepth, env.Tree.MinLeaf)
 		t.root = env.Tree.Root
 		t.classes = env.Tree.Classes
-		m.Classifier = t
+		return t, nil
 	case "logistic":
 		if env.Logistic == nil {
 			return nil, fmt.Errorf("ml: logistic model missing body")
@@ -209,9 +258,31 @@ func UnmarshalModel(data []byte) (*Model, error) {
 		l := NewLogistic(env.Logistic.LR, env.Logistic.L2, env.Logistic.Iters)
 		l.W = env.Logistic.W
 		l.classes = env.Logistic.Classes
-		m.Classifier = l
+		return l, nil
+	case "ensemble":
+		if nested {
+			return nil, ErrNestedEnsemble
+		}
+		ej := env.Ensemble
+		if ej == nil {
+			return nil, fmt.Errorf("ml: ensemble model missing body")
+		}
+		if len(ej.Members) == 0 {
+			return nil, fmt.Errorf("ml: ensemble has no members")
+		}
+		if len(ej.Weights) != 0 && len(ej.Weights) != len(ej.Members) {
+			return nil, fmt.Errorf("ml: ensemble has %d members but %d weights", len(ej.Members), len(ej.Weights))
+		}
+		e := &Ensemble{Folds: ej.Folds, Seed: ej.Seed, classes: ej.Classes, weights: ej.Weights, calib: ej.Calib}
+		for i := range ej.Members {
+			member, err := classifierFromEnvelope(&ej.Members[i], true)
+			if err != nil {
+				return nil, fmt.Errorf("ml: ensemble member %d: %w", i, err)
+			}
+			e.members = append(e.members, member)
+		}
+		return e, nil
 	default:
 		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
 	}
-	return m, nil
 }

@@ -1,0 +1,318 @@
+package online
+
+import (
+	"reflect"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"nitro/internal/autotuner"
+	"nitro/internal/core"
+	"nitro/internal/ensemble"
+)
+
+// banditPolicy returns the shared test policy with the LinUCB router enabled
+// and a MinConfidence above 1, so every explored call is flagged (no model
+// produces calibrated confidence > 1) and the bandit path is exercised on
+// every epsilon win.
+func banditPolicy(seed int64) Policy {
+	pol := testPolicy(seed)
+	pol.Bandit = &BanditPolicy{Alpha: 1, Ridge: 1, MinConfidence: 1.1}
+	return pol
+}
+
+// TestBanditOffIdentity pins the bandit-off contract: a Policy with Bandit
+// nil must never touch the bandit machinery — zero flagged/skipped/pull
+// counters and no confidence accounting — while the legacy drift→retrain→swap
+// timeline runs unchanged (TestDriftRetrainSwap asserts the timeline itself).
+func TestBanditOffIdentity(t *testing.T) {
+	eng := driveDriftScenario(t, 42)
+	defer eng.Close()
+	st := eng.Stats()
+	if st.BanditFlagged != 0 || st.BanditSkipped != 0 || st.BanditPulls != 0 {
+		t.Errorf("bandit counters moved with Bandit nil: %+v", st)
+	}
+	if st.MeanConfidence != 0 {
+		t.Errorf("MeanConfidence = %v with Bandit nil, want 0", st.MeanConfidence)
+	}
+	if st.Swaps != 1 {
+		t.Errorf("legacy path swaps = %d, want 1", st.Swaps)
+	}
+}
+
+// TestBanditSkipsConfidentHealthy: with a tiny MinConfidence and a healthy
+// input stream, every flagged-check passes (the model is confident and the
+// detector healthy), so the router trusts the prediction and re-times
+// nothing — the exploration budget costs zero on a well-modelled workload.
+func TestBanditSkipsConfidentHealthy(t *testing.T) {
+	_, cv, _ := fixture(t)
+	pol := testPolicy(42)
+	pol.Bandit = &BanditPolicy{MinConfidence: 0.01}
+	eng, err := Attach(cv, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	serve(t, cv, genInstances(60, 21))
+
+	st := eng.Stats()
+	if st.BanditSkipped == 0 {
+		t.Fatal("no explorations were skipped on a healthy confident stream")
+	}
+	if st.BanditFlagged != 0 || st.BanditPulls != 0 {
+		t.Errorf("confident stream still flagged: flagged=%d pulls=%d", st.BanditFlagged, st.BanditPulls)
+	}
+	if st.Explored != 0 || st.Windows != 0 {
+		t.Errorf("trusted predictions were re-timed: explored=%d windows=%d", st.Explored, st.Windows)
+	}
+	if st.MeanConfidence <= 0 || st.MeanConfidence > 1 {
+		t.Errorf("MeanConfidence = %v, want in (0, 1]", st.MeanConfidence)
+	}
+}
+
+// TestBanditDriftAdaptation runs the full closed loop with the bandit router
+// in place of uniform re-timing: drift is still detected from single-arm
+// observations, a retrain still launches and the candidate still swaps in —
+// with every exploration paying one alternate timing instead of all of them.
+func TestBanditDriftAdaptation(t *testing.T) {
+	_, cv, _ := fixture(t)
+	eng, err := Attach(cv, banditPolicy(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	serve(t, cv, genInstances(30, 21))
+	serve(t, cv, rotated(genInstances(120, 23)))
+
+	st := eng.Stats()
+	if st.BanditFlagged == 0 || st.BanditPulls == 0 {
+		t.Fatalf("bandit never pulled: %+v", st)
+	}
+	if st.Drifts == 0 {
+		t.Errorf("drift not detected through bandit-directed exploration: %+v", st)
+	}
+	if st.Retrains == 0 {
+		t.Errorf("no retrain launched: %+v", st)
+	}
+	if st.Swaps == 0 {
+		t.Errorf("no swap installed: %+v", st)
+	}
+	if st.MeanConfidence <= 0 || st.MeanConfidence > 1 {
+		t.Errorf("MeanConfidence = %v, want in (0, 1]", st.MeanConfidence)
+	}
+}
+
+// TestBanditReplayDeterminism: the bandit router must preserve the replay
+// contract — two engines with the same seed and input stream produce
+// byte-identical event timelines (LinUCB is deterministic; the only RNG is
+// the shared seeded epsilon draw).
+func TestBanditReplayDeterminism(t *testing.T) {
+	run := func() []string {
+		_, cv, _ := fixture(t)
+		eng, err := Attach(cv, banditPolicy(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		serve(t, cv, genInstances(30, 21))
+		serve(t, cv, rotated(genInstances(120, 23)))
+		evs := eng.Events()
+		out := make([]string, len(evs))
+		for i, ev := range evs {
+			out[i] = ev.String()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("bandit timelines diverged:\nrun A: %v\nrun B: %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty timeline")
+	}
+}
+
+var pairedSamplesRe = regexp.MustCompile(`over (\d+) paired samples`)
+
+// promoteSamples extracts the paired-sample count from a bakeoff verdict
+// event's detail.
+func promoteSamples(t *testing.T, ev Event) int {
+	t.Helper()
+	m := pairedSamplesRe.FindStringSubmatch(ev.Detail)
+	if m == nil {
+		t.Fatalf("no paired-sample count in %q", ev.Detail)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestBakeoffPromotesBetterChallenger is the promotion e2e: under drift the
+// retrained challenger is genuinely better, so the sequential stopper
+// promotes it — and does so in measurably fewer live samples than the fixed
+// MaxSamples budget a non-sequential (holdout-sized) experiment would burn.
+func TestBakeoffPromotesBetterChallenger(t *testing.T) {
+	cfg := ensemble.BakeoffConfig{MinSamples: 6, MaxSamples: 120, Z: 2, MinEffect: 0.005}
+	_, cv, _ := fixture(t)
+	pol := testPolicy(42)
+	pol.Bakeoff = &cfg
+	eng, err := Attach(cv, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	serve(t, cv, genInstances(30, 21))
+	serve(t, cv, rotated(genInstances(120, 23)))
+
+	st := eng.Stats()
+	if st.Bakeoffs != 1 || st.BakeoffPromotes != 1 {
+		t.Fatalf("bakeoffs=%d promotes=%d, want 1/1 (stats %+v)", st.Bakeoffs, st.BakeoffPromotes, st)
+	}
+	if st.Swaps != 1 || st.Rollbacks != 0 {
+		t.Errorf("swaps=%d rollbacks=%d, want 1/0", st.Swaps, st.Rollbacks)
+	}
+	if st.ModelVersion != 2 {
+		t.Errorf("model version = %d, want promoted v2", st.ModelVersion)
+	}
+	if st.State != "healthy" {
+		t.Errorf("final state = %q, want healthy", st.State)
+	}
+
+	var start, promote *Event
+	for i, ev := range eng.Events() {
+		switch ev.Kind {
+		case EventBakeoffStart:
+			start = &eng.Events()[i]
+		case EventBakeoffPromote:
+			promote = &eng.Events()[i]
+		case EventSwap:
+			t.Errorf("instant holdout swap fired alongside a bakeoff: %v", ev)
+		}
+	}
+	if start == nil || promote == nil {
+		t.Fatalf("timeline lacks bakeoff-start/bakeoff-promote: %v", eng.Events())
+	}
+	if start.Seq >= promote.Seq {
+		t.Errorf("bakeoff-start (seq %d) not before promote (seq %d)", start.Seq, promote.Seq)
+	}
+	// Sample efficiency: the sequential stopper must beat the fixed budget a
+	// temporal-holdout-sized live experiment would spend on the same verdict.
+	if n := promoteSamples(t, *promote); n >= cfg.MaxSamples/2 {
+		t.Errorf("promotion took %d paired samples; want early stop well under the %d budget", n, cfg.MaxSamples)
+	}
+}
+
+// TestBakeoffRejectsWorseChallenger is the rejection e2e: drift triggers a
+// retrain whose challenger is fitted to the drifted distribution, then the
+// workload reverts to the healthy distribution mid-bakeoff — the incumbent
+// is now genuinely faster on live pairs, so the stopper rejects the
+// challenger and the incumbent stays installed, untouched.
+func TestBakeoffRejectsWorseChallenger(t *testing.T) {
+	cx, cv, s := fixture(t)
+	pol := testPolicy(42)
+	pol.Bakeoff = &ensemble.BakeoffConfig{MinSamples: 30, MaxSamples: 400, Z: 2, MinEffect: 0.005}
+	eng, err := Attach(cv, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	serve(t, cv, genInstances(30, 21))
+	serve(t, cv, rotated(genInstances(60, 23))) // retrain fires, bakeoff starts
+	serve(t, cv, genInstances(150, 25))         // drift reverts: incumbent wins the pairs
+
+	st := eng.Stats()
+	if st.Bakeoffs != 1 || st.BakeoffRejects != 1 {
+		t.Fatalf("bakeoffs=%d rejects=%d, want 1/1 (stats %+v)", st.Bakeoffs, st.BakeoffRejects, st)
+	}
+	if st.Swaps != 0 {
+		t.Errorf("swaps = %d, want 0", st.Swaps)
+	}
+	if st.ModelVersion != 1 {
+		t.Errorf("model version = %d, want incumbent v1 kept", st.ModelVersion)
+	}
+	m, _ := cx.Model(s.Name)
+	if m.Version() != 1 {
+		t.Errorf("installed model version = %d, want 1", m.Version())
+	}
+	var rejected bool
+	for _, ev := range eng.Events() {
+		if ev.Kind == EventBakeoffReject {
+			rejected = true
+		}
+		if ev.Kind == EventBakeoffPromote || ev.Kind == EventSwap {
+			t.Errorf("worse challenger was installed: %v", ev)
+		}
+	}
+	if !rejected {
+		t.Fatal("timeline lacks bakeoff-reject")
+	}
+}
+
+// TestBakeoffTimeoutKeepsIncumbent: an unreachable stopping bound exhausts
+// the sample budget undecided; the incumbent stays (absence of evidence is
+// not a promotion) and the detector backs off like a rollback.
+func TestBakeoffTimeoutKeepsIncumbent(t *testing.T) {
+	_, cv, _ := fixture(t)
+	pol := testPolicy(42)
+	pol.Bakeoff = &ensemble.BakeoffConfig{MinSamples: 5, MaxSamples: 10, Z: 1e9, MinEffect: 0.99}
+	eng, err := Attach(cv, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	serve(t, cv, genInstances(30, 21))
+	serve(t, cv, rotated(genInstances(120, 23)))
+
+	st := eng.Stats()
+	if st.Bakeoffs == 0 || st.BakeoffTimeouts == 0 {
+		t.Fatalf("bakeoffs=%d timeouts=%d, want both > 0 (stats %+v)", st.Bakeoffs, st.BakeoffTimeouts, st)
+	}
+	if st.BakeoffPromotes != 0 || st.Swaps != 0 {
+		t.Errorf("undecided bakeoff promoted: %+v", st)
+	}
+	if st.ModelVersion != 1 {
+		t.Errorf("model version = %d, want incumbent v1", st.ModelVersion)
+	}
+}
+
+// TestBanditWithBakeoffEndToEnd composes the whole tentpole: bandit-directed
+// exploration detects the drift, the retrained challenger enters a
+// sequential bakeoff fed by paired single-arm timings, and the stopper
+// promotes it — deterministically across two identical runs.
+func TestBanditWithBakeoffEndToEnd(t *testing.T) {
+	run := func() ([]string, autotuner.Instance, core.AdaptStats) {
+		_, cv, _ := fixture(t)
+		pol := banditPolicy(42)
+		pol.Bakeoff = &ensemble.BakeoffConfig{MinSamples: 6, MaxSamples: 200, Z: 2, MinEffect: 0.005}
+		eng, err := Attach(cv, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		serve(t, cv, genInstances(30, 21))
+		drifted := rotated(genInstances(200, 23))
+		serve(t, cv, drifted)
+		evs := eng.Events()
+		out := make([]string, len(evs))
+		for i, ev := range evs {
+			out[i] = ev.String()
+		}
+		return out, drifted[0], eng.Stats()
+	}
+	a, _, st := run()
+	b, _, _ := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("composed timelines diverged:\nrun A: %v\nrun B: %v", a, b)
+	}
+	if st.BakeoffPromotes != 1 {
+		t.Fatalf("bakeoff promotes = %d, want 1 (stats %+v, timeline %v)", st.BakeoffPromotes, st, a)
+	}
+	if st.ModelVersion != 2 || st.State != "healthy" {
+		t.Errorf("version=%d state=%q, want v2/healthy", st.ModelVersion, st.State)
+	}
+	if st.BanditPulls == 0 {
+		t.Errorf("bakeoff promoted without bandit exploration: %+v", st)
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+// Sequential canary bakeoff: when CanaryPolicy.Sequential is set, a canary
+// episode carries a paired-timing experiment (ensemble.Bakeoff) fed by the
+// observation stream the fleet already pushes. Each pushed sample carries
+// the full per-variant timing vector, so the daemon can score the
+// challenger's pick against the stable model's pick on the *same* input —
+// a paired delta — and stop the episode the moment the evidence clears the
+// t-bound, instead of waiting for a fixed fleet sample count. The running
+// experiment state is journaled with every progress record, so a daemon
+// crash mid-bakeoff resumes the experiment exactly where the fsync'd
+// appends left it and converges to the same verdict on the same stream.
+
+import (
+	"math"
+
+	"nitro/internal/ensemble"
+	"nitro/internal/ml"
+	"nitro/internal/online"
+)
+
+// decodedLocked returns the decoded model for a stored artifact version,
+// caching per episode (the cache is dropped when the episode settles);
+// registry mu must be held.
+func (fs *funcState) decodedLocked(version int) *ml.Model {
+	if m, ok := fs.decoded[version]; ok {
+		return m
+	}
+	a, ok := fs.artifacts[version]
+	if !ok {
+		return nil
+	}
+	m, err := ml.DecodeArtifact(a.data, "")
+	if err != nil {
+		return nil
+	}
+	if fs.decoded == nil {
+		fs.decoded = make(map[int]*ml.Model)
+	}
+	fs.decoded[version] = m
+	return m
+}
+
+// pairedDelta scores one pushed sample for the live bakeoff: the relative
+// speedup of the challenger's predicted variant over the incumbent's, on
+// the timings the client actually observed. ok is false when the sample
+// carries no usable pair (infeasible incumbent pick, out-of-range class).
+func pairedDelta(inc, chal *ml.Model, s online.RemoteSample) (float64, bool) {
+	pi := inc.Predict(s.Features)
+	if pi < 0 || pi >= len(s.Times) {
+		return 0, false
+	}
+	ti := s.Times[pi]
+	if math.IsInf(ti, 1) || ti <= 0 {
+		return 0, false
+	}
+	pc := chal.Predict(s.Features)
+	switch {
+	case pc == pi:
+		return 0, true // same pick: a genuine zero-difference pair
+	case pc < 0 || pc >= len(s.Times):
+		return 0, false
+	case math.IsInf(s.Times[pc], 1):
+		return -1, true // challenger picked an infeasible variant: maximal loss
+	default:
+		return (ti - s.Times[pc]) / ti, true
+	}
+}
+
+// feedCanaryBakeoffLocked folds one pushed batch into the live sequential
+// bakeoff (no-op when the episode has none). A verdict settles the episode
+// through the same path as the failure-rate gate; an undecided batch
+// journals the experiment's cumulative state so a crash resumes mid-count.
+// Registry mu must be held.
+func (r *Registry) feedCanaryBakeoffLocked(tenant string, fs *funcState, samples []online.RemoteSample) error {
+	c := fs.canary
+	if c == nil || fs.bakeoff == nil {
+		return nil
+	}
+	chal := fs.decodedLocked(c.Version)
+	inc := fs.decodedLocked(fs.stable)
+	if chal == nil || inc == nil {
+		return nil
+	}
+	fed := false
+	for _, s := range samples {
+		delta, ok := pairedDelta(inc, chal, s)
+		if !ok {
+			continue
+		}
+		fed = true
+		if v := fs.bakeoff.Observe(delta); v != ensemble.Undecided {
+			switch v {
+			case ensemble.Promote:
+				r.metrics.bakeoffPromotes.Add(1)
+			case ensemble.Reject:
+				r.metrics.bakeoffRejects.Add(1)
+			case ensemble.Timeout:
+				r.metrics.bakeoffTimeouts.Add(1)
+			}
+			return r.endCanaryLocked(tenant, fs, c.Version, v == ensemble.Promote)
+		}
+	}
+	if !fed {
+		return nil
+	}
+	snap := fs.bakeoff.Snapshot()
+	return r.journalAppend(journalRecord{Op: opCanaryProgress, Tenant: tenant, Function: fs.spec.Name,
+		Version: c.Version, Calls: c.Calls, Failures: c.Failures,
+		Reporters: fs.canaryReporters, Bakeoff: &snap})
+}
+
+// endCanaryLocked settles the live canary episode with a verdict — shared
+// by the fleet failure-rate gate (ReportCanary) and the sequential bakeoff
+// stopper. WAL-first: the decision record is durable before
+// deployment.json changes. Registry mu must be held.
+func (r *Registry) endCanaryLocked(tenant string, fs *funcState, version int, promoted bool) error {
+	fs.canary = nil
+	fs.bakeoff = nil
+	fs.decoded = nil
+	fs.canaryReporters = nil
+	fs.autoTuned = false
+	if promoted {
+		fs.stable = version
+		fs.lastDec = DecisionPromoted
+		fs.detector.OnSwap()
+		r.metrics.canariesPromoted.Add(1)
+	} else {
+		fs.lastDec = DecisionRolledBack
+		fs.detector.OnRollback()
+		r.metrics.canariesRolledBack.Add(1)
+	}
+	if err := r.journalAppend(journalRecord{Op: opCanaryEnd, Tenant: tenant,
+		Function: fs.spec.Name, Version: version, Decision: fs.lastDec}); err != nil {
+		return err
+	}
+	if err := r.journalDriftLocked(tenant, fs); err != nil {
+		return err
+	}
+	if err := r.persistArtifact(tenant, fs); err != nil {
+		return err
+	}
+	if r.journal != nil && r.journal.sizeBytes() > r.cfg.JournalCompactBytes {
+		return r.compactJournalLocked()
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package server
+
+// Sequential canary bakeoff tests: the observation stream settles a live
+// canary episode through the paired-timing stopper — promoting a genuinely
+// faster challenger in far fewer samples than the failure-rate gate's
+// MinSamples budget, rejecting a slower one with the stable untouched, and
+// surviving a kill -9 mid-experiment with the journaled state converging
+// to the same verdict on the remaining stream.
+
+import (
+	"testing"
+
+	"nitro/internal/ensemble"
+	"nitro/internal/ml"
+	"nitro/internal/online"
+)
+
+// seqConfig wires a sequential bakeoff into the registry config used by
+// newJournalRegistry.
+func seqConfig(seq ensemble.BakeoffConfig) func(*RegistryConfig) {
+	return func(cfg *RegistryConfig) {
+		cfg.Canary = CanaryPolicy{MinSamples: 50, Sequential: &seq}
+	}
+}
+
+// stageBakeoffCanary registers the test function and stages v1 (stable,
+// boundary 4.5) against a v2 challenger (boundary 2.5), then sanity-checks
+// that the two models genuinely disagree on the disagreement region the
+// sample generators use — the fixture is self-validating.
+func stageBakeoffCanary(t *testing.T, r *Registry) {
+	t.Helper()
+	if err := r.RegisterFunction("acme", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	v1 := boundaryArtifact(t, 4.5)
+	v2 := boundaryArtifact(t, 2.5)
+	if _, err := r.PushModel("acme", "sort", v1, ""); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := r.PushModel("acme", "sort", v2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Canary == nil || dep.Canary.Version != 2 {
+		t.Fatalf("deployment after second push = %+v, want live v2 canary", dep)
+	}
+	inc, err := ml.DecodeArtifact(v1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chal, err := ml.DecodeArtifact(v2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{3, 3.5, 4} {
+		if pi, pc := inc.Predict([]float64{x}), chal.Predict([]float64{x}); pi != 0 || pc != 1 {
+			t.Fatalf("fixture models do not disagree at x=%v: incumbent %d challenger %d", x, pi, pc)
+		}
+	}
+}
+
+// pairedStream returns n samples in the models' disagreement region whose
+// timing vectors make the challenger's pick (variant 1) faster or slower
+// than the incumbent's (variant 0) by a varying margin — non-degenerate
+// paired deltas, so the stopper exercises the real t statistic rather than
+// the zero-variance shortcut. Predicted is -1: the drift detector labels
+// the corpus but sees no mismatch signal, keeping the episode's fate in
+// the bakeoff's hands alone.
+func pairedStream(n int, challengerFaster bool) []online.RemoteSample {
+	xs := []float64{3, 3.5, 4}
+	fast := []float64{0.55, 0.6, 0.65}
+	samples := make([]online.RemoteSample, 0, n)
+	for i := 0; i < n; i++ {
+		times := []float64{1.0, fast[i%len(fast)]}
+		if !challengerFaster {
+			times[0], times[1] = times[1], times[0]
+		}
+		samples = append(samples, online.RemoteSample{
+			Features:  []float64{xs[i%len(xs)]},
+			Times:     times,
+			Predicted: -1,
+		})
+	}
+	return samples
+}
+
+// TestBakeoffPromotesFasterChallenger: consistently positive paired deltas
+// promote the challenger as soon as the t bound clears — at the bakeoff's
+// MinSamples floor, well under the failure-rate gate's 50-sample budget.
+func TestBakeoffPromotesFasterChallenger(t *testing.T) {
+	r := newJournalRegistry(t, t.TempDir(),
+		seqConfig(ensemble.BakeoffConfig{MinSamples: 8, MaxSamples: 100, Z: 2, MinEffect: 0.005}))
+	defer r.Close()
+	stageBakeoffCanary(t, r)
+
+	fed := 0
+	for _, batch := range [][]online.RemoteSample{pairedStream(4, true), pairedStream(4, true)} {
+		if _, err := r.PushObservations("acme", "sort", batch); err != nil {
+			t.Fatal(err)
+		}
+		fed += len(batch)
+	}
+	dep, err := r.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != 2 || dep.Canary != nil || dep.LastDecision != DecisionPromoted {
+		t.Fatalf("deployment after %d paired samples = %+v, want v2 promoted with no live canary", fed, dep)
+	}
+	if fed >= 50 {
+		t.Fatalf("promotion took %d samples, want fewer than the failure-rate gate's 50", fed)
+	}
+	if got := r.metrics.bakeoffPromotes.Load(); got != 1 {
+		t.Fatalf("bakeoffPromotes = %d, want 1", got)
+	}
+}
+
+// TestBakeoffRejectsSlowerChallenger: consistently negative deltas settle
+// the episode as a rollback — the stable version never moves.
+func TestBakeoffRejectsSlowerChallenger(t *testing.T) {
+	r := newJournalRegistry(t, t.TempDir(),
+		seqConfig(ensemble.BakeoffConfig{MinSamples: 8, MaxSamples: 100, Z: 2, MinEffect: 0.005}))
+	defer r.Close()
+	stageBakeoffCanary(t, r)
+
+	if _, err := r.PushObservations("acme", "sort", pairedStream(10, false)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := r.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != 1 || dep.Canary != nil || dep.LastDecision != DecisionRolledBack {
+		t.Fatalf("deployment = %+v, want v1 stable and the challenger rolled back", dep)
+	}
+	if got := r.metrics.bakeoffRejects.Load(); got != 1 {
+		t.Fatalf("bakeoffRejects = %d, want 1", got)
+	}
+}
+
+// TestBakeoffTimeoutRollsBack: a statistically clear but practically
+// irrelevant speedup (MinEffect above the observed mean) exhausts the
+// sample budget undecided; the incumbent stays.
+func TestBakeoffTimeoutRollsBack(t *testing.T) {
+	r := newJournalRegistry(t, t.TempDir(),
+		seqConfig(ensemble.BakeoffConfig{MinSamples: 4, MaxSamples: 10, Z: 2, MinEffect: 0.99}))
+	defer r.Close()
+	stageBakeoffCanary(t, r)
+
+	if _, err := r.PushObservations("acme", "sort", pairedStream(12, true)); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := r.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != 1 || dep.Canary != nil || dep.LastDecision != DecisionRolledBack {
+		t.Fatalf("deployment = %+v, want timeout to keep v1 stable", dep)
+	}
+	if got := r.metrics.bakeoffTimeouts.Load(); got != 1 {
+		t.Fatalf("bakeoffTimeouts = %d, want 1", got)
+	}
+}
+
+// TestBakeoffResumesAfterKill: a daemon killed mid-experiment restarts,
+// replays the journaled paired-sample state at its exact count, and
+// converges to the same verdict as an uninterrupted run on the same
+// stream.
+func TestBakeoffResumesAfterKill(t *testing.T) {
+	seq := ensemble.BakeoffConfig{MinSamples: 16, MaxSamples: 100, Z: 2, MinEffect: 0.005}
+
+	// Uninterrupted twin: the whole 16-sample stream in one daemon life.
+	twin := newJournalRegistry(t, t.TempDir(), seqConfig(seq))
+	defer twin.Close()
+	stageBakeoffCanary(t, twin)
+	if _, err := twin.PushObservations("acme", "sort", pairedStream(16, true)); err != nil {
+		t.Fatal(err)
+	}
+	twinDep, err := twin.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashed run: half the stream, kill -9, restart, the other half.
+	dir := t.TempDir()
+	r := newJournalRegistry(t, dir, seqConfig(seq))
+	stageBakeoffCanary(t, r)
+	if _, err := r.PushObservations("acme", "sort", pairedStream(16, true)[:8]); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := r.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Canary == nil || dep.Canary.BakeoffSamples != 8 {
+		t.Fatalf("pre-kill canary = %+v, want a live bakeoff with 8 paired samples", dep.Canary)
+	}
+	r.kill()
+
+	r2 := newJournalRegistry(t, dir, seqConfig(seq))
+	defer r2.Close()
+	rec := r2.Recovery()
+	if rec.CleanShutdown || rec.ResumedCanaries != 1 || rec.TailError != nil {
+		t.Fatalf("recovery %+v, want one resumed canary from an unclean shutdown", rec)
+	}
+	dep, err = r2.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Canary == nil || dep.Canary.BakeoffSamples != 8 {
+		t.Fatalf("resumed canary = %+v, want the bakeoff restored at 8 paired samples", dep.Canary)
+	}
+	if dep.Canary.BakeoffMean <= 0 {
+		t.Fatalf("resumed bakeoff mean = %v, want the positive running mean restored", dep.Canary.BakeoffMean)
+	}
+	if _, err := r2.PushObservations("acme", "sort", pairedStream(16, true)[8:]); err != nil {
+		t.Fatal(err)
+	}
+	dep, err = r2.Deployment("acme", "sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stable != twinDep.Stable || dep.LastDecision != twinDep.LastDecision {
+		t.Fatalf("post-resume verdict (stable %d, %s) differs from uninterrupted run (stable %d, %s)",
+			dep.Stable, dep.LastDecision, twinDep.Stable, twinDep.LastDecision)
+	}
+	if dep.Stable != 2 || dep.LastDecision != DecisionPromoted {
+		t.Fatalf("deployment = %+v, want the resumed bakeoff to promote v2", dep)
+	}
+	if got := r2.metrics.bakeoffPromotes.Load(); got != 1 {
+		t.Fatalf("bakeoffPromotes after resume = %d, want 1", got)
+	}
+}
