@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke chaos-smoke bench-serving bench-ensemble bakeoff-smoke lint ci clean
+.PHONY: all build vet test race stress fuzz-smoke bench bench-parallel bench-call bench-trace bench-dispatch dispatch-agreement online-replay metrics-smoke server-smoke chaos-smoke trace-smoke bench-serving bench-ensemble bench-obs bakeoff-smoke lint ci clean
 
 all: build
 
@@ -144,6 +144,21 @@ chaos-smoke:
 	$(GO) run ./cmd/nitro-server -smoke-chaos
 	$(GO) test -race -run 'TestChaosKillRestartResumePromote|TestJournal' ./internal/server/...
 
+# Correlated-tracing smoke: nitro-server's trace self-test drives an
+# ephemeral daemon through a full canary lifecycle under ONE injected
+# X-Nitro-Trace-Id and asserts the id is recoverable from every
+# observability surface — the structured slog stream (register -> push ->
+# canary start -> report -> promote, each stamped with the id), the
+# journal WAL bytes on disk, the /debug/flight ring (scraped twice and
+# byte-compared: wall-clock-free and side-effect-free), and the settled
+# deployment's last_decision_trace. The Go tests then re-run the richer
+# crash-correlation e2e (kill mid-canary, restart, the resumed episode and
+# its verdict still carry the id) and the double-run determinism suite
+# under -race.
+trace-smoke:
+	$(GO) run ./cmd/nitro-server -smoke-trace
+	$(GO) test -race -run 'TestTraceSurvivesKillRestart|TestObservabilityDoubleRunDeterminism|TestTraceHeaderEchoAndSanitize|TestFlightEndpoint|TestPullVersionHeaderOn200And304' ./internal/server/...
+
 # Serving-latency bench: drive a live daemon over HTTP and record
 # pull/push/observation latency percentiles plus shed behaviour under
 # overload into BENCH_serving.json.
@@ -156,6 +171,15 @@ bench-serving:
 # BENCH_ensemble.json. Run on a quiet machine for stable ns/op numbers.
 bench-ensemble:
 	$(GO) run ./cmd/nitro-experiments -run ensemble -scale 0.2 -train 24 -test 36 -nogrid -ensemble-json BENCH_ensemble.json
+
+# Observability-overhead bench: run the per-route latency harness against
+# a daemon with the tracing plane at its defaults and again with the full
+# plane on (debug slog + client-injected trace ids on every request), and
+# record the p50-based overhead per route into BENCH_obs.json. The
+# acceptance bar is <2% on the artifact pull path; run on a quiet machine —
+# the off/on arms are interleaved and best-of-N to shave scheduler noise.
+bench-obs:
+	$(GO) run ./cmd/nitro-experiments -run obs -obs-json BENCH_obs.json
 
 # Sequential-bakeoff smoke: replay the drifting stream through the online
 # engine with the ensemble classifier, LinUCB bandit routing and bakeoff

@@ -40,6 +40,8 @@ func main() {
 	servingJSON := flag.String("serving-json", "", "write the serving study as machine-readable JSON to this path (BENCH_serving.json)")
 	ensembleCalls := flag.Int("ensemble-calls", 20000, "per-model prediction-timing iterations for -run ensemble (0 = quality only)")
 	ensembleJSON := flag.String("ensemble-json", "", "write the ensemble study as machine-readable JSON to this path (BENCH_ensemble.json)")
+	obsCalls := flag.Int("obs-calls", 400, "per-route samples for -run obs")
+	obsJSON := flag.String("obs-json", "", "write the observability-overhead study as machine-readable JSON to this path (BENCH_obs.json)")
 	flag.Parse()
 
 	// The serving study drives a live registry daemon over HTTP; it needs no
@@ -65,6 +67,32 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("wrote %s\n", *servingJSON)
+		}
+		return
+	}
+
+	// The observability study also drives live daemons over HTTP and needs
+	// no corpora; like serving it branches before the suite build and its
+	// wall-clock overheads are only meaningful on a quiet machine.
+	if strings.EqualFold(*run, "obs") {
+		rep, err := experiments.ObsStudy(*obsCalls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatObs(rep))
+		if *obsJSON != "" {
+			f, err := os.Create(*obsJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteObsJSON(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *obsJSON)
 		}
 		return
 	}

@@ -49,6 +49,12 @@ func main() {
 		smoke       = flag.Bool("smoke", false, "run the self-contained end-to-end smoke check and exit")
 		smokeChaos  = flag.Bool("smoke-chaos", false, "run the seeded kill-restart-resume chaos smoke twice, diff the transcripts, and exit")
 		chaosSeed   = flag.Int64("chaos-seed", 42, "seed for the chaos smoke's fault schedule")
+		smokeTrace  = flag.Bool("smoke-trace", false, "run the correlated-tracing smoke (span tree + flight recorder assertions) and exit")
+		traceSeed   = flag.Int64("trace-seed", 0, "seed for server-minted trace ids (0: crypto/rand)")
+		logEvents   = flag.Bool("log-events", false, "emit the structured JSON event stream on stderr")
+		debugEvents = flag.Bool("debug", false, "lower the event stream to Debug level (per-request events)")
+		profiling   = flag.Bool("pprof", false, "mount /debug/pprof and export Go runtime metrics (trusted networks only)")
+		flightCap   = flag.Int("flight-capacity", 0, "flight recorder ring size (0: default)")
 	)
 	flag.Parse()
 
@@ -66,11 +72,22 @@ func main() {
 		}
 		return
 	}
+	if *smokeTrace {
+		if err := runTraceSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "nitro-server trace smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	tenants, err := loadTenants(*tenantsFile, *tenantFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nitro-server: %v\n", err)
 		os.Exit(2)
+	}
+	var logWriter io.Writer
+	if *logEvents || *debugEvents {
+		logWriter = os.Stderr
 	}
 	cfg := server.Config{
 		Addr: *addr,
@@ -84,6 +101,13 @@ func main() {
 				MaxFailureRate: *canaryFail,
 			},
 		},
+		Obs: server.ObsConfig{
+			LogWriter:      logWriter,
+			Debug:          *debugEvents,
+			TraceSeed:      *traceSeed,
+			FlightCapacity: *flightCap,
+			Profiling:      *profiling,
+		},
 	}
 	d, err := server.NewDaemon(cfg)
 	if err != nil {
@@ -95,6 +119,16 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("nitro-server listening on http://%s (%d tenants)\n", d.Addr(), len(tenants))
+
+	// SIGQUIT dumps the flight recorder to stderr and keeps serving — the
+	// crash-forensics path when a daemon misbehaves but must stay up.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintf(os.Stderr, "nitro-server: flight recorder dump:\n%s\n", d.Flight().DumpJSON())
+		}
+	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

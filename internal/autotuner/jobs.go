@@ -13,11 +13,13 @@ package autotuner
 // BaseVersion+1 and a zero CreatedAt, keeping artifacts content-addressable.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"nitro/internal/ml"
+	"nitro/internal/obs/trace"
 )
 
 // JobState is the lifecycle of a queued tuning job.
@@ -52,6 +54,11 @@ type TuneJob struct {
 	// BaseVersion is the incumbent model generation; the candidate is
 	// stamped BaseVersion+1.
 	BaseVersion int
+	// Ctx carries the submitting request's provenance — its trace id is
+	// stamped onto the job status and every lifecycle log event, so the
+	// span tree connects the tune request to the canary it stages. A nil
+	// Ctx means "no trace".
+	Ctx context.Context
 	// Done, when non-nil, is invoked from the worker goroutine after the
 	// job reaches a terminal state (with the final status).
 	Done func(JobStatus)
@@ -65,6 +72,9 @@ type JobStatus struct {
 	State    JobState `json:"state"`
 	// Error holds the failure message when State == JobFailed.
 	Error string `json:"error,omitempty"`
+	// Trace is the correlation id of the submitting request ("" when the
+	// job was submitted without one).
+	Trace string `json:"trace,omitempty"`
 	// Version is the candidate's stamped generation when State == JobDone.
 	Version int `json:"version,omitempty"`
 	// TrainAccuracy is the training-set accuracy of the finished candidate.
@@ -97,6 +107,7 @@ type JobQueue struct {
 	next     int64
 	capacity int
 	wg       sync.WaitGroup
+	log      *trace.Log // nil-safe; lifecycle events only
 
 	pending map[string]TuneJob
 }
@@ -104,6 +115,13 @@ type JobQueue struct {
 // NewJobQueue starts a queue with the given worker count (min 1) and
 // backlog capacity (min 1).
 func NewJobQueue(workers, capacity int) *JobQueue {
+	return NewJobQueueObs(workers, capacity, nil)
+}
+
+// NewJobQueueObs is NewJobQueue with a structured event log: job
+// start/done/failed/canceled transitions are emitted with the submitting
+// request's trace id. A nil log disables the events.
+func NewJobQueueObs(workers, capacity int, log *trace.Log) *JobQueue {
 	if workers < 1 {
 		workers = 1
 	}
@@ -115,6 +133,7 @@ func NewJobQueue(workers, capacity int) *JobQueue {
 		pending:  make(map[string]TuneJob),
 		ch:       make(chan string, capacity),
 		capacity: capacity,
+		log:      log,
 	}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -174,10 +193,13 @@ func (q *JobQueue) Submit(job TuneJob) (string, error) {
 		q.mu.Unlock()
 		return "", ErrQueueFull
 	}
-	q.jobs[id] = &JobStatus{ID: id, Function: job.Function, Owner: job.Owner, State: JobQueued}
+	q.jobs[id] = &JobStatus{ID: id, Function: job.Function, Owner: job.Owner,
+		State: JobQueued, Trace: trace.From(job.Ctx)}
 	q.order = append(q.order, id)
 	q.pending[id] = job
 	q.mu.Unlock()
+	q.log.Event(job.Ctx, "autotuner", "job.queued",
+		trace.F("job", id), trace.F("fn", job.Function), trace.F("owner", job.Owner))
 	return id, nil
 }
 
@@ -203,6 +225,8 @@ func (q *JobQueue) Cancel(id string) error {
 	q.mu.Unlock()
 	// Same ordering contract as the worker: the terminal state is visible
 	// through Status before Done observes it.
+	q.log.Event(job.Ctx, "autotuner", "job.canceled",
+		trace.F("job", id), trace.F("fn", job.Function))
 	if job.Done != nil {
 		job.Done(final)
 	}
@@ -271,7 +295,17 @@ func (q *JobQueue) worker() {
 		q.jobs[id].State = JobRunning
 		q.mu.Unlock()
 
+		q.log.Event(job.Ctx, "autotuner", "job.start",
+			trace.F("job", id), trace.F("fn", job.Function))
 		st := q.run(id, job)
+		switch st.State {
+		case JobDone:
+			q.log.Event(job.Ctx, "autotuner", "job.done", trace.F("job", id),
+				trace.F("fn", job.Function), trace.F("version", fmt.Sprint(st.Version)))
+		case JobFailed:
+			q.log.Error(job.Ctx, "autotuner", "job.failed", trace.F("job", id),
+				trace.F("fn", job.Function), trace.F("error", st.Error))
+		}
 
 		q.mu.Lock()
 		*q.jobs[id] = st
@@ -283,7 +317,7 @@ func (q *JobQueue) worker() {
 }
 
 func (q *JobQueue) run(id string, job TuneJob) JobStatus {
-	st := JobStatus{ID: id, Function: job.Function, Owner: job.Owner}
+	st := JobStatus{ID: id, Function: job.Function, Owner: job.Owner, Trace: trace.From(job.Ctx)}
 	model, report, err := Train(job.Instances, job.Options)
 	if err != nil {
 		st.State = JobFailed

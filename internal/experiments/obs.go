@@ -1,0 +1,199 @@
+package experiments
+
+// Observability-overhead study: the cost of the fleet tracing plane on the
+// serving hot path. The same per-route latency harness as the serving study
+// runs twice — once against a daemon with observability at its defaults
+// (flight ring only, no slog stream, no inbound trace ids) and once with
+// the full plane on (debug-level structured logging, client-injected
+// X-Nitro-Trace-Id on every request) — and reduces each pair to a
+// p50-based overhead percentage. The acceptance bar is <2% on the artifact
+// pull path: tracing that taxes every cache revalidation is tracing fleets
+// turn off. The JSON form (WriteObsJSON) is the machine-readable
+// BENCH_obs.json artifact `make bench-obs` emits.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"nitro/internal/obs/trace"
+	"nitro/internal/online"
+	"nitro/internal/server"
+	"nitro/internal/server/client"
+)
+
+// ObsTargetPct is the acceptance ceiling for pull-path tracing overhead.
+const ObsTargetPct = 2.0
+
+// ObsRoute is one route measured with the plane off and on.
+type ObsRoute struct {
+	Route       string  `json:"route"`
+	Calls       int     `json:"calls"`
+	OffP50Us    float64 `json:"off_p50_us"`
+	OnP50Us     float64 `json:"on_p50_us"`
+	OffMeanUs   float64 `json:"off_mean_us"`
+	OnMeanUs    float64 `json:"on_mean_us"`
+	OverheadPct float64 `json:"overhead_pct"` // p50-based: (on-off)/off * 100
+}
+
+// ObsReport is the on-disk shape of BENCH_obs.json.
+type ObsReport struct {
+	Study     string     `json:"study"`
+	TargetPct float64    `json:"target_pct"`
+	Routes    []ObsRoute `json:"routes"`
+	// PullOverheadPct is the headline number: p50 overhead on the
+	// cache-revalidating pull path, the route fleets hit hardest.
+	PullOverheadPct float64 `json:"pull_overhead_pct"`
+	WithinTarget    bool    `json:"within_target"`
+}
+
+// obsPhase measures the standard route set against one daemon config and
+// returns route name -> measurement.
+func obsPhase(calls int, traced bool) (map[string]ServingRoute, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	cfg := server.Config{
+		Addr: "127.0.0.1:0",
+		Registry: server.RegistryConfig{
+			Tenants: []server.TenantConfig{{Name: "bench", Token: "bench-token"}},
+			Workers: 1,
+		},
+	}
+	if traced {
+		// The full plane: debug-level slog on every control-plane and HTTP
+		// event, written to io.Discard so the study measures the plane's
+		// cost, not the disk's.
+		cfg.Obs = server.ObsConfig{LogWriter: io.Discard, Debug: true}
+	}
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(cfg); err != nil {
+		return nil, err
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		d.Shutdown(sctx)
+	}()
+
+	c, err := client.New(client.Config{BaseURL: "http://" + d.Addr(), Token: "bench-token"})
+	if err != nil {
+		return nil, err
+	}
+	if traced {
+		// Every request carries an inbound trace id, exercising the
+		// sanitize/echo/propagate path instead of the cheaper mint path.
+		ctx = trace.With(ctx, "t-bench-obs")
+	}
+	if err := c.RegisterFunction(ctx, servingSpec); err != nil {
+		return nil, err
+	}
+	art, err := servingArtifact()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.PushModel(ctx, servingSpec.Name, art, ""); err != nil {
+		return nil, err
+	}
+	pull, err := c.PullModel(ctx, servingSpec.Name, 0, "")
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]online.RemoteSample, 16)
+	for i := range samples {
+		samples[i] = online.RemoteSample{Features: []float64{float64(i % 10)}, Times: []float64{1, 2}, Predicted: -1}
+	}
+
+	out := make(map[string]ServingRoute)
+	routes := []struct {
+		name string
+		fn   func() error
+	}{
+		{"pull_model_304", func() error { _, err := c.PullModel(ctx, servingSpec.Name, 0, pull.ETag); return err }},
+		{"pull_model", func() error { _, err := c.PullModel(ctx, servingSpec.Name, 0, ""); return err }},
+		{"push_observations_16", func() error { _, err := c.PushObservations(ctx, servingSpec.Name, samples); return err }},
+		{"get_deployment", func() error { _, err := c.Deployment(ctx, servingSpec.Name); return err }},
+	}
+	for _, r := range routes {
+		row, err := measure(r.name, calls, r.fn)
+		if err != nil {
+			return nil, err
+		}
+		out[r.name] = row
+	}
+	return out, nil
+}
+
+// ObsStudy measures the observability plane's overhead route by route.
+// calls is the per-route sample count (minimum 50 for stable p50s).
+func ObsStudy(calls int) (ObsReport, error) {
+	if calls < 50 {
+		calls = 50
+	}
+	// Interleave off/on/off/on and keep the best (lowest-p50) run of each
+	// arm per route: both arms then reflect the machine's quiet floor
+	// rather than whichever phase a scheduling hiccup landed on.
+	const rounds = 2
+	best := map[bool]map[string]ServingRoute{false: {}, true: {}}
+	for i := 0; i < rounds; i++ {
+		for _, traced := range []bool{false, true} {
+			rows, err := obsPhase(calls, traced)
+			if err != nil {
+				return ObsReport{}, err
+			}
+			for name, row := range rows {
+				if prev, ok := best[traced][name]; !ok || row.P50Us < prev.P50Us {
+					best[traced][name] = row
+				}
+			}
+		}
+	}
+
+	rep := ObsReport{Study: "obs", TargetPct: ObsTargetPct}
+	for _, name := range []string{"pull_model_304", "pull_model", "push_observations_16", "get_deployment"} {
+		off, on := best[false][name], best[true][name]
+		overhead := 0.0
+		if off.P50Us > 0 {
+			overhead = (on.P50Us - off.P50Us) / off.P50Us * 100
+		}
+		rep.Routes = append(rep.Routes, ObsRoute{
+			Route: name, Calls: calls,
+			OffP50Us: off.P50Us, OnP50Us: on.P50Us,
+			OffMeanUs: off.MeanUs, OnMeanUs: on.MeanUs,
+			OverheadPct: overhead,
+		})
+		if name == "pull_model_304" {
+			rep.PullOverheadPct = overhead
+		}
+	}
+	rep.WithinTarget = rep.PullOverheadPct < ObsTargetPct
+	return rep, nil
+}
+
+// FormatObs renders the study as an aligned table.
+func FormatObs(r ObsReport) string {
+	out := "Observability-overhead study (tracing off vs on, live daemon over HTTP)\n"
+	out += fmt.Sprintf("%-24s %8s %12s %12s %10s\n", "route", "calls", "off p50(us)", "on p50(us)", "overhead")
+	for _, row := range r.Routes {
+		out += fmt.Sprintf("%-24s %8d %12.0f %12.0f %+9.1f%%\n",
+			row.Route, row.Calls, row.OffP50Us, row.OnP50Us, row.OverheadPct)
+	}
+	verdict := "WITHIN"
+	if !r.WithinTarget {
+		verdict = "OVER"
+	}
+	out += fmt.Sprintf("pull-path overhead %+.1f%% vs %.0f%% target: %s\n", r.PullOverheadPct, r.TargetPct, verdict)
+	return out
+}
+
+// WriteObsJSON writes the machine-readable BENCH_obs.json artifact.
+func WriteObsJSON(w io.Writer, r ObsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -67,6 +68,19 @@ func Counter(name, help string, value float64, labels ...Label) Metric {
 // Gauge builds a gauge Metric (labels optional).
 func Gauge(name, help string, value float64, labels ...Label) Metric {
 	return Metric{Name: name, Help: help, Kind: KindGauge, Value: value, Labels: labels}
+}
+
+// HistogramMetric exports a live Histogram as a (optionally labeled)
+// Prometheus histogram Metric with cumulative buckets at bounds — the
+// bridge between the lock-free recording side and the exposition format.
+func HistogramMetric(name, help string, h *Histogram, bounds []float64, labels ...Label) Metric {
+	counts, count, sum := h.Cumulative(bounds)
+	buckets := make([]Bucket, len(bounds))
+	for i, le := range bounds {
+		buckets[i] = Bucket{LE: le, Count: counts[i]}
+	}
+	return Metric{Name: name, Help: help, Kind: KindHistogram, Labels: labels,
+		Buckets: buckets, Count: count, Sum: sum}
 }
 
 // Collector emits metrics at scrape time.
@@ -491,14 +505,92 @@ func ValidatePrometheusText(text string) error {
 			return fmt.Errorf("obs: line %d: sample %q has no TYPE header", ln+1, name)
 		}
 		rest := line[len(name):]
-		if i := strings.LastIndexByte(rest, ' '); i < 0 || strings.TrimSpace(rest[i:]) == "" {
+		if strings.HasPrefix(rest, "{") {
+			n, err := validateLabelBlock(rest)
+			if err != nil {
+				return fmt.Errorf("obs: line %d: sample %q: %w", ln+1, name, err)
+			}
+			rest = rest[n:]
+		}
+		if !strings.HasPrefix(rest, " ") || strings.TrimSpace(rest) == "" {
 			return fmt.Errorf("obs: line %d: sample %q has no value", ln+1, line)
+		}
+		value := strings.TrimSpace(rest)
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			// An optional timestamp may follow the value.
+			value = value[:i]
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("obs: line %d: sample %q has unparsable value %q", ln+1, name, value)
 		}
 	}
 	if !sawSample {
 		return fmt.Errorf("obs: exposition contains no samples")
 	}
 	return nil
+}
+
+// validateLabelBlock checks a {k="v",...} label block at the start of s
+// against the exposition grammar — legal label names, double-quoted values
+// with only \\, \" and \n escapes, comma separation, no duplicate keys —
+// and returns how many bytes the block spans (including both braces).
+func validateLabelBlock(s string) (int, error) {
+	i := 1 // past '{'
+	seen := map[string]bool{}
+	afterComma := false
+	for {
+		if i < len(s) && s[i] == '}' {
+			if afterComma {
+				return 0, fmt.Errorf("trailing comma in label block")
+			}
+			return i + 1, nil
+		}
+		afterComma = false
+		start := i
+		for i < len(s) && (s[i] == '_' ||
+			s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' ||
+			s[i] >= '0' && s[i] <= '9') {
+			i++
+		}
+		name := s[start:i]
+		if !labelNameRe.MatchString(name) {
+			return 0, fmt.Errorf("illegal label name %q", name)
+		}
+		if seen[name] {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		seen[name] = true
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %q not followed by '='", name)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) || (s[i] != '\\' && s[i] != '"' && s[i] != 'n') {
+					return 0, fmt.Errorf("label %q value has illegal escape", name)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("label %q value is unterminated", name)
+		}
+		i++ // closing quote
+		switch {
+		case i < len(s) && s[i] == ',':
+			i++
+			afterComma = true
+		case i < len(s) && s[i] == '}':
+			// loop terminates at the top
+		default:
+			return 0, fmt.Errorf("label block not closed after %q", name)
+		}
+	}
 }
 
 // sampleTyped reports whether a sample name is covered by a TYPE header: the

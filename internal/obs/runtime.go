@@ -1,0 +1,24 @@
+package obs
+
+// Go runtime telemetry for the profiling surface: goroutine count, heap
+// occupancy and GC pause totals as nitro_runtime_* series. Registered
+// opt-in alongside /debug/pprof — ReadMemStats stops the world briefly,
+// so the collector only runs when a scraper actually asks and only when
+// profiling was enabled.
+
+import "runtime"
+
+// RuntimeCollector emits Go runtime health series.
+func RuntimeCollector() Collector {
+	return func(emit func(Metric)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(Gauge("nitro_runtime_goroutines", "Live goroutines.", float64(runtime.NumGoroutine())))
+		emit(Gauge("nitro_runtime_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)))
+		emit(Gauge("nitro_runtime_heap_objects", "Allocated heap objects.", float64(ms.HeapObjects)))
+		emit(Gauge("nitro_runtime_next_gc_bytes", "Heap size target of the next GC cycle.", float64(ms.NextGC)))
+		emit(Counter("nitro_runtime_alloc_bytes_total", "Cumulative bytes allocated on the heap.", float64(ms.TotalAlloc)))
+		emit(Counter("nitro_runtime_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)))
+		emit(Counter("nitro_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9))
+	}
+}

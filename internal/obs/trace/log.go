@@ -1,0 +1,102 @@
+package trace
+
+// Structured control-plane logging on log/slog. Every event carries the
+// trace id from its context, a component, a transition name, and ordered
+// key/value fields; the JSON stream is one object per line. Two knobs make
+// the stream replayable in tests: an injectable clock (a fixed or stepping
+// fake makes the "time" attribute deterministic) and the seeded id Source.
+// Each event is also fanned into the flight Recorder (when one is
+// attached) regardless of the slog level, so /debug/flight retains recent
+// Debug-level transitions even when the log stream only emits Info.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Clock supplies event timestamps. Inject a fake for byte-identical test
+// streams.
+type Clock func() time.Time
+
+// LogConfig configures a Log.
+type LogConfig struct {
+	// Writer receives the JSON event stream, one object per line. nil
+	// disables the stream (events still reach the Recorder).
+	Writer io.Writer
+	// Level is the minimum level written to Writer (default slog.LevelInfo;
+	// per-request events are Debug so the default keeps the pull path quiet).
+	Level slog.Level
+	// Clock stamps events (default time.Now).
+	Clock Clock
+	// Recorder, when non-nil, retains every event — any level — in the
+	// flight ring.
+	Recorder *Recorder
+}
+
+// Log emits trace-stamped control-plane events. A nil *Log drops
+// everything, so call sites never nil-check.
+type Log struct {
+	h     slog.Handler
+	level slog.Level
+	clock Clock
+	rec   *Recorder
+}
+
+// NewLog builds a Log. With a nil Writer and nil Recorder the Log is
+// still valid — it just discards events.
+func NewLog(cfg LogConfig) *Log {
+	l := &Log{level: cfg.Level, clock: cfg.Clock, rec: cfg.Recorder}
+	if l.clock == nil {
+		l.clock = time.Now
+	}
+	if cfg.Writer != nil {
+		l.h = slog.NewJSONHandler(cfg.Writer, &slog.HandlerOptions{Level: cfg.Level})
+	}
+	return l
+}
+
+// Recorder returns the attached flight ring (nil when none).
+func (l *Log) Recorder() *Recorder {
+	if l == nil {
+		return nil
+	}
+	return l.rec
+}
+
+// Event records an Info-level control-plane transition.
+func (l *Log) Event(ctx context.Context, component, name string, fields ...Field) {
+	l.emit(ctx, slog.LevelInfo, component, name, fields)
+}
+
+// Debug records a high-rate transition (per-request, per-sample): it
+// reaches the flight ring always, the stream only at Debug level.
+func (l *Log) Debug(ctx context.Context, component, name string, fields ...Field) {
+	l.emit(ctx, slog.LevelDebug, component, name, fields)
+}
+
+// Error records a failure-path transition.
+func (l *Log) Error(ctx context.Context, component, name string, fields ...Field) {
+	l.emit(ctx, slog.LevelError, component, name, fields)
+}
+
+func (l *Log) emit(ctx context.Context, level slog.Level, component, name string, fields []Field) {
+	if l == nil {
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	id := From(ctx)
+	l.rec.Record(Event{Trace: id, Component: component, Name: name, Fields: fields})
+	if l.h == nil || level < l.level {
+		return
+	}
+	r := slog.NewRecord(l.clock(), level, name, 0)
+	r.AddAttrs(slog.String("trace", id), slog.String("component", component))
+	for _, f := range fields {
+		r.AddAttrs(slog.String(f.Key, f.Value))
+	}
+	_ = l.h.Handle(ctx, r)
+}

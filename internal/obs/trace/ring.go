@@ -1,0 +1,146 @@
+package trace
+
+// Flight recorder: a lock-free ring of the last N control-plane events.
+// Writers pay one atomic add and one atomic pointer store; there is no
+// mutex on the record path, so it is safe to feed from request handlers.
+// The dump carries no wall-clock timestamps — events are ordered by a
+// monotone sequence number only — so two runs of the same seeded scenario
+// produce byte-identical dumps and a double scrape of an idle daemon
+// diffs clean.
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"sync/atomic"
+)
+
+// Field is one key/value annotation on an Event. Fields keep declaration
+// order in the API but render as a sorted-key JSON object, so dumps are
+// deterministic regardless of call-site ordering.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F is shorthand for Field{k, v}.
+func F(k, v string) Field { return Field{Key: k, Value: v} }
+
+// Event is one recorded control-plane transition.
+type Event struct {
+	// Seq is the global record sequence number (1-based), assigned by the
+	// Recorder. It is the only ordering; there is deliberately no timestamp.
+	Seq uint64 `json:"seq"`
+	// Trace is the correlation id of the request or episode that caused the
+	// transition ("" when none was attached).
+	Trace string `json:"trace,omitempty"`
+	// Component names the emitting subsystem ("server", "autotuner",
+	// "client", "poller").
+	Component string `json:"component"`
+	// Name is the transition ("canary.promote", "job.start", ...).
+	Name string `json:"event"`
+	// Fields carry event-specific annotations.
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// MarshalJSON renders Fields as a JSON object with sorted keys.
+func (e Event) MarshalJSON() ([]byte, error) {
+	fields := make(map[string]string, len(e.Fields))
+	for _, f := range e.Fields {
+		fields[f.Key] = f.Value
+	}
+	return json.Marshal(struct {
+		Seq       uint64            `json:"seq"`
+		Trace     string            `json:"trace,omitempty"`
+		Component string            `json:"component"`
+		Name      string            `json:"event"`
+		Fields    map[string]string `json:"fields,omitempty"`
+	}{e.Seq, e.Trace, e.Component, e.Name, fields})
+}
+
+// DefaultFlightCapacity is the ring size when a caller asks for <= 0.
+const DefaultFlightCapacity = 256
+
+// Recorder is the flight ring. A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	slots []atomic.Pointer[Event]
+	seq   atomic.Uint64
+}
+
+// NewRecorder returns a ring holding the last capacity events
+// (DefaultFlightCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Event], capacity)}
+}
+
+// Record appends one event, assigning and returning its sequence number.
+// Lock-free; nil receivers drop the event and return 0.
+func (r *Recorder) Record(e Event) uint64 {
+	if r == nil {
+		return 0
+	}
+	seq := r.seq.Add(1)
+	e.Seq = seq
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&e)
+	return seq
+}
+
+// Recorded reports how many events were ever recorded (>= len(Snapshot())).
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Snapshot returns the retained events ordered by sequence number. Under
+// concurrent writes the snapshot is a consistent set of fully written
+// events (each slot is an atomic pointer swap), though the newest few may
+// be racing in.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	events := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			events = append(events, *p)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	return events
+}
+
+// DumpJSON renders the flight dump: a stable JSON document with the
+// retained events in sequence order and the total-ever-recorded count.
+// No timestamps, so idle double scrapes are byte-identical.
+func (r *Recorder) DumpJSON() []byte {
+	events := r.Snapshot()
+	if events == nil {
+		events = []Event{}
+	}
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"recorded\": ")
+	b, _ := json.Marshal(r.Recorded())
+	buf.Write(b)
+	buf.WriteString(",\n  \"events\": [")
+	for i, e := range events {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n    ")
+		b, err := json.Marshal(e)
+		if err != nil {
+			b = []byte(`{"error":"unencodable event"}`)
+		}
+		buf.Write(b)
+	}
+	if len(events) > 0 {
+		buf.WriteString("\n  ")
+	}
+	buf.WriteString("]\n}\n")
+	return buf.Bytes()
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeededSourceDeterministic(t *testing.T) {
+	a, b := NewSeededSource(42), NewSeededSource(42)
+	for i := 0; i < 10; i++ {
+		ida, idb := a.NewID(), b.NewID()
+		if ida != idb {
+			t.Fatalf("seeded sources diverged at %d: %q vs %q", i, ida, idb)
+		}
+		if Sanitize(ida) != ida {
+			t.Fatalf("seeded id %q fails its own sanitizer", ida)
+		}
+	}
+	if NewSeededSource(42).NewID() == NewSeededSource(43).NewID() {
+		t.Fatal("different seeds produced the same first id")
+	}
+}
+
+func TestCryptoSourceUniqueAndWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, src := range []*Source{NewSource(), nil} {
+		for i := 0; i < 100; i++ {
+			id := src.NewID()
+			if !strings.HasPrefix(id, "t-") || len(id) != 18 {
+				t.Fatalf("malformed id %q", id)
+			}
+			if Sanitize(id) != id {
+				t.Fatalf("id %q fails sanitizer", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate crypto id %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"t-0123456789abcdef", "t-0123456789abcdef"},
+		{"simple_id.1-2", "simple_id.1-2"},
+		{"", ""},
+		{"has space", ""},
+		{"newline\ninjection", ""},
+		{`quote"breaker`, ""},
+		{"unicode-héllo", ""},
+		{strings.Repeat("a", MaxIDLen), strings.Repeat("a", MaxIDLen)},
+		{strings.Repeat("a", MaxIDLen+1), ""},
+	}
+	for _, c := range cases {
+		if got := Sanitize(c.in); got != c.want {
+			t.Errorf("Sanitize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if From(ctx) != "" {
+		t.Fatal("empty context carries an id")
+	}
+	ctx = With(ctx, "t-abc")
+	if got := From(ctx); got != "t-abc" {
+		t.Fatalf("From = %q, want t-abc", got)
+	}
+	// Invalid ids must not attach.
+	if got := From(With(context.Background(), "bad id")); got != "" {
+		t.Fatalf("invalid id attached: %q", got)
+	}
+	if From(nil) != "" { //nolint:staticcheck // nil-safety contract
+		t.Fatal("nil context should yield empty id")
+	}
+}
+
+func TestRecorderRingRetainsLastN(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{Component: "test", Name: fmt.Sprintf("e%d", i)})
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, wantSeq)
+		}
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", r.Recorded())
+	}
+}
+
+func TestRecorderConcurrentAndNil(t *testing.T) {
+	r := NewRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Event{Component: "test", Name: "concurrent", Fields: []Field{F("g", fmt.Sprint(g))}})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Recorded() != 1600 {
+		t.Fatalf("Recorded = %d, want 1600", r.Recorded())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("retained %d, want 64", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatal("snapshot not strictly ordered by seq")
+		}
+	}
+
+	var nilRec *Recorder
+	if nilRec.Record(Event{}) != 0 || nilRec.Snapshot() != nil || nilRec.Recorded() != 0 {
+		t.Fatal("nil recorder is not a no-op")
+	}
+}
+
+func TestDumpJSONDeterministicAndParseable(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Trace: "t-1", Component: "server", Name: "canary.start",
+		Fields: []Field{F("fn", "sort"), F("version", "2")}})
+	r.Record(Event{Component: "server", Name: "journal.compact"})
+
+	d1, d2 := r.DumpJSON(), r.DumpJSON()
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("idle double dump differs")
+	}
+	var doc struct {
+		Recorded uint64 `json:"recorded"`
+		Events   []struct {
+			Seq    uint64            `json:"seq"`
+			Trace  string            `json:"trace"`
+			Event  string            `json:"event"`
+			Fields map[string]string `json:"fields"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(d1, &doc); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, d1)
+	}
+	if doc.Recorded != 2 || len(doc.Events) != 2 {
+		t.Fatalf("dump = %+v, want 2 events", doc)
+	}
+	if doc.Events[0].Trace != "t-1" || doc.Events[0].Fields["fn"] != "sort" {
+		t.Fatalf("first event mangled: %+v", doc.Events[0])
+	}
+	if strings.Contains(string(d1), "time") {
+		t.Fatal("dump contains a wall-clock field")
+	}
+
+	var empty *Recorder
+	if err := json.Unmarshal(empty.DumpJSON(), &doc); err != nil {
+		t.Fatalf("nil recorder dump invalid: %v", err)
+	}
+}
+
+func TestLogDeterministicStream(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+		l := NewLog(LogConfig{Writer: &buf, Clock: func() time.Time { return fixed }})
+		src := NewSeededSource(7)
+		ctx := With(context.Background(), src.NewID())
+		l.Event(ctx, "server", "canary.start", F("fn", "sort"), F("version", "2"))
+		l.Event(With(context.Background(), src.NewID()), "server", "canary.promote", F("fn", "sort"))
+		return buf.String()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Fatalf("seeded double-run log streams differ:\n%s\nvs\n%s", s1, s2)
+	}
+	lines := strings.Split(strings.TrimSpace(s1), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 log lines, got %d", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v", err)
+	}
+	for _, key := range []string{"trace", "component", "msg", "fn", "version"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("log line missing %q: %s", key, lines[0])
+		}
+	}
+	if rec["trace"] != NewSeededSource(7).NewID() {
+		t.Fatalf("trace id %v does not match seeded source", rec["trace"])
+	}
+}
+
+func TestLogLevelsAndRecorderFanIn(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(16)
+	l := NewLog(LogConfig{Writer: &buf, Recorder: rec,
+		Clock: func() time.Time { return time.Unix(0, 0) }})
+	ctx := With(context.Background(), "t-fan")
+	l.Debug(ctx, "server", "http.request", F("route", "pull"))
+	l.Event(ctx, "server", "canary.start")
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("stream has %d lines, want 1 (Debug suppressed at Info level)", got)
+	}
+	if rec.Recorded() != 2 {
+		t.Fatalf("flight ring has %d events, want 2 (all levels)", rec.Recorded())
+	}
+	if l.Recorder() != rec {
+		t.Fatal("Recorder() accessor broken")
+	}
+
+	// nil Log must be inert.
+	var nl *Log
+	nl.Event(ctx, "x", "y")
+	nl.Debug(ctx, "x", "y")
+	nl.Error(ctx, "x", "y")
+	if nl.Recorder() != nil {
+		t.Fatal("nil log recorder should be nil")
+	}
+
+	// Writer-less Log still feeds the ring.
+	rec2 := NewRecorder(4)
+	l2 := NewLog(LogConfig{Recorder: rec2})
+	l2.Event(nil, "server", "startup") //nolint:staticcheck // nil-ctx contract
+	if rec2.Recorded() != 1 {
+		t.Fatal("writer-less log dropped the event")
+	}
+}

@@ -12,10 +12,13 @@ package server
 // appends left it and converges to the same verdict on the same stream.
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"nitro/internal/ensemble"
 	"nitro/internal/ml"
+	"nitro/internal/obs/trace"
 	"nitro/internal/online"
 )
 
@@ -72,7 +75,7 @@ func pairedDelta(inc, chal *ml.Model, s online.RemoteSample) (float64, bool) {
 // through the same path as the failure-rate gate; an undecided batch
 // journals the experiment's cumulative state so a crash resumes mid-count.
 // Registry mu must be held.
-func (r *Registry) feedCanaryBakeoffLocked(tenant string, fs *funcState, samples []online.RemoteSample) error {
+func (r *Registry) feedCanaryBakeoffLocked(ctx context.Context, tenant string, fs *funcState, samples []online.RemoteSample) error {
 	c := fs.canary
 	if c == nil || fs.bakeoff == nil {
 		return nil
@@ -98,7 +101,7 @@ func (r *Registry) feedCanaryBakeoffLocked(tenant string, fs *funcState, samples
 			case ensemble.Timeout:
 				r.metrics.bakeoffTimeouts.Add(1)
 			}
-			return r.endCanaryLocked(tenant, fs, c.Version, v == ensemble.Promote)
+			return r.endCanaryLocked(ctx, tenant, fs, c.Version, v == ensemble.Promote)
 		}
 	}
 	if !fed {
@@ -107,34 +110,47 @@ func (r *Registry) feedCanaryBakeoffLocked(tenant string, fs *funcState, samples
 	snap := fs.bakeoff.Snapshot()
 	return r.journalAppend(journalRecord{Op: opCanaryProgress, Tenant: tenant, Function: fs.spec.Name,
 		Version: c.Version, Calls: c.Calls, Failures: c.Failures,
-		Reporters: fs.canaryReporters, Bakeoff: &snap})
+		Reporters: fs.canaryReporters, Bakeoff: &snap, Trace: trace.From(ctx)})
 }
 
 // endCanaryLocked settles the live canary episode with a verdict — shared
 // by the fleet failure-rate gate (ReportCanary) and the sequential bakeoff
 // stopper. WAL-first: the decision record is durable before
 // deployment.json changes. Registry mu must be held.
-func (r *Registry) endCanaryLocked(tenant string, fs *funcState, version int, promoted bool) error {
+func (r *Registry) endCanaryLocked(ctx context.Context, tenant string, fs *funcState, version int, promoted bool) error {
+	episode := ""
+	if fs.canary != nil {
+		episode = fs.canary.Trace
+	}
 	fs.canary = nil
 	fs.bakeoff = nil
 	fs.decoded = nil
 	fs.canaryReporters = nil
 	fs.autoTuned = false
+	event := "canary.rollback"
 	if promoted {
 		fs.stable = version
 		fs.lastDec = DecisionPromoted
 		fs.detector.OnSwap()
 		r.metrics.canariesPromoted.Add(1)
+		event = "canary.promote"
 	} else {
 		fs.lastDec = DecisionRolledBack
 		fs.detector.OnRollback()
 		r.metrics.canariesRolledBack.Add(1)
 	}
+	// The verdict trace is the request that settled the episode; the episode
+	// field links back to the request that started it.
+	fs.lastDecTrace = trace.From(ctx)
+	r.cfg.Log.Event(ctx, "server", event,
+		trace.F("tenant", tenant), trace.F("fn", fs.spec.Name),
+		trace.F("version", fmt.Sprint(version)), trace.F("episode", episode))
 	if err := r.journalAppend(journalRecord{Op: opCanaryEnd, Tenant: tenant,
-		Function: fs.spec.Name, Version: version, Decision: fs.lastDec}); err != nil {
+		Function: fs.spec.Name, Version: version, Decision: fs.lastDec,
+		Trace: trace.From(ctx)}); err != nil {
 		return err
 	}
-	if err := r.journalDriftLocked(tenant, fs); err != nil {
+	if err := r.journalDriftLocked(ctx, tenant, fs); err != nil {
 		return err
 	}
 	if err := r.persistArtifact(tenant, fs); err != nil {

@@ -8,6 +8,7 @@ package server
 // to the same verdict on the remaining stream.
 
 import (
+	"context"
 	"testing"
 
 	"nitro/internal/ensemble"
@@ -29,15 +30,15 @@ func seqConfig(seq ensemble.BakeoffConfig) func(*RegistryConfig) {
 // sample generators use — the fixture is self-validating.
 func stageBakeoffCanary(t *testing.T, r *Registry) {
 	t.Helper()
-	if err := r.RegisterFunction("acme", testSpec()); err != nil {
+	if err := r.RegisterFunction(context.Background(), "acme", testSpec()); err != nil {
 		t.Fatal(err)
 	}
 	v1 := boundaryArtifact(t, 4.5)
 	v2 := boundaryArtifact(t, 2.5)
-	if _, err := r.PushModel("acme", "sort", v1, ""); err != nil {
+	if _, err := r.PushModel(context.Background(), "acme", "sort", v1, ""); err != nil {
 		t.Fatal(err)
 	}
-	dep, err := r.PushModel("acme", "sort", v2, "")
+	dep, err := r.PushModel(context.Background(), "acme", "sort", v2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestBakeoffPromotesFasterChallenger(t *testing.T) {
 
 	fed := 0
 	for _, batch := range [][]online.RemoteSample{pairedStream(4, true), pairedStream(4, true)} {
-		if _, err := r.PushObservations("acme", "sort", batch); err != nil {
+		if _, err := r.PushObservations(context.Background(), "acme", "sort", batch); err != nil {
 			t.Fatal(err)
 		}
 		fed += len(batch)
@@ -123,7 +124,7 @@ func TestBakeoffRejectsSlowerChallenger(t *testing.T) {
 	defer r.Close()
 	stageBakeoffCanary(t, r)
 
-	if _, err := r.PushObservations("acme", "sort", pairedStream(10, false)); err != nil {
+	if _, err := r.PushObservations(context.Background(), "acme", "sort", pairedStream(10, false)); err != nil {
 		t.Fatal(err)
 	}
 	dep, err := r.Deployment("acme", "sort")
@@ -147,7 +148,7 @@ func TestBakeoffTimeoutRollsBack(t *testing.T) {
 	defer r.Close()
 	stageBakeoffCanary(t, r)
 
-	if _, err := r.PushObservations("acme", "sort", pairedStream(12, true)); err != nil {
+	if _, err := r.PushObservations(context.Background(), "acme", "sort", pairedStream(12, true)); err != nil {
 		t.Fatal(err)
 	}
 	dep, err := r.Deployment("acme", "sort")
@@ -173,7 +174,7 @@ func TestBakeoffResumesAfterKill(t *testing.T) {
 	twin := newJournalRegistry(t, t.TempDir(), seqConfig(seq))
 	defer twin.Close()
 	stageBakeoffCanary(t, twin)
-	if _, err := twin.PushObservations("acme", "sort", pairedStream(16, true)); err != nil {
+	if _, err := twin.PushObservations(context.Background(), "acme", "sort", pairedStream(16, true)); err != nil {
 		t.Fatal(err)
 	}
 	twinDep, err := twin.Deployment("acme", "sort")
@@ -185,7 +186,7 @@ func TestBakeoffResumesAfterKill(t *testing.T) {
 	dir := t.TempDir()
 	r := newJournalRegistry(t, dir, seqConfig(seq))
 	stageBakeoffCanary(t, r)
-	if _, err := r.PushObservations("acme", "sort", pairedStream(16, true)[:8]); err != nil {
+	if _, err := r.PushObservations(context.Background(), "acme", "sort", pairedStream(16, true)[:8]); err != nil {
 		t.Fatal(err)
 	}
 	dep, err := r.Deployment("acme", "sort")
@@ -213,7 +214,7 @@ func TestBakeoffResumesAfterKill(t *testing.T) {
 	if dep.Canary.BakeoffMean <= 0 {
 		t.Fatalf("resumed bakeoff mean = %v, want the positive running mean restored", dep.Canary.BakeoffMean)
 	}
-	if _, err := r2.PushObservations("acme", "sort", pairedStream(16, true)[8:]); err != nil {
+	if _, err := r2.PushObservations(context.Background(), "acme", "sort", pairedStream(16, true)[8:]); err != nil {
 		t.Fatal(err)
 	}
 	dep, err = r2.Deployment("acme", "sort")

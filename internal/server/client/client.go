@@ -21,6 +21,7 @@ import (
 
 	"nitro/internal/autotuner"
 	"nitro/internal/ml"
+	"nitro/internal/obs/trace"
 	"nitro/internal/online"
 	"nitro/internal/server"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	// Seed seeds the jitter RNG; 0 derives a stream from the token so
 	// distinct clients jitter independently. Fix it for replayable tests.
 	Seed int64
+	// Log, when non-nil, receives structured client-side events (poll
+	// transitions, breaker open/close) stamped with the active trace id.
+	Log *trace.Log
+	// TraceSource mints per-poll trace ids (default: seeded from Seed when
+	// set, crypto/rand otherwise). A caller-supplied context id wins.
+	TraceSource *trace.Source
 	// sleep / now are injectable for tests (fake clock).
 	sleep func(time.Duration)
 	now   func() time.Time
@@ -121,10 +128,18 @@ func New(cfg Config) (*Client, error) {
 			seed = (seed ^ uint64(cfg.Token[i])) * 0x100000001b3
 		}
 	}
+	if cfg.TraceSource == nil {
+		if cfg.Seed != 0 {
+			cfg.TraceSource = trace.NewSeededSource(cfg.Seed)
+		} else {
+			cfg.TraceSource = trace.NewSource()
+		}
+	}
 	return &Client{
-		cfg:     cfg,
-		breaker: &circuit{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown, now: cfg.now},
-		rng:     rand.New(rand.NewPCG(seed, 0x6a697474)), // "jitt"
+		cfg: cfg,
+		breaker: &circuit{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown,
+			now: cfg.now, log: cfg.Log},
+		rng: rand.New(rand.NewPCG(seed, 0x6a697474)), // "jitt"
 	}, nil
 }
 
@@ -165,6 +180,7 @@ type circuit struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time
+	log       *trace.Log // nil-safe; open/close transitions only
 
 	mu        sync.Mutex
 	failures  int
@@ -205,10 +221,14 @@ func (b *circuit) success() {
 		return
 	}
 	b.mu.Lock()
+	wasOpen := !b.openUntil.IsZero()
 	b.failures = 0
 	b.openUntil = time.Time{}
 	b.probing = false
 	b.mu.Unlock()
+	if wasOpen {
+		b.log.Event(nil, "client", "breaker.close")
+	}
 }
 
 // abort releases the half-open probe slot for an exchange that never
@@ -232,12 +252,19 @@ func (b *circuit) failure(probe bool) {
 		return
 	}
 	b.mu.Lock()
+	wasOpen := !b.openUntil.IsZero()
 	b.failures++
-	if probe || b.failures >= b.threshold {
+	tripped := probe || b.failures >= b.threshold
+	if tripped {
 		b.openUntil = b.now().Add(b.cooldown)
 		b.probing = false
 	}
+	failures := b.failures
 	b.mu.Unlock()
+	if tripped && !wasOpen {
+		b.log.Error(nil, "client", "breaker.open",
+			trace.F("consecutive_failures", fmt.Sprint(failures)))
+	}
 }
 
 // State reports the breaker's current admission state for observability:
@@ -293,6 +320,9 @@ func (c *Client) do(ctx context.Context, method, path string, headers map[string
 			return apiResponse{}, err
 		}
 		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
+		if id := trace.From(ctx); id != "" {
+			req.Header.Set(trace.Header, id)
+		}
 		for k, v := range headers {
 			req.Header.Set(k, v)
 		}

@@ -29,9 +29,11 @@ package client
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"nitro/internal/core"
 	"nitro/internal/ml"
+	"nitro/internal/obs/trace"
 	"nitro/internal/server"
 )
 
@@ -89,6 +91,11 @@ type PollResult struct {
 	// Healed reports that this poll ended a failure streak: the registry
 	// is reachable again and the local state was reconciled.
 	Healed bool
+	// Trace is the correlation id this poll ran under: the id carried by
+	// the caller's context, or one minted for the poll. Every request the
+	// poll issued sent it as X-Nitro-Trace-Id, so the server's log,
+	// journal and flight recorder are greppable by it.
+	Trace string
 }
 
 // StableVersion reports the currently installed stable generation.
@@ -101,19 +108,48 @@ func (p *Poller) Stats() PollerStats { return p.stats }
 // is unreachable and the installed incumbent is serving solo.
 func (p *Poller) Degraded() bool { return p.stats.ConsecutiveFailures > 0 }
 
-// PollOnce runs one reconciliation pass.
+// PollOnce runs one reconciliation pass. Each poll runs under one trace
+// id — taken from ctx when the caller attached one (trace.With), minted
+// otherwise — which every request of the pass carries to the server.
 func (p *Poller) PollOnce(ctx context.Context) (PollResult, error) {
+	id := trace.From(ctx)
+	if id == "" {
+		id = p.c.cfg.TraceSource.NewID()
+		ctx = trace.With(ctx, id)
+	}
+	log := p.c.cfg.Log
+	log.Debug(ctx, "client", "poll.start", trace.F("fn", p.fn))
 	res, err := p.pollOnce(ctx)
+	res.Trace = id
 	p.stats.Polls++
 	if err != nil {
 		p.stats.Failures++
 		p.stats.ConsecutiveFailures++
+		log.Error(ctx, "client", "poll.fail", trace.F("fn", p.fn),
+			trace.F("streak", strconv.FormatInt(p.stats.ConsecutiveFailures, 10)),
+			trace.F("error", err.Error()))
 		return res, err
 	}
 	if p.stats.ConsecutiveFailures > 0 {
 		p.stats.ConsecutiveFailures = 0
 		p.stats.Heals++
 		res.Healed = true
+		log.Event(ctx, "client", "poll.heal", trace.F("fn", p.fn),
+			trace.F("stable", strconv.Itoa(res.StableVersion)))
+	}
+	// One poll can do both: install a new stable AND adopt the canary
+	// staged on top of it. They are separate transitions — log each.
+	if res.InstalledStable {
+		log.Event(ctx, "client", "model.install", trace.F("fn", p.fn),
+			trace.F("version", strconv.Itoa(res.StableVersion)))
+	}
+	if res.StartedCanary {
+		log.Event(ctx, "client", "canary.adopt", trace.F("fn", p.fn),
+			trace.F("version", strconv.Itoa(res.CanaryVersion)))
+	}
+	if res.Decision != "" && res.Decision != server.DecisionPending {
+		log.Event(ctx, "client", "canary.verdict", trace.F("fn", p.fn),
+			trace.F("decision", res.Decision))
 	}
 	return res, nil
 }

@@ -18,8 +18,17 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"nitro/internal/obs/trace"
 	"nitro/internal/online"
 )
+
+// apiRoutes is the fixed route-name set used as histogram keys for
+// nitro_server_http_request_seconds{route=...}. Cardinality is bounded by
+// this list — route labels never come from request data.
+var apiRoutes = []string{
+	"register", "list", "status", "deployment", "pull",
+	"push", "observations", "tune", "report", "job",
+}
 
 // maxBodyBytes bounds request bodies (model artifacts and observation
 // batches are small; anything larger is abuse).
@@ -88,6 +97,7 @@ type shedder struct {
 	inflight atomic.Int64
 	shedding atomic.Bool
 	m        *serverMetrics
+	log      *trace.Log // nil-safe; shed-episode transitions only
 }
 
 // threshold returns the class's admission ceiling.
@@ -109,7 +119,12 @@ func (s *shedder) acquire(class shedClass) bool {
 		return true
 	}
 	s.inflight.Add(-1)
-	s.shedding.Store(true)
+	if s.shedding.CompareAndSwap(false, true) {
+		// Episode transitions only, not per-shed: the log stays quiet under
+		// sustained overload while the counters below carry the volume.
+		s.log.Event(nil, "server", "shed.start",
+			trace.F("inflight", fmt.Sprint(n)), trace.F("max", fmt.Sprint(s.max)))
+	}
 	switch class {
 	case classObservation:
 		s.m.shedObservations.Add(1)
@@ -127,13 +142,18 @@ func (s *shedder) release() {
 	n := s.inflight.Add(-1)
 	if n < s.threshold(classObservation)/2+1 && s.shedding.CompareAndSwap(true, false) {
 		s.m.shedRecoveries.Add(1)
+		s.log.Event(nil, "server", "shed.end", trace.F("inflight", fmt.Sprint(n)))
 	}
 }
 
-// shedded wraps a handler with prioritized admission control. Shed
-// responses are 503 with a Retry-After hint, which the client's backoff
-// honors — a fleet pushed away comes back spread out, not in a herd.
-func (r *Registry) shedded(class shedClass, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with the per-route observability stack:
+// prioritized admission control (shed responses are 503 with a Retry-After
+// hint, which the client's backoff honors — a fleet pushed away comes back
+// spread out, not in a herd), trace correlation (the inbound
+// X-Nitro-Trace-Id is sanitized and attached to the request context, or a
+// fresh id is minted; either way the id is echoed on the response), and
+// per-route latency recording into the labeled histogram family.
+func (r *Registry) instrument(route string, class shedClass, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		if !r.shed.acquire(class) {
 			w.Header().Set("Retry-After", "1")
@@ -141,7 +161,21 @@ func (r *Registry) shedded(class shedClass, h http.HandlerFunc) http.HandlerFunc
 			return
 		}
 		defer r.shed.release()
+		id := trace.Sanitize(req.Header.Get(trace.Header))
+		if id == "" {
+			id = r.cfg.TraceSource.NewID()
+		}
+		w.Header().Set(trace.Header, id)
+		req = req.WithContext(trace.With(req.Context(), id))
+		// Per-request events are Debug: the flight ring keeps them, the
+		// stream stays quiet at the Info default so the pull path is cheap.
+		r.cfg.Log.Debug(req.Context(), "server", "http.request",
+			trace.F("route", route), trace.F("method", req.Method))
+		start := r.cfg.Clock()
 		h(w, req)
+		if hist := r.routeHist[route]; hist != nil {
+			hist.Record(r.cfg.Clock().Sub(start).Seconds())
+		}
 	}
 }
 
@@ -149,16 +183,16 @@ func (r *Registry) shedded(class shedClass, h http.HandlerFunc) http.HandlerFunc
 // state of its own; everything lives in the registry.
 func (r *Registry) APIHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/functions", r.shedded(classControl, r.withTenant(r.handleRegister)))
-	mux.HandleFunc("GET /api/v1/functions", r.shedded(classPull, r.withTenant(r.handleList)))
-	mux.HandleFunc("GET /api/v1/functions/{fn}", r.shedded(classPull, r.withTenant(r.handleStatus)))
-	mux.HandleFunc("GET /api/v1/functions/{fn}/deployment", r.shedded(classPull, r.withTenant(r.handleDeployment)))
-	mux.HandleFunc("GET /api/v1/functions/{fn}/model", r.shedded(classPull, r.withTenant(r.handlePull)))
-	mux.HandleFunc("PUT /api/v1/functions/{fn}/model", r.shedded(classControl, r.withTenant(r.handlePush)))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/observations", r.shedded(classObservation, r.withTenant(r.handleObservations)))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/tune", r.shedded(classControl, r.withTenant(r.handleTune)))
-	mux.HandleFunc("POST /api/v1/functions/{fn}/canary/report", r.shedded(classControl, r.withTenant(r.handleCanaryReport)))
-	mux.HandleFunc("GET /api/v1/jobs/{id}", r.shedded(classControl, r.withTenant(r.handleJob)))
+	mux.HandleFunc("POST /api/v1/functions", r.instrument("register", classControl, r.withTenant(r.handleRegister)))
+	mux.HandleFunc("GET /api/v1/functions", r.instrument("list", classPull, r.withTenant(r.handleList)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}", r.instrument("status", classPull, r.withTenant(r.handleStatus)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/deployment", r.instrument("deployment", classPull, r.withTenant(r.handleDeployment)))
+	mux.HandleFunc("GET /api/v1/functions/{fn}/model", r.instrument("pull", classPull, r.withTenant(r.handlePull)))
+	mux.HandleFunc("PUT /api/v1/functions/{fn}/model", r.instrument("push", classControl, r.withTenant(r.handlePush)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/observations", r.instrument("observations", classObservation, r.withTenant(r.handleObservations)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/tune", r.instrument("tune", classControl, r.withTenant(r.handleTune)))
+	mux.HandleFunc("POST /api/v1/functions/{fn}/canary/report", r.instrument("report", classControl, r.withTenant(r.handleCanaryReport)))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", r.instrument("job", classControl, r.withTenant(r.handleJob)))
 	return mux
 }
 
@@ -179,6 +213,11 @@ func (r *Registry) withTenant(h func(http.ResponseWriter, *http.Request, string)
 			writeErr(w, err)
 			return
 		}
+		r.mu.Lock()
+		if ts := r.tenants[tenant]; ts != nil {
+			ts.tm.requests.Add(1)
+		}
+		r.mu.Unlock()
 		h(w, req, tenant)
 	}
 }
@@ -189,7 +228,7 @@ func (r *Registry) handleRegister(w http.ResponseWriter, req *http.Request, tena
 		writeErr(w, err)
 		return
 	}
-	if err := r.RegisterFunction(tenant, spec); err != nil {
+	if err := r.RegisterFunction(req.Context(), tenant, spec); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -241,15 +280,20 @@ func (r *Registry) handlePull(w http.ResponseWriter, req *http.Request, tenant s
 		writeErr(w, err)
 		return
 	}
-	w.Header().Set("ETag", etag)
-	w.Header().Set("X-Nitro-Model-Version", strconv.Itoa(v))
+	// Both outcomes carry the validator pair: a 304 must let the poller
+	// confirm which version its cached artifact corresponds to without a
+	// body, exactly as a 200 does.
 	for _, cand := range strings.Split(req.Header.Get("If-None-Match"), ",") {
 		if strings.TrimSpace(cand) == etag {
 			r.metrics.pullsNotModified.Add(1)
+			w.Header().Set("ETag", etag)
+			w.Header().Set("X-Nitro-Model-Version", strconv.Itoa(v))
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Nitro-Model-Version", strconv.Itoa(v))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(data)
 }
@@ -260,7 +304,7 @@ func (r *Registry) handlePush(w http.ResponseWriter, req *http.Request, tenant s
 		writeErr(w, fmt.Errorf("%w: %v", ErrInvalid, err))
 		return
 	}
-	dep, err := r.PushModel(tenant, req.PathValue("fn"), data, req.Header.Get("If-Match"))
+	dep, err := r.PushModel(req.Context(), tenant, req.PathValue("fn"), data, req.Header.Get("If-Match"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -283,7 +327,7 @@ func (r *Registry) handleObservations(w http.ResponseWriter, req *http.Request, 
 		writeErr(w, fmt.Errorf("%w: empty sample batch", ErrInvalid))
 		return
 	}
-	stats, err := r.PushObservations(tenant, req.PathValue("fn"), body.Samples)
+	stats, err := r.PushObservations(req.Context(), tenant, req.PathValue("fn"), body.Samples)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -292,7 +336,7 @@ func (r *Registry) handleObservations(w http.ResponseWriter, req *http.Request, 
 }
 
 func (r *Registry) handleTune(w http.ResponseWriter, req *http.Request, tenant string) {
-	id, err := r.Tune(tenant, req.PathValue("fn"))
+	id, err := r.Tune(req.Context(), tenant, req.PathValue("fn"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -326,7 +370,7 @@ func (r *Registry) handleCanaryReport(w http.ResponseWriter, req *http.Request, 
 		writeErr(w, err)
 		return
 	}
-	decision, dep, err := r.ReportCanary(tenant, req.PathValue("fn"), body.Version, body.Reporter, body.Calls, body.Failures)
+	decision, dep, err := r.ReportCanary(req.Context(), tenant, req.PathValue("fn"), body.Version, body.Reporter, body.Calls, body.Failures)
 	if err != nil {
 		writeErr(w, err)
 		return

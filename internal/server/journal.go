@@ -70,6 +70,12 @@ type journalRecord struct {
 	Op       string `json:"op"`
 	Tenant   string `json:"tenant,omitempty"`
 	Function string `json:"fn,omitempty"`
+	// Trace is the correlation id of the request (or tune job) that caused
+	// this record, so a WAL grep by trace id reconstructs the control-plane
+	// span tree across crashes. Optional and backward-compatible: journals
+	// written before the field decode fine (Unmarshal ignores unknown
+	// fields in either direction), and replay treats "" as "no trace".
+	Trace string `json:"trace,omitempty"`
 
 	// Canary fields.
 	Version        int     `json:"version,omitempty"`

@@ -7,6 +7,7 @@ package server
 // shutdown.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
@@ -34,17 +35,17 @@ func newJournalRegistry(t *testing.T, dir string, mutate func(*RegistryConfig)) 
 // and reports some (insufficient) fleet progress against it.
 func stageCanary(t *testing.T, r *Registry, calls, failures int64) {
 	t.Helper()
-	if err := r.RegisterFunction("acme", testSpec()); err != nil {
+	if err := r.RegisterFunction(context.Background(), "acme", testSpec()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushModel("acme", "sort", boundaryArtifact(t, 4.5), ""); err != nil {
+	if _, err := r.PushModel(context.Background(), "acme", "sort", boundaryArtifact(t, 4.5), ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushModel("acme", "sort", boundaryArtifact(t, 6.5), ""); err != nil {
+	if _, err := r.PushModel(context.Background(), "acme", "sort", boundaryArtifact(t, 6.5), ""); err != nil {
 		t.Fatal(err)
 	}
 	if calls > 0 {
-		dec, _, err := r.ReportCanary("acme", "sort", 2, "", calls, failures)
+		dec, _, err := r.ReportCanary(context.Background(), "acme", "sort", 2, "", calls, failures)
 		if err != nil || dec != DecisionPending {
 			t.Fatalf("staging report: decision %q err %v, want pending", dec, err)
 		}
@@ -77,7 +78,7 @@ func TestJournalResumeAfterKill(t *testing.T) {
 		t.Fatalf("resumed canary = %+v, want v2 with 20 calls / 1 failure", c)
 	}
 	// The resumed episode settles normally: enough healthy reports promote.
-	dec, _, err := r2.ReportCanary("acme", "sort", 2, "", c.MinSamples-c.Calls, 0)
+	dec, _, err := r2.ReportCanary(context.Background(), "acme", "sort", 2, "", c.MinSamples-c.Calls, 0)
 	if err != nil || dec != DecisionPromoted {
 		t.Fatalf("post-resume verdict %q err %v, want promoted", dec, err)
 	}
@@ -291,7 +292,7 @@ func TestCanaryReportIdempotentPerReporter(t *testing.T) {
 
 	report := func(reg *Registry, reporter string, calls, failures, wantCalls, wantFails int64) {
 		t.Helper()
-		dec, dep, err := reg.ReportCanary("acme", "sort", 2, reporter, calls, failures)
+		dec, dep, err := reg.ReportCanary(context.Background(), "acme", "sort", 2, reporter, calls, failures)
 		if err != nil || dec != DecisionPending {
 			t.Fatalf("report(%q,%d,%d): (%q, %v), want pending", reporter, calls, failures, dec, err)
 		}
@@ -349,7 +350,7 @@ func TestJournalCompaction(t *testing.T) {
 	stageCanary(t, r, 0, 0)
 	// Roll the canary back (failure rate 100%) — the verdict triggers the
 	// size check and compacts.
-	if dec, _, err := r.ReportCanary("acme", "sort", 2, "", 60, 60); err != nil || dec != DecisionRolledBack {
+	if dec, _, err := r.ReportCanary(context.Background(), "acme", "sort", 2, "", 60, 60); err != nil || dec != DecisionRolledBack {
 		t.Fatalf("decision %v err %v, want rolledback", dec, err)
 	}
 	size := r.journal.sizeBytes()
@@ -358,7 +359,7 @@ func TestJournalCompaction(t *testing.T) {
 	}
 	// Stage a fresh canary over the compacted log and prove a restart
 	// still resumes it.
-	if _, err := r.PushModel("acme", "sort", boundaryArtifact(t, 2.5), ""); err != nil {
+	if _, err := r.PushModel(context.Background(), "acme", "sort", boundaryArtifact(t, 2.5), ""); err != nil {
 		t.Fatal(err)
 	}
 	r.kill()
@@ -378,17 +379,17 @@ func TestJournalCompaction(t *testing.T) {
 func TestJournalDriftStateSurvivesRestart(t *testing.T) {
 	dir := t.TempDir()
 	r := newJournalRegistry(t, dir, nil)
-	if err := r.RegisterFunction("acme", testSpec()); err != nil {
+	if err := r.RegisterFunction(context.Background(), "acme", testSpec()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.PushModel("acme", "sort", boundaryArtifact(t, 4.5), ""); err != nil {
+	if _, err := r.PushModel(context.Background(), "acme", "sort", boundaryArtifact(t, 4.5), ""); err != nil {
 		t.Fatal(err)
 	}
 	samples := make([]online.RemoteSample, 10)
 	for i := range samples {
 		samples[i] = online.RemoteSample{Features: []float64{float64(i)}, Times: []float64{1, 2}, Predicted: 0}
 	}
-	if _, err := r.PushObservations("acme", "sort", samples); err != nil {
+	if _, err := r.PushObservations(context.Background(), "acme", "sort", samples); err != nil {
 		t.Fatal(err)
 	}
 	before, err := r.Status("acme", "sort")

@@ -15,6 +15,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,12 +23,16 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nitro/internal/autotuner"
 	"nitro/internal/ensemble"
 	"nitro/internal/ml"
+	"nitro/internal/obs"
+	"nitro/internal/obs/trace"
 	"nitro/internal/online"
 )
 
@@ -136,8 +141,12 @@ const (
 // serving fraction clients must apply, and the fleet-aggregated outcome
 // counters.
 type CanaryState struct {
-	Version        int     `json:"version"`
-	ETag           string  `json:"etag"`
+	Version int    `json:"version"`
+	ETag    string `json:"etag"`
+	// Trace is the episode's correlation id: the trace of the request (or
+	// tune job) that staged this challenger. It survives journal replay, so
+	// a canary resumed after a crash still reports the original provenance.
+	Trace          string  `json:"trace,omitempty"`
 	Fraction       float64 `json:"fraction"`
 	MinSamples     int64   `json:"min_samples"`
 	MaxFailureRate float64 `json:"max_failure_rate"`
@@ -161,6 +170,9 @@ type Deployment struct {
 	Canary     *CanaryState `json:"canary,omitempty"`
 	// LastDecision reports how the most recent canary episode ended.
 	LastDecision string `json:"last_decision"`
+	// LastDecisionTrace is the correlation id of the request that settled
+	// the most recent canary episode — the verdict's end of the span tree.
+	LastDecisionTrace string `json:"last_decision_trace,omitempty"`
 }
 
 // FunctionStatus is the observable state of one registered function.
@@ -186,6 +198,9 @@ type funcState struct {
 	stable    int
 	canary    *CanaryState
 	lastDec   string
+	// lastDecTrace is the trace id of the request that settled the most
+	// recent episode (persisted with the deployment pointer).
+	lastDecTrace string
 	// canaryReporters holds each reporter's last accepted cumulative totals
 	// for the live canary episode; reporter-keyed reports fold in only the
 	// movement past this baseline, so at-least-once retries cannot
@@ -211,6 +226,18 @@ type tenantState struct {
 	cfg    TenantConfig
 	funcs  map[string]*funcState
 	bucket tokenBucket
+	tm     tenantMetrics
+}
+
+// tenantMetrics splits the hot-path counters by tenant. Cardinality is
+// bounded by construction: tenants are registered in RegistryConfig, never
+// minted from request data, so the labeled series set is fixed at startup.
+type tenantMetrics struct {
+	requests      atomic.Int64
+	observations  atomic.Int64
+	pulls         atomic.Int64
+	tunes         atomic.Int64
+	canaryReports atomic.Int64
 }
 
 // tokenBucket is a classic token bucket with an injectable clock.
@@ -284,6 +311,14 @@ type RegistryConfig struct {
 	JournalCompactBytes int64
 	// Clock is injectable for rate-limit tests (default time.Now).
 	Clock func() time.Time
+	// Log, when non-nil, receives a structured slog event for every
+	// control-plane transition (and feeds the flight recorder it carries).
+	// nil disables logging; every call site is nil-safe.
+	Log *trace.Log
+	// TraceSource mints trace ids for requests that arrive without an
+	// X-Nitro-Trace-Id header (default crypto/rand; seed it for
+	// deterministic test replays).
+	TraceSource *trace.Source
 }
 
 // RecoveryReport describes what journal recovery did at startup.
@@ -328,6 +363,9 @@ type Registry struct {
 	shed     *shedder
 
 	metrics serverMetrics
+	// routeHist times each API route (fixed route set, one histogram per
+	// route, exported as nitro_server_http_request_seconds{route=...}).
+	routeHist map[string]*obs.Histogram
 }
 
 type jobMeta struct{ tenant, fn string }
@@ -360,13 +398,20 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		cfg.Clock = time.Now
 	}
 	cfg.Canary = cfg.Canary.normalized()
-	r := &Registry{
-		tenants: make(map[string]*tenantState),
-		byToken: make(map[string]*tenantState),
-		jobMeta: make(map[string]jobMeta),
-		cfg:     cfg,
+	if cfg.TraceSource == nil {
+		cfg.TraceSource = trace.NewSource()
 	}
-	r.shed = &shedder{max: int64(cfg.MaxInflight), m: &r.metrics}
+	r := &Registry{
+		tenants:   make(map[string]*tenantState),
+		byToken:   make(map[string]*tenantState),
+		jobMeta:   make(map[string]jobMeta),
+		cfg:       cfg,
+		routeHist: make(map[string]*obs.Histogram),
+	}
+	for _, route := range apiRoutes {
+		r.routeHist[route] = obs.NewHistogram()
+	}
+	r.shed = &shedder{max: int64(cfg.MaxInflight), m: &r.metrics, log: cfg.Log}
 	for _, tc := range cfg.Tenants {
 		if !nameRe.MatchString(tc.Name) {
 			return nil, fmt.Errorf("%w: bad tenant name %q", ErrInvalid, tc.Name)
@@ -394,8 +439,48 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 			}
 		}
 	}
-	r.jobs = autotuner.NewJobQueue(cfg.Workers, cfg.QueueCapacity)
+	r.jobs = autotuner.NewJobQueueObs(cfg.Workers, cfg.QueueCapacity, cfg.Log)
+	r.logRecovery()
 	return r, nil
+}
+
+// logRecovery emits the startup recovery summary and re-attaches each
+// resumed canary to its original episode trace — the id staged before the
+// crash carries through restart, so the span tree stays whole.
+func (r *Registry) logRecovery() {
+	if r.cfg.Log == nil {
+		return
+	}
+	rep := r.recovery
+	if rep.Journal {
+		r.cfg.Log.Event(context.Background(), "server", "recovery",
+			trace.F("clean_shutdown", strconv.FormatBool(rep.CleanShutdown)),
+			trace.F("records_replayed", strconv.Itoa(rep.RecordsReplayed)),
+			trace.F("resumed_canaries", strconv.Itoa(rep.ResumedCanaries)),
+			trace.F("dropped_records", strconv.Itoa(rep.DroppedRecords)),
+			trace.F("corrupt_tail", strconv.FormatBool(rep.CorruptTail != "")))
+	}
+	var tnames []string
+	for n := range r.tenants {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	for _, tn := range tnames {
+		ts := r.tenants[tn]
+		var fnames []string
+		for n := range ts.funcs {
+			fnames = append(fnames, n)
+		}
+		sort.Strings(fnames)
+		for _, fn := range fnames {
+			if c := ts.funcs[fn].canary; c != nil {
+				r.cfg.Log.Event(trace.With(context.Background(), c.Trace),
+					"server", "canary.resume", trace.F("tenant", tn), trace.F("fn", fn),
+					trace.F("version", strconv.Itoa(c.Version)),
+					trace.F("calls", strconv.FormatInt(c.Calls, 10)))
+			}
+		}
+	}
 }
 
 // openAndReplayJournal opens DataDir/journal.wal, replays its records over
@@ -464,6 +549,7 @@ func (r *Registry) replayJournal(records []journalRecord) map[*funcState]string 
 			fs.canary = &CanaryState{
 				Version:        rec.Version,
 				ETag:           rec.ETag,
+				Trace:          trace.Sanitize(rec.Trace),
 				Fraction:       rec.Fraction,
 				MinSamples:     rec.MinSamples,
 				MaxFailureRate: rec.MaxFailureRate,
@@ -511,12 +597,14 @@ func (r *Registry) replayJournal(records []journalRecord) map[*funcState]string 
 				if _, ok := fs.artifacts[rec.Version]; ok {
 					fs.stable = rec.Version
 					fs.lastDec = DecisionPromoted
+					fs.lastDecTrace = trace.Sanitize(rec.Trace)
 				} else {
 					r.recovery.DroppedRecords++
 					continue
 				}
 			case DecisionRolledBack:
 				fs.lastDec = DecisionRolledBack
+				fs.lastDecTrace = trace.Sanitize(rec.Trace)
 			}
 			if fs.stable != prevStable || fs.lastDec != prevDec {
 				dirty[fs] = rec.Tenant
@@ -575,13 +663,14 @@ func (r *Registry) journalAppend(rec journalRecord) error {
 
 // journalDriftLocked journals fs's current drift detector snapshot; called
 // at detector state transitions so a restart restores the state machine,
-// not just the counters.
-func (r *Registry) journalDriftLocked(tenant string, fs *funcState) error {
+// not just the counters. ctx supplies the causing request's trace id.
+func (r *Registry) journalDriftLocked(ctx context.Context, tenant string, fs *funcState) error {
 	if r.journal == nil {
 		return nil
 	}
 	snap := fs.detector.Snapshot()
-	return r.journalAppend(journalRecord{Op: opDrift, Tenant: tenant, Function: fs.spec.Name, Drift: &snap})
+	return r.journalAppend(journalRecord{Op: opDrift, Tenant: tenant, Function: fs.spec.Name,
+		Trace: trace.From(ctx), Drift: &snap})
 }
 
 // liveRecordsLocked renders the registry's current durable state as a
@@ -609,8 +698,10 @@ func (r *Registry) liveRecordsLocked() []journalRecord {
 				recs = append(recs, journalRecord{Op: opDrift, Tenant: tn, Function: fn, Drift: &s})
 			}
 			if c := fs.canary; c != nil {
+				// The episode trace rides along, so compaction preserves the
+				// canary's provenance exactly as the original start record did.
 				recs = append(recs, journalRecord{Op: opCanaryStart, Tenant: tn, Function: fn,
-					Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
+					Version: c.Version, ETag: c.ETag, Trace: c.Trace, Fraction: c.Fraction,
 					MinSamples: c.MinSamples, MaxFailureRate: c.MaxFailureRate, Auto: fs.autoTuned})
 				if c.Calls > 0 || len(fs.canaryReporters) > 0 || (fs.bakeoff != nil && fs.bakeoff.N() > 0) {
 					rec := journalRecord{Op: opCanaryProgress, Tenant: tn, Function: fn,
@@ -634,10 +725,14 @@ func (r *Registry) compactJournalLocked() error {
 	if r.journal == nil {
 		return nil
 	}
-	if err := r.journal.rewrite(r.liveRecordsLocked()); err != nil {
+	recs := r.liveRecordsLocked()
+	if err := r.journal.rewrite(recs); err != nil {
 		return err
 	}
 	r.metrics.journalCompactions.Add(1)
+	r.cfg.Log.Event(context.Background(), "server", "journal.compact",
+		trace.F("live_records", strconv.Itoa(len(recs))),
+		trace.F("bytes", strconv.FormatInt(r.journal.sizeBytes(), 10)))
 	return nil
 }
 
@@ -664,6 +759,7 @@ func (r *Registry) Close() {
 	r.journalAppend(journalRecord{Op: opCleanShutdown}) //nolint:errcheck // best-effort marker
 	r.journal.close()
 	r.journal = nil
+	r.cfg.Log.Event(context.Background(), "server", "shutdown.clean")
 }
 
 // kill simulates a crash for tests: the journal handle drops with no
@@ -708,8 +804,9 @@ func (ts *tenantState) fn(name string) (*funcState, error) {
 
 // RegisterFunction creates (or idempotently re-registers) a function spec.
 // Changing the spec of an existing function is a conflict: models trained
-// against the old shape would silently misdispatch.
-func (r *Registry) RegisterFunction(tenant string, spec FunctionSpec) error {
+// against the old shape would silently misdispatch. ctx carries the
+// request's trace id for the structured event log.
+func (r *Registry) RegisterFunction(ctx context.Context, tenant string, spec FunctionSpec) error {
 	if err := spec.validate(); err != nil {
 		return err
 	}
@@ -730,6 +827,9 @@ func (r *Registry) RegisterFunction(tenant string, spec FunctionSpec) error {
 	}
 	ts.funcs[spec.Name] = r.newFuncState(spec)
 	r.metrics.functions.Add(1)
+	r.cfg.Log.Event(ctx, "server", "function.register",
+		trace.F("tenant", tenant), trace.F("fn", spec.Name),
+		trace.F("variants", strconv.Itoa(len(spec.Variants))))
 	return r.persistSpec(tenant, spec)
 }
 
@@ -802,7 +902,8 @@ func (r *Registry) Deployment(tenant, fn string) (Deployment, error) {
 }
 
 func (r *Registry) deploymentLocked(fs *funcState) Deployment {
-	d := Deployment{Function: fs.spec.Name, Stable: fs.stable, Latest: fs.latest, LastDecision: fs.lastDec}
+	d := Deployment{Function: fs.spec.Name, Stable: fs.stable, Latest: fs.latest,
+		LastDecision: fs.lastDec, LastDecisionTrace: fs.lastDecTrace}
 	if a, ok := fs.artifacts[fs.stable]; ok {
 		d.StableETag = a.etag
 	}
@@ -838,6 +939,7 @@ func (r *Registry) Artifact(tenant, fn string, version int) (artifactOut []byte,
 		return nil, "", 0, fmt.Errorf("%w: function %q has no model version %d", ErrNotFound, fn, version)
 	}
 	r.metrics.artifactPulls.Add(1)
+	ts.tm.pulls.Add(1)
 	return a.data, a.etag, a.version, nil
 }
 
@@ -849,7 +951,7 @@ func (r *Registry) Artifact(tenant, fn string, version int) (artifactOut []byte,
 // registry owns the version sequence; the canonical bytes/etag are
 // returned. The new version deploys through the same canary gate as a
 // retrained model.
-func (r *Registry) PushModel(tenant, fn string, data []byte, ifMatch string) (Deployment, error) {
+func (r *Registry) PushModel(ctx context.Context, tenant, fn string, data []byte, ifMatch string) (Deployment, error) {
 	m, err := ml.DecodeArtifact(data, "")
 	if err != nil {
 		return Deployment{}, fmt.Errorf("%w: %v", ErrInvalid, err)
@@ -874,7 +976,7 @@ func (r *Registry) PushModel(tenant, fn string, data []byte, ifMatch string) (De
 	case !hasCur || ifMatch != cur.etag:
 		return Deployment{}, fmt.Errorf("%w: etag %s is not current", ErrPrecondition, ifMatch)
 	}
-	if err := r.installLocked(tenant, fs, m, false); err != nil {
+	if err := r.installLocked(ctx, tenant, fs, m, false); err != nil {
 		return Deployment{}, err
 	}
 	return r.deploymentLocked(fs), nil
@@ -884,8 +986,8 @@ func (r *Registry) PushModel(tenant, fn string, data []byte, ifMatch string) (De
 // for deployment: the first-ever version promotes directly to stable (there
 // is no incumbent to protect), later versions start a canary episode. A
 // candidate arriving while another canary is live replaces it (the older
-// challenger was never promoted).
-func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto bool) error {
+// challenger was never promoted). ctx's trace id becomes the episode trace.
+func (r *Registry) installLocked(ctx context.Context, tenant string, fs *funcState, m *ml.Model, auto bool) error {
 	if err := validateAgainstSpec(m, fs.spec); err != nil {
 		return err
 	}
@@ -902,15 +1004,23 @@ func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto
 	fs.artifacts[version] = artifact{version: version, data: data, etag: etag}
 	fs.latest = version
 	r.metrics.artifactsStored.Add(1)
+	r.cfg.Log.Event(ctx, "server", "model.push",
+		trace.F("tenant", tenant), trace.F("fn", fs.spec.Name),
+		trace.F("version", strconv.Itoa(version)), trace.F("auto", strconv.FormatBool(auto)))
 	if fs.stable == 0 {
 		fs.stable = version
 		fs.lastDec = DecisionPromoted
+		fs.lastDecTrace = trace.From(ctx)
 		fs.detector.OnSwap()
+		r.cfg.Log.Event(ctx, "server", "canary.promote",
+			trace.F("tenant", tenant), trace.F("fn", fs.spec.Name),
+			trace.F("version", strconv.Itoa(version)), trace.F("direct", "true"))
 	} else {
 		pol := r.cfg.Canary
 		fs.canary = &CanaryState{
 			Version:        version,
 			ETag:           etag,
+			Trace:          trace.From(ctx),
 			Fraction:       pol.Fraction,
 			MinSamples:     pol.MinSamples,
 			MaxFailureRate: pol.MaxFailureRate,
@@ -924,6 +1034,11 @@ func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto
 		fs.lastDec = DecisionPending
 		fs.autoTuned = auto
 		r.metrics.canariesStarted.Add(1)
+		r.cfg.Log.Event(ctx, "server", "canary.start",
+			trace.F("tenant", tenant), trace.F("fn", fs.spec.Name),
+			trace.F("version", strconv.Itoa(version)),
+			trace.F("fraction", strconv.FormatFloat(pol.Fraction, 'g', -1, 64)),
+			trace.F("auto", strconv.FormatBool(auto)))
 	}
 	// Artifact-first: the model bytes and deployment pointer reach disk
 	// before the canary_start record, so a replayed start always finds the
@@ -933,11 +1048,11 @@ func (r *Registry) installLocked(tenant string, fs *funcState, m *ml.Model, auto
 	}
 	if c := fs.canary; c != nil && c.Version == version {
 		return r.journalAppend(journalRecord{Op: opCanaryStart, Tenant: tenant, Function: fs.spec.Name,
-			Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
+			Trace: c.Trace, Version: c.Version, ETag: c.ETag, Fraction: c.Fraction,
 			MinSamples: c.MinSamples, MaxFailureRate: c.MaxFailureRate, Auto: auto})
 	}
 	// First-ever version: the direct promotion flipped the detector.
-	return r.journalDriftLocked(tenant, fs)
+	return r.journalDriftLocked(ctx, tenant, fs)
 }
 
 // validateAgainstSpec rejects models whose class labels exceed the
@@ -964,7 +1079,7 @@ func validateAgainstSpec(m *ml.Model, spec FunctionSpec) error {
 // tools; not retry-safe). Reports for a version that is not the live
 // canary return the settled decision for that version (promoted if it
 // became stable, rolled back otherwise) so laggard clients converge.
-func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string, calls, failures int64) (string, Deployment, error) {
+func (r *Registry) ReportCanary(ctx context.Context, tenant, fn string, version int, reporter string, calls, failures int64) (string, Deployment, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ts, err := r.tenant(tenant)
@@ -975,6 +1090,7 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string,
 	if err != nil {
 		return "", Deployment{}, err
 	}
+	ts.tm.canaryReports.Add(1)
 	if fs.canary == nil || fs.canary.Version != version {
 		dec := DecisionRolledBack
 		if version == fs.stable {
@@ -1004,6 +1120,12 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string,
 	}
 	c.Calls += addCalls
 	c.Failures += addFails
+	r.cfg.Log.Event(ctx, "server", "canary.report",
+		trace.F("tenant", tenant), trace.F("fn", fn),
+		trace.F("version", strconv.Itoa(version)), trace.F("episode", c.Trace),
+		trace.F("reporter", reporter),
+		trace.F("calls", strconv.FormatInt(c.Calls, 10)),
+		trace.F("failures", strconv.FormatInt(c.Failures, 10)))
 	if c.Calls < c.MinSamples {
 		if reporter != "" && addCalls == 0 && addFails == 0 {
 			// Replayed duplicate: nothing moved, skip the fsync.
@@ -1013,7 +1135,8 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string,
 		// a crashed daemon resumes the gate mid-count instead of restarting
 		// it from zero — and still dedupes reports retried across the crash.
 		if err := r.journalAppend(journalRecord{Op: opCanaryProgress, Tenant: tenant,
-			Function: fn, Version: c.Version, Calls: c.Calls, Failures: c.Failures,
+			Function: fn, Trace: trace.From(ctx), Version: c.Version,
+			Calls: c.Calls, Failures: c.Failures,
 			Reporters: fs.canaryReporters}); err != nil {
 			return "", Deployment{}, err
 		}
@@ -1023,7 +1146,7 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string,
 	// WAL-first (inside endCanaryLocked): the verdict is durable before
 	// deployment.json changes; a crash between the two replays the
 	// canary_end record and converges.
-	if err := r.endCanaryLocked(tenant, fs, version, rate <= c.MaxFailureRate); err != nil {
+	if err := r.endCanaryLocked(ctx, tenant, fs, version, rate <= c.MaxFailureRate); err != nil {
 		return "", Deployment{}, err
 	}
 	return fs.lastDec, r.deploymentLocked(fs), nil
@@ -1034,7 +1157,7 @@ func (r *Registry) ReportCanary(tenant, fn string, version int, reporter string,
 // retraining corpus) and into the fleet drift detector. A detector verdict
 // that asks for a retrain auto-submits a tune job when enough corpus is
 // available. Returns the fleet drift state after ingestion.
-func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSample) (online.FleetStats, error) {
+func (r *Registry) PushObservations(ctx context.Context, tenant, fn string, samples []online.RemoteSample) (online.FleetStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ts, err := r.tenant(tenant)
@@ -1072,22 +1195,26 @@ func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSa
 		}
 	}
 	r.metrics.samplesIngested.Add(int64(len(samples)))
+	ts.tm.observations.Add(int64(len(samples)))
 	// The same batch can double as paired bakeoff evidence: every sample
 	// carries the full timing vector, so the live sequential canary (if any)
 	// scores challenger vs stable picks on it and may settle right here.
-	if err := r.feedCanaryBakeoffLocked(tenant, fs, samples); err != nil {
+	if err := r.feedCanaryBakeoffLocked(ctx, tenant, fs, samples); err != nil {
 		return online.FleetStats{}, err
 	}
 	if wantRetrain && !fs.autoTuned && fs.pendingTunes == 0 && len(fs.reservoir) >= r.cfg.MinRetrainSamples {
-		if _, err := r.submitTuneLocked(ts, fs, true); err == nil {
+		if _, err := r.submitTuneLocked(ctx, ts, fs, true); err == nil {
 			r.metrics.autoTunes.Add(1)
 		}
 	}
 	if fs.detector.State() != stateBefore {
+		r.cfg.Log.Event(ctx, "server", "drift.transition",
+			trace.F("tenant", tenant), trace.F("fn", fn),
+			trace.F("from", string(stateBefore)), trace.F("to", string(fs.detector.State())))
 		// A drift-state transition is the durable event; raw counter churn
 		// between transitions is flushed at shutdown drain instead of per
 		// push, keeping the fsync rate off the observation hot path.
-		if err := r.journalDriftLocked(tenant, fs); err != nil {
+		if err := r.journalDriftLocked(ctx, tenant, fs); err != nil {
 			return online.FleetStats{}, err
 		}
 	}
@@ -1096,7 +1223,7 @@ func (r *Registry) PushObservations(tenant, fn string, samples []online.RemoteSa
 
 // Tune submits an explicit tuning job over the function's observation
 // corpus and returns the job id.
-func (r *Registry) Tune(tenant, fn string) (string, error) {
+func (r *Registry) Tune(ctx context.Context, tenant, fn string) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ts, err := r.tenant(tenant)
@@ -1107,19 +1234,19 @@ func (r *Registry) Tune(tenant, fn string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	id, err := r.submitTuneLocked(ts, fs, false)
+	id, err := r.submitTuneLocked(ctx, ts, fs, false)
 	if err != nil {
 		return "", err
 	}
 	// The submit moved the detector to retraining; make that durable (the
 	// job itself is not journaled — a crashed retrain simply re-triggers).
-	if jerr := r.journalDriftLocked(tenant, fs); jerr != nil {
+	if jerr := r.journalDriftLocked(ctx, tenant, fs); jerr != nil {
 		return id, jerr
 	}
 	return id, nil
 }
 
-func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (string, error) {
+func (r *Registry) submitTuneLocked(ctx context.Context, ts *tenantState, fs *funcState, auto bool) (string, error) {
 	if len(fs.reservoir) < 2 {
 		return "", fmt.Errorf("%w: %d observations, need >= 2", ErrInvalid, len(fs.reservoir))
 	}
@@ -1141,12 +1268,16 @@ func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (
 		}
 	}
 	tenant, fn := ts.cfg.Name, fs.spec.Name
+	// Detach the trace id from the request context: the job outlives the
+	// request, and a live ctx must not leak cancellation into the worker.
+	jobCtx := trace.With(context.Background(), trace.From(ctx))
 	id, err := r.jobs.Submit(autotuner.TuneJob{
 		Function:    tenant + "/" + fn,
 		Owner:       tenant,
 		Instances:   instances,
 		Options:     r.cfg.Train,
 		BaseVersion: fs.latest,
+		Ctx:         jobCtx,
 		Done:        func(st autotuner.JobStatus) { r.onTuneDone(tenant, fn, st) },
 	})
 	if err != nil {
@@ -1165,12 +1296,20 @@ func (r *Registry) submitTuneLocked(ts *tenantState, fs *funcState, auto bool) (
 	fs.detector.OnRetrainStart()
 	r.jobMeta[id] = jobMeta{tenant: tenant, fn: fn}
 	r.metrics.tunesSubmitted.Add(1)
+	ts.tm.tunes.Add(1)
+	r.cfg.Log.Event(ctx, "server", "tune.submit",
+		trace.F("tenant", tenant), trace.F("fn", fn), trace.F("job", id),
+		trace.F("auto", strconv.FormatBool(auto)),
+		trace.F("corpus", strconv.Itoa(len(fs.reservoir))))
 	return id, nil
 }
 
 // onTuneDone runs on a job-queue worker when a tune finishes: install the
-// candidate (canary-staged) or record the failure.
+// candidate (canary-staged) or record the failure. The job status carries
+// the submitting request's trace id, so the staged canary inherits the
+// provenance of the tune request that caused it.
 func (r *Registry) onTuneDone(tenant, fn string, st autotuner.JobStatus) {
+	ctx := trace.With(context.Background(), st.Trace)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ts, err := r.tenant(tenant)
@@ -1185,18 +1324,27 @@ func (r *Registry) onTuneDone(tenant, fn string, st autotuner.JobStatus) {
 	if st.State != autotuner.JobDone {
 		fs.autoTuned = false
 		fs.detector.OnRetrainFailed()
-		r.journalDriftLocked(tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
+		r.journalDriftLocked(ctx, tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
 		r.metrics.tunesFailed.Add(1)
+		r.cfg.Log.Error(ctx, "server", "tune.failed",
+			trace.F("tenant", tenant), trace.F("fn", fn), trace.F("job", st.ID),
+			trace.F("state", string(st.State)), trace.F("error", st.Error))
 		return
 	}
-	if err := r.installLocked(tenant, fs, st.Model, fs.autoTuned); err != nil {
+	if err := r.installLocked(ctx, tenant, fs, st.Model, fs.autoTuned); err != nil {
 		fs.autoTuned = false
 		fs.detector.OnRetrainFailed()
-		r.journalDriftLocked(tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
+		r.journalDriftLocked(ctx, tenant, fs) //nolint:errcheck // best-effort; no caller to surface to
 		r.metrics.tunesFailed.Add(1)
+		r.cfg.Log.Error(ctx, "server", "tune.failed",
+			trace.F("tenant", tenant), trace.F("fn", fn), trace.F("job", st.ID),
+			trace.F("state", "uninstallable"), trace.F("error", err.Error()))
 		return
 	}
 	r.metrics.tunesDone.Add(1)
+	r.cfg.Log.Event(ctx, "server", "tune.done",
+		trace.F("tenant", tenant), trace.F("fn", fn), trace.F("job", st.ID),
+		trace.F("version", strconv.Itoa(st.Version)))
 }
 
 // Job reports a tune job's status; jobs are tenant-scoped.
@@ -1221,6 +1369,9 @@ type persistedDeployment struct {
 	Stable  int    `json:"stable"`
 	Latest  int    `json:"latest"`
 	LastDec string `json:"last_decision"`
+	// LastDecTrace makes the settling request's trace id durable with the
+	// pointer it settled, so "which request promoted v3" survives restarts.
+	LastDecTrace string `json:"last_decision_trace,omitempty"`
 }
 
 func (r *Registry) funcDir(tenant, fn string) string {
@@ -1262,7 +1413,8 @@ func (r *Registry) persistArtifact(tenant string, fs *funcState) error {
 			}
 		}
 	}
-	dep, err := json.Marshal(persistedDeployment{Stable: fs.stable, Latest: fs.latest, LastDec: fs.lastDec})
+	dep, err := json.Marshal(persistedDeployment{Stable: fs.stable, Latest: fs.latest,
+		LastDec: fs.lastDec, LastDecTrace: fs.lastDecTrace})
 	if err != nil {
 		return err
 	}
@@ -1341,6 +1493,7 @@ func (r *Registry) loadFunc(dir string) (*funcState, error) {
 		if _, ok := fs.artifacts[dep.Stable]; ok {
 			fs.stable = dep.Stable
 			fs.lastDec = dep.LastDec
+			fs.lastDecTrace = trace.Sanitize(dep.LastDecTrace)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err

@@ -8,10 +8,15 @@ package server
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"sync/atomic"
 
 	"nitro/internal/obs"
+	"nitro/internal/obs/trace"
 )
 
 // serverMetrics counts registry activity; exported through an obs.Collector
@@ -89,7 +94,94 @@ func (r *Registry) Collector() obs.Collector {
 		emit(shed("pulls", &m.shedPulls))
 		emit(shed("control", &m.shedControl))
 		emit(counter("nitro_server_shed_recoveries_total", "Transitions from shedding back to full admission.", &m.shedRecoveries))
+
+		// Per-tenant activity split. Cardinality is bounded: the tenant set
+		// is fixed at construction, never minted from request data.
+		tenant := func(name, help, tn string, v int64) obs.Metric {
+			return obs.Counter(name, help, float64(v), obs.Label{Key: "tenant", Value: tn})
+		}
+		r.mu.Lock()
+		var tnames []string
+		for n := range r.tenants {
+			tnames = append(tnames, n)
+		}
+		sort.Strings(tnames)
+		type tcounts struct {
+			name                                  string
+			requests, obsv, pulls, tunes, reports int64
+		}
+		counts := make([]tcounts, 0, len(tnames))
+		for _, n := range tnames {
+			tm := &r.tenants[n].tm
+			counts = append(counts, tcounts{name: n, requests: tm.requests.Load(),
+				obsv: tm.observations.Load(), pulls: tm.pulls.Load(),
+				tunes: tm.tunes.Load(), reports: tm.canaryReports.Load()})
+		}
+		rec := r.recovery
+		r.mu.Unlock()
+		for _, c := range counts {
+			emit(tenant("nitro_server_tenant_requests_total", "Authenticated API requests per tenant.", c.name, c.requests))
+			emit(tenant("nitro_server_tenant_observations_total", "Observation samples ingested per tenant.", c.name, c.obsv))
+			emit(tenant("nitro_server_tenant_artifact_pulls_total", "Model artifact pulls served per tenant (including 304s).", c.name, c.pulls))
+			emit(tenant("nitro_server_tenant_tune_jobs_total", "Tune jobs submitted per tenant (manual and auto).", c.name, c.tunes))
+			emit(tenant("nitro_server_tenant_canary_reports_total", "Canary reports accepted per tenant.", c.name, c.reports))
+		}
+
+		// Per-route latency. The route set is the fixed apiRoutes list.
+		for _, route := range apiRoutes {
+			if h := r.routeHist[route]; h != nil {
+				emit(obs.HistogramMetric("nitro_server_http_request_seconds",
+					"API request latency by route.", h, obs.DefaultBounds(),
+					obs.Label{Key: "route", Value: route}))
+			}
+		}
+
+		// Startup recovery outcome as gauges, so dashboards can alert on a
+		// crashy daemon (clean_shutdown 0) or replay loss without scraping
+		// /vars.
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		gauge := func(name, help string, v float64) obs.Metric {
+			return obs.Metric{Name: name, Help: help, Kind: obs.KindGauge, Value: v}
+		}
+		emit(gauge("nitro_server_recovery_journal", "Whether the durable journal is active (1) or disabled (0).", b2f(rec.Journal)))
+		emit(gauge("nitro_server_recovery_clean_shutdown", "Whether the previous run shut down cleanly (1) or crashed (0).", b2f(rec.CleanShutdown)))
+		emit(gauge("nitro_server_recovery_records_replayed", "Journal records replayed at the last startup.", float64(rec.RecordsReplayed)))
+		emit(gauge("nitro_server_recovery_resumed_canaries", "Canary episodes resumed at the last startup.", float64(rec.ResumedCanaries)))
+		emit(gauge("nitro_server_recovery_dropped_records", "Journal records dropped at the last startup.", float64(rec.DroppedRecords)))
+		emit(gauge("nitro_server_recovery_corrupt_tail", "Whether the last startup quarantined a corrupt journal tail.", b2f(rec.CorruptTail != "")))
 	}
+}
+
+// ObsConfig configures the daemon's observability plane: the structured
+// event stream, trace-id minting, the flight recorder and the opt-in
+// profiling surface. The zero value keeps the flight recorder (always on,
+// it is cheap) and disables everything else.
+type ObsConfig struct {
+	// LogWriter receives the JSON slog event stream, one object per line
+	// (nil disables the stream; events still reach the flight ring).
+	LogWriter io.Writer
+	// Debug lowers the stream threshold from Info to Debug, emitting
+	// per-request events. Leave off in production: Debug events always
+	// reach the flight ring regardless.
+	Debug bool
+	// Clock stamps log events (default time.Now; inject a fake for
+	// byte-identical double-run transcripts).
+	Clock trace.Clock
+	// TraceSeed, when non-zero, makes server-minted trace ids
+	// deterministic (tests and smoke transcripts); zero uses crypto/rand.
+	TraceSeed int64
+	// FlightCapacity sizes the flight ring (default
+	// trace.DefaultFlightCapacity).
+	FlightCapacity int
+	// Profiling mounts net/http/pprof under /debug/pprof/ and registers
+	// the Go runtime metrics collector. Off by default: the profiling
+	// surface is unauthenticated, so only enable it on trusted networks.
+	Profiling bool
 }
 
 // Config assembles a daemon.
@@ -100,25 +192,55 @@ type Config struct {
 	Registry RegistryConfig
 	// HTTP hardens the listener; the zero value selects obs defaults.
 	HTTP obs.ServerConfig
+	// Obs configures tracing, logging, the flight recorder and profiling.
+	Obs ObsConfig
 }
 
 // Daemon is a running nitro-server: registry + telemetry on one listener.
 type Daemon struct {
-	reg *Registry
-	obs *obs.Registry
-	srv *obs.Server
+	reg       *Registry
+	obs       *obs.Registry
+	srv       *obs.Server
+	flight    *trace.Recorder
+	profiling bool
 }
 
 // NewDaemon builds the registry and its telemetry registry without
-// listening yet.
+// listening yet. The observability plane is assembled here: one flight
+// recorder and one trace-stamped event log shared by the registry, the
+// job queue and the admission controller.
 func NewDaemon(cfg Config) (*Daemon, error) {
+	capacity := cfg.Obs.FlightCapacity
+	if capacity <= 0 {
+		capacity = trace.DefaultFlightCapacity
+	}
+	flight := trace.NewRecorder(capacity)
+	if cfg.Registry.Log == nil {
+		level := slog.LevelInfo
+		if cfg.Obs.Debug {
+			level = slog.LevelDebug
+		}
+		cfg.Registry.Log = trace.NewLog(trace.LogConfig{
+			Writer: cfg.Obs.LogWriter, Level: level,
+			Clock: cfg.Obs.Clock, Recorder: flight,
+		})
+	} else if rec := cfg.Registry.Log.Recorder(); rec != nil {
+		flight = rec
+	}
+	if cfg.Registry.TraceSource == nil && cfg.Obs.TraceSeed != 0 {
+		cfg.Registry.TraceSource = trace.NewSeededSource(cfg.Obs.TraceSeed)
+	}
 	reg, err := NewRegistry(cfg.Registry)
 	if err != nil {
 		return nil, err
 	}
 	oreg := obs.NewRegistry()
 	oreg.Register(reg.Collector())
-	return &Daemon{reg: reg, obs: oreg}, nil
+	if cfg.Obs.Profiling {
+		oreg.Register(obs.RuntimeCollector())
+	}
+	oreg.RegisterVar("recovery", func() any { return reg.Recovery() })
+	return &Daemon{reg: reg, obs: oreg, flight: flight, profiling: cfg.Obs.Profiling}, nil
 }
 
 // Registry exposes the daemon's registry (tests and the smoke harness).
@@ -127,11 +249,30 @@ func (d *Daemon) Registry() *Registry { return d.reg }
 // Obs exposes the daemon's telemetry registry for extra collectors.
 func (d *Daemon) Obs() *obs.Registry { return d.obs }
 
+// Flight exposes the daemon's flight recorder (the SIGQUIT dump path and
+// tests read it directly).
+func (d *Daemon) Flight() *trace.Recorder { return d.flight }
+
+// Recovery reports what journal recovery did when the daemon started.
+func (d *Daemon) Recovery() RecoveryReport { return d.reg.Recovery() }
+
 // Handler returns the daemon's full HTTP surface: the authenticated API
-// under /api/v1 plus the telemetry routes at the root.
+// under /api/v1, the flight-recorder dump at /debug/flight, the optional
+// pprof surface, plus the telemetry routes at the root.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/api/v1/", d.reg.APIHandler())
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(d.flight.DumpJSON())
+	})
+	if d.profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.Handle("/", d.obs.Handler())
 	return mux
 }

@@ -1,0 +1,91 @@
+package server
+
+// Double-run determinism of the observability plane: the same control-plane
+// scenario, driven twice with a seeded trace source and a fixed clock, must
+// produce byte-identical slog streams and byte-identical flight dumps. Any
+// divergence means wall-clock, map ordering, or unseeded randomness leaked
+// into the evidence — the property the chaos transcripts and trace smoke
+// rely on.
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"testing"
+	"time"
+
+	"nitro/internal/obs/trace"
+	"nitro/internal/online"
+)
+
+// obsScenario drives one synchronous canary lifecycle against a registry
+// wired with seeded observability and returns (slog stream, flight dump).
+func obsScenario(t *testing.T, seed int64) ([]byte, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(128)
+	fixed := time.Unix(1700000000, 0).UTC()
+	log := trace.NewLog(trace.LogConfig{
+		Writer: &buf, Level: slog.LevelDebug,
+		Clock: func() time.Time { return fixed }, Recorder: rec,
+	})
+	src := trace.NewSeededSource(seed)
+	r, err := NewRegistry(RegistryConfig{
+		Tenants:     []TenantConfig{{Name: "acme", Token: "tok-acme"}},
+		Workers:     1,
+		Canary:      CanaryPolicy{Fraction: 0.5, MinSamples: 20, MaxFailureRate: 0.2},
+		Clock:       func() time.Time { return fixed },
+		Log:         log,
+		TraceSource: src,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Mint one id per logical request, exactly as the HTTP middleware
+	// would; the seeded source makes the sequence reproducible.
+	next := func() context.Context {
+		return trace.With(context.Background(), src.NewID())
+	}
+	if err := r.RegisterFunction(next(), "acme", testSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PushModel(next(), "acme", "sort", boundaryArtifact(t, 4.5), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PushModel(next(), "acme", "sort", boundaryArtifact(t, 6.5), ""); err != nil {
+		t.Fatal(err)
+	}
+	if dec, _, err := r.ReportCanary(next(), "acme", "sort", 2, "rep-1", 10, 0); err != nil || dec != DecisionPending {
+		t.Fatalf("mid report: (%q, %v)", dec, err)
+	}
+	samples := []online.RemoteSample{{Features: []float64{1}, Times: []float64{1, 2}, Predicted: -1}}
+	if _, err := r.PushObservations(next(), "acme", "sort", samples); err != nil {
+		t.Fatal(err)
+	}
+	if dec, _, err := r.ReportCanary(next(), "acme", "sort", 2, "rep-1", 20, 0); err != nil || dec != DecisionPromoted {
+		t.Fatalf("final report: (%q, %v)", dec, err)
+	}
+	return bytes.Clone(buf.Bytes()), rec.DumpJSON()
+}
+
+func TestObservabilityDoubleRunDeterminism(t *testing.T) {
+	log1, flight1 := obsScenario(t, 99)
+	log2, flight2 := obsScenario(t, 99)
+	if !bytes.Equal(log1, log2) {
+		t.Fatalf("slog streams diverge between identically seeded runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", log1, log2)
+	}
+	if !bytes.Equal(flight1, flight2) {
+		t.Fatalf("flight dumps diverge between identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", flight1, flight2)
+	}
+	if len(log1) == 0 || len(flight1) == 0 {
+		t.Fatal("scenario produced no observability output")
+	}
+	// A different seed must change the ids (the streams are genuinely
+	// seed-dependent, not constant).
+	log3, _ := obsScenario(t, 100)
+	if bytes.Equal(log1, log3) {
+		t.Fatal("differently seeded runs produced identical streams — ids are not flowing")
+	}
+}

@@ -92,11 +92,14 @@
 package nitro
 
 import (
+	"context"
+
 	"nitro/internal/autotuner"
 	"nitro/internal/core"
 	"nitro/internal/ensemble"
 	"nitro/internal/ml"
 	"nitro/internal/obs"
+	"nitro/internal/obs/trace"
 	"nitro/internal/online"
 	"nitro/internal/server"
 	"nitro/internal/server/client"
@@ -483,6 +486,21 @@ type ModelPoller = client.Poller
 func NewModelPoller(c *RegistryClient, cx *Context, fn string) *ModelPoller {
 	return client.NewPoller(c, cx, fn)
 }
+
+// TraceIDHeader is the HTTP header that correlates a request with the
+// registry's structured logs, journal records and flight recorder.
+const TraceIDHeader = trace.Header
+
+// WithTraceID attaches a fleet trace id to ctx: every registry request
+// issued under the returned context (and any canary episode or verdict it
+// produces server-side) is correlated under that id. Ids are confined to
+// [A-Za-z0-9._-] and 64 bytes; anything else is replaced server-side.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return trace.With(ctx, id)
+}
+
+// TraceIDFrom returns the fleet trace id carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string { return trace.From(ctx) }
 
 // RemoteSample is one labelled observation pushed to the registry's
 // fleet-wide drift detector: a feature vector, per-variant times and the
